@@ -1,0 +1,115 @@
+// Command doppel-bench regenerates the tables and figures of "Phase
+// Reconciliation for Contended In-Memory Transactions" (OSDI 2014) on the
+// repository's multicore simulator, and can additionally drive the real
+// engines on the local machine.
+//
+// Usage:
+//
+//	doppel-bench -experiment fig8            # one experiment
+//	doppel-bench -experiment all             # the whole evaluation
+//	doppel-bench -experiment fig11 -cores 40 # different core count
+//	doppel-bench -real -duration 2s          # real-engine INCR1 run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"doppel/internal/atomiceng"
+	"doppel/internal/bench"
+	"doppel/internal/core"
+	"doppel/internal/engine"
+	"doppel/internal/occ"
+	"doppel/internal/store"
+	"doppel/internal/twopl"
+	"doppel/internal/workload"
+)
+
+func main() {
+	exp := flag.String("experiment", "", "experiment to run: "+strings.Join(bench.ExperimentNames(), ", ")+", or 'all'")
+	cores := flag.Int("cores", 20, "simulated core count")
+	records := flag.Int("records", 1_000_000, "simulated record count")
+	full := flag.Bool("full", false, "longer simulations for smoother curves")
+	seed := flag.Uint64("seed", 42, "simulation seed")
+	real := flag.Bool("real", false, "run INCR1 on the real engines instead of the simulator")
+	hot := flag.Float64("hot", 1.0, "real mode: fraction of transactions on the hot key")
+	duration := flag.Duration("duration", time.Second, "real mode: run duration per engine")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "real mode: worker count")
+	flag.Parse()
+
+	if *real {
+		runReal(*hot, *duration, *workers)
+		return
+	}
+	if *exp == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	cfg := bench.ExpConfig{Cores: *cores, Records: *records, Seed: *seed, Full: *full}
+	if *exp == "all" {
+		for _, name := range []string{"fig8", "fig9", "fig10", "fig11", "table1",
+			"table2", "fig12", "table3", "fig13", "fig14", "table4", "fig15"} {
+			bench.Experiments[name](os.Stdout, cfg)
+			fmt.Println()
+		}
+		return
+	}
+	fn, ok := bench.Experiments[*exp]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; have %s\n", *exp, strings.Join(bench.ExperimentNames(), ", "))
+		os.Exit(2)
+	}
+	fn(os.Stdout, cfg)
+}
+
+// runReal measures the real engines on this machine with the INCR1
+// microbenchmark. On a single-CPU host this demonstrates functional
+// behaviour (abort/stash accounting, conservation), not parallel
+// speedup; see EXPERIMENTS.md.
+func runReal(hot float64, dur time.Duration, workers int) {
+	const keys = 100_000
+	ks := workload.NewKeySpace('k', keys)
+	gen := &workload.Incr1{Keys: ks, HotKey: 0, HotFrac: hot}
+
+	build := func(name string) (engine.Engine, *store.Store) {
+		st := store.New()
+		for i := 0; i < keys; i++ {
+			st.Preload(ks.Key(i), store.IntValue(0))
+		}
+		switch name {
+		case "doppel":
+			cfg := core.DefaultConfig(workers)
+			return core.Open(st, cfg), st
+		case "occ":
+			return occ.New(st, workers), st
+		case "2pl":
+			return twopl.New(st, workers), st
+		default:
+			return atomiceng.New(st, workers), st
+		}
+	}
+
+	fmt.Printf("# real-engine INCR1: %d workers, hot=%.0f%%, %v per engine\n", workers, hot*100, dur)
+	fmt.Printf("%-8s %12s %12s %12s %12s\n", "engine", "txn/s", "committed", "aborted", "stashed")
+	for _, name := range []string{"doppel", "occ", "2pl", "atomic"} {
+		e, st := build(name)
+		res := bench.RunLoad(e, gen, bench.Options{Duration: dur, Seed: 1})
+		e.Stop()
+		var total int64
+		st.Range(func(k string, rec *store.Record) bool {
+			n, _ := rec.Value().AsInt()
+			total += n
+			return true
+		})
+		ok := "ok"
+		if total != int64(res.Stats.Committed) {
+			ok = fmt.Sprintf("CONSERVATION VIOLATED (%d != %d)", total, res.Stats.Committed)
+		}
+		fmt.Printf("%-8s %12.0f %12d %12d %12d  %s\n", name, res.Throughput,
+			res.Stats.Committed, res.Stats.Aborted, res.Stats.Stashed, ok)
+	}
+}

@@ -1,0 +1,70 @@
+// Command doppel-cli is a line-oriented client for doppel-server.
+//
+//	doppel-cli -addr 127.0.0.1:7777
+//	> add counter 5
+//	> get counter
+//	5
+//
+// Each input line is "procedure arg1 arg2 ..."; the server's reply (or
+// error) is printed. End with EOF or "quit".
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"doppel/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7777", "server address")
+	flag.Parse()
+
+	// Non-interactive mode: arguments form a single call.
+	if args := flag.Args(); len(args) > 0 {
+		c, err := server.Dial(*addr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer c.Close()
+		out, err := c.Call(args[0], args[1:]...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if out != "" {
+			fmt.Println(out)
+		}
+		return
+	}
+
+	c, err := server.Dial(*addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Print("> ")
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			fmt.Print("> ")
+			continue
+		}
+		if fields[0] == "quit" || fields[0] == "exit" {
+			return
+		}
+		out, err := c.Call(fields[0], fields[1:]...)
+		if err != nil {
+			fmt.Printf("error: %v\n", err)
+		} else if out != "" {
+			fmt.Println(out)
+		} else {
+			fmt.Println("ok")
+		}
+		fmt.Print("> ")
+	}
+}

@@ -1,0 +1,111 @@
+// Command doppel-server runs a Doppel database serving a small
+// general-purpose procedure set over TCP: get/put/add/max/min/topk.
+//
+//	doppel-server -addr 127.0.0.1:7777 -workers 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strconv"
+
+	"doppel"
+	"doppel/internal/server"
+)
+
+func needArgs(args []string, n int) error {
+	if len(args) != n {
+		return fmt.Errorf("need %d args, got %d", n, len(args))
+	}
+	return nil
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7777", "listen address")
+	workers := flag.Int("workers", 4, "worker count")
+	flag.Parse()
+
+	db := doppel.Open(doppel.Options{Workers: *workers})
+	defer db.Close()
+	srv := server.New(db)
+
+	srv.Register("get", func(tx doppel.Tx, args []string) (string, error) {
+		if err := needArgs(args, 1); err != nil {
+			return "", err
+		}
+		n, err := tx.GetInt(args[0])
+		return strconv.FormatInt(n, 10), err
+	})
+	srv.Register("getbytes", func(tx doppel.Tx, args []string) (string, error) {
+		if err := needArgs(args, 1); err != nil {
+			return "", err
+		}
+		b, err := tx.GetBytes(args[0])
+		return string(b), err
+	})
+	srv.Register("put", func(tx doppel.Tx, args []string) (string, error) {
+		if err := needArgs(args, 2); err != nil {
+			return "", err
+		}
+		return "", tx.PutBytes(args[0], []byte(args[1]))
+	})
+	intOp := func(op func(tx doppel.Tx, key string, n int64) error) server.Handler {
+		return func(tx doppel.Tx, args []string) (string, error) {
+			if err := needArgs(args, 2); err != nil {
+				return "", err
+			}
+			n, err := strconv.ParseInt(args[1], 10, 64)
+			if err != nil {
+				return "", err
+			}
+			return "", op(tx, args[0], n)
+		}
+	}
+	srv.Register("add", intOp(func(tx doppel.Tx, k string, n int64) error { return tx.Add(k, n) }))
+	srv.Register("max", intOp(func(tx doppel.Tx, k string, n int64) error { return tx.Max(k, n) }))
+	srv.Register("min", intOp(func(tx doppel.Tx, k string, n int64) error { return tx.Min(k, n) }))
+	srv.Register("topk-insert", func(tx doppel.Tx, args []string) (string, error) {
+		if err := needArgs(args, 3); err != nil {
+			return "", err
+		}
+		order, err := strconv.ParseInt(args[1], 10, 64)
+		if err != nil {
+			return "", err
+		}
+		return "", tx.TopKInsert(args[0], order, []byte(args[2]), 100)
+	})
+	srv.Register("topk", func(tx doppel.Tx, args []string) (string, error) {
+		if err := needArgs(args, 1); err != nil {
+			return "", err
+		}
+		es, err := tx.GetTopK(args[0])
+		if err != nil {
+			return "", err
+		}
+		out := ""
+		for _, e := range es {
+			out += fmt.Sprintf("%d:%s\n", e.Order, e.Data)
+		}
+		return out, nil
+	})
+	srv.Register("stats", func(tx doppel.Tx, args []string) (string, error) {
+		s := db.Stats()
+		return fmt.Sprintf("committed=%d aborted=%d stashed=%d phase=%s split=%d",
+			s.Committed, s.Aborted, s.Stashed, s.Phase, len(s.SplitKeys)), nil
+	})
+
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("doppel-server listening on %s (%d workers)", bound, *workers)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	log.Print("shutting down")
+	srv.Close()
+}

@@ -1,0 +1,93 @@
+// Command doppel-sim runs one multicore simulation with explicit
+// parameters, for exploring the cost model and classifier behaviour
+// beyond the paper's fixed experiments.
+//
+// Example:
+//
+//	doppel-sim -engine doppel -cores 40 -hot 0.5 -duration 200ms
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"doppel/internal/sim"
+	"doppel/internal/workload"
+)
+
+func main() {
+	engineName := flag.String("engine", "doppel", "doppel, occ, 2pl, atomic, silo")
+	cores := flag.Int("cores", 20, "simulated cores")
+	records := flag.Int("records", 1_000_000, "records")
+	hot := flag.Float64("hot", -1, "INCR1 hot fraction (use -alpha for INCRZ)")
+	alpha := flag.Float64("alpha", -1, "INCRZ Zipf exponent")
+	writeFrac := flag.Float64("writes", -1, "LIKE write fraction (with -alpha)")
+	duration := flag.Duration("duration", 150*time.Millisecond, "simulated duration")
+	warmup := flag.Duration("warmup", 60*time.Millisecond, "simulated warmup")
+	phase := flag.Duration("phase", 20*time.Millisecond, "Doppel phase length")
+	seed := flag.Uint64("seed", 42, "seed")
+	flag.Parse()
+
+	var kind sim.Kind
+	switch *engineName {
+	case "doppel":
+		kind = sim.Doppel
+	case "occ":
+		kind = sim.OCC
+	case "2pl":
+		kind = sim.TwoPL
+	case "atomic":
+		kind = sim.Atomic
+	case "silo":
+		kind = sim.Silo
+	default:
+		fmt.Fprintf(os.Stderr, "unknown engine %q\n", *engineName)
+		os.Exit(2)
+	}
+
+	cfg := sim.Config{
+		Engine:   kind,
+		Cores:    *cores,
+		Records:  *records,
+		Warmup:   warmup.Nanoseconds(),
+		Duration: duration.Nanoseconds(),
+		Seed:     *seed,
+	}
+	cfg.Doppel = sim.DefaultParams()
+	cfg.Doppel.PhaseLen = phase.Nanoseconds()
+
+	var gen sim.Generator
+	switch {
+	case *writeFrac >= 0 && *alpha >= 0:
+		users := *records / 2
+		z := workload.NewZipf(users, *alpha)
+		gen = sim.LikeGen(users, users, z, *writeFrac)
+		fmt.Printf("workload: LIKE writes=%.0f%% alpha=%.2f\n", *writeFrac*100, *alpha)
+	case *alpha >= 0:
+		z := workload.NewZipf(*records, *alpha)
+		gen = sim.IncrZGen(z)
+		fmt.Printf("workload: INCRZ alpha=%.2f\n", *alpha)
+	default:
+		h := *hot
+		if h < 0 {
+			h = 1.0
+		}
+		gen = sim.IncrGen(*records, h, 0)
+		fmt.Printf("workload: INCR1 hot=%.0f%%\n", h*100)
+	}
+
+	res := sim.Run(cfg, gen)
+	fmt.Printf("engine=%s cores=%d records=%d\n", kind, *cores, *records)
+	fmt.Printf("throughput:   %.2f Mtxn/s\n", res.Throughput/1e6)
+	fmt.Printf("commits:      %d\n", res.Commits)
+	fmt.Printf("aborts:       %d\n", res.Aborts)
+	fmt.Printf("stashes:      %d\n", res.Stashes)
+	fmt.Printf("phase changes: %d\n", res.PhaseChanges)
+	fmt.Printf("split keys:   %d %v\n", len(res.SplitKeys), res.SplitKeys)
+	fmt.Printf("read latency:  mean=%.1fus p99=%.1fus\n",
+		res.ReadLat.Mean()/1000, float64(res.ReadLat.Quantile(0.99))/1000)
+	fmt.Printf("write latency: mean=%.1fus p99=%.1fus\n",
+		res.WriteLat.Mean()/1000, float64(res.WriteLat.Quantile(0.99))/1000)
+}

@@ -1,0 +1,327 @@
+// Package doppel is an in-memory transactional key/value database that
+// uses phase reconciliation to execute contended commutative updates in
+// parallel, reproducing "Phase Reconciliation for Contended In-Memory
+// Transactions" (Narula, Cutler, Kohler, Morris — OSDI 2014).
+//
+// The database cycles through joined, split and reconciliation phases.
+// Joined phases run every transaction under Silo-style OCC. When a
+// record becomes contended under a commutative operation (Add, Max, Min,
+// Mult, OPut, TopKInsert), Doppel marks it split: during split phases
+// that operation updates per-core slices with no coordination, and short
+// reconciliation phases merge the slices back. Transactions that touch
+// split data any other way are transparently stashed and re-executed in
+// the next joined phase; callers just observe a slower commit.
+//
+// # Quick start
+//
+//	db := doppel.Open(doppel.Options{})
+//	defer db.Close()
+//	err := db.Exec(func(tx doppel.Tx) error {
+//		if err := tx.Add("page:42:likes", 1); err != nil {
+//			return err
+//		}
+//		return tx.PutBytes("user:7:last", []byte("page:42"))
+//	})
+//
+// Exec retries conflict aborts internally and returns after the
+// transaction has committed (or failed with the body's own error).
+package doppel
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"doppel/internal/core"
+	"doppel/internal/engine"
+	"doppel/internal/metrics"
+	"doppel/internal/store"
+	"doppel/internal/wal"
+)
+
+// Tx is the transaction interface passed to transaction bodies. See
+// engine.Tx for method semantics; the splittable operations (Add, Max,
+// Min, Mult, OPut, TopKInsert) are the ones phase reconciliation can
+// parallelize under contention.
+type Tx = engine.Tx
+
+// TxFunc is a transaction body. Bodies may be re-executed after
+// conflicts or stashes and must therefore be pure functions of the
+// database state they read.
+type TxFunc = engine.TxFunc
+
+// Order is the ordering component of OPut's ordered tuples.
+type Order = store.Order
+
+// TopKEntry is one member of a top-K set record.
+type TopKEntry = store.TopKEntry
+
+// Value is an immutable typed record value.
+type Value = store.Value
+
+// OpKind identifies an operation for SplitHint.
+type OpKind = store.OpKind
+
+// Splittable operation kinds for SplitHint.
+const (
+	OpAdd        = store.OpAdd
+	OpMax        = store.OpMax
+	OpMin        = store.OpMin
+	OpMult       = store.OpMult
+	OpOPut       = store.OpOPut
+	OpTopKInsert = store.OpTopKInsert
+)
+
+// Options configures Open.
+type Options struct {
+	// Workers is the number of worker goroutines (the paper's
+	// one-worker-per-core model). 0 means 4.
+	Workers int
+	// PhaseLength is the coordinator's phase-change interval; the paper
+	// uses 20ms. 0 means 20ms.
+	PhaseLength time.Duration
+	// Engine overrides internal classifier knobs; leave zero-valued
+	// unless benchmarking.
+	Engine core.Config
+	// RedoLog, when non-empty, enables asynchronous group-commit redo
+	// logging to this file (the durability design the paper cites as
+	// future work). Use Recover to rebuild a database from the log.
+	RedoLog string
+}
+
+// Stats is a point-in-time summary of database activity.
+type Stats struct {
+	Committed    uint64
+	Aborted      uint64
+	Stashed      uint64
+	Retries      uint64
+	Phase        string
+	PhaseChanges uint64
+	SplitKeys    []string
+}
+
+// DB is a Doppel database with its own worker goroutines. All methods
+// are safe for concurrent use.
+type DB struct {
+	eng     *core.DB
+	redo    *wal.Logger
+	queues  []chan *request
+	wg      sync.WaitGroup
+	stopped atomic.Bool
+	next    atomic.Uint64
+}
+
+type request struct {
+	fn     TxFunc
+	submit int64
+	done   chan error
+}
+
+// Open creates a database and starts its workers. It panics only on
+// programmer error; an unopenable redo log is returned by OpenErr.
+func Open(opts Options) *DB {
+	db, err := OpenErr(opts)
+	if err != nil {
+		panic(err)
+	}
+	return db
+}
+
+// OpenErr is Open with an error return (needed only when Options.RedoLog
+// is set).
+func OpenErr(opts Options) (*DB, error) {
+	return openInto(opts, store.New())
+}
+
+// Recover replays the redo log at path into a fresh database and starts
+// it (without further logging; pass a different Options.RedoLog to
+// resume logging to a new file).
+func Recover(path string, opts Options) (*DB, error) {
+	recs, err := wal.Replay(path)
+	if err != nil {
+		return nil, err
+	}
+	st := store.New()
+	// Per-record TIDs increase monotonically (every commit's TID exceeds
+	// the record's previous TID), so replay applies a record's value only
+	// when its TID advances — belt and braces against any log reordering.
+	seen := map[string]uint64{}
+	for _, rec := range recs {
+		for _, op := range rec.Ops {
+			if prev, ok := seen[op.Key]; ok && rec.TID <= prev {
+				continue
+			}
+			v, err := store.DecodeValue(op.Value)
+			if err != nil {
+				return nil, fmt.Errorf("doppel: corrupt redo value for %q: %w", op.Key, err)
+			}
+			st.Preload(op.Key, v)
+			seen[op.Key] = rec.TID
+		}
+	}
+	return openInto(opts, st)
+}
+
+func openInto(opts Options, st *store.Store) (*DB, error) {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = 4
+	}
+	cfg := opts.Engine
+	cfg.Workers = workers
+	if cfg.PhaseLength == 0 {
+		cfg.PhaseLength = opts.PhaseLength
+	}
+	if cfg.PhaseLength == 0 {
+		cfg.PhaseLength = 20 * time.Millisecond
+	}
+	var redo *wal.Logger
+	if opts.RedoLog != "" {
+		var err error
+		redo, err = wal.Open(opts.RedoLog)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Redo = redo
+	}
+	db := &DB{
+		eng:    core.Open(st, cfg),
+		redo:   redo,
+		queues: make([]chan *request, workers),
+	}
+	for w := 0; w < workers; w++ {
+		db.queues[w] = make(chan *request, 128)
+		db.wg.Add(1)
+		go db.worker(w)
+	}
+	return db, nil
+}
+
+// worker drives one engine worker: it executes submitted transactions,
+// retries conflict aborts with backoff, and polls the engine between
+// requests so phase transitions keep moving even when idle.
+func (db *DB) worker(w int) {
+	defer db.wg.Done()
+	q := db.queues[w]
+	idle := time.NewTicker(200 * time.Microsecond)
+	defer idle.Stop()
+	for {
+		select {
+		case req, ok := <-q:
+			if !ok {
+				return
+			}
+			db.run(w, req)
+		case <-idle.C:
+			db.eng.Poll(w)
+		}
+	}
+}
+
+func (db *DB) run(w int, req *request) {
+	backoff := time.Microsecond
+	for {
+		out, err := db.eng.Attempt(w, req.fn, req.submit)
+		switch out {
+		case engine.Committed:
+			req.done <- nil
+			return
+		case engine.Stashed:
+			// The transaction accessed split data incompatibly and was
+			// stashed; it will re-execute during the next joined phase.
+			// Block until this worker's stash drains so the caller
+			// observes a completed transaction — this wait, up to a
+			// phase length, is the read-latency cost the paper's
+			// Table 3 and Figure 13 measure.
+			for db.eng.StashLen(w) > 0 {
+				db.eng.Poll(w)
+				time.Sleep(50 * time.Microsecond)
+			}
+			req.done <- nil
+			return
+		case engine.UserAbort:
+			req.done <- err
+			return
+		case engine.Paused:
+			db.eng.Poll(w)
+		case engine.Aborted:
+			time.Sleep(backoff)
+			if backoff < time.Millisecond {
+				backoff *= 2
+			}
+		}
+	}
+}
+
+// Exec runs fn as a serializable transaction and returns once it has
+// committed (or has been durably accepted for commit in the next joined
+// phase, when the transaction was stashed). A non-nil return is fn's own
+// error; conflicts are retried internally.
+func (db *DB) Exec(fn TxFunc) error {
+	if db.stopped.Load() {
+		return errors.New("doppel: database closed")
+	}
+	req := &request{fn: fn, submit: time.Now().UnixNano(), done: make(chan error, 1)}
+	w := int(db.next.Add(1)) % len(db.queues)
+	db.queues[w] <- req
+	return <-req.done
+}
+
+// ExecWait is Exec for callers that need the stashed-transaction commit
+// to have happened before return: it re-submits a no-op read after fn to
+// ensure a joined phase has passed. Reads of split data already behave
+// this way naturally.
+func (db *DB) ExecWait(fn TxFunc) error {
+	if err := db.Exec(fn); err != nil {
+		return err
+	}
+	return db.Exec(func(tx Tx) error { return nil })
+}
+
+// SplitHint manually labels key as split data for op (§5.5 of the
+// paper). The classifier handles hot keys automatically; hints are for
+// workloads whose contention the application can predict.
+func (db *DB) SplitHint(key string, op OpKind) { db.eng.SplitHint(key, op) }
+
+// ClearSplitHint removes a manual label.
+func (db *DB) ClearSplitHint(key string) { db.eng.ClearSplitHint(key) }
+
+// Stats returns aggregate statistics.
+func (db *DB) Stats() Stats {
+	agg := metrics.NewTxnStats()
+	for w := 0; w < db.eng.Workers(); w++ {
+		agg.Merge(db.eng.WorkerStats(w))
+	}
+	return Stats{
+		Committed:    agg.Committed,
+		Aborted:      agg.Aborted,
+		Stashed:      agg.Stashed,
+		Retries:      agg.Retries,
+		Phase:        db.eng.Phase().String(),
+		PhaseChanges: db.eng.PhaseChanges(),
+		SplitKeys:    db.eng.SplitKeys(),
+	}
+}
+
+// Close stops the workers, reconciles outstanding per-core slices and
+// commits any stashed transactions. The database must not be used after
+// Close.
+func (db *DB) Close() {
+	if db.stopped.Swap(true) {
+		return
+	}
+	for _, q := range db.queues {
+		close(q)
+	}
+	db.wg.Wait()
+	db.eng.Close()
+	if db.redo != nil {
+		_ = db.redo.Close()
+	}
+}
+
+// Internal returns the underlying engine for benchmarks and tests that
+// need direct worker control.
+func (db *DB) Internal() *core.DB { return db.eng }

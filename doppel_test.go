@@ -1,0 +1,216 @@
+package doppel
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestOpenExecClose(t *testing.T) {
+	db := Open(Options{Workers: 2})
+	defer db.Close()
+	err := db.Exec(func(tx Tx) error {
+		if err := tx.PutInt("a", 1); err != nil {
+			return err
+		}
+		return tx.Add("a", 4)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = db.Exec(func(tx Tx) error {
+		n, err := tx.GetInt("a")
+		if err != nil {
+			return err
+		}
+		if n != 5 {
+			return fmt.Errorf("got %d", n)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExecUserError(t *testing.T) {
+	db := Open(Options{Workers: 1})
+	defer db.Close()
+	boom := errors.New("boom")
+	if err := db.Exec(func(tx Tx) error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestExecAfterClose(t *testing.T) {
+	db := Open(Options{Workers: 1})
+	db.Close()
+	if err := db.Exec(func(tx Tx) error { return nil }); err == nil {
+		t.Fatal("expected error after close")
+	}
+	db.Close() // idempotent
+}
+
+func TestConcurrentCounterWithHint(t *testing.T) {
+	db := Open(Options{Workers: 4, PhaseLength: 2 * time.Millisecond})
+	defer db.Close()
+	db.SplitHint("ctr", OpAdd)
+	const goroutines = 8
+	const perG = 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				if err := db.Exec(func(tx Tx) error { return tx.Add("ctr", 1) }); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// Reads of split data stash and commit in the next joined phase;
+	// ExecWait guarantees the read observed a fully reconciled value.
+	var final int64
+	err := db.ExecWait(func(tx Tx) error {
+		n, err := tx.GetInt("ctr")
+		final = n
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final != goroutines*perG {
+		t.Fatalf("counter %d want %d", final, goroutines*perG)
+	}
+	st := db.Stats()
+	if st.Committed == 0 {
+		t.Fatal("no commits recorded")
+	}
+	if st.Phase != "joined" && st.Phase != "split" {
+		t.Fatalf("phase %q", st.Phase)
+	}
+}
+
+func TestAutoSplitUnderRealContention(t *testing.T) {
+	opts := Options{Workers: 4, PhaseLength: 2 * time.Millisecond}
+	opts.Engine.SplitMinConflicts = 2
+	opts.Engine.SplitFraction = 0.0001
+	db := Open(opts)
+	defer db.Close()
+	var wg sync.WaitGroup
+	var accepted atomic.Int64
+	stop := time.Now().Add(300 * time.Millisecond)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(stop) {
+				if db.Exec(func(tx Tx) error { return tx.Add("hot", 1) }) == nil {
+					accepted.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// Whether the classifier split depends on observed interleaving on
+	// this machine; the invariant that must always hold is conservation:
+	// every accepted Add is reflected exactly once.
+	var total int64
+	if err := db.ExecWait(func(tx Tx) error {
+		n, err := tx.GetInt("hot")
+		total = n
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if total != accepted.Load() {
+		t.Fatalf("counter %d, accepted adds %d", total, accepted.Load())
+	}
+}
+
+func TestAllOpsThroughPublicAPI(t *testing.T) {
+	db := Open(Options{Workers: 2})
+	defer db.Close()
+	err := db.Exec(func(tx Tx) error {
+		if err := tx.Max("mx", 9); err != nil {
+			return err
+		}
+		if err := tx.Min("mn", -3); err != nil {
+			return err
+		}
+		if err := tx.Mult("ml", 6); err != nil {
+			return err
+		}
+		if err := tx.OPut("op", Order{A: 5}, []byte("win")); err != nil {
+			return err
+		}
+		if err := tx.TopKInsert("tk", 8, []byte("e"), 4); err != nil {
+			return err
+		}
+		return tx.PutBytes("by", []byte("raw"))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = db.Exec(func(tx Tx) error {
+		if n, _ := tx.GetInt("mx"); n != 9 {
+			return fmt.Errorf("max %d", n)
+		}
+		if n, _ := tx.GetInt("mn"); n != -3 {
+			return fmt.Errorf("min %d", n)
+		}
+		if n, _ := tx.GetInt("ml"); n != 6 {
+			return fmt.Errorf("mult %d", n)
+		}
+		tup, ok, err := tx.GetTuple("op")
+		if err != nil || !ok || string(tup.Data) != "win" {
+			return fmt.Errorf("oput %v %v %v", tup, ok, err)
+		}
+		es, err := tx.GetTopK("tk")
+		if err != nil || len(es) != 1 || es[0].Order != 8 {
+			return fmt.Errorf("topk %v %v", es, err)
+		}
+		b, err := tx.GetBytes("by")
+		if err != nil || string(b) != "raw" {
+			return fmt.Errorf("bytes %q %v", b, err)
+		}
+		v, err := tx.Get("by")
+		if err != nil || v == nil {
+			return fmt.Errorf("get %v %v", v, err)
+		}
+		if _, err := tx.GetForUpdate("mx"); err != nil {
+			return err
+		}
+		if _, err := tx.GetIntForUpdate("mx"); err != nil {
+			return err
+		}
+		if tx.WorkerID() < 0 {
+			return errors.New("worker id")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsAndHints(t *testing.T) {
+	db := Open(Options{})
+	defer db.Close()
+	db.SplitHint("h", OpMax)
+	db.ClearSplitHint("h")
+	if db.Internal() == nil {
+		t.Fatal("internal engine nil")
+	}
+	_ = db.Exec(func(tx Tx) error { return tx.Add("x", 1) })
+	st := db.Stats()
+	if st.Committed == 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}

@@ -1,0 +1,95 @@
+package doppel
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestRedoLogRecovery writes through a logged database (including split
+// phases so reconciliation merges get logged), closes it, and recovers a
+// fresh database from the log.
+func TestRedoLogRecovery(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "doppel.wal")
+	opts := Options{Workers: 2, PhaseLength: 2 * time.Millisecond, RedoLog: path}
+	db, err := OpenErr(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.SplitHint("counter", OpAdd)
+	for i := 0; i < 200; i++ {
+		if err := db.Exec(func(tx Tx) error { return tx.Add("counter", 1) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Exec(func(tx Tx) error {
+		if err := tx.PutBytes("name", []byte("doppel")); err != nil {
+			return err
+		}
+		if err := tx.Max("best", 77); err != nil {
+			return err
+		}
+		return tx.TopKInsert("board", 5, []byte("entry"), 3)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Give stashes/reconciliation a chance to settle, then close (which
+	// forces the final reconciliation and flushes the log).
+	if err := db.ExecWait(func(tx Tx) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+
+	rec, err := Recover(path, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	err = rec.Exec(func(tx Tx) error {
+		n, err := tx.GetInt("counter")
+		if err != nil {
+			return err
+		}
+		if n != 200 {
+			return fmt.Errorf("counter %d after recovery", n)
+		}
+		b, err := tx.GetBytes("name")
+		if err != nil {
+			return err
+		}
+		if string(b) != "doppel" {
+			return fmt.Errorf("name %q", b)
+		}
+		best, err := tx.GetInt("best")
+		if err != nil {
+			return err
+		}
+		if best != 77 {
+			return fmt.Errorf("best %d", best)
+		}
+		es, err := tx.GetTopK("board")
+		if err != nil {
+			return err
+		}
+		if len(es) != 1 || string(es[0].Data) != "entry" {
+			return fmt.Errorf("board %v", es)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecoverMissingLog(t *testing.T) {
+	if _, err := Recover(filepath.Join(t.TempDir(), "nope.wal"), Options{}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestOpenErrBadLogPath(t *testing.T) {
+	if _, err := OpenErr(Options{RedoLog: filepath.Join(t.TempDir(), "no", "such", "dir", "x.wal")}); err == nil {
+		t.Fatal("expected error")
+	}
+}

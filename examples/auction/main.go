@@ -1,0 +1,133 @@
+// Auction: the paper's motivating workload (§1). Many bidders hammer a
+// few popular auctions as they near their close; the StoreBid
+// transaction is written with commutative operations (the paper's
+// Figure 7) so Doppel can split the auction metadata and absorb the
+// contention on per-core slices.
+//
+//	go run ./examples/auction
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"doppel"
+)
+
+const (
+	auctions = 100
+	hotItem  = 7 // everyone wants the signed guitar
+	bidders  = 8
+	duration = 500 * time.Millisecond
+)
+
+func maxBidKey(item int) string    { return fmt.Sprintf("auction:%d:maxbid", item) }
+func maxBidderKey(item int) string { return fmt.Sprintf("auction:%d:winner", item) }
+func numBidsKey(item int) string   { return fmt.Sprintf("auction:%d:numbids", item) }
+func bidIndexKey(item int) string  { return fmt.Sprintf("auction:%d:bids", item) }
+
+// storeBid is the Figure 7 transaction: insert the bid row, then update
+// the auction metadata with Max / OPut / Add / TopKInsert — all
+// commutative, all splittable.
+func storeBid(db *doppel.DB, bidder, item int, amount int64, bidSeq int64) error {
+	bidKey := fmt.Sprintf("bid:%d:%d", bidder, bidSeq)
+	now := time.Now().UnixNano()
+	return db.Exec(func(tx doppel.Tx) error {
+		if err := tx.PutBytes(bidKey, []byte(fmt.Sprintf("item=%d amt=%d", item, amount))); err != nil {
+			return err
+		}
+		if err := tx.Max(maxBidKey(item), amount); err != nil {
+			return err
+		}
+		if err := tx.OPut(maxBidderKey(item), doppel.Order{A: amount, B: now},
+			[]byte(fmt.Sprintf("bidder-%d", bidder))); err != nil {
+			return err
+		}
+		if err := tx.Add(numBidsKey(item), 1); err != nil {
+			return err
+		}
+		return tx.TopKInsert(bidIndexKey(item), amount, []byte(bidKey), 10)
+	})
+}
+
+func main() {
+	db := doppel.Open(doppel.Options{Workers: 4, PhaseLength: 5 * time.Millisecond})
+	defer db.Close()
+
+	var totalBids, hotBids atomic.Int64
+	var highest atomic.Int64
+	var wg sync.WaitGroup
+	stop := time.Now().Add(duration)
+	for b := 0; b < bidders; b++ {
+		wg.Add(1)
+		go func(b int) {
+			defer wg.Done()
+			seq := int64(0)
+			for time.Now().Before(stop) {
+				seq++
+				item := hotItem
+				if seq%5 == 0 { // an occasional bid on a quiet auction
+					item = int(seq) % auctions
+				}
+				amount := int64(100 + b*7 + int(seq)%1000)
+				if err := storeBid(db, b, item, amount, seq); err != nil {
+					log.Printf("bid failed: %v", err)
+					continue
+				}
+				totalBids.Add(1)
+				if item == hotItem {
+					hotBids.Add(1)
+					for {
+						cur := highest.Load()
+						if amount <= cur || highest.CompareAndSwap(cur, amount) {
+							break
+						}
+					}
+				}
+			}
+		}(b)
+	}
+	wg.Wait()
+
+	// Reads of split data stash until the next joined phase; Exec blocks
+	// until the value is fully reconciled.
+	err := db.Exec(func(tx doppel.Tx) error {
+		maxBid, err := tx.GetInt(maxBidKey(hotItem))
+		if err != nil {
+			return err
+		}
+		numBids, err := tx.GetInt(numBidsKey(hotItem))
+		if err != nil {
+			return err
+		}
+		winner, ok, err := tx.GetTuple(maxBidderKey(hotItem))
+		if err != nil {
+			return err
+		}
+		top, err := tx.GetTopK(bidIndexKey(hotItem))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("hot auction #%d: %d bids, winning bid %d", hotItem, numBids, maxBid)
+		if ok {
+			fmt.Printf(" by %s", winner.Data)
+		}
+		fmt.Printf("; top-%d bid index populated\n", len(top))
+		if numBids != hotBids.Load() {
+			return fmt.Errorf("CONSERVATION VIOLATED: %d bids recorded, %d submitted", numBids, hotBids.Load())
+		}
+		if maxBid != highest.Load() {
+			return fmt.Errorf("max bid %d does not match highest submitted %d", maxBid, highest.Load())
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := db.Stats()
+	fmt.Printf("total bids: %d (hot: %d) — commits=%d stashed=%d phase-changes=%d split-keys=%v\n",
+		totalBids.Load(), hotBids.Load(), s.Committed, s.Stashed, s.PhaseChanges, s.SplitKeys)
+}

@@ -1,0 +1,116 @@
+// Leaderboard: a Reddit-style front page (§2 of the paper cites Reddit's
+// materialized vote counts and top-k lists). Stories accumulate votes
+// with Add; the front page is a top-K set maintained with TopKInsert;
+// the most recent headline is an OPut ordered tuple. All three update
+// paths commute, so the hottest records can be split while the site is
+// being hammered.
+//
+//	go run ./examples/leaderboard
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"doppel"
+)
+
+const (
+	stories  = 200
+	voters   = 8
+	frontK   = 10
+	duration = 400 * time.Millisecond
+)
+
+func votesKey(s int) string { return fmt.Sprintf("story:%d:votes", s) }
+
+const frontPageKey = "frontpage"
+const latestKey = "latest-headline"
+
+func main() {
+	db := doppel.Open(doppel.Options{Workers: 4, PhaseLength: 5 * time.Millisecond})
+	defer db.Close()
+
+	// The front page and the few viral stories are predictably hot;
+	// label them up front (§5.5 manual data labeling). Everything else
+	// is left to the classifier.
+	db.SplitHint(frontPageKey, doppel.OpTopKInsert)
+	db.SplitHint(votesKey(0), doppel.OpAdd)
+	db.SplitHint(latestKey, doppel.OpOPut)
+
+	votes := make([]atomic.Int64, stories)
+	var wg sync.WaitGroup
+	stop := time.Now().Add(duration)
+	for v := 0; v < voters; v++ {
+		wg.Add(1)
+		go func(v int) {
+			defer wg.Done()
+			i := 0
+			for time.Now().Before(stop) {
+				i++
+				story := 0 // the viral story gets most votes
+				if i%3 != 0 {
+					story = (v*31 + i) % stories
+				}
+				seq := int64(i)
+				err := db.Exec(func(tx doppel.Tx) error {
+					if err := tx.Add(votesKey(story), 1); err != nil {
+						return err
+					}
+					// Maintain the front page: a story's index entry
+					// carries its (approximate) vote count as the order.
+					if err := tx.TopKInsert(frontPageKey, seq, []byte(votesKey(story)), frontK); err != nil {
+						return err
+					}
+					return tx.OPut(latestKey, doppel.Order{A: seq, B: int64(v)},
+						[]byte(fmt.Sprintf("story %d is trending", story)))
+				})
+				if err != nil {
+					log.Fatal(err)
+				}
+				votes[story].Add(1)
+			}
+		}(v)
+	}
+	wg.Wait()
+
+	err := db.Exec(func(tx doppel.Tx) error {
+		viral, err := tx.GetInt(votesKey(0))
+		if err != nil {
+			return err
+		}
+		if viral != votes[0].Load() {
+			return fmt.Errorf("viral story: %d votes recorded, %d cast", viral, votes[0].Load())
+		}
+		front, err := tx.GetTopK(frontPageKey)
+		if err != nil {
+			return err
+		}
+		latest, ok, err := tx.GetTuple(latestKey)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("viral story: %d votes (verified exact)\n", viral)
+		fmt.Printf("front page (%d entries):\n", len(front))
+		for i, e := range front {
+			if i >= 3 {
+				fmt.Printf("  ...\n")
+				break
+			}
+			fmt.Printf("  #%d %s\n", i+1, e.Data)
+		}
+		if ok {
+			fmt.Printf("latest headline: %s\n", latest.Data)
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := db.Stats()
+	fmt.Printf("engine: commits=%d stashed=%d phase-changes=%d split-keys=%d\n",
+		s.Committed, s.Stashed, s.PhaseChanges, len(s.SplitKeys))
+}

@@ -1,0 +1,112 @@
+// Likes: the paper's LIKE application (§7) — users "like" pages on a
+// social site. Update transactions write the user's like and increment a
+// per-page counter; read transactions read a user's last like and a
+// page's total. Page popularity is heavily skewed, so the hot pages'
+// counters become split data while every individual like row stays an
+// ordinary record.
+//
+//	go run ./examples/likes
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"doppel"
+)
+
+const (
+	users    = 10_000
+	pages    = 1_000
+	hotPages = 3 // a celebrity account or two
+	workers  = 8
+	duration = 500 * time.Millisecond
+)
+
+func pageKey(p int) string { return fmt.Sprintf("page:%d:likes", p) }
+func userKey(u int) string { return fmt.Sprintf("user:%d:last", u) }
+
+func main() {
+	db := doppel.Open(doppel.Options{Workers: 4, PhaseLength: 5 * time.Millisecond})
+	defer db.Close()
+
+	perPage := make([]atomic.Int64, pages)
+	var reads, writes atomic.Int64
+	var wg sync.WaitGroup
+	stop := time.Now().Add(duration)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			i := 0
+			for time.Now().Before(stop) {
+				i++
+				user := (w*7919 + i) % users
+				page := i % hotPages // most traffic on hot pages
+				if i%10 == 0 {
+					page = i % pages
+				}
+				if i%2 == 0 {
+					// Like: record it and bump the page counter.
+					err := db.Exec(func(tx doppel.Tx) error {
+						if err := tx.PutBytes(userKey(user), []byte(pageKey(page))); err != nil {
+							return err
+						}
+						return tx.Add(pageKey(page), 1)
+					})
+					if err != nil {
+						log.Fatal(err)
+					}
+					perPage[page].Add(1)
+					writes.Add(1)
+				} else {
+					// Read: the user's last like and some page's total.
+					err := db.Exec(func(tx doppel.Tx) error {
+						if _, err := tx.GetBytes(userKey(user)); err != nil {
+							return err
+						}
+						_, err := tx.GetInt(pageKey(page))
+						return err
+					})
+					if err != nil {
+						log.Fatal(err)
+					}
+					reads.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Verify conservation for every page that received likes.
+	var checked, totalLikes int64
+	err := db.Exec(func(tx doppel.Tx) error {
+		for p := 0; p < pages; p++ {
+			want := perPage[p].Load()
+			if want == 0 {
+				continue
+			}
+			got, err := tx.GetInt(pageKey(p))
+			if err != nil {
+				return err
+			}
+			if got != want {
+				return fmt.Errorf("page %d: %d likes recorded, %d submitted", p, got, want)
+			}
+			checked++
+			totalLikes += got
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := db.Stats()
+	fmt.Printf("%d likes across %d pages verified exactly; %d reads, %d writes\n",
+		totalLikes, checked, reads.Load(), writes.Load())
+	fmt.Printf("engine: commits=%d aborted=%d stashed=%d phase=%s split-keys=%v\n",
+		s.Committed, s.Aborted, s.Stashed, s.Phase, s.SplitKeys)
+}

@@ -1,0 +1,62 @@
+// Quickstart: open a Doppel database, run a few transactions, read the
+// results. Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"doppel"
+)
+
+func main() {
+	db := doppel.Open(doppel.Options{Workers: 4})
+	defer db.Close()
+
+	// A transaction is a function over tx; Exec retries conflicts and
+	// returns once it has committed.
+	err := db.Exec(func(tx doppel.Tx) error {
+		if err := tx.PutBytes("greeting", []byte("hello, doppel")); err != nil {
+			return err
+		}
+		// Splittable operations: these are the ones Doppel can run on
+		// per-core slices when the record becomes contended.
+		if err := tx.Add("visits", 1); err != nil {
+			return err
+		}
+		if err := tx.Max("high-score", 9000); err != nil {
+			return err
+		}
+		return tx.TopKInsert("scoreboard", 9000, []byte("ada"), 10)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	err = db.Exec(func(tx doppel.Tx) error {
+		g, err := tx.GetBytes("greeting")
+		if err != nil {
+			return err
+		}
+		visits, err := tx.GetInt("visits")
+		if err != nil {
+			return err
+		}
+		hi, err := tx.GetInt("high-score")
+		if err != nil {
+			return err
+		}
+		board, err := tx.GetTopK("scoreboard")
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s — visits=%d high-score=%d leaders=%d\n", g, visits, hi, len(board))
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("stats: %+v\n", db.Stats())
+}

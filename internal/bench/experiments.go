@@ -1,0 +1,352 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"doppel/internal/sim"
+	"doppel/internal/workload"
+)
+
+// ExpConfig scales the simulator-driven experiment suite. The zero value
+// is filled with paper-like defaults (20 cores, 1M keys) at quick
+// durations; Full lengthens every run for smoother curves.
+type ExpConfig struct {
+	Cores   int
+	Records int
+	Seed    uint64
+	Full    bool
+}
+
+func (c ExpConfig) norm() ExpConfig {
+	if c.Cores <= 0 {
+		c.Cores = 20
+	}
+	if c.Records <= 0 {
+		c.Records = 1_000_000
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	return c
+}
+
+func (c ExpConfig) durations() (warmup, dur int64) {
+	if c.Full {
+		return 100_000_000, 400_000_000
+	}
+	return 60_000_000, 150_000_000
+}
+
+func (c ExpConfig) simConfig(e sim.Kind) sim.Config {
+	w, d := c.durations()
+	return sim.Config{
+		Engine:   e,
+		Cores:    c.Cores,
+		Records:  c.Records,
+		Warmup:   w,
+		Duration: d,
+		Seed:     c.Seed,
+	}
+}
+
+var allEngines = []sim.Kind{sim.Doppel, sim.OCC, sim.TwoPL, sim.Atomic}
+var threeEngines = []sim.Kind{sim.Doppel, sim.OCC, sim.TwoPL}
+
+// Fig8 regenerates Figure 8: INCR1 total throughput vs. the percentage
+// of transactions writing the single hot key.
+func Fig8(w io.Writer, cfg ExpConfig) {
+	cfg = cfg.norm()
+	fmt.Fprintf(w, "# Figure 8: INCR1 throughput (Mtxns/sec) vs %% hot-key txns; %d cores, %d keys\n", cfg.Cores, cfg.Records)
+	fmt.Fprintf(w, "%-8s %10s %10s %10s %10s %12s\n", "hot%", "doppel", "occ", "2pl", "atomic", "doppel-split")
+	for _, hot := range []float64{0, 0.02, 0.05, 0.10, 0.20, 0.30, 0.40, 0.50, 0.60, 0.80, 1.00} {
+		fmt.Fprintf(w, "%-8.0f", hot*100)
+		var split int
+		for _, e := range allEngines {
+			res := sim.Run(cfg.simConfig(e), sim.IncrGen(cfg.Records, hot, 0))
+			fmt.Fprintf(w, " %10.2f", res.Throughput/1e6)
+			if e == sim.Doppel {
+				split = len(res.SplitKeys)
+			}
+		}
+		fmt.Fprintf(w, " %12d\n", split)
+	}
+}
+
+// Fig9 regenerates Figure 9: INCR1 per-core throughput at 100% hot-key
+// writes as a function of core count.
+func Fig9(w io.Writer, cfg ExpConfig) {
+	cfg = cfg.norm()
+	fmt.Fprintf(w, "# Figure 9: INCR1 per-core throughput (Mtxns/sec/core), 100%% hot key\n")
+	fmt.Fprintf(w, "%-8s %10s %10s %10s %10s\n", "cores", "doppel", "occ", "2pl", "atomic")
+	for _, cores := range []int{1, 2, 4, 8, 10, 20, 30, 40, 60, 80} {
+		c2 := cfg
+		c2.Cores = cores
+		fmt.Fprintf(w, "%-8d", cores)
+		for _, e := range allEngines {
+			res := sim.Run(c2.simConfig(e), sim.IncrGen(cfg.Records, 1.0, 0))
+			fmt.Fprintf(w, " %10.3f", res.Throughput/1e6/float64(cores))
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// Fig10 regenerates Figure 10: throughput over time while the identity
+// of the hot key changes. The paper changes the key every 5 s over 90 s;
+// the simulated horizon compresses time 10× (every 0.5 s over 3 s),
+// which preserves the shape because Doppel's adaptation time is a small
+// number of 20 ms phases in both cases.
+func Fig10(w io.Writer, cfg ExpConfig) {
+	cfg = cfg.norm()
+	if cfg.Records > 100_000 {
+		cfg.Records = 100_000
+	}
+	const changeEvery = 500_000_000 // 0.5 s
+	const horizon = 3_000_000_000   // 3 s
+	const bucket = 100_000_000      // 0.1 s
+	fmt.Fprintf(w, "# Figure 10: INCR1 throughput over time (Mtxns/sec); 10%% hot, hot key changes every 0.5s\n")
+	fmt.Fprintf(w, "%-8s %10s %10s %10s\n", "t(s)", "doppel", "occ", "2pl")
+	series := make([][]float64, 3)
+	for i, e := range threeEngines {
+		c := sim.Config{
+			Engine: e, Cores: cfg.Cores, Records: cfg.Records,
+			Warmup: 0, Duration: horizon, Seed: cfg.Seed,
+			TimelineBucket: bucket,
+		}
+		res := sim.Run(c, sim.IncrGen(cfg.Records, 0.10, changeEvery))
+		series[i] = res.Timeline
+	}
+	n := len(series[0])
+	for b := 0; b < n; b++ {
+		fmt.Fprintf(w, "%-8.1f", float64(b)*bucket/1e9)
+		for i := range threeEngines {
+			v := 0.0
+			if b < len(series[i]) {
+				v = series[i][b]
+			}
+			fmt.Fprintf(w, " %10.2f", v/1e6)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// Fig11 regenerates Figure 11: INCRZ total throughput vs. the Zipfian
+// exponent alpha.
+func Fig11(w io.Writer, cfg ExpConfig) {
+	cfg = cfg.norm()
+	fmt.Fprintf(w, "# Figure 11: INCRZ throughput (Mtxns/sec) vs alpha; %d cores, %d keys\n", cfg.Cores, cfg.Records)
+	fmt.Fprintf(w, "%-8s %10s %10s %10s %10s %12s\n", "alpha", "doppel", "occ", "2pl", "atomic", "doppel-split")
+	for _, alpha := range []float64{0, 0.2, 0.4, 0.6, 0.8, 1.0, 1.2, 1.4, 1.6, 1.8, 2.0} {
+		z := workload.NewZipf(cfg.Records, alpha)
+		fmt.Fprintf(w, "%-8.1f", alpha)
+		var split int
+		for _, e := range allEngines {
+			res := sim.Run(cfg.simConfig(e), sim.IncrZGen(z))
+			fmt.Fprintf(w, " %10.2f", res.Throughput/1e6)
+			if e == sim.Doppel {
+				split = len(res.SplitKeys)
+			}
+		}
+		fmt.Fprintf(w, " %12d\n", split)
+	}
+}
+
+// Table1 regenerates Table 1 exactly: the percentage of writes to the
+// 1st, 2nd, 10th and 100th most popular keys under Zipfian popularity
+// with 1M keys. This is analytic, not simulated.
+func Table1(w io.Writer, cfg ExpConfig) {
+	fmt.Fprintf(w, "# Table 1: %% of writes to the kth most popular key (1M keys)\n")
+	fmt.Fprintf(w, "%-6s %9s %9s %9s %9s\n", "alpha", "1st", "2nd", "10th", "100th")
+	for _, alpha := range []float64{0, 0.2, 0.4, 0.6, 0.8, 1.0, 1.2, 1.4, 1.6, 1.8, 2.0} {
+		z := workload.NewZipf(1_000_000, alpha)
+		fmt.Fprintf(w, "%-6.1f %9.4f %9.4f %9.4f %9.4f\n",
+			alpha, z.Prob(0)*100, z.Prob(1)*100, z.Prob(9)*100, z.Prob(99)*100)
+	}
+}
+
+// Table2 regenerates Table 2: the number of keys Doppel moves to split
+// data and the percentage of requests they cover, per alpha.
+func Table2(w io.Writer, cfg ExpConfig) {
+	cfg = cfg.norm()
+	fmt.Fprintf(w, "# Table 2: keys moved to split data (INCRZ); %d cores, %d keys\n", cfg.Cores, cfg.Records)
+	fmt.Fprintf(w, "%-8s %8s %8s\n", "alpha", "#moved", "%reqs")
+	for _, alpha := range []float64{0.6, 0.8, 1.0, 1.2, 1.4, 1.6, 1.8, 2.0} {
+		z := workload.NewZipf(cfg.Records, alpha)
+		res := sim.Run(cfg.simConfig(sim.Doppel), sim.IncrZGen(z))
+		fmt.Fprintf(w, "%-8.1f %8d %8.1f\n", alpha, len(res.SplitKeys), res.SplitCoverage*100)
+	}
+}
+
+// likeCfg builds the LIKE simulation over users+pages record spaces.
+func likeCfg(cfg ExpConfig, e sim.Kind) (sim.Config, int) {
+	users := cfg.Records / 2
+	pages := cfg.Records / 2
+	c := cfg.simConfig(e)
+	c.Records = users + pages
+	return c, users
+}
+
+// Fig12 regenerates Figure 12: LIKE throughput vs. the percentage of
+// transactions that write, alpha = 1.4.
+func Fig12(w io.Writer, cfg ExpConfig) {
+	cfg = cfg.norm()
+	fmt.Fprintf(w, "# Figure 12: LIKE throughput (Mtxns/sec) vs %% writes; alpha=1.4, %d cores\n", cfg.Cores)
+	fmt.Fprintf(w, "%-8s %10s %10s %10s %12s\n", "write%", "doppel", "occ", "2pl", "doppel-split")
+	for _, wf := range []float64{0.0, 0.10, 0.20, 0.30, 0.40, 0.50, 0.60, 0.80, 1.00} {
+		fmt.Fprintf(w, "%-8.0f", wf*100)
+		var split int
+		for _, e := range threeEngines {
+			c, users := likeCfg(cfg, e)
+			z := workload.NewZipf(users, 1.4)
+			res := sim.Run(c, sim.LikeGen(users, users, z, wf))
+			fmt.Fprintf(w, " %10.2f", res.Throughput/1e6)
+			if e == sim.Doppel {
+				split = len(res.SplitKeys)
+			}
+		}
+		fmt.Fprintf(w, " %12d\n", split)
+	}
+}
+
+// Table3 regenerates Table 3: mean and 99th percentile read/write
+// latency plus throughput for the LIKE benchmark, uniform and skewed
+// (alpha = 1.4), 50% reads.
+func Table3(w io.Writer, cfg ExpConfig) {
+	cfg = cfg.norm()
+	fmt.Fprintf(w, "# Table 3: LIKE latencies (microseconds) and throughput; 50%% reads, %d cores\n", cfg.Cores)
+	fmt.Fprintf(w, "%-22s %10s %10s %10s %10s %10s\n", "workload/engine", "meanR", "meanW", "p99R", "p99W", "Mtxn/s")
+	for _, skew := range []struct {
+		name  string
+		alpha float64
+	}{{"uniform", 0}, {"skewed(a=1.4)", 1.4}} {
+		for _, e := range threeEngines {
+			c, users := likeCfg(cfg, e)
+			z := workload.NewZipf(users, skew.alpha)
+			res := sim.Run(c, sim.LikeGen(users, users, z, 0.5))
+			fmt.Fprintf(w, "%-22s %10.1f %10.1f %10.1f %10.1f %10.2f\n",
+				skew.name+"/"+e.String(),
+				res.ReadLat.Mean()/1000, res.WriteLat.Mean()/1000,
+				float64(res.ReadLat.Quantile(0.99))/1000,
+				float64(res.WriteLat.Quantile(0.99))/1000,
+				res.Throughput/1e6)
+		}
+	}
+}
+
+// phaseSweep runs the LIKE benchmark across phase lengths for Figures 13
+// and 14's three workloads.
+func phaseSweep(cfg ExpConfig, phaseMs int, alpha, writeFrac float64) sim.Result {
+	c, users := likeCfg(cfg, sim.Doppel)
+	c.Doppel = sim.DefaultParams()
+	c.Doppel.PhaseLen = int64(phaseMs) * 1_000_000
+	// Give every phase length enough cycles to reach steady state.
+	if min := c.Doppel.PhaseLen * 12; c.Duration < min {
+		c.Duration = min
+	}
+	z := workload.NewZipf(users, alpha)
+	return sim.Run(c, sim.LikeGen(users, users, z, writeFrac))
+}
+
+var phasePoints = []int{1, 2, 5, 10, 20, 40, 60, 80, 100}
+
+// Fig13 regenerates Figure 13: average read latency vs. phase length for
+// a uniform workload, a skewed 50/50 workload and a skewed write-heavy
+// workload.
+func Fig13(w io.Writer, cfg ExpConfig) {
+	cfg = cfg.norm()
+	fmt.Fprintf(w, "# Figure 13: LIKE average read latency (microseconds) vs phase length (ms); %d cores\n", cfg.Cores)
+	fmt.Fprintf(w, "%-10s %12s %12s %14s\n", "phase(ms)", "uniform", "skewed", "skewed-wheavy")
+	for _, ms := range phasePoints {
+		u := phaseSweep(cfg, ms, 0, 0.5)
+		s := phaseSweep(cfg, ms, 1.4, 0.5)
+		h := phaseSweep(cfg, ms, 1.4, 0.9)
+		fmt.Fprintf(w, "%-10d %12.1f %12.1f %14.1f\n",
+			ms, u.ReadLat.Mean()/1000, s.ReadLat.Mean()/1000, h.ReadLat.Mean()/1000)
+	}
+}
+
+// Fig14 regenerates Figure 14: throughput vs. phase length for the same
+// three workloads.
+func Fig14(w io.Writer, cfg ExpConfig) {
+	cfg = cfg.norm()
+	fmt.Fprintf(w, "# Figure 14: LIKE throughput (Mtxns/sec) vs phase length (ms); %d cores\n", cfg.Cores)
+	fmt.Fprintf(w, "%-10s %12s %12s %14s\n", "phase(ms)", "uniform", "skewed", "skewed-wheavy")
+	for _, ms := range phasePoints {
+		u := phaseSweep(cfg, ms, 0, 0.5)
+		s := phaseSweep(cfg, ms, 1.4, 0.5)
+		h := phaseSweep(cfg, ms, 1.4, 0.9)
+		fmt.Fprintf(w, "%-10d %12.2f %12.2f %14.2f\n",
+			ms, u.Throughput/1e6, s.Throughput/1e6, h.Throughput/1e6)
+	}
+}
+
+// rubisRun simulates one RUBiS mix.
+func rubisRun(cfg ExpConfig, e sim.Kind, users, items int, alpha, bidFrac float64) sim.Result {
+	c := cfg.simConfig(e)
+	c.Records = sim.RUBiSRecords(users, items)
+	z := workload.NewZipf(items, alpha)
+	return sim.Run(c, sim.RUBiSGen(users, items, z, bidFrac))
+}
+
+// Table4 regenerates Table 4: RUBiS-B and RUBiS-C (alpha = 1.8)
+// throughput in millions of transactions per second.
+func Table4(w io.Writer, cfg ExpConfig) {
+	cfg = cfg.norm()
+	users, items := 1_000_000, 33_000
+	if !cfg.Full {
+		users = 200_000
+	}
+	fmt.Fprintf(w, "# Table 4: RUBiS throughput (Mtxns/sec); %d cores, %d users, %d auctions\n", cfg.Cores, users, items)
+	fmt.Fprintf(w, "%-8s %10s %10s\n", "engine", "RUBiS-B", "RUBiS-C")
+	for _, e := range threeEngines {
+		b := rubisRun(cfg, e, users, items, 0, 0.07)
+		c := rubisRun(cfg, e, users, items, 1.8, 0.5)
+		fmt.Fprintf(w, "%-8s %10.2f %10.2f\n", e, b.Throughput/1e6, c.Throughput/1e6)
+	}
+}
+
+// Fig15 regenerates Figure 15: RUBiS-C throughput vs. alpha.
+func Fig15(w io.Writer, cfg ExpConfig) {
+	cfg = cfg.norm()
+	users, items := 1_000_000, 33_000
+	if !cfg.Full {
+		users = 200_000
+	}
+	fmt.Fprintf(w, "# Figure 15: RUBiS-C throughput (Mtxns/sec) vs alpha; %d cores\n", cfg.Cores)
+	fmt.Fprintf(w, "%-8s %10s %10s %10s\n", "alpha", "doppel", "occ", "2pl")
+	for _, alpha := range []float64{0, 0.4, 0.8, 1.0, 1.2, 1.4, 1.6, 1.8, 2.0} {
+		fmt.Fprintf(w, "%-8.1f", alpha)
+		for _, e := range threeEngines {
+			res := rubisRun(cfg, e, users, items, alpha, 0.5)
+			fmt.Fprintf(w, " %10.2f", res.Throughput/1e6)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// Experiments maps experiment names to drivers, for the CLI.
+var Experiments = map[string]func(io.Writer, ExpConfig){
+	"fig8":   Fig8,
+	"fig9":   Fig9,
+	"fig10":  Fig10,
+	"fig11":  Fig11,
+	"table1": Table1,
+	"table2": Table2,
+	"fig12":  Fig12,
+	"table3": Table3,
+	"fig13":  Fig13,
+	"fig14":  Fig14,
+	"table4": Table4,
+	"fig15":  Fig15,
+}
+
+// ExperimentNames lists the experiments in paper order.
+func ExperimentNames() []string {
+	names := make([]string, 0, len(Experiments))
+	for n := range Experiments {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,112 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"doppel/internal/core"
+	"doppel/internal/occ"
+	"doppel/internal/store"
+	"doppel/internal/workload"
+)
+
+func TestRunLoadOCC(t *testing.T) {
+	st := store.New()
+	e := occ.New(st, 2)
+	ks := workload.NewKeySpace('k', 1000)
+	for i := 0; i < ks.N(); i++ {
+		st.Preload(ks.Key(i), store.IntValue(0))
+	}
+	gen := &workload.Incr1{Keys: ks, HotKey: 0, HotFrac: 0.2}
+	res := RunLoad(e, gen, Options{Duration: 100 * time.Millisecond, Seed: 1})
+	if res.Stats.Committed == 0 {
+		t.Fatal("no commits")
+	}
+	if res.Throughput <= 0 {
+		t.Fatal("no throughput")
+	}
+	// Conservation: the sum of all counters equals committed increments.
+	var total int64
+	st.Range(func(k string, rec *store.Record) bool {
+		n, _ := rec.Value().AsInt()
+		total += n
+		return true
+	})
+	if total != int64(res.Stats.Committed) {
+		t.Fatalf("total %d != commits %d", total, res.Stats.Committed)
+	}
+}
+
+func TestRunLoadDoppel(t *testing.T) {
+	st := store.New()
+	cfg := core.DefaultConfig(2)
+	cfg.PhaseLength = 2 * time.Millisecond
+	cfg.SplitMinConflicts = 2
+	cfg.SplitFraction = 0.0001
+	db := core.Open(st, cfg)
+	ks := workload.NewKeySpace('k', 100)
+	for i := 0; i < ks.N(); i++ {
+		st.Preload(ks.Key(i), store.IntValue(0))
+	}
+	gen := &workload.Incr1{Keys: ks, HotKey: 0, HotFrac: 0.9}
+	res := RunLoad(db, gen, Options{Duration: 150 * time.Millisecond, Seed: 7})
+	db.Close()
+	if res.Stats.Committed == 0 {
+		t.Fatal("no commits")
+	}
+	var total int64
+	st.Range(func(k string, rec *store.Record) bool {
+		n, _ := rec.Value().AsInt()
+		total += n
+		return true
+	})
+	// Every committed or stashed-then-committed increment must be
+	// reflected exactly once after Close.
+	if total != int64(res.Stats.Committed) {
+		t.Fatalf("total %d != commits %d (stashed %d)", total, res.Stats.Committed, res.Stats.Stashed)
+	}
+}
+
+func TestExperimentRegistryComplete(t *testing.T) {
+	want := []string{"fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
+		"fig14", "fig15", "table1", "table2", "table3", "table4",
+		"ablation-extend", "ablation-hurry", "ablation-dominance",
+		"ablation-maxkeys", "ablation-barrier"}
+	names := ExperimentNames()
+	if len(names) != len(want) {
+		t.Fatalf("experiments: %v", names)
+	}
+	for _, n := range want {
+		if Experiments[n] == nil {
+			t.Fatalf("missing experiment %s", n)
+		}
+	}
+}
+
+func TestTable1MatchesPaperDigits(t *testing.T) {
+	var buf bytes.Buffer
+	Table1(&buf, ExpConfig{})
+	out := buf.String()
+	// Spot-check against the paper's printed values. The paper rounds to
+	// 6.953 / 32.30 / 60.80; the analytic values land within 0.1%.
+	for _, want := range []string{"6.94", "32.30", "60.79"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Table 1 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSmallExperimentRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment drivers are slow")
+	}
+	// A tiny configuration exercises the driver plumbing end to end.
+	cfg := ExpConfig{Cores: 4, Records: 10_000, Seed: 3}
+	var buf bytes.Buffer
+	Table2(&buf, cfg)
+	if !strings.Contains(buf.String(), "alpha") {
+		t.Fatalf("table2 output:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"sort"
+
+	"doppel/internal/store"
+)
+
+// candidate is a key the classifier is considering splitting.
+type candidate struct {
+	key       string
+	op        store.OpKind
+	conflicts uint64
+}
+
+// decideNextSplit implements §5.5: it aggregates the workers' conflict
+// samples from the elapsed joined phase(s) and the write/stash samples
+// from the last split phase, demotes split records that cooled off or are
+// read-dominated, promotes the most-conflicted records whose conflicts
+// come from a splittable operation, folds in manual hints, and returns
+// the split set for the next split phase.
+func (db *DB) decideNextSplit() *splitSet {
+	cfg := &db.cfg
+
+	// Aggregate and reset per-worker samples.
+	agg := map[string]*opCounts{}
+	splitWrites := map[string]uint64{}
+	splitStashes := map[string]*opCounts{}
+	var attempts uint64
+	for _, w := range db.workers {
+		attempts += w.attemptsWindow.Swap(0)
+		w.statsMu.Lock()
+		for k, oc := range w.conflicts {
+			dst := agg[k]
+			if dst == nil {
+				dst = &opCounts{}
+				agg[k] = dst
+			}
+			for i := range oc {
+				dst[i] += oc[i]
+			}
+		}
+		if len(w.conflicts) > 0 {
+			w.conflicts = map[string]*opCounts{}
+		}
+		for k, n := range w.splitWrites {
+			splitWrites[k] += n
+		}
+		if len(w.splitWrites) > 0 {
+			w.splitWrites = map[string]uint64{}
+		}
+		for k, oc := range w.splitStashes {
+			dst := splitStashes[k]
+			if dst == nil {
+				dst = &opCounts{}
+				splitStashes[k] = dst
+			}
+			for i := range oc {
+				dst[i] += oc[i]
+			}
+		}
+		if len(w.splitStashes) > 0 {
+			w.splitStashes = map[string]*opCounts{}
+		}
+		w.statsMu.Unlock()
+	}
+
+	db.classMu.Lock()
+	defer db.classMu.Unlock()
+
+	if !cfg.DisableAutoSplit {
+		// Demotions: only keys that actually went through the last split
+		// phase are judged, so a fresh promotion is not instantly
+		// demoted for lack of data.
+		for k := range db.curAssign {
+			if _, hinted := db.hints[k]; hinted {
+				continue
+			}
+			if !db.lastSplit[k] {
+				continue
+			}
+			writes := splitWrites[k]
+			stashes := total(splitStashes[k])
+			keepFloor := uint64(cfg.KeepMinWrites)
+			if rel := uint64(cfg.KeepWriteFraction * float64(attempts)); rel > keepFloor {
+				keepFloor = rel
+			}
+			if writes < keepFloor ||
+				float64(stashes) > cfg.ReadDominance*float64(writes) {
+				delete(db.curAssign, k)
+				continue
+			}
+			// Operation switching: if stashes are dominated by a single
+			// splittable operation that outweighs the current one's
+			// writes, reassign (§5.5: "or change its assigned
+			// operation").
+			if op, n := dominantSplittable(splitStashes[k]); op != store.OpNone && n > writes {
+				db.curAssign[k] = op
+			}
+		}
+
+		// Promotions from joined-phase conflict samples.
+		scale := uint64(cfg.SampleRate)
+		var cands []candidate
+		for k, oc := range agg {
+			if _, already := db.curAssign[k]; already {
+				continue
+			}
+			op, splitConf := dominantSplittable(oc)
+			if op == store.OpNone {
+				continue
+			}
+			incompat := uint64(oc[store.OpGet]) + uint64(oc[store.OpPut])
+			if splitConf < uint64(cfg.SplitMinConflicts) {
+				continue
+			}
+			if float64(splitConf*scale) < cfg.SplitFraction*float64(attempts) {
+				continue
+			}
+			if float64(incompat) > cfg.ReadDominance*float64(splitConf) {
+				continue
+			}
+			cands = append(cands, candidate{k, op, splitConf})
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].conflicts != cands[j].conflicts {
+				return cands[i].conflicts > cands[j].conflicts
+			}
+			return cands[i].key < cands[j].key
+		})
+		for _, c := range cands {
+			if len(db.curAssign) >= cfg.MaxSplitKeys {
+				break
+			}
+			db.curAssign[c.key] = c.op
+		}
+	}
+
+	// Manual hints always apply.
+	for k, op := range db.hints {
+		db.curAssign[k] = op
+	}
+
+	if len(db.curAssign) == 0 {
+		db.lastSplit = map[string]bool{}
+		return emptySplitSet
+	}
+	assign := make(map[string]store.OpKind, len(db.curAssign))
+	db.lastSplit = make(map[string]bool, len(db.curAssign))
+	for k, op := range db.curAssign {
+		assign[k] = op
+		db.lastSplit[k] = true
+	}
+	return newSplitSet(db.st, assign)
+}
+
+// total sums an opCounts; nil counts as zero.
+func total(oc *opCounts) uint64 {
+	if oc == nil {
+		return 0
+	}
+	var n uint64
+	for _, c := range oc {
+		n += uint64(c)
+	}
+	return n
+}
+
+// dominantSplittable returns the splittable operation with the highest
+// count and the total count across all splittable operations, or OpNone
+// when there are none.
+func dominantSplittable(oc *opCounts) (store.OpKind, uint64) {
+	if oc == nil {
+		return store.OpNone, 0
+	}
+	best := store.OpNone
+	var bestN uint32
+	var totalN uint64
+	for i := range oc {
+		k := store.OpKind(i)
+		if !k.Splittable() || oc[i] == 0 {
+			continue
+		}
+		totalN += uint64(oc[i])
+		if oc[i] > bestN {
+			bestN = oc[i]
+			best = k
+		}
+	}
+	return best, totalN
+}

@@ -1,0 +1,151 @@
+// Package core implements Doppel, the phase reconciliation engine of the
+// paper (§5): a serializable in-memory transaction system that cycles
+// through joined, split and reconciliation phases. Joined phases run
+// Silo-style OCC for all records; split phases route the selected
+// commutative operation on contended records to per-core slices; short
+// reconciliation phases merge the slices back into the global store.
+//
+// The engine is driven through the engine.Engine interface: worker w must
+// be driven from a single goroutine that calls Attempt/Poll regularly so
+// the worker can participate in phase transitions. The coordinator
+// goroutine only proposes transitions; workers (and Close) complete them.
+package core
+
+import (
+	"time"
+
+	"doppel/internal/wal"
+)
+
+// Config tunes a Doppel instance. The zero value is not valid; use
+// DefaultConfig as a base.
+type Config struct {
+	// Workers is the number of worker contexts ("one worker thread per
+	// core", §3).
+	Workers int
+
+	// PhaseLength is how often the coordinator changes phase ("usually
+	// starts a phase change every 20 milliseconds", §5.4). Zero disables
+	// the coordinator: phases advance only via test hooks or Close.
+	PhaseLength time.Duration
+
+	// HurryFraction hurries the next joined phase when stashed
+	// transactions in the current split phase exceed this fraction of
+	// commits (§5.4: "if, in a split phase, workers have to abort and
+	// stash too many transactions, the coordinator hurries the next
+	// joined phase"). Zero uses the default.
+	HurryFraction float64
+
+	// SampleRate samples one in SampleRate conflicts for the classifier
+	// (§5.5: "Doppel samples transactions' conflicting record
+	// accesses"). 1 records every conflict.
+	SampleRate int
+
+	// SplitMinConflicts is the minimum sampled splittable-operation
+	// conflict count a key must accumulate during a joined phase to
+	// become split data.
+	SplitMinConflicts int
+
+	// SplitFraction is the minimum fraction of a joined phase's
+	// transaction attempts that must have conflicted on a key (with a
+	// splittable operation) for the key to be split.
+	SplitFraction float64
+
+	// MaxSplitKeys bounds how many records may be split at once.
+	MaxSplitKeys int
+
+	// ReadDominance demotes (or refuses to promote) a key when
+	// incompatible accesses dominate: a key is not split if sampled
+	// read/Put conflicts exceed ReadDominance times its splittable
+	// conflicts, and a split key is demoted when its stashes exceed
+	// ReadDominance times its slice writes. This is what keeps
+	// read-mostly keys reconciled (the paper's LIKE benchmark does not
+	// split below 30% writes, §8.5).
+	ReadDominance float64
+
+	// KeepMinWrites demotes a split key whose slice writes during the
+	// previous split phase fell below this count (§5.5: "Doppel uses
+	// write sampling to estimate if a split record might still be
+	// contended").
+	KeepMinWrites int
+
+	// KeepWriteFraction demotes a split key whose slice writes fall
+	// below this fraction of the decision window's transaction
+	// attempts, so residual background traffic cannot keep a cooled key
+	// split.
+	KeepWriteFraction float64
+
+	// MaxSplitExtend is how many times in a row the coordinator may
+	// extend a split phase during which nothing was stashed: no
+	// transaction is waiting for a joined phase, so a phase change
+	// would only cost barrier time.
+	MaxSplitExtend int
+
+	// DisableAutoSplit turns the classifier off; only SplitHint-labelled
+	// records are split ("Doppel also supports manual data labeling",
+	// §5.5).
+	DisableAutoSplit bool
+
+	// Redo, when non-nil, receives an asynchronous redo record for every
+	// committed global-store write and every reconciliation merge (the
+	// paper's §3: "asynchronous batched logging could be added to Doppel
+	// without becoming a bottleneck"). Commits do not wait for
+	// durability; the caller owns the logger's lifecycle.
+	Redo *wal.Logger
+}
+
+// DefaultConfig returns the paper's configuration for w workers: 20 ms
+// phases and automatic classification.
+func DefaultConfig(w int) Config {
+	return Config{
+		Workers:           w,
+		PhaseLength:       20 * time.Millisecond,
+		HurryFraction:     0.5,
+		SampleRate:        1,
+		SplitMinConflicts: 8,
+		SplitFraction:     0.02,
+		MaxSplitKeys:      64,
+		ReadDominance:     3.0,
+		KeepMinWrites:     4,
+		KeepWriteFraction: 0.005,
+		MaxSplitExtend:    8,
+	}
+}
+
+// withDefaults fills zero fields with defaults.
+func (c Config) withDefaults() Config {
+	d := DefaultConfig(c.Workers)
+	if c.Workers < 1 {
+		c.Workers = 1
+	}
+	if c.HurryFraction <= 0 {
+		c.HurryFraction = d.HurryFraction
+	}
+	if c.SampleRate < 1 {
+		c.SampleRate = d.SampleRate
+	}
+	if c.SplitMinConflicts < 1 {
+		c.SplitMinConflicts = d.SplitMinConflicts
+	}
+	if c.SplitFraction <= 0 {
+		c.SplitFraction = d.SplitFraction
+	}
+	if c.MaxSplitKeys < 1 {
+		c.MaxSplitKeys = d.MaxSplitKeys
+	}
+	if c.ReadDominance <= 0 {
+		c.ReadDominance = d.ReadDominance
+	}
+	if c.KeepMinWrites < 1 {
+		c.KeepMinWrites = d.KeepMinWrites
+	}
+	if c.KeepWriteFraction <= 0 {
+		c.KeepWriteFraction = d.KeepWriteFraction
+	}
+	if c.MaxSplitExtend == 0 {
+		c.MaxSplitExtend = d.MaxSplitExtend
+	} else if c.MaxSplitExtend < 0 {
+		c.MaxSplitExtend = 0 // negative disables split-phase extension
+	}
+	return c
+}

@@ -1,0 +1,346 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"doppel/internal/engine"
+	"doppel/internal/metrics"
+	"doppel/internal/store"
+)
+
+// Phase identifies the database's current global phase. Reconciliation is
+// not a steady state: it happens inside the split→joined transition, per
+// worker, between noticing the transition and acknowledging it (§5.3).
+type Phase int32
+
+// Phases.
+const (
+	PhaseJoined Phase = iota
+	PhaseSplit
+)
+
+// String implements fmt.Stringer.
+func (p Phase) String() string {
+	if p == PhaseSplit {
+		return "split"
+	}
+	return "joined"
+}
+
+// transition is one in-flight phase change. The coordinator publishes it;
+// workers notice it between transactions, perform their pre-transition
+// duty (reconcile slices when leaving a split phase), and acknowledge.
+// The last acknowledger installs the new phase and releases everyone
+// (§5.4).
+type transition struct {
+	target   Phase
+	epoch    uint64
+	nextSet  *splitSet // split set to install when target == PhaseSplit
+	acks     atomic.Int32
+	total    int32
+	released chan struct{}
+}
+
+// DB is a Doppel database instance.
+type DB struct {
+	st  *store.Store
+	cfg Config
+
+	phase      atomic.Int32
+	phaseEpoch atomic.Uint64
+	inflight   atomic.Pointer[transition]
+	split      atomic.Pointer[splitSet]
+
+	workers []*Worker
+
+	// classifier state (coordinator-side master copy)
+	classMu   sync.Mutex
+	curAssign map[string]store.OpKind // current split assignment
+	hints     map[string]store.OpKind // manual labels (§5.5)
+	lastSplit map[string]bool         // keys that went through the last split phase
+
+	// phase accounting
+	extends      int // consecutive split-phase extensions (coordinator only)
+	phaseChanges atomic.Uint64
+	splitPhases  atomic.Uint64
+	phaseStartNs atomic.Int64
+
+	stop    chan struct{}
+	coordWG sync.WaitGroup
+	closed  bool
+}
+
+// Open returns a running Doppel instance over st. If cfg.PhaseLength is
+// non-zero a coordinator goroutine cycles phases; otherwise phases move
+// only via test hooks and Close.
+func Open(st *store.Store, cfg Config) *DB {
+	cfg = cfg.withDefaults()
+	db := &DB{
+		st:        st,
+		cfg:       cfg,
+		curAssign: map[string]store.OpKind{},
+		hints:     map[string]store.OpKind{},
+		lastSplit: map[string]bool{},
+		stop:      make(chan struct{}),
+	}
+	db.split.Store(emptySplitSet)
+	db.workers = make([]*Worker, cfg.Workers)
+	for i := range db.workers {
+		db.workers[i] = newWorker(db, i)
+	}
+	db.phaseStartNs.Store(time.Now().UnixNano())
+	if cfg.PhaseLength > 0 {
+		db.coordWG.Add(1)
+		go db.coordinate()
+	}
+	return db
+}
+
+// Store returns the backing store.
+func (db *DB) Store() *store.Store { return db.st }
+
+// Name implements engine.Engine.
+func (db *DB) Name() string { return "doppel" }
+
+// Workers implements engine.Engine.
+func (db *DB) Workers() int { return len(db.workers) }
+
+// WorkerStats implements engine.Engine.
+func (db *DB) WorkerStats(w int) *metrics.TxnStats { return db.workers[w].stats }
+
+// Attempt implements engine.Engine.
+func (db *DB) Attempt(w int, fn engine.TxFunc, submitNanos int64) (engine.Outcome, error) {
+	return db.workers[w].attempt(fn, submitNanos)
+}
+
+// Poll implements engine.Engine: the worker participates in any pending
+// phase transition and retries stashed transactions if a joined phase
+// has begun.
+func (db *DB) Poll(w int) { db.workers[w].poll() }
+
+// Phase returns the current global phase.
+func (db *DB) Phase() Phase { return Phase(db.phase.Load()) }
+
+// SplitKeys returns the keys currently assigned as split data (the
+// paper's Table 2 reports this count). The assignment persists across
+// phase cycles until the classifier demotes a key.
+func (db *DB) SplitKeys() []string {
+	db.classMu.Lock()
+	defer db.classMu.Unlock()
+	out := make([]string, 0, len(db.curAssign))
+	for k := range db.curAssign {
+		out = append(out, k)
+	}
+	return out
+}
+
+// PhaseChanges returns how many phase transitions have completed.
+func (db *DB) PhaseChanges() uint64 { return db.phaseChanges.Load() }
+
+// StashLen reports how many transactions worker w currently has stashed
+// awaiting the next joined phase. It must be called from the goroutine
+// that drives worker w.
+func (db *DB) StashLen(w int) int { return len(db.workers[w].stash) }
+
+// SplitHint manually labels key as split data for op ("this record should
+// be split for this operation", §5.5). It takes effect at the next
+// joined→split transition. Non-splittable operations are ignored.
+func (db *DB) SplitHint(key string, op store.OpKind) {
+	if !op.Splittable() {
+		return
+	}
+	db.classMu.Lock()
+	db.hints[key] = op
+	db.classMu.Unlock()
+}
+
+// ClearSplitHint removes a manual label.
+func (db *DB) ClearSplitHint(key string) {
+	db.classMu.Lock()
+	delete(db.hints, key)
+	db.classMu.Unlock()
+}
+
+// beginTransition publishes a transition toward target. It returns false
+// when one is already in flight or the database is already in target.
+func (db *DB) beginTransition(target Phase, nextSet *splitSet) bool {
+	if db.inflight.Load() != nil || db.Phase() == target {
+		return false
+	}
+	tr := &transition{
+		target:   target,
+		epoch:    db.phaseEpoch.Load() + 1,
+		nextSet:  nextSet,
+		total:    int32(len(db.workers)),
+		released: make(chan struct{}),
+	}
+	// Publish; workers observe it in checkPhase.
+	if !db.inflight.CompareAndSwap(nil, tr) {
+		return false
+	}
+	return true
+}
+
+// completeTransition is called by the final acknowledging worker: it
+// installs the new phase and split set, clears the in-flight pointer and
+// releases all waiting workers.
+func (db *DB) completeTransition(tr *transition) {
+	if tr.target == PhaseSplit {
+		db.split.Store(tr.nextSet)
+		db.splitPhases.Add(1)
+	} else {
+		db.split.Store(emptySplitSet)
+	}
+	db.phase.Store(int32(tr.target))
+	db.phaseEpoch.Store(tr.epoch)
+	db.phaseChanges.Add(1)
+	db.phaseStartNs.Store(time.Now().UnixNano())
+	db.inflight.Store(nil)
+	close(tr.released)
+}
+
+// coordinate is the coordinator loop: it proposes a phase change every
+// PhaseLength, skips split phases with no candidates ("the coordinator
+// delays the next split phase", §5.4), and hurries the joined phase when
+// stashes pile up.
+func (db *DB) coordinate() {
+	defer db.coordWG.Done()
+	tick := db.cfg.PhaseLength / 4
+	if tick <= 0 {
+		tick = time.Millisecond
+	}
+	timer := time.NewTicker(tick)
+	defer timer.Stop()
+	for {
+		select {
+		case <-db.stop:
+			return
+		case <-timer.C:
+		}
+		if db.inflight.Load() != nil {
+			continue
+		}
+		elapsed := time.Duration(time.Now().UnixNano() - db.phaseStartNs.Load())
+		switch db.Phase() {
+		case PhaseJoined:
+			if elapsed < db.cfg.PhaseLength {
+				continue
+			}
+			set := db.decideNextSplit()
+			if set.size() == 0 {
+				// Nothing worth splitting: stay joined, reset the timer
+				// so classifier windows stay one phase long.
+				db.phaseStartNs.Store(time.Now().UnixNano())
+				continue
+			}
+			db.beginTransition(PhaseSplit, set)
+		case PhaseSplit:
+			var commits, stashes, sliceWrites uint64
+			for _, w := range db.workers {
+				commits += w.commitsPhase.Load()
+				stashes += w.stashedPhase.Load()
+				sliceWrites += w.sliceWritesPhase.Load()
+			}
+			hurry := commits+stashes > 0 &&
+				float64(stashes) > db.cfg.HurryFraction*float64(commits+stashes)
+			if elapsed < db.cfg.PhaseLength && !hurry {
+				continue
+			}
+			// A split phase with no stashed transactions has nothing
+			// waiting on a joined phase; extend it rather than pay a
+			// barrier, up to MaxSplitExtend times.
+			if stashes == 0 && sliceWrites > uint64(db.cfg.KeepMinWrites) &&
+				db.extends < db.cfg.MaxSplitExtend {
+				db.extends++
+				for _, w := range db.workers {
+					w.sliceWritesPhase.Store(0)
+				}
+				db.phaseStartNs.Store(time.Now().UnixNano())
+				continue
+			}
+			db.extends = 0
+			db.beginTransition(PhaseJoined, nil)
+		}
+	}
+}
+
+// RequestSplitPhase runs the classifier and proposes a transition to a
+// split phase, exactly as the coordinator would. It returns false when a
+// transition is already in flight, the database is already split, or the
+// classifier found nothing to split. Workers complete the transition as
+// they poll. Intended for tests and deterministic benchmarks
+// (cfg.PhaseLength == 0 disables the coordinator).
+func (db *DB) RequestSplitPhase() bool {
+	if db.inflight.Load() != nil || db.Phase() == PhaseSplit {
+		return false
+	}
+	set := db.decideNextSplit()
+	if set.size() == 0 {
+		return false
+	}
+	return db.beginTransition(PhaseSplit, set)
+}
+
+// RequestJoinedPhase proposes a transition back to a joined phase; see
+// RequestSplitPhase.
+func (db *DB) RequestJoinedPhase() bool {
+	return db.beginTransition(PhaseJoined, nil)
+}
+
+// Close stops the coordinator, completes any in-flight transition on
+// behalf of stopped workers, reconciles all outstanding per-core slices
+// into the global store, and retries stashed transactions so their
+// effects are not lost. After Close the store reflects every committed
+// transaction. Workers' driving goroutines must have stopped before
+// Close is called.
+func (db *DB) Close() {
+	if db.closed {
+		return
+	}
+	db.closed = true
+	close(db.stop)
+	db.coordWG.Wait()
+	db.quiesce()
+}
+
+// Stop implements engine.Engine.
+func (db *DB) Stop() { db.Close() }
+
+// quiesce drives the database to a fully reconciled joined phase, acting
+// on behalf of the (stopped) workers.
+func (db *DB) quiesce() {
+	// Complete an in-flight transition.
+	if tr := db.inflight.Load(); tr != nil {
+		for _, w := range db.workers {
+			if w.ackedEpoch < tr.epoch {
+				w.transitionDuty(tr)
+				w.ackedEpoch = tr.epoch
+				if tr.acks.Add(1) == tr.total {
+					db.completeTransition(tr)
+				}
+			}
+		}
+	}
+	// If we ended up in (or already were in) a split phase, reconcile
+	// everything back.
+	if db.Phase() == PhaseSplit {
+		if db.beginTransition(PhaseJoined, nil) {
+			tr := db.inflight.Load()
+			for _, w := range db.workers {
+				w.transitionDuty(tr)
+				w.ackedEpoch = tr.epoch
+				if tr.acks.Add(1) == tr.total {
+					db.completeTransition(tr)
+				}
+			}
+		}
+	}
+	// Joined phase now: drain every worker's stash.
+	for _, w := range db.workers {
+		w.drainStash()
+	}
+}
+
+var _ engine.Engine = (*DB)(nil)

@@ -1,0 +1,432 @@
+package core
+
+import (
+	"sort"
+
+	"doppel/internal/engine"
+	"doppel/internal/store"
+	"doppel/internal/wal"
+)
+
+// readSpins bounds how long a read waits for a locked record before
+// aborting the transaction.
+const readSpins = 128
+
+// Tx is one Doppel transaction execution. Each transaction executes
+// entirely within one phase (§5.1): the phase and split set are
+// snapshotted at reset time and cannot change during execution, because
+// phase transitions require this worker's acknowledgement, which happens
+// only between transactions.
+type Tx struct {
+	w     *Worker
+	phase Phase
+	set   *splitSet
+
+	reads []readEnt
+	wset  []writeEnt
+	sw    []sliceWrite // buffered split writes (the paper's SW, Figure 3)
+	pend  []pending
+	wrote bool
+}
+
+type readEnt struct {
+	rec *store.Record
+	key string
+	tid uint64
+	op  store.OpKind // operation that motivated this read (OpGet for reads)
+}
+
+type writeEnt struct {
+	key string
+	rec *store.Record
+	op  store.Op
+}
+
+type sliceWrite struct {
+	sk *splitKey
+	op store.Op
+}
+
+type pending struct {
+	rec *store.Record
+	val *store.Value
+}
+
+func (t *Tx) reset(w *Worker) {
+	t.w = w
+	t.phase = w.db.Phase()
+	t.set = w.db.split.Load()
+	t.reads = t.reads[:0]
+	t.wset = t.wset[:0]
+	t.sw = t.sw[:0]
+	t.wrote = false
+}
+
+// WorkerID implements engine.Tx.
+func (t *Tx) WorkerID() int { return t.w.id }
+
+// splitLookup reports how an access to key interacts with split data.
+// During a split phase, an access to a split record with the selected
+// operation goes to the per-core slice; any other access (a read, a Put,
+// or a different operation) stashes the transaction until the next
+// joined phase (§5.2).
+func (t *Tx) splitLookup(key string, op store.OpKind) (*splitKey, error) {
+	if t.phase != PhaseSplit {
+		return nil, nil
+	}
+	sk := t.set.lookup(key)
+	if sk == nil {
+		return nil, nil
+	}
+	if sk.op == op {
+		return sk, nil
+	}
+	t.w.sampleStash(key, op)
+	return nil, engine.ErrStash
+}
+
+// load performs a Silo consistent read with split-data checking and
+// read-your-writes overlay.
+func (t *Tx) load(key string) (*store.Value, error) {
+	if _, err := t.splitLookup(key, store.OpGet); err != nil {
+		return nil, err
+	}
+	rec, _ := t.w.db.st.GetOrCreate(key)
+	v, tid, ok := rec.ReadConsistent(readSpins)
+	if !ok {
+		t.w.sampleConflict(key, store.OpGet)
+		return nil, engine.ErrAbort
+	}
+	t.reads = append(t.reads, readEnt{rec, key, tid, store.OpGet})
+	for i := range t.wset {
+		if t.wset[i].rec == rec {
+			var err error
+			v, err = store.Apply(v, t.wset[i].op)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return v, nil
+}
+
+// Get implements engine.Tx.
+func (t *Tx) Get(key string) (*store.Value, error) { return t.load(key) }
+
+// GetForUpdate implements engine.Tx; identical to Get under OCC.
+func (t *Tx) GetForUpdate(key string) (*store.Value, error) { return t.load(key) }
+
+// GetInt implements engine.Tx.
+func (t *Tx) GetInt(key string) (int64, error) {
+	v, err := t.load(key)
+	if err != nil {
+		return 0, err
+	}
+	return v.AsInt()
+}
+
+// GetIntForUpdate implements engine.Tx.
+func (t *Tx) GetIntForUpdate(key string) (int64, error) { return t.GetInt(key) }
+
+// GetBytes implements engine.Tx.
+func (t *Tx) GetBytes(key string) ([]byte, error) {
+	v, err := t.load(key)
+	if err != nil {
+		return nil, err
+	}
+	return v.AsBytes()
+}
+
+// GetTuple implements engine.Tx.
+func (t *Tx) GetTuple(key string) (store.Tuple, bool, error) {
+	v, err := t.load(key)
+	if err != nil {
+		return store.Tuple{}, false, err
+	}
+	return v.AsTuple()
+}
+
+// GetTopK implements engine.Tx.
+func (t *Tx) GetTopK(key string) ([]store.TopKEntry, error) {
+	v, err := t.load(key)
+	if err != nil {
+		return nil, err
+	}
+	tk, err := v.AsTopK()
+	if err != nil {
+		return nil, err
+	}
+	return tk.Entries(), nil
+}
+
+// Put implements engine.Tx. Put never splits (it does not commute); a Put
+// to a split record during a split phase stashes the transaction.
+func (t *Tx) Put(key string, v *store.Value) error {
+	if _, err := t.splitLookup(key, store.OpPut); err != nil {
+		return err
+	}
+	rec, _ := t.w.db.st.GetOrCreate(key)
+	t.wrote = true
+	t.wset = append(t.wset, writeEnt{key, rec, store.Op{Kind: store.OpPut, Val: v}})
+	return nil
+}
+
+// PutInt implements engine.Tx.
+func (t *Tx) PutInt(key string, n int64) error { return t.Put(key, store.IntValue(n)) }
+
+// PutBytes implements engine.Tx.
+func (t *Tx) PutBytes(key string, b []byte) error { return t.Put(key, store.BytesValue(b)) }
+
+// update routes a splittable operation: to the per-core slice when the
+// record is split with this operation selected, otherwise through the
+// joined-phase read-validate-write path.
+func (t *Tx) update(key string, op store.Op) error {
+	sk, err := t.splitLookup(key, op.Kind)
+	if err != nil {
+		return err
+	}
+	t.wrote = true
+	if sk != nil {
+		// Split write: buffered, applied to the local slice at commit
+		// with no locks and no read validation (Figure 3).
+		t.sw = append(t.sw, sliceWrite{sk, op})
+		return nil
+	}
+	// Joined path (or unsplit record in a split phase): read-validate +
+	// buffered write, which is what makes contention observable to the
+	// classifier.
+	rec, _ := t.w.db.st.GetOrCreate(key)
+	_, tid, ok := rec.ReadConsistent(readSpins)
+	if !ok {
+		t.w.sampleConflict(key, op.Kind)
+		return engine.ErrAbort
+	}
+	t.reads = append(t.reads, readEnt{rec, key, tid, op.Kind})
+	t.wset = append(t.wset, writeEnt{key, rec, op})
+	return nil
+}
+
+// Add implements engine.Tx.
+func (t *Tx) Add(key string, n int64) error {
+	return t.update(key, store.Op{Kind: store.OpAdd, Int: n})
+}
+
+// Max implements engine.Tx.
+func (t *Tx) Max(key string, n int64) error {
+	return t.update(key, store.Op{Kind: store.OpMax, Int: n})
+}
+
+// Min implements engine.Tx.
+func (t *Tx) Min(key string, n int64) error {
+	return t.update(key, store.Op{Kind: store.OpMin, Int: n})
+}
+
+// Mult implements engine.Tx.
+func (t *Tx) Mult(key string, n int64) error {
+	return t.update(key, store.Op{Kind: store.OpMult, Int: n})
+}
+
+// OPut implements engine.Tx.
+func (t *Tx) OPut(key string, order store.Order, data []byte) error {
+	return t.update(key, store.Op{Kind: store.OpOPut, Tuple: store.Tuple{
+		Order: order, CoreID: int32(t.w.id), Data: data,
+	}})
+}
+
+// TopKInsert implements engine.Tx.
+func (t *Tx) TopKInsert(key string, order int64, data []byte, k int) error {
+	return t.update(key, store.Op{Kind: store.OpTopKInsert, K: k, Entry: store.TopKEntry{
+		Order: order, CoreID: int32(t.w.id), Data: data,
+	}})
+}
+
+// inWrites reports whether rec is locked by this transaction's write set.
+func (t *Tx) inWrites(rec *store.Record) bool {
+	for i := range t.wset {
+		if t.wset[i].rec == rec {
+			return true
+		}
+	}
+	return false
+}
+
+// genTID produces a commit TID greater than every observed TID, tagged
+// with the worker ID (§5.1).
+func (t *Tx) genTID() uint64 {
+	w := t.w
+	seq := w.lastSeq
+	for i := range t.reads {
+		if s := t.reads[i].tid >> 8; s > seq {
+			seq = s
+		}
+	}
+	for i := range t.wset {
+		tid, _ := t.wset[i].rec.TIDWord()
+		if s := tid >> 8; s > seq {
+			seq = s
+		}
+	}
+	seq++
+	w.lastSeq = seq
+	return seq<<8 | uint64(w.id)&0xff
+}
+
+// commit runs the joined-phase protocol (Figure 2) extended with split
+// writes (Figure 3): after the OCC part succeeds, buffered split writes
+// apply to this worker's slices, which need no locks or version checks
+// because they are invisible to other cores.
+func (t *Tx) commit() (engine.Outcome, error) {
+	// Pre-compute slice values so a type error aborts with no effects.
+	var swVals []pending // reuse of pending shape: rec unused, val holds new slice value
+	if len(t.sw) > 0 {
+		swVals = make([]pending, len(t.sw))
+		slices := t.w.slices
+		// Track the latest pending value per slice index for correct
+		// composition of multiple ops on one slice within this txn.
+		for i, sw := range t.sw {
+			cur := slices[sw.sk.idx].val
+			for j := 0; j < i; j++ {
+				if t.sw[j].sk == sw.sk {
+					cur = swVals[j].val
+				}
+			}
+			nv, err := store.Apply(cur, sw.op)
+			if err != nil {
+				return engine.UserAbort, err
+			}
+			swVals[i] = pending{nil, nv}
+		}
+	}
+
+	// Read-only (and slice-only) fast path.
+	if len(t.wset) == 0 {
+		for i := range t.reads {
+			tid, locked := t.reads[i].rec.TIDWord()
+			if locked || tid != t.reads[i].tid {
+				t.sampleReadConflicts()
+				return engine.Aborted, nil
+			}
+		}
+		t.applySliceWrites(swVals)
+		return engine.Committed, nil
+	}
+
+	// Part 1: lock the write set in key order.
+	sort.SliceStable(t.wset, func(i, j int) bool { return t.wset[i].key < t.wset[j].key })
+	locked := 0
+	for i := range t.wset {
+		if i > 0 && t.wset[i].rec == t.wset[i-1].rec {
+			continue
+		}
+		if !t.wset[i].rec.TryLock() {
+			t.unlockPrefix(locked)
+			t.w.sampleConflict(t.wset[i].key, t.wset[i].op.Kind)
+			return engine.Aborted, nil
+		}
+		locked = i + 1
+	}
+	commitTID := t.genTID()
+
+	// Part 2: validate the read set.
+	for i := range t.reads {
+		rd := &t.reads[i]
+		tid, isLocked := rd.rec.TIDWord()
+		if tid != rd.tid || (isLocked && !t.inWrites(rd.rec)) {
+			t.unlockPrefix(locked)
+			t.w.sampleConflict(rd.key, rd.op)
+			return engine.Aborted, nil
+		}
+	}
+
+	// Part 3: compute new values, install, release locks with the new
+	// TID, then apply split writes to the local slices.
+	newVals := t.pend[:0]
+	for i := 0; i < len(t.wset); {
+		rec := t.wset[i].rec
+		v := rec.Value()
+		var err error
+		j := i
+		for ; j < len(t.wset) && t.wset[j].rec == rec; j++ {
+			v, err = store.Apply(v, t.wset[j].op)
+			if err != nil {
+				t.unlockPrefix(len(t.wset))
+				return engine.UserAbort, err
+			}
+		}
+		newVals = append(newVals, pending{rec, v})
+		i = j
+	}
+	t.pend = newVals
+	// Log before releasing locks so redo records for one record appear
+	// in commit order.
+	t.logRedo(commitTID, newVals)
+	for _, p := range newVals {
+		p.rec.SetValue(p.val)
+		p.rec.UnlockWithTID(commitTID)
+	}
+	t.applySliceWrites(swVals)
+	return engine.Committed, nil
+}
+
+// logRedo emits an asynchronous redo record for the installed values.
+// Split (slice) writes are not globally visible yet; they are logged by
+// reconcile when they merge.
+func (t *Tx) logRedo(commitTID uint64, newVals []pending) {
+	redo := t.w.db.cfg.Redo
+	if redo == nil || len(newVals) == 0 {
+		return
+	}
+	rec := wal.Record{TID: commitTID, Ops: make([]wal.Op, 0, len(newVals))}
+	// Recover keys from the sorted write set (one entry per record).
+	for i := 0; i < len(t.wset); i++ {
+		if i > 0 && t.wset[i].rec == t.wset[i-1].rec {
+			continue
+		}
+		for _, p := range newVals {
+			if p.rec == t.wset[i].rec {
+				rec.Ops = append(rec.Ops, wal.Op{
+					Key:   t.wset[i].key,
+					Value: store.EncodeValue(p.val),
+				})
+				break
+			}
+		}
+	}
+	redo.Append(rec)
+}
+
+// applySliceWrites installs pre-computed slice values and bumps write
+// counts for the classifier's write sampling.
+func (t *Tx) applySliceWrites(swVals []pending) {
+	for i, sw := range t.sw {
+		sl := &t.w.slices[sw.sk.idx]
+		sl.val = swVals[i].val
+		sl.writes++
+	}
+	if len(t.sw) > 0 {
+		t.w.sliceWritesPhase.Add(uint64(len(t.sw)))
+	}
+}
+
+// sampleReadConflicts attributes a read-only validation failure to the
+// records that changed.
+func (t *Tx) sampleReadConflicts() {
+	for i := range t.reads {
+		tid, locked := t.reads[i].rec.TIDWord()
+		if locked || tid != t.reads[i].tid {
+			t.w.sampleConflict(t.reads[i].key, t.reads[i].op)
+		}
+	}
+}
+
+// unlockPrefix releases locks acquired on the first n write-set entries.
+func (t *Tx) unlockPrefix(n int) {
+	for i := 0; i < n; i++ {
+		if i > 0 && t.wset[i].rec == t.wset[i-1].rec {
+			continue
+		}
+		t.wset[i].rec.Unlock()
+	}
+}
+
+var _ engine.Tx = (*Tx)(nil)

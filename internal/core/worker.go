@@ -1,0 +1,279 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"doppel/internal/engine"
+	"doppel/internal/metrics"
+	"doppel/internal/store"
+	"doppel/internal/wal"
+)
+
+// opKindCount sizes per-operation counter arrays.
+const opKindCount = int(store.OpTopKInsert) + 1
+
+// opCounts is a per-key, per-operation conflict/stash counter.
+type opCounts [opKindCount]uint32
+
+// stashedTxn is a transaction saved during a split phase for re-execution
+// in the next joined phase (§5.2).
+type stashedTxn struct {
+	fn     engine.TxFunc
+	submit int64
+}
+
+// sliceState is one per-core slice: the accumulated value for one split
+// record on one worker (§4). val == nil is the operation's identity.
+type sliceState struct {
+	val    *store.Value
+	writes uint64
+}
+
+// Worker is one per-core execution context. All methods except the
+// coordinator-side aggregation helpers must be called from the single
+// goroutine that drives this worker.
+type Worker struct {
+	db    *DB
+	id    int
+	stats *metrics.TxnStats
+
+	lastSeq     uint64 // TID sequence generator state
+	ackedEpoch  uint64 // highest transition epoch acknowledged
+	seenEpoch   uint64 // highest completed epoch whose entry work ran
+	slices      []sliceState
+	stash       []stashedTxn
+	tx          Tx
+	sampleTick  int
+	maxStashLen int
+
+	// Cross-thread counters read by the coordinator.
+	attemptsWindow   atomic.Uint64 // attempts since the classifier last looked
+	commitsPhase     atomic.Uint64 // commits in the current phase
+	stashedPhase     atomic.Uint64 // stashes in the current phase
+	sliceWritesPhase atomic.Uint64 // slice writes in the current phase
+
+	// Classifier samples, guarded by statsMu (worker writes, coordinator
+	// aggregates and resets).
+	statsMu      sync.Mutex
+	conflicts    map[string]*opCounts // joined-phase conflict samples
+	splitWrites  map[string]uint64    // split-phase slice write counts
+	splitStashes map[string]*opCounts // split-phase stash samples by op
+}
+
+func newWorker(db *DB, id int) *Worker {
+	return &Worker{
+		db:           db,
+		id:           id,
+		stats:        metrics.NewTxnStats(),
+		conflicts:    map[string]*opCounts{},
+		splitWrites:  map[string]uint64{},
+		splitStashes: map[string]*opCounts{},
+	}
+}
+
+// checkPhase participates in the phase-change protocol (§5.4). It
+// returns false when the worker must not execute transactions yet (a
+// transition is in flight and not all workers have acknowledged it).
+func (w *Worker) checkPhase() bool {
+	db := w.db
+	if tr := db.inflight.Load(); tr != nil {
+		if w.ackedEpoch < tr.epoch {
+			w.transitionDuty(tr)
+			w.ackedEpoch = tr.epoch
+			if tr.acks.Add(1) == tr.total {
+				db.completeTransition(tr)
+			} else {
+				return false
+			}
+		} else {
+			select {
+			case <-tr.released:
+			default:
+				return false
+			}
+		}
+	}
+	// Entry work for a newly completed phase. Safe without locks: the
+	// phase cannot advance again until this worker acknowledges the next
+	// transition.
+	if ep := db.phaseEpoch.Load(); w.seenEpoch < ep {
+		w.seenEpoch = ep
+		w.commitsPhase.Store(0)
+		w.stashedPhase.Store(0)
+		w.sliceWritesPhase.Store(0)
+		if db.Phase() == PhaseSplit {
+			w.resetSlices(db.split.Load())
+		} else {
+			// Entering a joined phase: restart stashed transactions
+			// ("each worker restarts any transactions it stashed in the
+			// split phase", §5.4).
+			w.drainStash()
+		}
+	}
+	return true
+}
+
+// transitionDuty performs this worker's obligation before acknowledging
+// tr: when leaving a split phase, merge the per-core slices into the
+// global store (the reconciliation phase, §5.3, Figure 4).
+func (w *Worker) transitionDuty(tr *transition) {
+	if tr.target == PhaseJoined && Phase(w.db.phase.Load()) == PhaseSplit {
+		w.reconcile()
+	}
+}
+
+// reconcile merges this worker's slices into the global store: for each
+// split record, lock, merge-apply, unlock with a fresh TID (Figure 4).
+// Cost is O(split records), independent of how many operations the slices
+// absorbed.
+func (w *Worker) reconcile() {
+	set := w.db.split.Load()
+	for _, sk := range set.list {
+		if sk.idx >= len(w.slices) {
+			continue
+		}
+		sl := &w.slices[sk.idx]
+		if sl.writes == 0 {
+			continue
+		}
+		rec := sk.rec
+		rec.Lock()
+		merged, err := store.MergeValues(sk.op, rec.Value(), sl.val)
+		if err == nil {
+			rec.SetValue(merged)
+		}
+		tid, _ := rec.TIDWord()
+		seq := tid >> 8
+		if w.lastSeq > seq {
+			seq = w.lastSeq
+		}
+		seq++
+		w.lastSeq = seq
+		newTID := seq<<8 | uint64(w.id)&0xff
+		if redo := w.db.cfg.Redo; redo != nil && err == nil {
+			redo.Append(wal.Record{TID: newTID, Ops: []wal.Op{{
+				Key: sk.key, Value: store.EncodeValue(merged),
+			}}})
+		}
+		rec.UnlockWithTID(newTID)
+
+		// Write sampling feeds the keep/demote decision (§5.5).
+		w.statsMu.Lock()
+		w.splitWrites[sk.key] += sl.writes
+		w.statsMu.Unlock()
+	}
+	w.slices = nil
+}
+
+// resetSlices prepares empty per-core slices for a new split phase.
+func (w *Worker) resetSlices(set *splitSet) {
+	w.slices = make([]sliceState, set.size())
+}
+
+// drainStash re-executes stashed transactions during a joined phase.
+// The phase cannot change underneath the drain because this worker has
+// not acknowledged any new transition.
+func (w *Worker) drainStash() {
+	if len(w.stash) == 0 {
+		return
+	}
+	pending := w.stash
+	w.stash = nil
+	for _, s := range pending {
+		w.stats.Retries++
+		for attempt := 0; ; attempt++ {
+			out, _ := w.execOnce(s.fn, s.submit)
+			if out == engine.Committed || out == engine.UserAbort {
+				break
+			}
+			if attempt > 1<<20 {
+				break // pathological livelock; drop after counting aborts
+			}
+		}
+	}
+}
+
+// attempt implements one engine.Attempt call for this worker.
+func (w *Worker) attempt(fn engine.TxFunc, submitNanos int64) (engine.Outcome, error) {
+	if !w.checkPhase() {
+		return engine.Paused, nil
+	}
+	w.attemptsWindow.Add(1)
+	return w.execOnce(fn, submitNanos)
+}
+
+// poll participates in phase transitions without running a transaction.
+func (w *Worker) poll() { w.checkPhase() }
+
+// execOnce runs fn once in the current phase and classifies the outcome.
+func (w *Worker) execOnce(fn engine.TxFunc, submitNanos int64) (engine.Outcome, error) {
+	tx := &w.tx
+	tx.reset(w)
+	err := fn(tx)
+	switch {
+	case errors.Is(err, engine.ErrStash):
+		w.stash = append(w.stash, stashedTxn{fn, submitNanos})
+		if len(w.stash) > w.maxStashLen {
+			w.maxStashLen = len(w.stash)
+		}
+		w.stats.Stashed++
+		w.stashedPhase.Add(1)
+		return engine.Stashed, nil
+	case errors.Is(err, engine.ErrAbort):
+		w.stats.Aborted++
+		return engine.Aborted, nil
+	case err != nil:
+		return engine.UserAbort, err
+	}
+	out, cerr := tx.commit()
+	if cerr != nil {
+		return engine.UserAbort, cerr
+	}
+	switch out {
+	case engine.Committed:
+		w.stats.Committed++
+		w.commitsPhase.Add(1)
+		lat := time.Now().UnixNano() - submitNanos
+		if tx.wrote {
+			w.stats.WriteLatency.Record(lat)
+		} else {
+			w.stats.ReadLatency.Record(lat)
+		}
+	case engine.Aborted:
+		w.stats.Aborted++
+	}
+	return out, nil
+}
+
+// sampleConflict records a conflicting access to key by op for the
+// classifier, subject to the configured sampling rate (§5.5).
+func (w *Worker) sampleConflict(key string, op store.OpKind) {
+	w.sampleTick++
+	if w.sampleTick%w.db.cfg.SampleRate != 0 {
+		return
+	}
+	w.statsMu.Lock()
+	oc := w.conflicts[key]
+	if oc == nil {
+		oc = &opCounts{}
+		w.conflicts[key] = oc
+	}
+	oc[op]++
+	w.statsMu.Unlock()
+}
+
+// sampleStash records that a transaction had to be stashed because it
+// accessed split record key with op (§5.5: stash sampling).
+func (w *Worker) sampleStash(key string, op store.OpKind) {
+	w.statsMu.Lock()
+	oc := w.splitStashes[key]
+	if oc == nil {
+		oc = &opCounts{}
+		w.splitStashes[key] = oc
+	}
+	oc[op]++
+	w.statsMu.Unlock()
+}

@@ -1,0 +1,58 @@
+package metrics
+
+import "fmt"
+
+// TxnStats accumulates per-worker transaction outcomes. Workers own one
+// each; the harness merges them after a run. The distinction between
+// aborts (OCC conflicts, retried with backoff) and stashes (Doppel split
+// phase incompatibilities, retried in the next joined phase) mirrors the
+// paper's §5 terminology.
+type TxnStats struct {
+	Committed uint64 // transactions that committed
+	Aborted   uint64 // conflict aborts (will be retried)
+	Stashed   uint64 // split-phase incompatibility stashes (retried later)
+	Retries   uint64 // re-executions of previously aborted/stashed txns
+
+	ReadLatency  *Hist // commit latency of read-only transactions
+	WriteLatency *Hist // commit latency of transactions that wrote
+}
+
+// NewTxnStats returns a zeroed TxnStats with allocated histograms.
+func NewTxnStats() *TxnStats {
+	return &TxnStats{ReadLatency: NewHist(), WriteLatency: NewHist()}
+}
+
+// Merge folds other into s.
+func (s *TxnStats) Merge(other *TxnStats) {
+	if other == nil {
+		return
+	}
+	s.Committed += other.Committed
+	s.Aborted += other.Aborted
+	s.Stashed += other.Stashed
+	s.Retries += other.Retries
+	s.ReadLatency.Merge(other.ReadLatency)
+	s.WriteLatency.Merge(other.WriteLatency)
+}
+
+// Reset zeroes all counters and histograms.
+func (s *TxnStats) Reset() {
+	s.Committed, s.Aborted, s.Stashed, s.Retries = 0, 0, 0, 0
+	s.ReadLatency.Reset()
+	s.WriteLatency.Reset()
+}
+
+// Throughput reports committed transactions per second given an elapsed
+// duration in nanoseconds.
+func (s *TxnStats) Throughput(elapsedNanos int64) float64 {
+	if elapsedNanos <= 0 {
+		return 0
+	}
+	return float64(s.Committed) / (float64(elapsedNanos) / 1e9)
+}
+
+// String summarizes the counters for logs.
+func (s *TxnStats) String() string {
+	return fmt.Sprintf("committed=%d aborted=%d stashed=%d retries=%d",
+		s.Committed, s.Aborted, s.Stashed, s.Retries)
+}

@@ -1,0 +1,311 @@
+package occ
+
+import (
+	"sort"
+
+	"doppel/internal/engine"
+	"doppel/internal/store"
+)
+
+// Tx is one OCC transaction execution. It is reused across attempts by
+// its owning worker to keep the per-transaction allocation count flat.
+type Tx struct {
+	eng   *Engine
+	w     int
+	reads []readEnt
+	wset  []writeEnt
+	pend  []pending
+	wrote bool
+}
+
+type readEnt struct {
+	rec *store.Record
+	tid uint64
+}
+
+type writeEnt struct {
+	key string
+	rec *store.Record
+	op  store.Op
+}
+
+// pending is a computed-but-not-installed commit value.
+type pending struct {
+	rec *store.Record
+	val *store.Value
+}
+
+func (t *Tx) reset(e *Engine, w int) {
+	t.eng = e
+	t.w = w
+	t.reads = t.reads[:0]
+	t.wset = t.wset[:0]
+	t.wrote = false
+}
+
+// WorkerID implements engine.Tx.
+func (t *Tx) WorkerID() int { return t.w }
+
+// load performs the Silo consistent read, records the read TID, and
+// overlays the transaction's own buffered writes (read-your-writes).
+func (t *Tx) load(key string) (*store.Value, error) {
+	rec, _ := t.eng.st.GetOrCreate(key)
+	v, tid, ok := rec.ReadConsistent(readSpins)
+	if !ok {
+		return nil, engine.ErrAbort
+	}
+	t.reads = append(t.reads, readEnt{rec, tid})
+	for i := range t.wset {
+		if t.wset[i].rec == rec {
+			var err error
+			v, err = store.Apply(v, t.wset[i].op)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return v, nil
+}
+
+// observe records a read TID for a record the transaction is about to
+// blind-update via a read-modify-write operation. This is what makes the
+// OCC baseline behave as the paper describes: increments "read the value
+// of a key, compute the new value ... and validate that it hasn't changed
+// since it was first read", and therefore conflict under contention.
+func (t *Tx) observe(key string) (*store.Record, error) {
+	rec, _ := t.eng.st.GetOrCreate(key)
+	_, tid, ok := rec.ReadConsistent(readSpins)
+	if !ok {
+		return nil, engine.ErrAbort
+	}
+	t.reads = append(t.reads, readEnt{rec, tid})
+	return rec, nil
+}
+
+func (t *Tx) buffer(key string, rec *store.Record, op store.Op) {
+	t.wrote = true
+	t.wset = append(t.wset, writeEnt{key, rec, op})
+}
+
+// Get implements engine.Tx.
+func (t *Tx) Get(key string) (*store.Value, error) { return t.load(key) }
+
+// GetForUpdate implements engine.Tx; in OCC it is identical to Get.
+func (t *Tx) GetForUpdate(key string) (*store.Value, error) { return t.load(key) }
+
+// GetInt implements engine.Tx.
+func (t *Tx) GetInt(key string) (int64, error) {
+	v, err := t.load(key)
+	if err != nil {
+		return 0, err
+	}
+	return v.AsInt()
+}
+
+// GetIntForUpdate implements engine.Tx.
+func (t *Tx) GetIntForUpdate(key string) (int64, error) { return t.GetInt(key) }
+
+// GetBytes implements engine.Tx.
+func (t *Tx) GetBytes(key string) ([]byte, error) {
+	v, err := t.load(key)
+	if err != nil {
+		return nil, err
+	}
+	return v.AsBytes()
+}
+
+// GetTuple implements engine.Tx.
+func (t *Tx) GetTuple(key string) (store.Tuple, bool, error) {
+	v, err := t.load(key)
+	if err != nil {
+		return store.Tuple{}, false, err
+	}
+	return v.AsTuple()
+}
+
+// GetTopK implements engine.Tx.
+func (t *Tx) GetTopK(key string) ([]store.TopKEntry, error) {
+	v, err := t.load(key)
+	if err != nil {
+		return nil, err
+	}
+	tk, err := v.AsTopK()
+	if err != nil {
+		return nil, err
+	}
+	return tk.Entries(), nil
+}
+
+// Put implements engine.Tx. Put is a blind write: it takes no read-set
+// entry (Silo permits blind writes).
+func (t *Tx) Put(key string, v *store.Value) error {
+	rec, _ := t.eng.st.GetOrCreate(key)
+	t.buffer(key, rec, store.Op{Kind: store.OpPut, Val: v})
+	return nil
+}
+
+// PutInt implements engine.Tx.
+func (t *Tx) PutInt(key string, n int64) error { return t.Put(key, store.IntValue(n)) }
+
+// PutBytes implements engine.Tx.
+func (t *Tx) PutBytes(key string, b []byte) error { return t.Put(key, store.BytesValue(b)) }
+
+// rmw buffers a read-modify-write operation: observe then buffer.
+func (t *Tx) rmw(key string, op store.Op) error {
+	rec, err := t.observe(key)
+	if err != nil {
+		return err
+	}
+	t.buffer(key, rec, op)
+	return nil
+}
+
+// Add implements engine.Tx.
+func (t *Tx) Add(key string, n int64) error {
+	return t.rmw(key, store.Op{Kind: store.OpAdd, Int: n})
+}
+
+// Max implements engine.Tx.
+func (t *Tx) Max(key string, n int64) error {
+	return t.rmw(key, store.Op{Kind: store.OpMax, Int: n})
+}
+
+// Min implements engine.Tx.
+func (t *Tx) Min(key string, n int64) error {
+	return t.rmw(key, store.Op{Kind: store.OpMin, Int: n})
+}
+
+// Mult implements engine.Tx.
+func (t *Tx) Mult(key string, n int64) error {
+	return t.rmw(key, store.Op{Kind: store.OpMult, Int: n})
+}
+
+// OPut implements engine.Tx.
+func (t *Tx) OPut(key string, order store.Order, data []byte) error {
+	return t.rmw(key, store.Op{Kind: store.OpOPut, Tuple: store.Tuple{
+		Order: order, CoreID: int32(t.w), Data: data,
+	}})
+}
+
+// TopKInsert implements engine.Tx.
+func (t *Tx) TopKInsert(key string, order int64, data []byte, k int) error {
+	return t.rmw(key, store.Op{Kind: store.OpTopKInsert, K: k, Entry: store.TopKEntry{
+		Order: order, CoreID: int32(t.w), Data: data,
+	}})
+}
+
+// inWrites reports whether rec is in the transaction's write set (and so
+// locked by this transaction during validation).
+func (t *Tx) inWrites(rec *store.Record) bool {
+	for i := range t.wset {
+		if t.wset[i].rec == rec {
+			return true
+		}
+	}
+	return false
+}
+
+// genTID produces a commit TID greater than every TID observed by the
+// transaction, composed with the worker ID so TIDs are globally unique
+// without a shared counter ("our implementation assigns TIDs locally",
+// §5.1).
+func (t *Tx) genTID() uint64 {
+	ws := &t.eng.workers[t.w]
+	seq := ws.lastSeq
+	for i := range t.reads {
+		if s := t.reads[i].tid >> 8; s > seq {
+			seq = s
+		}
+	}
+	for i := range t.wset {
+		tid, _ := t.wset[i].rec.TIDWord()
+		if s := tid >> 8; s > seq {
+			seq = s
+		}
+	}
+	seq++
+	ws.lastSeq = seq
+	return seq<<8 | uint64(t.w)&0xff
+}
+
+// commit runs the paper's Figure 2 protocol. A returned error is a
+// non-retryable user error (e.g. type mismatch at apply time).
+func (t *Tx) commit() (engine.Outcome, error) {
+	// Read-only fast path: validate reads without locking anything.
+	if len(t.wset) == 0 {
+		for i := range t.reads {
+			tid, locked := t.reads[i].rec.TIDWord()
+			if locked || tid != t.reads[i].tid {
+				return engine.Aborted, nil
+			}
+		}
+		return engine.Committed, nil
+	}
+
+	// Part 1: lock the write set in global key order; abort if any
+	// record is already locked.
+	sort.SliceStable(t.wset, func(i, j int) bool { return t.wset[i].key < t.wset[j].key })
+	locked := 0
+	for i := range t.wset {
+		if i > 0 && t.wset[i].rec == t.wset[i-1].rec {
+			continue
+		}
+		if !t.wset[i].rec.TryLock() {
+			t.unlockPrefix(locked)
+			return engine.Aborted, nil
+		}
+		locked = i + 1
+	}
+	commitTID := t.genTID()
+
+	// Part 2: validate the read set.
+	for i := range t.reads {
+		rd := &t.reads[i]
+		tid, isLocked := rd.rec.TIDWord()
+		if tid != rd.tid || (isLocked && !t.inWrites(rd.rec)) {
+			t.unlockPrefix(locked)
+			return engine.Aborted, nil
+		}
+	}
+
+	// Part 3: apply buffered operations and release locks with the new
+	// TID. Operations for one record apply in program order (the sort
+	// above is stable). New values are computed for every record before
+	// any is installed, so a type error at apply time aborts cleanly
+	// with no partial effects.
+	newVals := t.pend[:0]
+	for i := 0; i < len(t.wset); {
+		rec := t.wset[i].rec
+		v := rec.Value()
+		var err error
+		j := i
+		for ; j < len(t.wset) && t.wset[j].rec == rec; j++ {
+			v, err = store.Apply(v, t.wset[j].op)
+			if err != nil {
+				t.unlockPrefix(len(t.wset))
+				return engine.UserAbort, err
+			}
+		}
+		newVals = append(newVals, pending{rec, v})
+		i = j
+	}
+	t.pend = newVals
+	for _, p := range newVals {
+		p.rec.SetValue(p.val)
+		p.rec.UnlockWithTID(commitTID)
+	}
+	return engine.Committed, nil
+}
+
+// unlockPrefix releases the locks acquired on the first n write-set
+// entries (skipping duplicate records).
+func (t *Tx) unlockPrefix(n int) {
+	for i := 0; i < n; i++ {
+		if i > 0 && t.wset[i].rec == t.wset[i-1].rec {
+			continue
+		}
+		t.wset[i].rec.Unlock()
+	}
+}
+
+var _ engine.Tx = (*Tx)(nil)

@@ -1,0 +1,179 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitMix64Deterministic(t *testing.T) {
+	s1 := NewSplitMix64(1234567)
+	s2 := NewSplitMix64(1234567)
+	for i := 0; i < 1000; i++ {
+		if a, b := s1.Next(), s2.Next(); a != b {
+			t.Fatalf("determinism violated at %d: %x != %x", i, a, b)
+		}
+	}
+	// Distinct seeds must produce distinct streams.
+	s3 := NewSplitMix64(1234568)
+	s1 = NewSplitMix64(1234567)
+	if s1.Next() == s3.Next() {
+		t.Fatal("adjacent seeds produced identical first output")
+	}
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at step %d", i)
+		}
+	}
+	c := New(43)
+	same := 0
+	a = New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds collided %d/1000 times", same)
+	}
+}
+
+func TestUint64nBounds(t *testing.T) {
+	r := New(7)
+	for _, n := range []uint64{1, 2, 3, 7, 100, 1 << 40} {
+		for i := 0; i < 2000; i++ {
+			if v := r.Uint64n(n); v >= n {
+				t.Fatalf("Uint64n(%d) returned %d", n, v)
+			}
+		}
+	}
+}
+
+func TestUint64nPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(1).Uint64n(0)
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestUint64nUniformity(t *testing.T) {
+	// Chi-squared test over 10 buckets; 100k samples. The 99.9% critical
+	// value for 9 degrees of freedom is 27.88.
+	r := New(99)
+	const buckets = 10
+	const samples = 100000
+	var counts [buckets]int
+	for i := 0; i < samples; i++ {
+		counts[r.Uint64n(buckets)]++
+	}
+	expected := float64(samples) / buckets
+	chi2 := 0.0
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	if chi2 > 27.88 {
+		t.Fatalf("chi-squared %.2f exceeds 27.88; counts=%v", chi2, counts)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(5)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+		sum += f
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("mean %.4f too far from 0.5", mean)
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := New(11)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bool(0.25) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if math.Abs(frac-0.25) > 0.01 {
+		t.Fatalf("Bool(0.25) hit fraction %.4f", frac)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(3)
+	out := make([]int, 50)
+	r.Perm(out)
+	seen := make(map[int]bool)
+	for _, v := range out {
+		if v < 0 || v >= len(out) || seen[v] {
+			t.Fatalf("not a permutation: %v", out)
+		}
+		seen[v] = true
+	}
+}
+
+func TestExpBackoffWindowGrowth(t *testing.T) {
+	r := New(17)
+	for attempt := 0; attempt < 10; attempt++ {
+		limit := uint64(8) << uint(attempt)
+		if limit > 1024 {
+			limit = 1024
+		}
+		for i := 0; i < 200; i++ {
+			v := r.ExpBackoff(8, 1024, attempt)
+			if v >= limit {
+				t.Fatalf("attempt %d backoff %d >= window %d", attempt, v, limit)
+			}
+		}
+	}
+}
+
+func TestExpBackoffHugeAttemptClamped(t *testing.T) {
+	r := New(17)
+	for i := 0; i < 100; i++ {
+		if v := r.ExpBackoff(8, 1024, 500); v >= 1024 {
+			t.Fatalf("backoff %d not clamped to cap", v)
+		}
+	}
+	if v := r.ExpBackoff(8, 0, 3); v != 0 {
+		t.Fatalf("zero cap should yield 0, got %d", v)
+	}
+}
+
+func TestUint64nQuickProperty(t *testing.T) {
+	r := New(123)
+	f := func(n uint64) bool {
+		if n == 0 {
+			n = 1
+		}
+		return r.Uint64n(n) < n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

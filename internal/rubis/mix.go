@@ -1,0 +1,133 @@
+package rubis
+
+import (
+	"sync/atomic"
+
+	"doppel/internal/engine"
+	"doppel/internal/rng"
+	"doppel/internal/workload"
+)
+
+// Mix generates RUBiS transactions. With BidFrac = 0.07-ish and uniform
+// items it approximates the paper's RUBiS-B bidding mix ("15% read-write
+// transactions and 85% read-only ... 7% total writes and 93% total
+// reads"); with BidFrac = 0.5 and Zipfian items it is RUBiS-C ("50% of
+// its transactions are bids on items chosen with a Zipfian
+// distribution", §8.8).
+type Mix struct {
+	App      *App
+	ItemZipf *workload.Zipf // nil → uniform item choice
+	BidFrac  float64        // fraction of transactions that are StoreBid
+	// DoppelOps selects the Figure 7 StoreBid/StoreComment variants
+	// (commutative operations) instead of the Figure 6 read-modify-write
+	// originals.
+	DoppelOps bool
+
+	clock atomic.Int64 // coarse timestamp for OPut tie-breaking
+}
+
+// NewMixB returns the RUBiS-B bidding workload.
+func NewMixB(app *App, doppelOps bool) *Mix {
+	return &Mix{App: app, BidFrac: 0.03, DoppelOps: doppelOps}
+}
+
+// NewMixC returns the RUBiS-C contended workload for the given Zipf
+// parameter over items.
+func NewMixC(app *App, alpha float64, doppelOps bool) *Mix {
+	return &Mix{
+		App:       app,
+		ItemZipf:  workload.NewZipf(int(app.Items), alpha),
+		BidFrac:   0.5,
+		DoppelOps: doppelOps,
+	}
+}
+
+func (m *Mix) item(r *rng.Rand) int64 {
+	if m.ItemZipf != nil {
+		return int64(m.ItemZipf.Sample(r))
+	}
+	return int64(r.Intn(int(m.App.Items)))
+}
+
+// Next implements workload.Generator.
+func (m *Mix) Next(worker int, r *rng.Rand) (engine.TxFunc, bool) {
+	app := m.App
+	item := m.item(r)
+	user := int64(r.Intn(int(app.Users)))
+	roll := r.Float64()
+
+	if roll < m.BidFrac {
+		amt := int64(1 + r.Intn(1_000_000))
+		if m.DoppelOps {
+			ts := m.clock.Add(1)
+			return func(tx engine.Tx) error {
+				return app.StoreBidDoppel(tx, worker, user, item, amt, ts)
+			}, true
+		}
+		return func(tx engine.Tx) error {
+			return app.StoreBidOriginal(tx, worker, user, item, amt)
+		}, true
+	}
+	// Scale the non-bid interactions into the remaining probability
+	// mass, keeping the bidding mix's relative proportions.
+	rest := (roll - m.BidFrac) / (1 - m.BidFrac)
+	switch {
+	case rest < 0.02: // StoreComment
+		c := Comment{From: user, To: int64(r.Intn(int(app.Users))), Item: item,
+			Rating: int64(r.Intn(5) + 1), Text: "great seller"}
+		if m.DoppelOps {
+			return func(tx engine.Tx) error {
+				return app.StoreCommentDoppel(tx, worker, c)
+			}, true
+		}
+		return func(tx engine.Tx) error {
+			return app.StoreCommentOriginal(tx, worker, c)
+		}, true
+	case rest < 0.03: // StoreBuyNow
+		return func(tx engine.Tx) error {
+			return app.StoreBuyNow(tx, worker, user, item, 1)
+		}, true
+	case rest < 0.04: // StoreItem
+		it := Item{Seller: user, Category: item % NumCategories,
+			Region: item % NumRegions, Name: "new item"}
+		return func(tx engine.Tx) error {
+			_, err := app.StoreItem(tx, worker, it)
+			return err
+		}, true
+	case rest < 0.30: // ViewItem
+		return func(tx engine.Tx) error {
+			_, _, _, err := app.ViewItem(tx, item)
+			return err
+		}, false
+	case rest < 0.50: // SearchItemsByCategory
+		cat := int64(r.Intn(NumCategories))
+		return func(tx engine.Tx) error {
+			_, err := app.SearchItemsByCategory(tx, cat)
+			return err
+		}, false
+	case rest < 0.65: // SearchItemsByRegion
+		reg := int64(r.Intn(NumRegions))
+		return func(tx engine.Tx) error {
+			_, err := app.SearchItemsByRegion(tx, reg)
+			return err
+		}, false
+	case rest < 0.75: // ViewBidHistory
+		return func(tx engine.Tx) error {
+			_, err := app.ViewBidHistory(tx, item)
+			return err
+		}, false
+	case rest < 0.85: // ViewUserInfo
+		return func(tx engine.Tx) error {
+			_, _, err := app.ViewUserInfo(tx, user)
+			return err
+		}, false
+	case rest < 0.92: // AboutMe
+		return func(tx engine.Tx) error { return app.AboutMe(tx, user) }, false
+	case rest < 0.96: // BrowseCategories
+		return func(tx engine.Tx) error { return app.BrowseCategories(tx) }, false
+	default: // BrowseRegions
+		return func(tx engine.Tx) error { return app.BrowseRegions(tx) }, false
+	}
+}
+
+var _ workload.Generator = (*Mix)(nil)

@@ -1,0 +1,173 @@
+// Package rubis is a from-scratch Go port of the RUBiS auction benchmark
+// (§7, §8.8 of the paper): an eBay-style site with users, items,
+// categories, regions, bids, buy-now orders and comments. Transactions
+// come in two flavours where the paper distinguishes them: the original
+// read-modify-write StoreBid (the paper's Figure 6) and the Doppel
+// version that re-casts the auction-metadata updates as commutative
+// operations (Figure 7).
+//
+// The port keeps only the database transactions; there are no web
+// servers or browsers, exactly as in the paper's measurements.
+package rubis
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Table key prefixes. Every RUBiS row is one record in the key/value
+// store; multi-row queries go through the top-K index records.
+const (
+	prefUser       = 'U' // user profile (bytes)
+	prefUserRating = 'R' // user rating counter (int)
+	prefItem       = 'I' // item row (bytes)
+	prefMaxBid     = 'M' // per-item maximum bid (int)
+	prefMaxBidder  = 'W' // per-item winning bidder (ordered tuple)
+	prefNumBids    = 'N' // per-item bid count (int)
+	prefBidsIdx    = 'B' // per-item top-K bid index
+	prefBid        = 'b' // bid rows (bytes)
+	prefComment    = 'c' // comment rows (bytes)
+	prefBuyNow     = 'y' // buy-now rows (bytes)
+	prefCatIdx     = 'C' // per-category top-K item index
+	prefRegIdx     = 'G' // per-region top-K item index
+)
+
+// NumCategories and NumRegions follow the RUBiS dataset defaults.
+const (
+	NumCategories = 20
+	NumRegions    = 62
+	// IndexK bounds the top-K index records used for browsing queries.
+	IndexK = 20
+)
+
+func key(pref byte, id int64) string {
+	return fmt.Sprintf("%c%015d", pref, id)
+}
+
+// UserKey returns user u's profile row key.
+func UserKey(u int64) string { return key(prefUser, u) }
+
+// RatingKey returns user u's rating counter key.
+func RatingKey(u int64) string { return key(prefUserRating, u) }
+
+// ItemKey returns item i's row key.
+func ItemKey(i int64) string { return key(prefItem, i) }
+
+// MaxBidKey returns item i's maximum-bid key.
+func MaxBidKey(i int64) string { return key(prefMaxBid, i) }
+
+// MaxBidderKey returns item i's winning-bidder key.
+func MaxBidderKey(i int64) string { return key(prefMaxBidder, i) }
+
+// NumBidsKey returns item i's bid-count key.
+func NumBidsKey(i int64) string { return key(prefNumBids, i) }
+
+// BidsPerItemIndexKey returns item i's bid index key.
+func BidsPerItemIndexKey(i int64) string { return key(prefBidsIdx, i) }
+
+// BidKey returns the row key for bid b.
+func BidKey(b int64) string { return key(prefBid, b) }
+
+// CommentKey returns the row key for comment c.
+func CommentKey(c int64) string { return key(prefComment, c) }
+
+// BuyNowKey returns the row key for buy-now order b.
+func BuyNowKey(b int64) string { return key(prefBuyNow, b) }
+
+// CategoryIndexKey returns category c's item index key.
+func CategoryIndexKey(c int64) string { return key(prefCatIdx, c) }
+
+// RegionIndexKey returns region r's item index key.
+func RegionIndexKey(r int64) string { return key(prefRegIdx, r) }
+
+// Bid is a bid row.
+type Bid struct {
+	Item   int64
+	Bidder int64
+	Price  int64
+}
+
+// EncodeBid serializes a bid row.
+func EncodeBid(b Bid) []byte {
+	out := make([]byte, 24)
+	binary.LittleEndian.PutUint64(out[0:], uint64(b.Item))
+	binary.LittleEndian.PutUint64(out[8:], uint64(b.Bidder))
+	binary.LittleEndian.PutUint64(out[16:], uint64(b.Price))
+	return out
+}
+
+// DecodeBid parses a bid row.
+func DecodeBid(raw []byte) (Bid, error) {
+	if len(raw) != 24 {
+		return Bid{}, fmt.Errorf("rubis: bid row has %d bytes, want 24", len(raw))
+	}
+	return Bid{
+		Item:   int64(binary.LittleEndian.Uint64(raw[0:])),
+		Bidder: int64(binary.LittleEndian.Uint64(raw[8:])),
+		Price:  int64(binary.LittleEndian.Uint64(raw[16:])),
+	}, nil
+}
+
+// Item is an item row.
+type Item struct {
+	Seller   int64
+	Category int64
+	Region   int64
+	Name     string
+}
+
+// EncodeItem serializes an item row.
+func EncodeItem(it Item) []byte {
+	out := make([]byte, 24+len(it.Name))
+	binary.LittleEndian.PutUint64(out[0:], uint64(it.Seller))
+	binary.LittleEndian.PutUint64(out[8:], uint64(it.Category))
+	binary.LittleEndian.PutUint64(out[16:], uint64(it.Region))
+	copy(out[24:], it.Name)
+	return out
+}
+
+// DecodeItem parses an item row.
+func DecodeItem(raw []byte) (Item, error) {
+	if len(raw) < 24 {
+		return Item{}, fmt.Errorf("rubis: item row has %d bytes, want >= 24", len(raw))
+	}
+	return Item{
+		Seller:   int64(binary.LittleEndian.Uint64(raw[0:])),
+		Category: int64(binary.LittleEndian.Uint64(raw[8:])),
+		Region:   int64(binary.LittleEndian.Uint64(raw[16:])),
+		Name:     string(raw[24:]),
+	}, nil
+}
+
+// Comment is a comment row.
+type Comment struct {
+	From, To int64
+	Item     int64
+	Rating   int64
+	Text     string
+}
+
+// EncodeComment serializes a comment row.
+func EncodeComment(c Comment) []byte {
+	out := make([]byte, 32+len(c.Text))
+	binary.LittleEndian.PutUint64(out[0:], uint64(c.From))
+	binary.LittleEndian.PutUint64(out[8:], uint64(c.To))
+	binary.LittleEndian.PutUint64(out[16:], uint64(c.Item))
+	binary.LittleEndian.PutUint64(out[24:], uint64(c.Rating))
+	copy(out[32:], c.Text)
+	return out
+}
+
+// DecodeComment parses a comment row.
+func DecodeComment(raw []byte) (Comment, error) {
+	if len(raw) < 32 {
+		return Comment{}, fmt.Errorf("rubis: comment row has %d bytes, want >= 32", len(raw))
+	}
+	return Comment{
+		From:   int64(binary.LittleEndian.Uint64(raw[0:])),
+		To:     int64(binary.LittleEndian.Uint64(raw[8:])),
+		Item:   int64(binary.LittleEndian.Uint64(raw[16:])),
+		Rating: int64(binary.LittleEndian.Uint64(raw[24:])),
+		Text:   string(raw[32:]),
+	}, nil
+}

@@ -1,0 +1,300 @@
+package rubis
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"doppel/internal/engine"
+	"doppel/internal/store"
+)
+
+// App is one loaded RUBiS database: ID spaces plus per-worker fresh-row
+// ID allocators (fresh rows never contend, like real inserts).
+//
+// Lock-order discipline (for the 2PL baseline): every transaction
+// accesses per-item records in the fixed order
+// item → maxBid → maxBidder → numBids → bidsIndex → fresh rows, and user
+// records before item records, so no two transactions wait on each other
+// in a cycle.
+type App struct {
+	Users   int64
+	Items   int64
+	workers int
+	nextBid []atomic.Int64 // per-worker allocators (index = worker)
+	nextCmt []atomic.Int64
+	nextBuy []atomic.Int64
+	nextItm []atomic.Int64
+}
+
+// NewApp returns a RUBiS application over the given ID spaces.
+func NewApp(users, items int64, workers int) *App {
+	if workers < 1 {
+		workers = 1
+	}
+	a := &App{
+		Users:   users,
+		Items:   items,
+		workers: workers,
+		nextBid: make([]atomic.Int64, workers),
+		nextCmt: make([]atomic.Int64, workers),
+		nextBuy: make([]atomic.Int64, workers),
+		nextItm: make([]atomic.Int64, workers),
+	}
+	for w := 0; w < workers; w++ {
+		a.nextItm[w].Store(items) // fresh items start above the preload
+	}
+	return a
+}
+
+// fresh returns a globally unique ID for worker w from allocator ctr
+// without cross-worker coordination.
+func (a *App) fresh(ctr []atomic.Int64, w int) int64 {
+	n := ctr[w%a.workers].Add(1)
+	return n*int64(a.workers) + int64(w%a.workers)
+}
+
+// Preload creates the initial users, items and auction metadata directly
+// in st (benchmark setup; not transactional).
+func (a *App) Preload(st *store.Store) {
+	for u := int64(0); u < a.Users; u++ {
+		st.Preload(UserKey(u), store.BytesValue([]byte(fmt.Sprintf("user-%d", u))))
+		st.Preload(RatingKey(u), store.IntValue(0))
+	}
+	for i := int64(0); i < a.Items; i++ {
+		it := Item{Seller: i % a.Users, Category: i % NumCategories, Region: i % NumRegions}
+		it.Name = fmt.Sprintf("item-%d", i)
+		st.Preload(ItemKey(i), store.BytesValue(EncodeItem(it)))
+		st.Preload(MaxBidKey(i), store.IntValue(0))
+		st.Preload(NumBidsKey(i), store.IntValue(0))
+	}
+}
+
+// RegisterUser inserts a new user with an empty rating.
+func (a *App) RegisterUser(tx engine.Tx, user int64, name string) error {
+	if err := tx.PutBytes(UserKey(user), []byte(name)); err != nil {
+		return err
+	}
+	return tx.PutInt(RatingKey(user), 0)
+}
+
+// StoreItem inserts a new item and indexes it by category and region
+// using top-K set records ("we modify StoreItem to insert new items into
+// top-K set indexes on category and region", §7).
+func (a *App) StoreItem(tx engine.Tx, worker int, it Item) (int64, error) {
+	id := a.fresh(a.nextItm, worker)
+	if err := tx.PutBytes(ItemKey(id), EncodeItem(it)); err != nil {
+		return 0, err
+	}
+	if err := tx.PutInt(MaxBidKey(id), 0); err != nil {
+		return 0, err
+	}
+	if err := tx.PutInt(NumBidsKey(id), 0); err != nil {
+		return 0, err
+	}
+	ref := []byte(ItemKey(id))
+	if err := tx.TopKInsert(CategoryIndexKey(it.Category), id, ref, IndexK); err != nil {
+		return 0, err
+	}
+	if err := tx.TopKInsert(RegionIndexKey(it.Region), id, ref, IndexK); err != nil {
+		return 0, err
+	}
+	return id, nil
+}
+
+// StoreBidOriginal is the paper's Figure 6: it reads the current maximum
+// bid and bid count and writes them back, so every piece of auction
+// metadata is a read-modify-write conflict under contention.
+func (a *App) StoreBidOriginal(tx engine.Tx, worker int, bidder, item, amt int64) error {
+	bidID := a.fresh(a.nextBid, worker)
+	if err := tx.PutBytes(BidKey(bidID), EncodeBid(Bid{Item: item, Bidder: bidder, Price: amt})); err != nil {
+		return err
+	}
+	highest, err := tx.GetIntForUpdate(MaxBidKey(item))
+	if err != nil {
+		return err
+	}
+	if amt > highest {
+		if err := tx.PutInt(MaxBidKey(item), amt); err != nil {
+			return err
+		}
+		if err := tx.PutBytes(MaxBidderKey(item), []byte(UserKey(bidder))); err != nil {
+			return err
+		}
+	}
+	numBids, err := tx.GetIntForUpdate(NumBidsKey(item))
+	if err != nil {
+		return err
+	}
+	return tx.PutInt(NumBidsKey(item), numBids+1)
+}
+
+// StoreBidDoppel is the paper's Figure 7: the same logical transaction
+// re-cast onto commutative operations, so Doppel can run it in a split
+// phase. ts is a coarse timestamp used as the OPut tiebreak order.
+func (a *App) StoreBidDoppel(tx engine.Tx, worker int, bidder, item, amt, ts int64) error {
+	bidID := a.fresh(a.nextBid, worker)
+	bidKey := BidKey(bidID)
+	if err := tx.PutBytes(bidKey, EncodeBid(Bid{Item: item, Bidder: bidder, Price: amt})); err != nil {
+		return err
+	}
+	if err := tx.Max(MaxBidKey(item), amt); err != nil {
+		return err
+	}
+	if err := tx.OPut(MaxBidderKey(item), store.Order{A: amt, B: ts}, []byte(UserKey(bidder))); err != nil {
+		return err
+	}
+	if err := tx.Add(NumBidsKey(item), 1); err != nil {
+		return err
+	}
+	return tx.TopKInsert(BidsPerItemIndexKey(item), amt, []byte(bidKey), IndexK)
+}
+
+// StoreCommentOriginal publishes a comment and updates the owner's
+// rating with a read-modify-write.
+func (a *App) StoreCommentOriginal(tx engine.Tx, worker int, c Comment) error {
+	rating, err := tx.GetIntForUpdate(RatingKey(c.To))
+	if err != nil {
+		return err
+	}
+	id := a.fresh(a.nextCmt, worker)
+	if err := tx.PutBytes(CommentKey(id), EncodeComment(c)); err != nil {
+		return err
+	}
+	return tx.PutInt(RatingKey(c.To), rating+c.Rating)
+}
+
+// StoreCommentDoppel uses Add on the userRating (§7).
+func (a *App) StoreCommentDoppel(tx engine.Tx, worker int, c Comment) error {
+	if err := tx.Add(RatingKey(c.To), c.Rating); err != nil {
+		return err
+	}
+	id := a.fresh(a.nextCmt, worker)
+	return tx.PutBytes(CommentKey(id), EncodeComment(c))
+}
+
+// StoreBuyNow records an immediate purchase.
+func (a *App) StoreBuyNow(tx engine.Tx, worker int, buyer, item, qty int64) error {
+	id := a.fresh(a.nextBuy, worker)
+	return tx.PutBytes(BuyNowKey(id), EncodeBid(Bid{Item: item, Bidder: buyer, Price: qty}))
+}
+
+// ViewItem reads an item row and its auction metadata.
+func (a *App) ViewItem(tx engine.Tx, item int64) (Item, int64, int64, error) {
+	raw, err := tx.GetBytes(ItemKey(item))
+	if err != nil {
+		return Item{}, 0, 0, err
+	}
+	it, err := DecodeItem(raw)
+	if err != nil {
+		return Item{}, 0, 0, err
+	}
+	maxBid, err := tx.GetInt(MaxBidKey(item))
+	if err != nil {
+		return Item{}, 0, 0, err
+	}
+	numBids, err := tx.GetInt(NumBidsKey(item))
+	if err != nil {
+		return Item{}, 0, 0, err
+	}
+	return it, maxBid, numBids, nil
+}
+
+// ViewUserInfo reads a user's profile and rating.
+func (a *App) ViewUserInfo(tx engine.Tx, user int64) ([]byte, int64, error) {
+	profile, err := tx.GetBytes(UserKey(user))
+	if err != nil {
+		return nil, 0, err
+	}
+	rating, err := tx.GetInt(RatingKey(user))
+	if err != nil {
+		return nil, 0, err
+	}
+	return profile, rating, nil
+}
+
+// ViewBidHistory reads the per-item bid index and the bid rows it
+// references ("ViewBidHistory read[s] from these records", §7).
+func (a *App) ViewBidHistory(tx engine.Tx, item int64) ([]Bid, error) {
+	entries, err := tx.GetTopK(BidsPerItemIndexKey(item))
+	if err != nil {
+		return nil, err
+	}
+	bids := make([]Bid, 0, len(entries))
+	for _, e := range entries {
+		raw, err := tx.GetBytes(string(e.Data))
+		if err != nil {
+			return nil, err
+		}
+		if raw == nil {
+			continue // bid row not visible yet (inserted this phase)
+		}
+		b, err := DecodeBid(raw)
+		if err != nil {
+			return nil, err
+		}
+		bids = append(bids, b)
+	}
+	return bids, nil
+}
+
+// SearchItemsByCategory reads the category index and the item rows it
+// references.
+func (a *App) SearchItemsByCategory(tx engine.Tx, cat int64) ([]Item, error) {
+	return a.searchIndex(tx, CategoryIndexKey(cat))
+}
+
+// SearchItemsByRegion reads the region index and the item rows it
+// references.
+func (a *App) SearchItemsByRegion(tx engine.Tx, region int64) ([]Item, error) {
+	return a.searchIndex(tx, RegionIndexKey(region))
+}
+
+func (a *App) searchIndex(tx engine.Tx, idxKey string) ([]Item, error) {
+	entries, err := tx.GetTopK(idxKey)
+	if err != nil {
+		return nil, err
+	}
+	items := make([]Item, 0, len(entries))
+	for _, e := range entries {
+		raw, err := tx.GetBytes(string(e.Data))
+		if err != nil {
+			return nil, err
+		}
+		if raw == nil {
+			continue
+		}
+		it, err := DecodeItem(raw)
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, it)
+	}
+	return items, nil
+}
+
+// AboutMe summarizes a user: profile, rating and last bids are
+// approximated by the profile and rating reads.
+func (a *App) AboutMe(tx engine.Tx, user int64) error {
+	_, _, err := a.ViewUserInfo(tx, user)
+	return err
+}
+
+// BrowseCategories reads a handful of category index records.
+func (a *App) BrowseCategories(tx engine.Tx) error {
+	for c := int64(0); c < 3; c++ {
+		if _, err := tx.GetTopK(CategoryIndexKey(c)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BrowseRegions reads a handful of region index records.
+func (a *App) BrowseRegions(tx engine.Tx) error {
+	for r := int64(0); r < 3; r++ {
+		if _, err := tx.GetTopK(RegionIndexKey(r)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

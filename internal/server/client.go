@@ -1,0 +1,49 @@
+package server
+
+import (
+	"errors"
+	"net"
+	"sync"
+)
+
+// Client is a synchronous client for one server connection. It is safe
+// for concurrent use; calls serialize on the connection.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// Dial connects to a server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn}, nil
+}
+
+// Call invokes the named procedure with args and returns its result.
+// A procedure error comes back as a non-nil error with the server's
+// message.
+func (c *Client) Call(name string, args ...string) (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := writeFrame(c.conn, encodeRequest(name, args)); err != nil {
+		return "", err
+	}
+	payload, err := readFrame(c.conn)
+	if err != nil {
+		return "", err
+	}
+	ok, msg, err := decodeResponse(payload)
+	if err != nil {
+		return "", err
+	}
+	if !ok {
+		return "", errors.New(msg)
+	}
+	return msg, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }

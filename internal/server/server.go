@@ -1,0 +1,228 @@
+// Package server provides Doppel's network interface: "clients submit
+// transactions in the form of procedures" (§3) over TCP (§6: "Doppel
+// supports RPC from remote clients over TCP"). Applications register
+// named procedures; clients invoke them by name with string arguments.
+//
+// The wire protocol is deliberately small: every message is a uint32
+// length prefix followed by the payload. Requests carry a procedure name
+// and its arguments; responses carry a status byte and either a result
+// or an error string.
+package server
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"doppel"
+)
+
+// Handler executes one named procedure inside a transaction. The
+// returned string is sent back to the client on commit.
+type Handler func(tx doppel.Tx, args []string) (string, error)
+
+// Server serves registered procedures over TCP on top of a Doppel
+// database.
+type Server struct {
+	db *doppel.DB
+
+	mu       sync.RWMutex
+	handlers map[string]Handler
+
+	lis    net.Listener
+	connWG sync.WaitGroup
+	closed bool
+}
+
+// New returns a server over db.
+func New(db *doppel.DB) *Server {
+	return &Server{db: db, handlers: map[string]Handler{}}
+}
+
+// Register installs a procedure under name, replacing any previous one.
+func (s *Server) Register(name string, h Handler) {
+	s.mu.Lock()
+	s.handlers[name] = h
+	s.mu.Unlock()
+}
+
+// Listen starts accepting connections on addr (e.g. "127.0.0.1:7777")
+// and returns the bound address. Serving happens on background
+// goroutines until Close.
+func (s *Server) Listen(addr string) (string, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.lis = lis
+	s.connWG.Add(1)
+	go s.acceptLoop()
+	return lis.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop() {
+	defer s.connWG.Done()
+	for {
+		conn, err := s.lis.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.connWG.Add(1)
+		go func() {
+			defer s.connWG.Done()
+			defer conn.Close()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+// serveConn handles one client connection: a sequence of
+// request/response exchanges.
+func (s *Server) serveConn(conn net.Conn) {
+	for {
+		payload, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		name, args, err := decodeRequest(payload)
+		if err != nil {
+			_ = writeFrame(conn, encodeResponse(false, "bad request: "+err.Error()))
+			return
+		}
+		s.mu.RLock()
+		h := s.handlers[name]
+		s.mu.RUnlock()
+		if h == nil {
+			_ = writeFrame(conn, encodeResponse(false, "unknown procedure "+name))
+			continue
+		}
+		var result string
+		err = s.db.Exec(func(tx doppel.Tx) error {
+			var herr error
+			result, herr = h(tx, args)
+			return herr
+		})
+		if err != nil {
+			_ = writeFrame(conn, encodeResponse(false, err.Error()))
+			continue
+		}
+		_ = writeFrame(conn, encodeResponse(true, result))
+	}
+}
+
+// Close stops accepting and waits for in-flight connections.
+func (s *Server) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	if s.lis != nil {
+		_ = s.lis.Close()
+	}
+	s.connWG.Wait()
+}
+
+// --- framing and encoding ---
+
+const maxFrame = 1 << 20
+
+func writeFrame(w io.Writer, payload []byte) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("server: frame of %d bytes exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+func appendString(buf []byte, s string) []byte {
+	var l [4]byte
+	binary.BigEndian.PutUint32(l[:], uint32(len(s)))
+	buf = append(buf, l[:]...)
+	return append(buf, s...)
+}
+
+func readString(buf []byte) (string, []byte, error) {
+	if len(buf) < 4 {
+		return "", nil, errors.New("server: truncated string length")
+	}
+	n := binary.BigEndian.Uint32(buf)
+	buf = buf[4:]
+	if uint32(len(buf)) < n {
+		return "", nil, errors.New("server: truncated string")
+	}
+	return string(buf[:n]), buf[n:], nil
+}
+
+func encodeRequest(name string, args []string) []byte {
+	buf := appendString(nil, name)
+	var c [4]byte
+	binary.BigEndian.PutUint32(c[:], uint32(len(args)))
+	buf = append(buf, c[:]...)
+	for _, a := range args {
+		buf = appendString(buf, a)
+	}
+	return buf
+}
+
+func decodeRequest(buf []byte) (name string, args []string, err error) {
+	name, buf, err = readString(buf)
+	if err != nil {
+		return "", nil, err
+	}
+	if len(buf) < 4 {
+		return "", nil, errors.New("server: truncated arg count")
+	}
+	n := binary.BigEndian.Uint32(buf)
+	buf = buf[4:]
+	if n > 1<<16 {
+		return "", nil, errors.New("server: too many args")
+	}
+	args = make([]string, 0, n)
+	for i := uint32(0); i < n; i++ {
+		var a string
+		a, buf, err = readString(buf)
+		if err != nil {
+			return "", nil, err
+		}
+		args = append(args, a)
+	}
+	return name, args, nil
+}
+
+func encodeResponse(ok bool, msg string) []byte {
+	status := byte(0)
+	if ok {
+		status = 1
+	}
+	return appendString([]byte{status}, msg)
+}
+
+func decodeResponse(buf []byte) (ok bool, msg string, err error) {
+	if len(buf) < 1 {
+		return false, "", errors.New("server: empty response")
+	}
+	ok = buf[0] == 1
+	msg, _, err = readString(buf[1:])
+	return ok, msg, err
+}

@@ -1,0 +1,149 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+	"testing"
+
+	"doppel"
+)
+
+func newServer(t *testing.T) (*Server, *Client, *doppel.DB) {
+	t.Helper()
+	db := doppel.Open(doppel.Options{Workers: 2})
+	s := New(db)
+	s.Register("incr", func(tx doppel.Tx, args []string) (string, error) {
+		if len(args) != 2 {
+			return "", errors.New("incr needs key and amount")
+		}
+		n, err := strconv.ParseInt(args[1], 10, 64)
+		if err != nil {
+			return "", err
+		}
+		return "", tx.Add(args[0], n)
+	})
+	s.Register("get", func(tx doppel.Tx, args []string) (string, error) {
+		if len(args) != 1 {
+			return "", errors.New("get needs a key")
+		}
+		n, err := tx.GetInt(args[0])
+		if err != nil {
+			return "", err
+		}
+		return strconv.FormatInt(n, 10), nil
+	})
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		c.Close()
+		s.Close()
+		db.Close()
+	})
+	return s, c, db
+}
+
+func TestCallRoundTrip(t *testing.T) {
+	_, c, _ := newServer(t)
+	if _, err := c.Call("incr", "counter", "5"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Call("incr", "counter", "3"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Call("get", "counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "8" {
+		t.Fatalf("counter = %s", got)
+	}
+}
+
+func TestUnknownProcedure(t *testing.T) {
+	_, c, _ := newServer(t)
+	if _, err := c.Call("nope"); err == nil {
+		t.Fatal("expected error")
+	}
+	// The connection stays usable afterwards.
+	if _, err := c.Call("incr", "k", "1"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHandlerErrorPropagates(t *testing.T) {
+	_, c, _ := newServer(t)
+	if _, err := c.Call("incr", "onlykey"); err == nil {
+		t.Fatal("expected arg error")
+	}
+	if _, err := c.Call("get", "k", "extra"); err == nil {
+		t.Fatal("expected arg error")
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	s, _, _ := newServer(t)
+	addr := s.lis.Addr().String()
+	const clients = 4
+	const perClient = 200
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := Dial(addr)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			for j := 0; j < perClient; j++ {
+				if _, err := c.Call("incr", "shared", "1"); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	got, err := c.Call("get", "shared")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != fmt.Sprint(clients*perClient) {
+		t.Fatalf("shared = %s, want %d", got, clients*perClient)
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	name, args, err := decodeRequest(encodeRequest("proc", []string{"a", "", "xyz"}))
+	if err != nil || name != "proc" || len(args) != 3 || args[2] != "xyz" {
+		t.Fatalf("%v %v %v", name, args, err)
+	}
+	ok, msg, err := decodeResponse(encodeResponse(true, "hi"))
+	if err != nil || !ok || msg != "hi" {
+		t.Fatalf("%v %v %v", ok, msg, err)
+	}
+	ok, msg, err = decodeResponse(encodeResponse(false, "bad"))
+	if err != nil || ok || msg != "bad" {
+		t.Fatalf("%v %v %v", ok, msg, err)
+	}
+	if _, _, err := decodeRequest([]byte{0, 0}); err == nil {
+		t.Fatal("truncated request should fail")
+	}
+	if _, _, err := decodeResponse(nil); err == nil {
+		t.Fatal("empty response should fail")
+	}
+}

@@ -1,0 +1,302 @@
+package sim
+
+import (
+	"container/heap"
+	"sort"
+
+	"doppel/internal/store"
+)
+
+// doppelGate runs Doppel's phase machinery when core c is about to start
+// a new transaction. It returns false when the core parked at a barrier.
+func (s *state) doppelGate(c *simCore) bool {
+	p := &s.cfg.Doppel
+	if !s.barrier && c.clock >= s.nextChange {
+		if s.split {
+			// A split phase that stashed nothing has no transaction
+			// waiting on a joined phase; extend it instead of paying a
+			// barrier, up to MaxSplitExtend times so the classifier can
+			// still adapt.
+			if s.stashedPhase == 0 && s.sliceWritesPhase > uint64(p.KeepMinWrites) &&
+				s.extends < p.MaxSplitExtend {
+				s.extends++
+				s.sliceWritesPhase = 0
+				s.nextChange = c.clock + p.PhaseLen
+			} else {
+				s.extends = 0
+				s.barrier = true
+				s.target = false
+			}
+		} else {
+			// Propose joined → split, unless the classifier finds
+			// nothing worth splitting ("the coordinator delays the next
+			// split phase", §5.4).
+			set := s.decideNextSplit()
+			if len(set) == 0 {
+				s.nextChange = c.clock + p.PhaseLen
+			} else {
+				s.barrier = true
+				s.target = true
+				s.pendingSet = set
+			}
+		}
+	}
+	if s.barrier && !c.parked {
+		// Acknowledge: finish current work, merge slices when leaving a
+		// split phase (§5.3), then park.
+		c.ack = c.clock
+		if s.split {
+			c.ack += int64(len(s.splitList)) * s.cost.MergePerRecord
+		}
+		c.parked = true
+		s.parkedCount++
+		s.completeBarrierIfReady()
+		return false
+	}
+	return true
+}
+
+// completeBarrierIfReady flips the phase once every live core has
+// acknowledged, charges the barrier cost, and releases the cores
+// ("phase change must wait for all cores to finish their current
+// transaction", §8.2).
+func (s *state) completeBarrierIfReady() {
+	if !s.barrier || s.parkedCount < len(s.cores)-s.doneCount {
+		return
+	}
+	release := int64(0)
+	for _, c := range s.cores {
+		if c.parked && c.ack > release {
+			release = c.ack
+		}
+	}
+	release += s.cost.BarrierBase + s.cost.BarrierPerCore*int64(len(s.cores))
+
+	if s.split {
+		// Leaving a split phase: reconciliation already charged per core
+		// in the ack time; install the merged state globally.
+		for _, k := range s.splitList {
+			rec := &s.recs[k]
+			rec.version++
+			rec.splitIdx = -1
+			rec.owner = -1
+			rec.clearSharers()
+		}
+		s.splitList = s.splitList[:0]
+	}
+	s.split = s.target
+	if s.split {
+		for i, k := range sortedKeys(s.pendingSet) {
+			rec := &s.recs[k]
+			rec.splitIdx = int32(i)
+			rec.splitOp = s.pendingSet[k]
+			s.splitList = append(s.splitList, k)
+		}
+		s.pendingSet = nil
+	}
+	s.phaseChanges++
+	s.phaseStart = release
+	s.nextChange = release + s.cfg.Doppel.PhaseLen
+	s.commitsPhase = 0
+	s.stashedPhase = 0
+	s.sliceWritesPhase = 0
+	s.barrier = false
+	s.parkedCount = 0
+	for _, c := range s.cores {
+		if !c.parked {
+			continue
+		}
+		c.parked = false
+		c.clock = release
+		if !s.split && len(c.stash) > 0 {
+			// Entering a joined phase: restart stashed transactions
+			// (§5.4).
+			c.drain = append(c.drain, c.stash...)
+			c.stash = c.stash[:0]
+		}
+		s.pushCore(c)
+	}
+}
+
+// pushCore returns a released core to the run heap (unless it is already
+// there or the run is over for it; the main loop retires finished cores).
+func (s *state) pushCore(c *simCore) {
+	if c.hindex < 0 && !c.done {
+		heap.Push(&s.h, c)
+	}
+}
+
+// stashTxn saves the current transaction for the next joined phase
+// because it accessed split data with a non-selected operation (§5.2).
+func (s *state) stashTxn(c *simCore, a Access) {
+	if c.clock >= s.measureStart {
+		s.stashes++
+	}
+	s.stashedPhase++
+	oc := s.stashCounts[a.Key]
+	if oc == nil {
+		oc = &opCounts{}
+		s.stashCounts[a.Key] = oc
+	}
+	oc[a.Op]++
+	saved := make([]Access, len(c.acc))
+	copy(saved, c.acc)
+	c.stash = append(c.stash, stashedTxn{saved, c.submit})
+	c.acc = nil
+
+	// Hurry the next joined phase when stashes dominate (§5.4). Mirrors
+	// the real coordinator, which checks at quarter-phase granularity.
+	p := &s.cfg.Doppel
+	if c.clock-s.phaseStart > p.PhaseLen/4 {
+		total := s.commitsPhase + s.stashedPhase
+		if total > 16 && float64(s.stashedPhase) > p.HurryFraction*float64(total) {
+			if s.nextChange > c.clock {
+				s.nextChange = c.clock
+			}
+		}
+	}
+}
+
+// sampleConflict feeds the classifier's joined-phase conflict window.
+func (s *state) sampleConflict(key int32, op store.OpKind) {
+	if s.split && s.recs[key].splitIdx >= 0 {
+		return
+	}
+	oc := s.conflicts[key]
+	if oc == nil {
+		oc = &opCounts{}
+		s.conflicts[key] = oc
+	}
+	oc[op]++
+}
+
+// decideNextSplit mirrors core.decideNextSplit (§5.5) over the
+// simulator's counter windows.
+func (s *state) decideNextSplit() map[int32]store.OpKind {
+	p := &s.cfg.Doppel
+
+	if !p.DisableAutoSplit {
+		// Demotions.
+		for k := range s.curAssign {
+			if _, hinted := p.Hints[k]; hinted {
+				continue
+			}
+			if !s.lastSplit[k] {
+				continue
+			}
+			writes := s.splitWrites[k]
+			stashes := countTotal(s.stashCounts[k])
+			keepFloor := uint64(p.KeepMinWrites)
+			if rel := uint64(p.KeepWriteFraction * float64(s.attemptsWindow)); rel > keepFloor {
+				keepFloor = rel
+			}
+			if writes < keepFloor ||
+				float64(stashes) > p.ReadDominance*float64(writes) {
+				delete(s.curAssign, k)
+				continue
+			}
+			if op, n := dominantSplittable(s.stashCounts[k]); op != store.OpNone && n > writes {
+				s.curAssign[k] = op
+			}
+		}
+		// Promotions.
+		type cand struct {
+			key  int32
+			op   store.OpKind
+			conf uint64
+		}
+		var cands []cand
+		for k, oc := range s.conflicts {
+			if _, already := s.curAssign[k]; already {
+				continue
+			}
+			op, splitConf := dominantSplittable(oc)
+			if op == store.OpNone {
+				continue
+			}
+			incompat := uint64(oc[store.OpGet]) + uint64(oc[store.OpPut])
+			if splitConf < uint64(p.SplitMinConflicts) {
+				continue
+			}
+			if float64(splitConf) < p.SplitFraction*float64(s.attemptsWindow) {
+				continue
+			}
+			if float64(incompat) > p.ReadDominance*float64(splitConf) {
+				continue
+			}
+			cands = append(cands, cand{k, op, splitConf})
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].conf != cands[j].conf {
+				return cands[i].conf > cands[j].conf
+			}
+			return cands[i].key < cands[j].key
+		})
+		for _, cd := range cands {
+			if len(s.curAssign) >= p.MaxSplitKeys {
+				break
+			}
+			s.curAssign[cd.key] = cd.op
+		}
+	}
+	for k, op := range p.Hints {
+		if op.Splittable() {
+			s.curAssign[k] = op
+		}
+	}
+
+	// Reset windows.
+	s.conflicts = map[int32]*opCounts{}
+	s.stashCounts = map[int32]*opCounts{}
+	s.splitWrites = map[int32]uint64{}
+	s.attemptsWindow = 0
+
+	s.lastSplit = make(map[int32]bool, len(s.curAssign))
+	out := make(map[int32]store.OpKind, len(s.curAssign))
+	for k, op := range s.curAssign {
+		out[k] = op
+		s.lastSplit[k] = true
+	}
+	return out
+}
+
+func countTotal(oc *opCounts) uint64 {
+	if oc == nil {
+		return 0
+	}
+	var n uint64
+	for _, c := range oc {
+		n += uint64(c)
+	}
+	return n
+}
+
+func dominantSplittable(oc *opCounts) (store.OpKind, uint64) {
+	if oc == nil {
+		return store.OpNone, 0
+	}
+	best := store.OpNone
+	var bestN uint32
+	var totalN uint64
+	for i := range oc {
+		k := store.OpKind(i)
+		if !k.Splittable() || oc[i] == 0 {
+			continue
+		}
+		totalN += uint64(oc[i])
+		if oc[i] > bestN {
+			bestN = oc[i]
+			best = k
+		}
+	}
+	return best, totalN
+}
+
+func sortedKeys(m map[int32]store.OpKind) []int32 {
+	out := make([]int32, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,734 @@
+package sim
+
+import (
+	"container/heap"
+
+	"doppel/internal/metrics"
+	"doppel/internal/rng"
+	"doppel/internal/store"
+)
+
+// Kind selects the concurrency-control scheme to simulate.
+type Kind int
+
+// Engine kinds.
+const (
+	Doppel Kind = iota
+	OCC
+	TwoPL
+	Atomic
+	Silo
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Doppel:
+		return "doppel"
+	case OCC:
+		return "occ"
+	case TwoPL:
+		return "2pl"
+	case Atomic:
+		return "atomic"
+	case Silo:
+		return "silo"
+	default:
+		return "unknown"
+	}
+}
+
+// Access is one record operation inside a simulated transaction. OpGet is
+// a read; every other kind writes.
+type Access struct {
+	Key int32
+	Op  store.OpKind
+}
+
+// Generator produces the access list of the next transaction for a core.
+// now is the current simulated time (Figure 10's workload changes its hot
+// key over time). The generator must fill and return buf to avoid
+// allocation.
+type Generator func(core int, now int64, r *rng.Rand, buf []Access) []Access
+
+// Params are Doppel's phase-reconciliation parameters, mirroring
+// core.Config.
+type Params struct {
+	PhaseLen          int64 // simulated ns between phase changes
+	SplitMinConflicts int
+	SplitFraction     float64
+	MaxSplitKeys      int
+	ReadDominance     float64
+	KeepMinWrites     int
+	// KeepWriteFraction demotes a split key whose slice writes fall
+	// below this fraction of the window's transactions: residual
+	// background traffic must not keep a cooled key split (§5.5 write
+	// sampling).
+	KeepWriteFraction float64
+	HurryFraction     float64
+	// MaxSplitExtend is how many times in a row the coordinator may
+	// extend a split phase that stashed nothing — no transaction is
+	// waiting for a joined phase, so changing phases would only cost
+	// barrier time (§5.4's feedback mechanisms, applied symmetrically).
+	MaxSplitExtend   int
+	DisableAutoSplit bool
+	Hints            map[int32]store.OpKind
+}
+
+// DefaultParams mirrors core.DefaultConfig.
+func DefaultParams() Params {
+	return Params{
+		PhaseLen:          20_000_000, // 20 ms
+		SplitMinConflicts: 8,
+		SplitFraction:     0.02,
+		MaxSplitKeys:      64,
+		ReadDominance:     3.0,
+		KeepMinWrites:     4,
+		KeepWriteFraction: 0.005,
+		HurryFraction:     0.5,
+		MaxSplitExtend:    8,
+	}
+}
+
+// Config describes one simulation run.
+type Config struct {
+	Engine  Kind
+	Cores   int
+	Records int
+	// Warmup and Duration are simulated nanoseconds; statistics cover
+	// [Warmup, Warmup+Duration).
+	Warmup   int64
+	Duration int64
+	Seed     uint64
+	Cost     CostModel // zero value → DefaultCosts
+	Doppel   Params    // zero value → DefaultParams
+	// TimelineBucket, when > 0, records committed-transaction counts in
+	// buckets of this many simulated ns over the whole run (Figure 10).
+	TimelineBucket int64
+}
+
+// Result reports one simulation run.
+type Result struct {
+	Commits, Aborts, Stashes uint64
+	SimNanos                 int64
+	Throughput               float64 // committed txns per simulated second
+	ReadLat, WriteLat        *metrics.Hist
+	SplitKeys                []int32 // final split assignment (Table 2)
+	SplitCoverage            float64 // fraction of record accesses on split keys
+	PhaseChanges             uint64
+	Timeline                 []float64 // txns/sec per bucket
+}
+
+// opKindCount sizes per-operation counter arrays.
+const opKindCount = int(store.OpTopKInsert) + 1
+
+type opCounts [opKindCount]uint32
+
+// record is the simulator's view of one database record.
+type record struct {
+	version    uint64
+	wLockUntil int64
+	rLockUntil int64
+	lineBusy   int64 // cache line occupied by an in-flight transfer until
+	lastTouch  int64 // last access time, for cache eviction
+	owner      int32 // core owning the cache line exclusively; -1 cold
+	splitIdx   int32 // >= 0 while split in the current split phase
+	splitOp    store.OpKind
+	readers    [2]uint64 // cores holding the line in shared state
+	accesses   uint64
+}
+
+func (r *record) sharedBy(core int) bool {
+	return r.readers[core>>6]&(1<<(uint(core)&63)) != 0
+}
+
+func (r *record) addSharer(core int) {
+	r.readers[core>>6] |= 1 << (uint(core) & 63)
+}
+
+func (r *record) clearSharers() { r.readers[0], r.readers[1] = 0, 0 }
+
+type readVer struct {
+	key int32
+	ver uint64
+}
+
+type stashedTxn struct {
+	acc    []Access
+	submit int64
+}
+
+// simCore is one simulated core.
+type simCore struct {
+	id     int
+	clock  int64
+	r      *rng.Rand
+	hindex int // heap index; -1 when not in heap
+
+	// current transaction
+	acc     []Access
+	accBuf  []Access
+	step    int
+	reads   []readVer
+	sw      []int32 // split (slice) writes this txn
+	submit  int64
+	attempt int
+	isWrite bool
+
+	stash  []stashedTxn
+	drain  []stashedTxn
+	parked bool
+	done   bool
+	ack    int64
+}
+
+// state is one simulation.
+type state struct {
+	cfg   Config
+	cost  CostModel
+	gen   Generator
+	recs  []record
+	cores []*simCore
+	h     coreHeap
+
+	// Doppel phase machinery.
+	split        bool // current phase: false = joined
+	nextChange   int64
+	phaseStart   int64
+	barrier      bool
+	target       bool // barrier target phase (true = split)
+	pendingSet   map[int32]store.OpKind
+	parkedCount  int
+	doneCount    int
+	splitList    []int32
+	curAssign    map[int32]store.OpKind
+	lastSplit    map[int32]bool
+	phaseChanges uint64
+
+	// classifier windows
+	conflicts        map[int32]*opCounts
+	stashCounts      map[int32]*opCounts
+	splitWrites      map[int32]uint64
+	attemptsWindow   uint64
+	commitsPhase     uint64
+	stashedPhase     uint64
+	sliceWritesPhase uint64
+	extends          int
+
+	// measurement
+	measureStart  int64
+	endTime       int64
+	commits       uint64
+	aborts        uint64
+	stashes       uint64
+	readLat       *metrics.Hist
+	writeLat      *metrics.Hist
+	timeline      []uint64
+	totalAccesses uint64
+	splitAccesses uint64
+}
+
+// coreHeap orders runnable cores by clock (ties by id, for determinism).
+type coreHeap []*simCore
+
+func (h coreHeap) Len() int { return len(h) }
+func (h coreHeap) Less(i, j int) bool {
+	if h[i].clock != h[j].clock {
+		return h[i].clock < h[j].clock
+	}
+	return h[i].id < h[j].id
+}
+func (h coreHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].hindex = i
+	h[j].hindex = j
+}
+func (h *coreHeap) Push(x any) {
+	c := x.(*simCore)
+	c.hindex = len(*h)
+	*h = append(*h, c)
+}
+func (h *coreHeap) Pop() any {
+	old := *h
+	n := len(old)
+	c := old[n-1]
+	c.hindex = -1
+	*h = old[:n-1]
+	return c
+}
+
+// Run executes one simulation.
+func Run(cfg Config, gen Generator) Result {
+	if cfg.Cores < 1 {
+		cfg.Cores = 1
+	}
+	if cfg.Records < 1 {
+		cfg.Records = 1
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 100_000_000
+	}
+	if cfg.Cost == (CostModel{}) {
+		cfg.Cost = DefaultCosts()
+	}
+	if cfg.Doppel.PhaseLen == 0 {
+		d := DefaultParams()
+		d.Hints = cfg.Doppel.Hints
+		d.DisableAutoSplit = cfg.Doppel.DisableAutoSplit
+		cfg.Doppel = d
+	}
+	s := &state{
+		cfg:          cfg,
+		cost:         cfg.Cost,
+		gen:          gen,
+		recs:         make([]record, cfg.Records),
+		curAssign:    map[int32]store.OpKind{},
+		lastSplit:    map[int32]bool{},
+		conflicts:    map[int32]*opCounts{},
+		stashCounts:  map[int32]*opCounts{},
+		splitWrites:  map[int32]uint64{},
+		measureStart: cfg.Warmup,
+		endTime:      cfg.Warmup + cfg.Duration,
+		readLat:      metrics.NewHist(),
+		writeLat:     metrics.NewHist(),
+		nextChange:   cfg.Doppel.PhaseLen,
+	}
+	for i := range s.recs {
+		s.recs[i].owner = -1
+		s.recs[i].splitIdx = -1
+	}
+	if cfg.TimelineBucket > 0 {
+		s.timeline = make([]uint64, int(s.endTime/cfg.TimelineBucket)+1)
+	}
+	s.cores = make([]*simCore, cfg.Cores)
+	for i := range s.cores {
+		s.cores[i] = &simCore{id: i, r: rng.New(cfg.Seed + uint64(i)*7919 + 1), hindex: -1}
+		heap.Push(&s.h, s.cores[i])
+	}
+
+	for s.h.Len() > 0 {
+		c := s.h[0]
+		if c.clock >= s.endTime {
+			heap.Pop(&s.h)
+			c.done = true
+			s.doneCount++
+			if s.barrier {
+				s.completeBarrierIfReady()
+			}
+			continue
+		}
+		s.advance(c)
+		if c.parked || c.done {
+			if c.hindex >= 0 {
+				heap.Remove(&s.h, c.hindex)
+			}
+		} else if c.hindex >= 0 {
+			heap.Fix(&s.h, c.hindex)
+		} else {
+			heap.Push(&s.h, c)
+		}
+	}
+	return s.result()
+}
+
+func (s *state) result() Result {
+	res := Result{
+		Commits:      s.commits,
+		Aborts:       s.aborts,
+		Stashes:      s.stashes,
+		SimNanos:     s.cfg.Duration,
+		Throughput:   float64(s.commits) / (float64(s.cfg.Duration) / 1e9),
+		ReadLat:      s.readLat,
+		WriteLat:     s.writeLat,
+		PhaseChanges: s.phaseChanges,
+	}
+	for k := range s.curAssign {
+		res.SplitKeys = append(res.SplitKeys, k)
+	}
+	if s.totalAccesses > 0 {
+		res.SplitCoverage = float64(s.splitAccesses) / float64(s.totalAccesses)
+	}
+	if s.cfg.TimelineBucket > 0 {
+		res.Timeline = make([]float64, len(s.timeline))
+		scale := 1e9 / float64(s.cfg.TimelineBucket)
+		for i, n := range s.timeline {
+			res.Timeline[i] = float64(n) * scale
+		}
+	}
+	return res
+}
+
+// advance performs one simulation step for core c.
+func (s *state) advance(c *simCore) {
+	if c.acc == nil {
+		// Transaction setup is its own event: it advances the core's
+		// clock by TxnBase, and the first record access must not be
+		// simulated until every other core's earlier event has run.
+		s.startTxn(c)
+		return
+	}
+	switch s.cfg.Engine {
+	case TwoPL:
+		s.runTwoPL(c)
+	case Atomic:
+		s.stepAtomic(c)
+	default:
+		s.stepOCC(c)
+	}
+}
+
+// startTxn sets up the next transaction for c: either a stashed
+// transaction being drained or a fresh one from the generator. The core
+// may instead park at a phase barrier, leaving c.acc nil.
+func (s *state) startTxn(c *simCore) {
+	if s.cfg.Engine == Doppel && !s.doppelGate(c) {
+		return
+	}
+	if len(c.drain) > 0 {
+		st := c.drain[len(c.drain)-1]
+		c.drain = c.drain[:len(c.drain)-1]
+		c.acc = st.acc
+		c.submit = st.submit
+	} else {
+		c.accBuf = s.gen(c.id, c.clock, c.r, c.accBuf[:0])
+		c.acc = c.accBuf
+		c.submit = c.clock
+	}
+	c.step = 0
+	c.attempt = 0
+	c.reads = c.reads[:0]
+	c.sw = c.sw[:0]
+	c.isWrite = false
+	for _, a := range c.acc {
+		if a.Op.Write() {
+			c.isWrite = true
+			break
+		}
+	}
+	c.clock += s.cost.TxnBase
+	if s.cfg.Engine == Silo {
+		c.clock += s.cost.SiloOverhead
+	}
+	if s.cfg.Engine == Doppel {
+		s.attemptsWindow++
+	}
+}
+
+// accessCost models the MESI-style cost of touching a record's line at
+// time now. Reads are cheap when the core owns or shares the line, cost
+// a DRAM fetch when no cache holds it, and an ownership transfer when
+// another core has it modified. Writes additionally invalidate other
+// copies. Lines untouched for EvictNs fall out of all caches.
+func (s *state) accessCost(rec *record, c *simCore, now int64, write bool) int64 {
+	if now-rec.lastTouch > s.cost.EvictNs {
+		rec.owner = -1
+		rec.clearSharers()
+	}
+	rec.lastTouch = now
+	me := int32(c.id)
+	// onlyMe: no OTHER core shares the line.
+	others := rec.readers
+	others[c.id>>6] &^= 1 << (uint(c.id) & 63)
+	onlyMe := others == [2]uint64{}
+
+	var cost int64
+	switch {
+	case !write && (rec.owner == me || rec.sharedBy(c.id)):
+		cost = s.cost.OpLocal
+	case !write && rec.owner == -1 && rec.readers == [2]uint64{}:
+		cost = s.cost.DRAMFetch
+	case !write:
+		cost = s.cost.LineTransfer
+	case rec.owner == me && onlyMe:
+		cost = s.cost.OpLocal // already exclusive (or harmlessly shared by self)
+	case rec.owner == -1 && onlyMe && rec.sharedBy(c.id):
+		cost = s.cost.OpLocal // upgrade of a line only this core holds
+	case rec.owner == -1 && rec.readers == [2]uint64{}:
+		cost = s.cost.DRAMFetch // read-for-ownership from memory
+	default:
+		cost = s.cost.LineTransfer // steal or invalidate other copies
+	}
+	if write {
+		rec.owner = me
+		rec.clearSharers()
+	} else if rec.owner != me {
+		rec.addSharer(c.id)
+	}
+	return cost
+}
+
+// countAccess tracks total and split-key access counts (Table 2's "% of
+// requests" column).
+func (s *state) countAccess(rec *record) {
+	rec.accesses++
+	s.totalAccesses++
+	if rec.splitIdx >= 0 {
+		s.splitAccesses++
+	}
+}
+
+// stepOCC advances an OCC-family transaction (OCC, Silo, Doppel) by one
+// access or its commit.
+func (s *state) stepOCC(c *simCore) {
+	if c.step < len(c.acc) {
+		a := c.acc[c.step]
+		rec := &s.recs[a.Key]
+		s.countAccess(rec)
+
+		// Doppel split-phase routing (§5.2).
+		if s.cfg.Engine == Doppel && s.split && rec.splitIdx >= 0 {
+			if a.Op == rec.splitOp {
+				// Per-core slice: always a local line, no coordination.
+				c.clock += s.cost.OpLocal
+				c.sw = append(c.sw, a.Key)
+				c.step++
+				return
+			}
+			s.stashTxn(c, a)
+			return
+		}
+
+		if rec.wLockUntil > c.clock {
+			s.abortTxn(c, a)
+			return
+		}
+		// Hardware arbitration: if the line is mid-transfer, stall and
+		// retry this access.
+		if rec.lineBusy > c.clock {
+			c.clock = rec.lineBusy
+			return
+		}
+		// Read-modify-write operations and reads validate; blind Puts do
+		// not (Silo permits blind writes). The read phase only READS the
+		// line (writes are buffered until commit), so many cores can
+		// share a hot line and observe the same version concurrently —
+		// which is exactly what makes them fight at commit time.
+		if a.Op == store.OpGet || a.Op.Splittable() {
+			c.reads = append(c.reads, readVer{a.Key, rec.version})
+			cost := s.accessCost(rec, c, c.clock, false)
+			c.clock += cost
+			if cost != s.cost.OpLocal {
+				rec.lineBusy = c.clock
+			}
+		} else {
+			// Blind Put: buffered locally; no record line touched yet.
+			c.clock += s.cost.OpLocal
+		}
+		c.step++
+		return
+	}
+	s.commitOCC(c)
+}
+
+// commitOCC runs the Figure 2 commit protocol at the current instant:
+// lock the write set, validate the read set, install and release.
+func (s *state) commitOCC(c *simCore) {
+	// Part 1: lock the write set. Seeing a record locked by another
+	// transaction aborts; an in-flight line transfer stalls this event.
+	globalWrite := false
+	for _, a := range c.acc {
+		if !a.Op.Write() {
+			continue
+		}
+		rec := &s.recs[a.Key]
+		if s.cfg.Engine == Doppel && s.split && rec.splitIdx >= 0 {
+			continue // slice write: no global lock
+		}
+		if rec.wLockUntil > c.clock {
+			s.abortTxn(c, a)
+			return
+		}
+		if rec.lineBusy > c.clock {
+			c.clock = rec.lineBusy
+			return
+		}
+		globalWrite = true
+	}
+	if globalWrite {
+		// Acquiring the commit locks writes each record's line: another
+		// ownership transfer when a concurrent access stole it since our
+		// read phase. This work is wasted if validation then fails,
+		// which is exactly OCC's cost under contention.
+		for _, a := range c.acc {
+			if !a.Op.Write() {
+				continue
+			}
+			rec := &s.recs[a.Key]
+			if s.cfg.Engine == Doppel && s.split && rec.splitIdx >= 0 {
+				continue
+			}
+			cost := s.accessCost(rec, c, c.clock, true)
+			c.clock += cost
+			if cost != s.cost.OpLocal {
+				rec.lineBusy = c.clock
+			}
+			rec.wLockUntil = c.clock + s.cost.CommitLockHold
+		}
+	}
+	// Part 2: validate the read set (after locking, as in Figure 2).
+	for _, rv := range c.reads {
+		if s.recs[rv.key].version != rv.ver {
+			// Release the locks we just took and abort.
+			if globalWrite {
+				for _, a := range c.acc {
+					if a.Op.Write() {
+						rec := &s.recs[a.Key]
+						if rec.wLockUntil > c.clock {
+							rec.wLockUntil = c.clock
+						}
+					}
+				}
+			}
+			s.abortTxn(c, Access{rv.key, opForKey(c, rv.key)})
+			return
+		}
+	}
+	// Part 3: install values and release locks.
+	if globalWrite {
+		c.clock += s.cost.CommitLockHold
+		for _, a := range c.acc {
+			if !a.Op.Write() {
+				continue
+			}
+			rec := &s.recs[a.Key]
+			if s.cfg.Engine == Doppel && s.split && rec.splitIdx >= 0 {
+				continue
+			}
+			rec.version++
+			rec.wLockUntil = c.clock
+			rec.lineBusy = c.clock
+		}
+	}
+	for _, k := range c.sw {
+		s.splitWrites[k]++
+		s.sliceWritesPhase++
+	}
+	s.finishTxn(c)
+}
+
+// opForKey recovers which operation the transaction performed on key,
+// for conflict attribution.
+func opForKey(c *simCore, key int32) store.OpKind {
+	for _, a := range c.acc {
+		if a.Key == key {
+			return a.Op
+		}
+	}
+	return store.OpGet
+}
+
+// stepAtomic advances an Atomic-engine transaction: every operation
+// applies immediately with hardware arbitration and no other concurrency
+// control (§8.2).
+func (s *state) stepAtomic(c *simCore) {
+	if c.step < len(c.acc) {
+		a := c.acc[c.step]
+		rec := &s.recs[a.Key]
+		if rec.lineBusy > c.clock {
+			// The line is being updated by another core; hardware
+			// serializes us behind it.
+			c.clock = rec.lineBusy
+			return
+		}
+		s.countAccess(rec)
+		cost := s.accessCost(rec, c, c.clock, a.Op.Write())
+		if a.Op.Write() {
+			cost += s.cost.AtomicOp
+			rec.version++
+			rec.lineBusy = c.clock + cost
+		} else if cost != s.cost.OpLocal {
+			rec.lineBusy = c.clock + cost
+		}
+		c.clock += cost
+		c.step++
+		return
+	}
+	s.finishTxn(c)
+}
+
+// runTwoPL executes a whole 2PL transaction in one event: acquire each
+// lock in access order (waiting out conflicting leases), then hold
+// everything until commit. 2PL never aborts (§8.1).
+func (s *state) runTwoPL(c *simCore) {
+	t := c.clock
+	// Pass 1: walk the accesses, waiting for conflicting locks, to find
+	// the commit time.
+	for _, a := range c.acc {
+		rec := &s.recs[a.Key]
+		s.countAccess(rec)
+		if a.Op.Write() {
+			free := rec.wLockUntil
+			if rec.rLockUntil > free {
+				free = rec.rLockUntil
+			}
+			if free > t {
+				t = free + s.cost.LockHandoff
+			}
+		} else if rec.wLockUntil > t {
+			t = rec.wLockUntil + s.cost.LockHandoff
+		}
+		if rec.lineBusy > t {
+			t = rec.lineBusy
+		}
+		cost := s.accessCost(rec, c, t, a.Op.Write())
+		t += cost
+		if cost != s.cost.OpLocal {
+			rec.lineBusy = t
+		}
+	}
+	t += s.cost.CommitLockHold
+	// Pass 2: extend leases to the commit time and install effects.
+	for _, a := range c.acc {
+		rec := &s.recs[a.Key]
+		if a.Op.Write() {
+			if t > rec.wLockUntil {
+				rec.wLockUntil = t
+			}
+			rec.version++
+		} else if t > rec.rLockUntil {
+			rec.rLockUntil = t
+		}
+	}
+	c.clock = t
+	s.finishTxn(c)
+}
+
+// abortTxn records a conflict abort and schedules the retry with
+// randomized exponential backoff (§8.1).
+func (s *state) abortTxn(c *simCore, a Access) {
+	if c.clock >= s.measureStart {
+		s.aborts++
+	}
+	if s.cfg.Engine == Doppel {
+		s.sampleConflict(a.Key, a.Op)
+	}
+	c.attempt++
+	c.clock += int64(c.r.ExpBackoff(uint64(s.cost.BackoffBase), uint64(s.cost.BackoffCap), c.attempt))
+	// The retry re-executes the whole transaction body ("OCC saves and
+	// re-starts aborted transactions", §8.2).
+	c.clock += s.cost.TxnBase
+	c.step = 0
+	c.reads = c.reads[:0]
+	c.sw = c.sw[:0]
+}
+
+// finishTxn commits the bookkeeping for a completed transaction.
+func (s *state) finishTxn(c *simCore) {
+	if c.clock >= s.measureStart {
+		s.commits++
+		lat := c.clock - c.submit
+		if c.isWrite {
+			s.writeLat.Record(lat)
+		} else {
+			s.readLat.Record(lat)
+		}
+	}
+	s.commitsPhase++
+	if s.timeline != nil {
+		b := int(c.clock / s.cfg.TimelineBucket)
+		if b >= 0 && b < len(s.timeline) {
+			s.timeline[b]++
+		}
+	}
+	c.acc = nil
+}

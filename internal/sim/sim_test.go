@@ -1,0 +1,292 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"doppel/internal/store"
+	"doppel/internal/workload"
+)
+
+// quick returns a small config for fast test runs.
+func quick(engine Kind, cores int) Config {
+	return Config{
+		Engine:   engine,
+		Cores:    cores,
+		Records:  100_000,
+		Warmup:   40_000_000,  // 40 ms
+		Duration: 100_000_000, // 100 ms
+		Seed:     42,
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k := Doppel; k <= Silo+1; k++ {
+		if k.String() == "" {
+			t.Fatal("empty kind string")
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	gen := func() Generator { return IncrGen(1000, 0.5, 0) }
+	for _, e := range []Kind{Doppel, OCC, TwoPL, Atomic, Silo} {
+		a := Run(quick(e, 4), gen())
+		b := Run(quick(e, 4), gen())
+		if a.Commits != b.Commits || a.Aborts != b.Aborts || a.Stashes != b.Stashes {
+			t.Fatalf("%v: nondeterministic: %+v vs %+v", e, a, b)
+		}
+	}
+}
+
+func TestUniformWorkloadAllEnginesSimilar(t *testing.T) {
+	// With uniform access to 100k keys there is almost no contention:
+	// every engine should land within ~35% of OCC (the paper's Figure 8
+	// left edge).
+	gen := IncrGen(100_000, 0, 0)
+	occ := Run(quick(OCC, 8), gen).Throughput
+	for _, e := range []Kind{Doppel, TwoPL, Atomic} {
+		got := Run(quick(e, 8), gen).Throughput
+		ratio := got / occ
+		if ratio < 0.65 || ratio > 1.6 {
+			t.Errorf("%v/occ throughput ratio %.2f at zero contention", e, ratio)
+		}
+	}
+}
+
+func TestHotKeyCollapseAndDoppelWin(t *testing.T) {
+	// 100% of transactions increment one key on 16 cores: the paper's
+	// Figure 8 right edge. OCC and 2PL collapse to ~serial throughput;
+	// Atomic does better; Doppel splits the key and scales.
+	gen := IncrGen(100_000, 1.0, 0)
+	doppel := Run(quick(Doppel, 16), gen)
+	occ := Run(quick(OCC, 16), gen)
+	tpl := Run(quick(TwoPL, 16), gen)
+	atomic := Run(quick(Atomic, 16), gen)
+
+	if len(doppel.SplitKeys) != 1 || doppel.SplitKeys[0] != 0 {
+		t.Fatalf("doppel did not split the hot key: %v", doppel.SplitKeys)
+	}
+	if doppel.Throughput < 4*atomic.Throughput {
+		t.Errorf("doppel %.2fM should be well above atomic %.2fM",
+			doppel.Throughput/1e6, atomic.Throughput/1e6)
+	}
+	if atomic.Throughput < 1.5*tpl.Throughput {
+		t.Errorf("atomic %.2fM should beat 2PL %.2fM",
+			atomic.Throughput/1e6, tpl.Throughput/1e6)
+	}
+	if tpl.Throughput < occ.Throughput {
+		t.Errorf("2PL %.2fM should beat OCC %.2fM under full contention",
+			tpl.Throughput/1e6, occ.Throughput/1e6)
+	}
+	if occ.Aborts == 0 {
+		t.Error("OCC should abort under full contention")
+	}
+	if doppel.Throughput < 10*occ.Throughput {
+		t.Errorf("doppel %.2fM vs occ %.2fM: expected order-of-magnitude win",
+			doppel.Throughput/1e6, occ.Throughput/1e6)
+	}
+}
+
+func TestDoppelMatchesOCCWithoutContention(t *testing.T) {
+	gen := IncrGen(100_000, 0.0, 0)
+	d := Run(quick(Doppel, 8), gen)
+	if len(d.SplitKeys) != 0 {
+		t.Fatalf("doppel split keys on a uniform workload: %v", d.SplitKeys)
+	}
+	if d.PhaseChanges != 0 {
+		t.Fatalf("doppel changed phases with nothing to split: %d", d.PhaseChanges)
+	}
+}
+
+func TestDoppelScalesWithCores(t *testing.T) {
+	// Figure 9: at 100% hot-key writes, Doppel's total throughput should
+	// grow with cores while OCC's stays flat (or worse).
+	gen := IncrGen(10_000, 1.0, 0)
+	d4 := Run(quick(Doppel, 4), gen).Throughput
+	d16 := Run(quick(Doppel, 16), gen).Throughput
+	if d16 < 2.5*d4 {
+		t.Errorf("doppel 16-core %.2fM not scaling over 4-core %.2fM", d16/1e6, d4/1e6)
+	}
+	o4 := Run(quick(OCC, 4), gen).Throughput
+	o16 := Run(quick(OCC, 16), gen).Throughput
+	if o16 > 2*o4 {
+		t.Errorf("OCC should not scale under full contention: %.2fM -> %.2fM", o4/1e6, o16/1e6)
+	}
+}
+
+func TestZipfSplitThreshold(t *testing.T) {
+	// Figure 11 / Table 2: no splitting at low alpha, a few keys split
+	// at high alpha.
+	lowZ := workload.NewZipf(100_000, 0.4)
+	cfg := quick(Doppel, 16)
+	low := Run(cfg, IncrZGen(lowZ))
+	if len(low.SplitKeys) != 0 {
+		t.Errorf("alpha=0.4 split keys: %v", low.SplitKeys)
+	}
+	highZ := workload.NewZipf(100_000, 1.4)
+	high := Run(cfg, IncrZGen(highZ))
+	if len(high.SplitKeys) == 0 || len(high.SplitKeys) > 10 {
+		t.Errorf("alpha=1.4 split keys: %v", high.SplitKeys)
+	}
+	// The most popular key must be among them.
+	found := false
+	for _, k := range high.SplitKeys {
+		if k == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("top key not split at alpha=1.4: %v", high.SplitKeys)
+	}
+	if high.SplitCoverage <= 0 {
+		t.Error("split coverage should be positive")
+	}
+}
+
+func TestLikeStashesReadsAndWins(t *testing.T) {
+	// §8.5: a 50/50 LIKE mix at alpha=1.4 splits the hot pages; reads of
+	// hot pages stash, yet Doppel still beats OCC.
+	z := workload.NewZipf(100_000, 1.4)
+	mk := func(e Kind) Config {
+		c := quick(e, 16)
+		c.Records = 200_000
+		c.Warmup = 60_000_000
+		c.Duration = 200_000_000
+		return c
+	}
+	d := Run(mk(Doppel), LikeGen(100_000, 100_000, z, 0.5))
+	o := Run(mk(OCC), LikeGen(100_000, 100_000, z, 0.5))
+	if len(d.SplitKeys) == 0 {
+		t.Fatal("no pages split")
+	}
+	if d.Stashes == 0 {
+		t.Fatal("reads of split pages should stash")
+	}
+	if d.Throughput < 1.2*o.Throughput {
+		t.Errorf("doppel %.2fM vs occ %.2fM on LIKE 50/50", d.Throughput/1e6, o.Throughput/1e6)
+	}
+	// Read latency must reflect stash waits: 99th percentile read
+	// latency on the order of the phase length (20ms), far above the
+	// microsecond-scale write latency (Table 3).
+	if d.ReadLat.Quantile(0.99) < 1_000_000 {
+		t.Errorf("stashed read p99 %.0fus too low", float64(d.ReadLat.Quantile(0.99))/1000)
+	}
+	if d.WriteLat.Quantile(0.5) > 100_000 {
+		t.Errorf("write p50 %.0fus too high", float64(d.WriteLat.Quantile(0.5))/1000)
+	}
+}
+
+func TestLikeReadHeavyDoesNotSplit(t *testing.T) {
+	// §8.5 / Figure 12: below ~30% writes Doppel does not split and
+	// behaves like OCC.
+	z := workload.NewZipf(100_000, 1.4)
+	cfg := quick(Doppel, 16)
+	cfg.Records = 200_000
+	d := Run(cfg, LikeGen(100_000, 100_000, z, 0.10))
+	if len(d.SplitKeys) != 0 {
+		t.Errorf("10%% writes split keys: %v", d.SplitKeys)
+	}
+}
+
+func TestChangingHotKeyAdapts(t *testing.T) {
+	// Figure 10: the hot key changes; Doppel must demote the old key and
+	// split the new one.
+	cfg := quick(Doppel, 8)
+	cfg.Records = 10_000
+	cfg.Warmup = 0
+	cfg.Duration = 400_000_000               // 400 ms
+	gen := IncrGen(10_000, 0.8, 150_000_000) // change every 150 ms
+	res := Run(cfg, gen)
+	if len(res.SplitKeys) == 0 || len(res.SplitKeys) > 2 {
+		t.Errorf("final split keys %v; stale keys not demoted", res.SplitKeys)
+	}
+	if res.PhaseChanges < 4 {
+		t.Errorf("phase changes %d", res.PhaseChanges)
+	}
+}
+
+func TestTimeline(t *testing.T) {
+	cfg := quick(OCC, 4)
+	cfg.TimelineBucket = 20_000_000
+	res := Run(cfg, IncrGen(1000, 0.1, 0))
+	if len(res.Timeline) == 0 {
+		t.Fatal("no timeline")
+	}
+	var nonzero int
+	for _, v := range res.Timeline {
+		if v > 0 {
+			nonzero++
+		}
+	}
+	if nonzero < len(res.Timeline)/2 {
+		t.Fatalf("timeline mostly empty: %v", res.Timeline)
+	}
+}
+
+func TestTwoPLNeverAborts(t *testing.T) {
+	res := Run(quick(TwoPL, 8), IncrGen(100, 1.0, 0))
+	if res.Aborts != 0 {
+		t.Fatalf("2PL aborted %d times", res.Aborts)
+	}
+}
+
+func TestSiloSlowerThanOCC(t *testing.T) {
+	gen := IncrGen(100_000, 0, 0)
+	o := Run(quick(OCC, 8), gen).Throughput
+	s := Run(quick(Silo, 8), gen).Throughput
+	if s >= o {
+		t.Fatalf("silo %.2fM should trail occ %.2fM", s/1e6, o/1e6)
+	}
+}
+
+func TestManualHints(t *testing.T) {
+	cfg := quick(Doppel, 8)
+	cfg.Doppel = DefaultParams()
+	cfg.Doppel.DisableAutoSplit = true
+	cfg.Doppel.Hints = map[int32]store.OpKind{0: store.OpAdd}
+	res := Run(cfg, IncrGen(1000, 0.9, 0))
+	if !reflect.DeepEqual(res.SplitKeys, []int32{0}) {
+		t.Fatalf("hinted split keys %v", res.SplitKeys)
+	}
+	if res.PhaseChanges == 0 {
+		t.Fatal("no phase changes with a hint present")
+	}
+}
+
+func TestRUBiSGenShapes(t *testing.T) {
+	z := workload.NewZipf(1000, 1.0)
+	gen := RUBiSGen(10_000, 1000, z, 0.5)
+	records := RUBiSRecords(10_000, 1000)
+	if records <= 0 {
+		t.Fatal("records")
+	}
+	cfg := quick(Doppel, 8)
+	cfg.Records = records
+	res := Run(cfg, gen)
+	if res.Commits == 0 {
+		t.Fatal("no commits")
+	}
+}
+
+func TestRUBiSDoppelBeatsOCCAtHighSkew(t *testing.T) {
+	// Figure 15 at alpha = 1.8.
+	z := workload.NewZipf(33_000, 1.8)
+	records := RUBiSRecords(100_000, 33_000)
+	mk := func(e Kind) Config {
+		c := quick(e, 16)
+		c.Records = records
+		c.Warmup = 60_000_000
+		c.Duration = 200_000_000
+		return c
+	}
+	d := Run(mk(Doppel), RUBiSGen(100_000, 33_000, z, 0.5))
+	o := Run(mk(OCC), RUBiSGen(100_000, 33_000, z, 0.5))
+	if d.Throughput < 1.5*o.Throughput {
+		t.Errorf("RUBiS-C alpha=1.8: doppel %.2fM vs occ %.2fM",
+			d.Throughput/1e6, o.Throughput/1e6)
+	}
+	if len(d.SplitKeys) == 0 {
+		t.Error("no auction metadata split")
+	}
+}

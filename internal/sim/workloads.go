@@ -1,0 +1,186 @@
+package sim
+
+import (
+	"doppel/internal/rng"
+	"doppel/internal/store"
+	"doppel/internal/workload"
+)
+
+// IncrGen returns the INCR1 generator (§8.2): each transaction increments
+// one key out of n; a hotFrac fraction of transactions increment key 0.
+// When changeEvery > 0, the identity of the hot key advances every
+// changeEvery simulated nanoseconds (Figure 10's changing workload).
+func IncrGen(n int, hotFrac float64, changeEvery int64) Generator {
+	return func(core int, now int64, r *rng.Rand, buf []Access) []Access {
+		hot := int32(0)
+		if changeEvery > 0 {
+			hot = int32((now / changeEvery) % int64(n))
+		}
+		key := hot
+		if !r.Bool(hotFrac) {
+			k := int32(r.Intn(n - 1))
+			if k >= hot {
+				k++
+			}
+			key = k
+		}
+		return append(buf, Access{Key: key, Op: store.OpAdd})
+	}
+}
+
+// IncrZGen returns the INCRZ generator (§8.4): each transaction
+// increments one key drawn from a Zipfian distribution (rank 0 most
+// popular).
+func IncrZGen(z *workload.Zipf) Generator {
+	return func(core int, now int64, r *rng.Rand, buf []Access) []Access {
+		return append(buf, Access{Key: int32(z.Sample(r)), Op: store.OpAdd})
+	}
+}
+
+// LikeGen returns the LIKE generator (§7, §8.5) over a simulated key
+// space: user records occupy keys [0, users), page records
+// [users, users+pages). A write transaction puts the user's like and
+// increments the page count; a read transaction reads both.
+func LikeGen(users, pages int, pageZipf *workload.Zipf, writeFrac float64) Generator {
+	base := int32(users)
+	return func(core int, now int64, r *rng.Rand, buf []Access) []Access {
+		user := int32(r.Intn(users))
+		page := base + int32(pageZipf.Sample(r))
+		if r.Bool(writeFrac) {
+			return append(buf,
+				Access{Key: user, Op: store.OpPut},
+				Access{Key: page, Op: store.OpAdd})
+		}
+		return append(buf,
+			Access{Key: user, Op: store.OpGet},
+			Access{Key: page, Op: store.OpGet})
+	}
+}
+
+// RUBiS key-space layout for the simulator. The op-level transcription
+// keeps each transaction's record-contention pattern: StoreBid touches
+// one fresh bid row plus four pieces of per-item auction metadata
+// (Figure 7); browse transactions read index and item records.
+type rubisLayout struct {
+	users, items   int
+	bidBase        int32 // fresh bid rows (uncontended inserts)
+	maxBidBase     int32
+	maxBidderBase  int32
+	numBidsBase    int32
+	bidsPerItem    int32
+	ratingBase     int32
+	commentBase    int32
+	itemBase       int32
+	categoryIdx    int32
+	regionIdx      int32
+	numCategories  int
+	numRegions     int
+	totalRecords   int
+	freshBidCount  int32
+	freshRowsPerCo int32
+}
+
+// RUBiSRecords reports how many simulated records a RUBiS configuration
+// needs.
+func RUBiSRecords(users, items int) int {
+	l := rubisLayout{}
+	l.init(users, items)
+	return l.totalRecords
+}
+
+func (l *rubisLayout) init(users, items int) {
+	l.users, l.items = users, items
+	l.numCategories = 20
+	l.numRegions = 62
+	next := int32(0)
+	grab := func(n int) int32 {
+		base := next
+		next += int32(n)
+		return base
+	}
+	l.itemBase = grab(items)
+	l.maxBidBase = grab(items)
+	l.maxBidderBase = grab(items)
+	l.numBidsBase = grab(items)
+	l.bidsPerItem = grab(items)
+	l.ratingBase = grab(users)
+	l.commentBase = grab(users)
+	l.categoryIdx = grab(l.numCategories)
+	l.regionIdx = grab(l.numRegions)
+	// A pool of "fresh row" records stands in for inserted bids,
+	// comments and items: each core cycles through its own range so
+	// inserts never contend, like real fresh keys.
+	l.freshRowsPerCo = 4096
+	l.bidBase = grab(int(l.freshRowsPerCo) * 128)
+	l.totalRecords = int(next)
+}
+
+// RUBiSGen returns a simulator generator for the RUBiS mixes (§8.8).
+// bidFrac is the fraction of StoreBid transactions (0.5 in RUBiS-C);
+// items are chosen with itemZipf (uniform for RUBiS-B). The remaining
+// transactions follow the browsing-heavy proportions of the bidding mix.
+func RUBiSGen(users, items int, itemZipf *workload.Zipf, bidFrac float64) Generator {
+	l := &rubisLayout{}
+	l.init(users, items)
+	var freshCtr [128]int32
+	return func(core int, now int64, r *rng.Rand, buf []Access) []Access {
+		item := int32(itemZipf.Sample(r))
+		user := int32(r.Intn(l.users))
+		roll := r.Float64()
+		switch {
+		case roll < bidFrac:
+			// StoreBid (Figure 7): insert the bid row, then commutative
+			// updates of the auction metadata.
+			fresh := l.bidBase + int32(core&127)*l.freshRowsPerCo + freshCtr[core&127]
+			freshCtr[core&127] = (freshCtr[core&127] + 1) % l.freshRowsPerCo
+			return append(buf,
+				Access{Key: fresh, Op: store.OpPut},
+				Access{Key: l.maxBidBase + item, Op: store.OpMax},
+				Access{Key: l.maxBidderBase + item, Op: store.OpOPut},
+				Access{Key: l.numBidsBase + item, Op: store.OpAdd},
+				Access{Key: l.bidsPerItem + item, Op: store.OpTopKInsert})
+		case roll < bidFrac+0.05*(1-bidFrac)/0.95:
+			// StoreComment: insert comment, bump the owner's rating.
+			fresh := l.bidBase + int32(core&127)*l.freshRowsPerCo + freshCtr[core&127]
+			freshCtr[core&127] = (freshCtr[core&127] + 1) % l.freshRowsPerCo
+			return append(buf,
+				Access{Key: fresh, Op: store.OpPut},
+				Access{Key: l.ratingBase + user, Op: store.OpAdd})
+		case roll < bidFrac+0.25*(1-bidFrac)/0.95:
+			// ViewItem: item row plus auction metadata.
+			return append(buf,
+				Access{Key: l.itemBase + item, Op: store.OpGet},
+				Access{Key: l.maxBidBase + item, Op: store.OpGet},
+				Access{Key: l.numBidsBase + item, Op: store.OpGet})
+		case roll < bidFrac+0.45*(1-bidFrac)/0.95:
+			// SearchItemsByCategory: category index plus a few items.
+			cat := l.categoryIdx + int32(r.Intn(l.numCategories))
+			return append(buf,
+				Access{Key: cat, Op: store.OpGet},
+				Access{Key: l.itemBase + item, Op: store.OpGet})
+		case roll < bidFrac+0.60*(1-bidFrac)/0.95:
+			// SearchItemsByRegion.
+			reg := l.regionIdx + int32(r.Intn(l.numRegions))
+			return append(buf,
+				Access{Key: reg, Op: store.OpGet},
+				Access{Key: l.itemBase + item, Op: store.OpGet})
+		case roll < bidFrac+0.75*(1-bidFrac)/0.95:
+			// ViewBidHistory: the per-item bid index plus metadata.
+			return append(buf,
+				Access{Key: l.bidsPerItem + item, Op: store.OpGet},
+				Access{Key: l.maxBidderBase + item, Op: store.OpGet})
+		case roll < bidFrac+0.85*(1-bidFrac)/0.95:
+			// ViewUserInfo: user rating and comments.
+			return append(buf,
+				Access{Key: l.ratingBase + user, Op: store.OpGet},
+				Access{Key: l.commentBase + user, Op: store.OpGet})
+		default:
+			// BrowseCategories / BrowseRegions.
+			cat := l.categoryIdx + int32(r.Intn(l.numCategories))
+			reg := l.regionIdx + int32(r.Intn(l.numRegions))
+			return append(buf,
+				Access{Key: cat, Op: store.OpGet},
+				Access{Key: reg, Op: store.OpGet})
+		}
+	}
+}

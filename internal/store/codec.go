@@ -1,0 +1,113 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// EncodeValue serializes a value for redo logging and snapshots. The
+// format is one kind byte followed by a kind-specific payload; absent
+// values (nil) encode as a single zero byte.
+func EncodeValue(v *Value) []byte {
+	if v == nil {
+		return []byte{byte(KindNone)}
+	}
+	switch v.Kind {
+	case KindInt64:
+		out := make([]byte, 9)
+		out[0] = byte(KindInt64)
+		binary.LittleEndian.PutUint64(out[1:], uint64(v.Int))
+		return out
+	case KindBytes:
+		out := make([]byte, 1+len(v.Bytes))
+		out[0] = byte(KindBytes)
+		copy(out[1:], v.Bytes)
+		return out
+	case KindTuple:
+		out := make([]byte, 1+8+8+4+len(v.Tuple.Data))
+		out[0] = byte(KindTuple)
+		binary.LittleEndian.PutUint64(out[1:], uint64(v.Tuple.Order.A))
+		binary.LittleEndian.PutUint64(out[9:], uint64(v.Tuple.Order.B))
+		binary.LittleEndian.PutUint32(out[17:], uint32(v.Tuple.CoreID))
+		copy(out[21:], v.Tuple.Data)
+		return out
+	case KindTopK:
+		out := []byte{byte(KindTopK)}
+		out = binary.LittleEndian.AppendUint32(out, uint32(v.TopK.K()))
+		es := v.TopK.Entries()
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(es)))
+		for _, e := range es {
+			out = binary.LittleEndian.AppendUint64(out, uint64(e.Order))
+			out = binary.LittleEndian.AppendUint32(out, uint32(e.CoreID))
+			out = binary.LittleEndian.AppendUint32(out, uint32(len(e.Data)))
+			out = append(out, e.Data...)
+		}
+		return out
+	default:
+		return []byte{byte(KindNone)}
+	}
+}
+
+// DecodeValue parses EncodeValue's output.
+func DecodeValue(raw []byte) (*Value, error) {
+	if len(raw) == 0 {
+		return nil, errors.New("store: empty encoded value")
+	}
+	kind := Kind(raw[0])
+	body := raw[1:]
+	switch kind {
+	case KindNone:
+		return nil, nil
+	case KindInt64:
+		if len(body) != 8 {
+			return nil, fmt.Errorf("store: int64 payload of %d bytes", len(body))
+		}
+		return IntValue(int64(binary.LittleEndian.Uint64(body))), nil
+	case KindBytes:
+		b := make([]byte, len(body))
+		copy(b, body)
+		return BytesValue(b), nil
+	case KindTuple:
+		if len(body) < 20 {
+			return nil, fmt.Errorf("store: tuple payload of %d bytes", len(body))
+		}
+		data := make([]byte, len(body)-20)
+		copy(data, body[20:])
+		return TupleValue(Tuple{
+			Order:  Order{A: int64(binary.LittleEndian.Uint64(body)), B: int64(binary.LittleEndian.Uint64(body[8:]))},
+			CoreID: int32(binary.LittleEndian.Uint32(body[16:])),
+			Data:   data,
+		}), nil
+	case KindTopK:
+		if len(body) < 8 {
+			return nil, fmt.Errorf("store: topk payload of %d bytes", len(body))
+		}
+		k := int(binary.LittleEndian.Uint32(body))
+		n := binary.LittleEndian.Uint32(body[4:])
+		body = body[8:]
+		set := NewTopK(k)
+		for i := uint32(0); i < n; i++ {
+			if len(body) < 16 {
+				return nil, errors.New("store: truncated topk entry")
+			}
+			order := int64(binary.LittleEndian.Uint64(body))
+			coreID := int32(binary.LittleEndian.Uint32(body[8:]))
+			dl := binary.LittleEndian.Uint32(body[12:])
+			body = body[16:]
+			if uint32(len(body)) < dl {
+				return nil, errors.New("store: truncated topk data")
+			}
+			data := make([]byte, dl)
+			copy(data, body[:dl])
+			body = body[dl:]
+			set = set.Insert(TopKEntry{Order: order, CoreID: coreID, Data: data})
+		}
+		if len(body) != 0 {
+			return nil, fmt.Errorf("store: %d trailing topk bytes", len(body))
+		}
+		return TopKValue(set), nil
+	default:
+		return nil, fmt.Errorf("store: unknown value kind %d", kind)
+	}
+}

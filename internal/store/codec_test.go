@@ -1,0 +1,80 @@
+package store
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, v *Value) {
+	t.Helper()
+	got, err := DecodeValue(EncodeValue(v))
+	if err != nil {
+		t.Fatalf("decode(%v): %v", v, err)
+	}
+	if !got.Equal(v) {
+		t.Fatalf("round trip %v -> %v", v, got)
+	}
+}
+
+func TestValueCodecRoundTrip(t *testing.T) {
+	roundTrip(t, nil)
+	roundTrip(t, IntValue(0))
+	roundTrip(t, IntValue(-12345))
+	roundTrip(t, BytesValue(nil))
+	roundTrip(t, BytesValue([]byte("hello")))
+	roundTrip(t, TupleValue(Tuple{Order: Order{A: -1, B: 99}, CoreID: 7, Data: []byte("d")}))
+	roundTrip(t, TupleValue(Tuple{}))
+	set := NewTopK(3).
+		Insert(TopKEntry{Order: 5, CoreID: 1, Data: []byte("a")}).
+		Insert(TopKEntry{Order: 9, CoreID: 2, Data: nil})
+	roundTrip(t, TopKValue(set))
+	roundTrip(t, TopKValue(NewTopK(2)))
+}
+
+func TestValueCodecQuickInts(t *testing.T) {
+	f := func(n int64) bool {
+		got, err := DecodeValue(EncodeValue(IntValue(n)))
+		if err != nil {
+			return false
+		}
+		m, err := got.AsInt()
+		return err == nil && m == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValueCodecQuickBytes(t *testing.T) {
+	f := func(b []byte) bool {
+		got, err := DecodeValue(EncodeValue(BytesValue(b)))
+		if err != nil {
+			return false
+		}
+		out, err := got.AsBytes()
+		if err != nil {
+			return false
+		}
+		return string(out) == string(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValueCodecErrors(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{byte(KindInt64)},          // missing payload
+		{byte(KindInt64), 1, 2, 3}, // short payload
+		{byte(KindTuple), 1, 2},    // short tuple
+		{byte(KindTopK), 1},        // short topk header
+		{byte(KindTopK), 1, 0, 0, 0, 1, 0, 0, 0, 9}, // truncated entry
+		{200}, // unknown kind
+	}
+	for i, raw := range cases {
+		if _, err := DecodeValue(raw); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}

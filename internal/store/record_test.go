@@ -1,0 +1,180 @@
+package store
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestRecordLockBasics(t *testing.T) {
+	r := &Record{}
+	if r.Locked() {
+		t.Fatal("new record locked")
+	}
+	if !r.TryLock() {
+		t.Fatal("TryLock on unlocked record failed")
+	}
+	if !r.Locked() {
+		t.Fatal("record should be locked")
+	}
+	if r.TryLock() {
+		t.Fatal("TryLock on locked record succeeded")
+	}
+	r.Unlock()
+	if r.Locked() {
+		t.Fatal("record should be unlocked")
+	}
+}
+
+func TestRecordUnlockWithTID(t *testing.T) {
+	r := &Record{}
+	r.Lock()
+	r.UnlockWithTID(42)
+	tid, locked := r.TIDWord()
+	if locked || tid != 42 {
+		t.Fatalf("tid=%d locked=%v", tid, locked)
+	}
+	// Unlock preserves the TID.
+	r.Lock()
+	r.Unlock()
+	tid, locked = r.TIDWord()
+	if locked || tid != 42 {
+		t.Fatalf("after plain unlock: tid=%d locked=%v", tid, locked)
+	}
+}
+
+func TestRecordValueRoundTrip(t *testing.T) {
+	r := &Record{}
+	if r.Value() != nil {
+		t.Fatal("new record should have absent value")
+	}
+	v := IntValue(9)
+	r.SetValue(v)
+	if r.Value() != v {
+		t.Fatal("value not stored")
+	}
+}
+
+func TestReadConsistentUnlocked(t *testing.T) {
+	r := &Record{}
+	r.SetValue(IntValue(5))
+	r.Lock()
+	r.UnlockWithTID(3)
+	v, tid, ok := r.ReadConsistent(10)
+	if !ok || tid != 3 {
+		t.Fatalf("ok=%v tid=%d", ok, tid)
+	}
+	if n, _ := v.AsInt(); n != 5 {
+		t.Fatalf("value = %d", n)
+	}
+}
+
+func TestReadConsistentFailsWhileLocked(t *testing.T) {
+	r := &Record{}
+	r.SetValue(IntValue(5))
+	r.Lock()
+	if _, _, ok := r.ReadConsistent(5); ok {
+		t.Fatal("read of locked record should fail")
+	}
+	r.Unlock()
+	if _, _, ok := r.ReadConsistent(5); !ok {
+		t.Fatal("read after unlock should succeed")
+	}
+}
+
+func TestRecordLockSpins(t *testing.T) {
+	r := &Record{}
+	r.Lock()
+	done := make(chan struct{})
+	go func() {
+		r.Lock() // must block until main unlocks
+		r.Unlock()
+		close(done)
+	}()
+	r.Unlock()
+	<-done
+}
+
+// TestRecordConcurrentSiloProtocol hammers a record with writers that
+// follow the commit protocol (lock, set value, unlock-with-tid) and
+// readers that use ReadConsistent, verifying every successful read
+// observed a (value, tid) pair installed together.
+func TestRecordConcurrentSiloProtocol(t *testing.T) {
+	r := &Record{}
+	r.SetValue(IntValue(0))
+	const writers = 4
+	const perWriter = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 1; i <= perWriter; i++ {
+				tid := uint64(w*perWriter + i)
+				r.Lock()
+				r.SetValue(IntValue(int64(tid)))
+				r.UnlockWithTID(tid)
+			}
+		}(w)
+	}
+	stop := make(chan struct{})
+	var readerErr error
+	var rwg sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		rwg.Add(1)
+		go func() {
+			defer rwg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				v, tid, ok := r.ReadConsistent(100)
+				if !ok {
+					continue
+				}
+				n, err := v.AsInt()
+				if err != nil {
+					readerErr = err
+					return
+				}
+				// The invariant installed by writers: value == tid.
+				if tid != 0 && uint64(n) != tid {
+					readerErr = errMismatch(n, tid)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	rwg.Wait()
+	if readerErr != nil {
+		t.Fatal(readerErr)
+	}
+}
+
+type mismatchError struct {
+	n   int64
+	tid uint64
+}
+
+func errMismatch(n int64, tid uint64) error { return &mismatchError{n, tid} }
+
+func (e *mismatchError) Error() string {
+	return "torn read: value and tid do not match"
+}
+
+func TestRecordRWMutexDistinct(t *testing.T) {
+	r := &Record{}
+	r.RWMutex().Lock()
+	// The 2PL mutex is independent of the OCC lock bit.
+	if r.Locked() {
+		t.Fatal("2PL mutex should not set the OCC lock bit")
+	}
+	if !r.TryLock() {
+		t.Fatal("OCC lock should be acquirable while 2PL mutex held")
+	}
+	r.Unlock()
+	r.RWMutex().Unlock()
+}

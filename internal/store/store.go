@@ -1,0 +1,126 @@
+package store
+
+import (
+	"sync"
+)
+
+// shardCount is the number of independent hash-map shards. Sharding keeps
+// map-level insert locking off the contended-record path: contention in
+// this system is supposed to come from record conflicts, not from the
+// hash table protecting them.
+const shardCount = 256
+
+type shard struct {
+	mu sync.RWMutex
+	m  map[string]*Record
+}
+
+// Store is a sharded in-memory key/value map from string keys to records.
+// Lookups of existing keys take a shard read-lock; record-level
+// concurrency control is entirely the engines' business.
+type Store struct {
+	shards [shardCount]shard
+}
+
+// New returns an empty store.
+func New() *Store {
+	s := &Store{}
+	for i := range s.shards {
+		s.shards[i].m = make(map[string]*Record)
+	}
+	return s
+}
+
+// fnv1a is the 64-bit FNV-1a hash, inlined to avoid an interface
+// allocation per lookup.
+func fnv1a(key string) uint64 {
+	const offset64 = 14695981039346656037
+	const prime64 = 1099511628211
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return h
+}
+
+func (s *Store) shardFor(key string) *shard {
+	return &s.shards[fnv1a(key)&(shardCount-1)]
+}
+
+// Get returns the record for key, or nil if it does not exist.
+func (s *Store) Get(key string) *Record {
+	sh := s.shardFor(key)
+	sh.mu.RLock()
+	r := sh.m[key]
+	sh.mu.RUnlock()
+	return r
+}
+
+// GetOrCreate returns the record for key, creating an empty record
+// (absent value, TID 0) if needed. created reports whether this call
+// created it.
+func (s *Store) GetOrCreate(key string) (r *Record, created bool) {
+	sh := s.shardFor(key)
+	sh.mu.RLock()
+	r = sh.m[key]
+	sh.mu.RUnlock()
+	if r != nil {
+		return r, false
+	}
+	sh.mu.Lock()
+	r = sh.m[key]
+	if r == nil {
+		r = &Record{}
+		sh.m[key] = r
+		created = true
+	}
+	sh.mu.Unlock()
+	return r, created
+}
+
+// Preload creates a record for key with the given initial value and TID 0,
+// replacing any existing value. It is intended for benchmark setup ("we
+// pre-allocate all the records", §8.1) and is not transactional.
+func (s *Store) Preload(key string, v *Value) {
+	r, _ := s.GetOrCreate(key)
+	r.SetValue(v)
+}
+
+// Delete removes key from the store. It is not transactional; it exists
+// for tests and administrative tooling.
+func (s *Store) Delete(key string) {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	delete(sh.m, key)
+	sh.mu.Unlock()
+}
+
+// Len returns the total number of records.
+func (s *Store) Len() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		n += len(sh.m)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// Range calls fn for every (key, record) pair until fn returns false.
+// It holds one shard read-lock at a time; concurrent inserts during
+// iteration may or may not be observed.
+func (s *Store) Range(fn func(key string, r *Record) bool) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for k, r := range sh.m {
+			if !fn(k, r) {
+				sh.mu.RUnlock()
+				return
+			}
+		}
+		sh.mu.RUnlock()
+	}
+}

@@ -1,0 +1,117 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestStoreGetMissing(t *testing.T) {
+	s := New()
+	if s.Get("nope") != nil {
+		t.Fatal("missing key should be nil")
+	}
+	if s.Len() != 0 {
+		t.Fatal("empty store should have length 0")
+	}
+}
+
+func TestStoreGetOrCreate(t *testing.T) {
+	s := New()
+	r1, created := s.GetOrCreate("k")
+	if !created || r1 == nil {
+		t.Fatal("first GetOrCreate should create")
+	}
+	r2, created := s.GetOrCreate("k")
+	if created || r2 != r1 {
+		t.Fatal("second GetOrCreate should return the same record")
+	}
+	if s.Get("k") != r1 {
+		t.Fatal("Get should find created record")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("len = %d", s.Len())
+	}
+}
+
+func TestStorePreloadAndDelete(t *testing.T) {
+	s := New()
+	s.Preload("a", IntValue(1))
+	s.Preload("a", IntValue(2)) // replace
+	if n, _ := s.Get("a").Value().AsInt(); n != 2 {
+		t.Fatalf("preload replace failed: %d", n)
+	}
+	s.Delete("a")
+	if s.Get("a") != nil {
+		t.Fatal("delete failed")
+	}
+	s.Delete("a") // deleting absent key must not panic
+}
+
+func TestStoreRange(t *testing.T) {
+	s := New()
+	for i := 0; i < 100; i++ {
+		s.Preload(fmt.Sprintf("k%03d", i), IntValue(int64(i)))
+	}
+	seen := map[string]bool{}
+	s.Range(func(k string, r *Record) bool {
+		seen[k] = true
+		return true
+	})
+	if len(seen) != 100 {
+		t.Fatalf("range saw %d keys", len(seen))
+	}
+	// Early stop.
+	n := 0
+	s.Range(func(k string, r *Record) bool {
+		n++
+		return n < 10
+	})
+	if n != 10 {
+		t.Fatalf("early stop saw %d", n)
+	}
+}
+
+func TestStoreConcurrentGetOrCreate(t *testing.T) {
+	s := New()
+	const goroutines = 8
+	const keys = 200
+	records := make([][]*Record, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		records[g] = make([]*Record, keys)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < keys; i++ {
+				r, _ := s.GetOrCreate(fmt.Sprintf("key%d", i))
+				records[g][i] = r
+			}
+		}(g)
+	}
+	wg.Wait()
+	for i := 0; i < keys; i++ {
+		for g := 1; g < goroutines; g++ {
+			if records[g][i] != records[0][i] {
+				t.Fatalf("key %d: goroutines saw different records", i)
+			}
+		}
+	}
+	if s.Len() != keys {
+		t.Fatalf("len = %d, want %d", s.Len(), keys)
+	}
+}
+
+func TestShardDistribution(t *testing.T) {
+	// The FNV shard function should spread sequential keys over many
+	// shards; a catastrophically bad hash would serialize all records
+	// behind one mutex.
+	s := New()
+	counts := map[*shard]int{}
+	for i := 0; i < 4096; i++ {
+		counts[s.shardFor(fmt.Sprintf("user%d", i))]++
+	}
+	if len(counts) < shardCount/2 {
+		t.Fatalf("keys landed in only %d shards", len(counts))
+	}
+}

@@ -1,0 +1,173 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+)
+
+// TopKEntry is one member of a top-K set: a 3-tuple (order, core ID, data)
+// exactly as in §4 of the paper.
+type TopKEntry struct {
+	Order  int64
+	CoreID int32
+	Data   []byte
+}
+
+// entryBeats reports whether a should be preferred over b when both share
+// the same order value: "in case of duplicate order, the record with the
+// highest core ID is chosen". Equal core IDs (same core re-inserting the
+// same order) are resolved by lexicographically larger data so that the
+// resolution commutes.
+func entryBeats(a, b TopKEntry) bool {
+	if a.CoreID != b.CoreID {
+		return a.CoreID > b.CoreID
+	}
+	return bytes.Compare(a.Data, b.Data) > 0
+}
+
+// TopK is an immutable bounded set of ordered tuples: it contains at most
+// K entries, at most one entry per order value, and drops the smallest
+// order on overflow. All mutating methods return a new set, which keeps
+// per-core slices safe to merge without locks and keeps the slice size
+// independent of the number of operations applied (paper guideline 4).
+type TopK struct {
+	k       int
+	entries []TopKEntry // sorted by descending order
+}
+
+// NewTopK returns an empty top-K set with capacity bound k.
+func NewTopK(k int) *TopK {
+	if k < 1 {
+		k = 1
+	}
+	return &TopK{k: k}
+}
+
+// K returns the capacity bound.
+func (t *TopK) K() int {
+	if t == nil {
+		return 0
+	}
+	return t.k
+}
+
+// Len returns the number of entries.
+func (t *TopK) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.entries)
+}
+
+// Entries returns the entries in descending order. The caller must not
+// mutate the result.
+func (t *TopK) Entries() []TopKEntry {
+	if t == nil {
+		return nil
+	}
+	return t.entries
+}
+
+// Insert returns a new set containing e subject to the dedup-by-order and
+// bound-by-K rules.
+func (t *TopK) Insert(e TopKEntry) *TopK {
+	if t == nil {
+		t = NewTopK(1)
+	}
+	out := &TopK{k: t.k, entries: make([]TopKEntry, 0, len(t.entries)+1)}
+	out.entries = append(out.entries, t.entries...)
+
+	// Binary search for an existing entry with the same order.
+	i := sort.Search(len(out.entries), func(i int) bool {
+		return out.entries[i].Order <= e.Order
+	})
+	if i < len(out.entries) && out.entries[i].Order == e.Order {
+		if entryBeats(e, out.entries[i]) {
+			out.entries[i] = e
+		}
+		return out
+	}
+	// Insert at position i, keeping descending order.
+	out.entries = append(out.entries, TopKEntry{})
+	copy(out.entries[i+1:], out.entries[i:])
+	out.entries[i] = e
+	if len(out.entries) > out.k {
+		out.entries = out.entries[:out.k]
+	}
+	return out
+}
+
+// Merge returns a new set combining t and other under the same rules.
+// Merging is how per-core slices reconcile into the global store; its
+// cost depends only on K, not on how many inserts each slice absorbed.
+func (t *TopK) Merge(other *TopK) *TopK {
+	if other == nil || other.Len() == 0 {
+		return t
+	}
+	if t == nil || t.Len() == 0 {
+		return other
+	}
+	k := t.k
+	if other.k > k {
+		k = other.k
+	}
+	out := &TopK{k: k, entries: make([]TopKEntry, 0, k)}
+	i, j := 0, 0
+	for len(out.entries) < k && (i < len(t.entries) || j < len(other.entries)) {
+		var pick TopKEntry
+		switch {
+		case i >= len(t.entries):
+			pick = other.entries[j]
+			j++
+		case j >= len(other.entries):
+			pick = t.entries[i]
+			i++
+		case t.entries[i].Order > other.entries[j].Order:
+			pick = t.entries[i]
+			i++
+		case other.entries[j].Order > t.entries[i].Order:
+			pick = other.entries[j]
+			j++
+		default: // duplicate order: keep the winner, consume both
+			pick = t.entries[i]
+			if entryBeats(other.entries[j], pick) {
+				pick = other.entries[j]
+			}
+			i++
+			j++
+		}
+		out.entries = append(out.entries, pick)
+	}
+	return out
+}
+
+// Min returns the smallest order present; ok is false when empty.
+func (t *TopK) Min() (int64, bool) {
+	if t.Len() == 0 {
+		return 0, false
+	}
+	return t.entries[len(t.entries)-1].Order, true
+}
+
+// Equal reports whether two sets hold identical entries and bound.
+func (t *TopK) Equal(o *TopK) bool {
+	if t.Len() != o.Len() || t.K() != o.K() {
+		return false
+	}
+	for i := range t.Entries() {
+		a, b := t.entries[i], o.entries[i]
+		if a.Order != b.Order || a.CoreID != b.CoreID || !bytes.Equal(a.Data, b.Data) {
+			return false
+		}
+	}
+	return true
+}
+
+// String implements fmt.Stringer.
+func (t *TopK) String() string {
+	if t == nil {
+		return "topk<nil>"
+	}
+	return fmt.Sprintf("topk(k=%d,n=%d)", t.k, len(t.entries))
+}

@@ -1,0 +1,180 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"doppel/internal/rng"
+)
+
+func TestTopKBasicInsert(t *testing.T) {
+	s := NewTopK(3)
+	s = s.Insert(TopKEntry{Order: 5, CoreID: 0, Data: []byte("e")})
+	s = s.Insert(TopKEntry{Order: 9, CoreID: 0, Data: []byte("i")})
+	s = s.Insert(TopKEntry{Order: 7, CoreID: 0, Data: []byte("g")})
+	got := s.Entries()
+	if len(got) != 3 || got[0].Order != 9 || got[1].Order != 7 || got[2].Order != 5 {
+		t.Fatalf("bad order: %+v", got)
+	}
+}
+
+func TestTopKBound(t *testing.T) {
+	s := NewTopK(2)
+	for i := int64(0); i < 10; i++ {
+		s = s.Insert(TopKEntry{Order: i})
+	}
+	if s.Len() != 2 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	if s.Entries()[0].Order != 9 || s.Entries()[1].Order != 8 {
+		t.Fatalf("kept wrong entries: %+v", s.Entries())
+	}
+	if min, ok := s.Min(); !ok || min != 8 {
+		t.Fatalf("min = %d, %v", min, ok)
+	}
+}
+
+func TestTopKDuplicateOrderHighestCoreWins(t *testing.T) {
+	s := NewTopK(5)
+	s = s.Insert(TopKEntry{Order: 3, CoreID: 1, Data: []byte("one")})
+	s = s.Insert(TopKEntry{Order: 3, CoreID: 4, Data: []byte("four")})
+	s = s.Insert(TopKEntry{Order: 3, CoreID: 2, Data: []byte("two")})
+	if s.Len() != 1 {
+		t.Fatalf("dup orders not collapsed: %+v", s.Entries())
+	}
+	if e := s.Entries()[0]; e.CoreID != 4 || string(e.Data) != "four" {
+		t.Fatalf("wrong winner: %+v", e)
+	}
+}
+
+func TestTopKInsertImmutable(t *testing.T) {
+	a := NewTopK(3).Insert(TopKEntry{Order: 1})
+	b := a.Insert(TopKEntry{Order: 2})
+	if a.Len() != 1 {
+		t.Fatalf("insert mutated receiver: %+v", a.Entries())
+	}
+	if b.Len() != 2 {
+		t.Fatalf("insert result wrong: %+v", b.Entries())
+	}
+}
+
+func TestTopKMergeEmptyAndNil(t *testing.T) {
+	a := NewTopK(3).Insert(TopKEntry{Order: 1})
+	if m := a.Merge(nil); !m.Equal(a) {
+		t.Fatal("merge with nil should be identity")
+	}
+	var nilT *TopK
+	if m := nilT.Merge(a); !m.Equal(a) {
+		t.Fatal("merge into nil should return other")
+	}
+	if nilT.Len() != 0 || nilT.K() != 0 {
+		t.Fatal("nil set should be empty")
+	}
+	if _, ok := nilT.Min(); ok {
+		t.Fatal("nil Min should report empty")
+	}
+}
+
+func TestTopKMergeDedup(t *testing.T) {
+	a := NewTopK(4).
+		Insert(TopKEntry{Order: 10, CoreID: 1}).
+		Insert(TopKEntry{Order: 8, CoreID: 1})
+	b := NewTopK(4).
+		Insert(TopKEntry{Order: 10, CoreID: 2}).
+		Insert(TopKEntry{Order: 9, CoreID: 2})
+	m := a.Merge(b)
+	if m.Len() != 3 {
+		t.Fatalf("merge dedup wrong: %+v", m.Entries())
+	}
+	if e := m.Entries()[0]; e.Order != 10 || e.CoreID != 2 {
+		t.Fatalf("dup order winner wrong: %+v", e)
+	}
+}
+
+func TestTopKZeroK(t *testing.T) {
+	s := NewTopK(0) // clamped to 1
+	s = s.Insert(TopKEntry{Order: 1}).Insert(TopKEntry{Order: 2})
+	if s.Len() != 1 || s.Entries()[0].Order != 2 {
+		t.Fatalf("K clamp failed: %+v", s.Entries())
+	}
+	var nilSet *TopK
+	got := nilSet.Insert(TopKEntry{Order: 7})
+	if got.Len() != 1 {
+		t.Fatal("insert into nil set failed")
+	}
+}
+
+// applySeq folds a sequence of entries into a top-K set.
+func applySeq(k int, entries []TopKEntry) *TopK {
+	s := NewTopK(k)
+	for _, e := range entries {
+		s = s.Insert(e)
+	}
+	return s
+}
+
+// TestTopKMergeEquivalentToSerial is the §4 correctness property for
+// TopKInsert: partitioning a stream of inserts across per-core slices and
+// merging must equal applying the whole stream serially, regardless of
+// partition or order.
+func TestTopKMergeEquivalentToSerial(t *testing.T) {
+	r := rng.New(2024)
+	for trial := 0; trial < 300; trial++ {
+		k := 1 + r.Intn(6)
+		n := r.Intn(40)
+		cores := 1 + r.Intn(4)
+		entries := make([]TopKEntry, n)
+		for i := range entries {
+			entries[i] = TopKEntry{
+				Order:  int64(r.Intn(15)),
+				CoreID: int32(r.Intn(cores)),
+				Data:   []byte(fmt.Sprintf("d%d", r.Intn(8))),
+			}
+		}
+		serial := applySeq(k, entries)
+
+		// Partition by core, apply to per-core slices, then merge in a
+		// random core order.
+		slices := make([]*TopK, cores)
+		for c := range slices {
+			slices[c] = NewTopK(k)
+		}
+		for _, e := range entries {
+			slices[e.CoreID] = slices[e.CoreID].Insert(e)
+		}
+		perm := make([]int, cores)
+		r.Perm(perm)
+		merged := NewTopK(k)
+		for _, c := range perm {
+			merged = merged.Merge(slices[c])
+		}
+		if !merged.Equal(serial) {
+			t.Fatalf("trial %d: merged %+v != serial %+v (entries %+v)",
+				trial, merged.Entries(), serial.Entries(), entries)
+		}
+	}
+}
+
+func TestTopKMergeCommutative(t *testing.T) {
+	f := func(ordersA, ordersB []uint8) bool {
+		a, b := NewTopK(4), NewTopK(4)
+		for _, o := range ordersA {
+			a = a.Insert(TopKEntry{Order: int64(o % 10), CoreID: 1})
+		}
+		for _, o := range ordersB {
+			b = b.Insert(TopKEntry{Order: int64(o % 10), CoreID: 2})
+		}
+		return a.Merge(b).Equal(b.Merge(a))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTopKString(t *testing.T) {
+	var nilT *TopK
+	if nilT.String() == "" || NewTopK(2).String() == "" {
+		t.Fatal("empty String")
+	}
+}

@@ -1,0 +1,233 @@
+// Package wal implements asynchronous batched redo logging — the
+// durability design the paper defers to future work ("existing work
+// suggests that asynchronous batched logging could be added to Doppel
+// without becoming a bottleneck", §3, citing Silo and Hekaton).
+//
+// Writers append per-transaction redo records; a single background
+// goroutine batches everything that arrived since the last write, writes
+// one group to the log file, syncs once, and then releases every waiter
+// in the group (group commit). Records carry a CRC so torn tails are
+// detected and ignored at replay.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+)
+
+// Op is one redo operation: set key to value. Doppel's commutative
+// operations reduce to value installs at commit time, so redo needs only
+// the final value per record per transaction.
+type Op struct {
+	Key   string
+	Value []byte
+}
+
+// Record is one transaction's redo log entry.
+type Record struct {
+	TID uint64
+	Ops []Op
+}
+
+// Logger is an asynchronous group-commit redo logger.
+type Logger struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending []pendingRec
+	closed  bool
+	err     error
+
+	f  *os.File
+	wg sync.WaitGroup
+}
+
+type pendingRec struct {
+	rec  Record
+	done chan error
+}
+
+// Open creates (or truncates) a log file at path and starts the group
+// committer.
+func Open(path string) (*Logger, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	l := &Logger{f: f}
+	l.cond = sync.NewCond(&l.mu)
+	l.wg.Add(1)
+	go l.committer()
+	return l, nil
+}
+
+// Append submits rec for durable logging and returns a channel that
+// yields the commit error (nil on success) once the record's group has
+// been synced.
+func (l *Logger) Append(rec Record) <-chan error {
+	done := make(chan error, 1)
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		done <- errors.New("wal: logger closed")
+		return done
+	}
+	l.pending = append(l.pending, pendingRec{rec, done})
+	l.cond.Signal()
+	l.mu.Unlock()
+	return done
+}
+
+// AppendSync is Append plus waiting for durability.
+func (l *Logger) AppendSync(rec Record) error { return <-l.Append(rec) }
+
+// committer drains batches and group-commits them.
+func (l *Logger) committer() {
+	defer l.wg.Done()
+	for {
+		l.mu.Lock()
+		for len(l.pending) == 0 && !l.closed {
+			l.cond.Wait()
+		}
+		batch := l.pending
+		l.pending = nil
+		closed := l.closed
+		l.mu.Unlock()
+
+		if len(batch) > 0 {
+			err := l.writeBatch(batch)
+			for _, p := range batch {
+				p.done <- err
+			}
+		}
+		if closed {
+			return
+		}
+	}
+}
+
+func (l *Logger) writeBatch(batch []pendingRec) error {
+	var buf []byte
+	for _, p := range batch {
+		buf = appendRecord(buf, p.rec)
+	}
+	if _, err := l.f.Write(buf); err != nil {
+		return err
+	}
+	return l.f.Sync()
+}
+
+// Close flushes outstanding records and closes the file.
+func (l *Logger) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	l.cond.Signal()
+	l.mu.Unlock()
+	l.wg.Wait()
+	return l.f.Close()
+}
+
+// --- encoding ---
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// appendRecord serializes rec as:
+//
+//	u32 bodyLen | u32 crc(body) | body
+//	body = u64 tid | u32 nops | nops × (u32 keyLen | key | u32 valLen | val)
+func appendRecord(buf []byte, rec Record) []byte {
+	var body []byte
+	body = binary.LittleEndian.AppendUint64(body, rec.TID)
+	body = binary.LittleEndian.AppendUint32(body, uint32(len(rec.Ops)))
+	for _, op := range rec.Ops {
+		body = binary.LittleEndian.AppendUint32(body, uint32(len(op.Key)))
+		body = append(body, op.Key...)
+		body = binary.LittleEndian.AppendUint32(body, uint32(len(op.Value)))
+		body = append(body, op.Value...)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(body)))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(body, castagnoli))
+	return append(buf, body...)
+}
+
+// Replay reads records from path in order, stopping cleanly at a torn or
+// corrupt tail. It returns the decoded records.
+func Replay(path string) ([]Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []Record
+	var hdr [8]byte
+	for {
+		if _, err := io.ReadFull(f, hdr[:]); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return out, nil // clean end or torn header: stop
+			}
+			return out, err
+		}
+		bodyLen := binary.LittleEndian.Uint32(hdr[:4])
+		wantCRC := binary.LittleEndian.Uint32(hdr[4:])
+		if bodyLen > 1<<30 {
+			return out, nil // corrupt length: treat as torn tail
+		}
+		body := make([]byte, bodyLen)
+		if _, err := io.ReadFull(f, body); err != nil {
+			return out, nil // torn body
+		}
+		if crc32.Checksum(body, castagnoli) != wantCRC {
+			return out, nil // corrupt body: stop at last good record
+		}
+		rec, err := decodeBody(body)
+		if err != nil {
+			return out, nil
+		}
+		out = append(out, rec)
+	}
+}
+
+func decodeBody(body []byte) (Record, error) {
+	if len(body) < 12 {
+		return Record{}, errors.New("wal: short body")
+	}
+	rec := Record{TID: binary.LittleEndian.Uint64(body)}
+	n := binary.LittleEndian.Uint32(body[8:])
+	body = body[12:]
+	for i := uint32(0); i < n; i++ {
+		if len(body) < 4 {
+			return Record{}, errors.New("wal: short key length")
+		}
+		kl := binary.LittleEndian.Uint32(body)
+		body = body[4:]
+		if uint32(len(body)) < kl {
+			return Record{}, errors.New("wal: short key")
+		}
+		key := string(body[:kl])
+		body = body[kl:]
+		if len(body) < 4 {
+			return Record{}, errors.New("wal: short value length")
+		}
+		vl := binary.LittleEndian.Uint32(body)
+		body = body[4:]
+		if uint32(len(body)) < vl {
+			return Record{}, errors.New("wal: short value")
+		}
+		val := make([]byte, vl)
+		copy(val, body[:vl])
+		body = body[vl:]
+		rec.Ops = append(rec.Ops, Op{Key: key, Value: val})
+	}
+	if len(body) != 0 {
+		return Record{}, fmt.Errorf("wal: %d trailing bytes", len(body))
+	}
+	return rec, nil
+}

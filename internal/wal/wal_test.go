@@ -1,0 +1,176 @@
+package wal
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func tmpLog(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "doppel.wal")
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	path := tmpLog(t)
+	l, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []Record{
+		{TID: 1, Ops: []Op{{Key: "a", Value: []byte("1")}}},
+		{TID: 2, Ops: []Op{{Key: "b", Value: []byte("22")}, {Key: "c", Value: nil}}},
+		{TID: 3, Ops: nil},
+	}
+	for _, r := range recs {
+		if err := l.AppendSync(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Replay(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("replayed %d records", len(got))
+	}
+	if got[1].TID != 2 || len(got[1].Ops) != 2 || got[1].Ops[0].Key != "b" ||
+		string(got[1].Ops[0].Value) != "22" {
+		t.Fatalf("record 1: %+v", got[1])
+	}
+	if len(got[2].Ops) != 0 {
+		t.Fatalf("record 2: %+v", got[2])
+	}
+}
+
+func TestGroupCommitConcurrentAppends(t *testing.T) {
+	path := tmpLog(t)
+	l, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers = 8
+	const perWriter = 200
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				rec := Record{TID: uint64(w*perWriter + i + 1),
+					Ops: []Op{{Key: "k", Value: []byte{byte(w)}}}}
+				if err := l.AppendSync(rec); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Replay(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != writers*perWriter {
+		t.Fatalf("replayed %d, want %d", len(got), writers*perWriter)
+	}
+	seen := map[uint64]bool{}
+	for _, r := range got {
+		if seen[r.TID] {
+			t.Fatalf("duplicate TID %d", r.TID)
+		}
+		seen[r.TID] = true
+	}
+}
+
+func TestAppendAfterClose(t *testing.T) {
+	l, err := Open(tmpLog(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendSync(Record{TID: 1}); err == nil {
+		t.Fatal("expected error after close")
+	}
+	if err := l.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+}
+
+func TestReplayTornTail(t *testing.T) {
+	path := tmpLog(t)
+	l, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tid := uint64(1); tid <= 5; tid++ {
+		if err := l.AppendSync(Record{TID: tid, Ops: []Op{{Key: "k", Value: []byte("v")}}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate mid-record to simulate a crash during a write.
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, fi.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Replay(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("torn tail: replayed %d, want 4", len(got))
+	}
+}
+
+func TestReplayCorruptBody(t *testing.T) {
+	path := tmpLog(t)
+	l, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tid := uint64(1); tid <= 3; tid++ {
+		if err := l.AppendSync(Record{TID: tid, Ops: []Op{{Key: "key", Value: []byte("value")}}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte inside the last record's body.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-2] ^= 0xFF
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Replay(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("corrupt body: replayed %d, want 2", len(got))
+	}
+}
+
+func TestReplayMissingFile(t *testing.T) {
+	if _, err := Replay(filepath.Join(t.TempDir(), "nope.wal")); err == nil {
+		t.Fatal("expected error")
+	}
+}

@@ -1,0 +1,113 @@
+package workload
+
+import (
+	"fmt"
+
+	"doppel/internal/engine"
+	"doppel/internal/rng"
+)
+
+// KeySpace pre-generates the 16-byte string keys the paper's
+// microbenchmarks use ("1M 16-byte keys", §8.2), so key formatting never
+// appears on the benchmark's hot path.
+type KeySpace struct {
+	keys []string
+}
+
+// NewKeySpace builds n keys with a single-character prefix.
+func NewKeySpace(prefix byte, n int) *KeySpace {
+	ks := &KeySpace{keys: make([]string, n)}
+	for i := range ks.keys {
+		ks.keys[i] = fmt.Sprintf("%c%015d", prefix, i)
+	}
+	return ks
+}
+
+// Key returns key i.
+func (ks *KeySpace) Key(i int) string { return ks.keys[i] }
+
+// N returns the number of keys.
+func (ks *KeySpace) N() int { return len(ks.keys) }
+
+// Generator produces the next transaction for a worker. Implementations
+// must be safe for concurrent use by distinct workers, each passing its
+// own rng.
+type Generator interface {
+	// Next returns a transaction body and whether it writes.
+	Next(worker int, r *rng.Rand) (fn engine.TxFunc, isWrite bool)
+}
+
+// Incr1 is the INCR1 microbenchmark (§8.2): each transaction increments
+// one key; a fraction HotFrac of transactions increment the single hot
+// key, the rest a uniformly random other key.
+type Incr1 struct {
+	Keys    *KeySpace
+	HotKey  int
+	HotFrac float64
+}
+
+// Next implements Generator.
+func (g *Incr1) Next(worker int, r *rng.Rand) (engine.TxFunc, bool) {
+	var key string
+	if r.Bool(g.HotFrac) {
+		key = g.Keys.Key(g.HotKey)
+	} else {
+		k := r.Intn(g.Keys.N() - 1)
+		if k >= g.HotKey {
+			k++
+		}
+		key = g.Keys.Key(k)
+	}
+	return func(tx engine.Tx) error { return tx.Add(key, 1) }, true
+}
+
+// IncrZ is the INCRZ microbenchmark (§8.4): each transaction increments
+// one key chosen with Zipfian popularity.
+type IncrZ struct {
+	Keys *KeySpace
+	Zipf *Zipf
+}
+
+// Next implements Generator.
+func (g *IncrZ) Next(worker int, r *rng.Rand) (engine.TxFunc, bool) {
+	key := g.Keys.Key(g.Zipf.Sample(r))
+	return func(tx engine.Tx) error { return tx.Add(key, 1) }, true
+}
+
+// Like is the LIKE benchmark (§7, §8.5): users "like" pages. A write
+// transaction records the user's like and increments the page's like
+// count; a read transaction reads the user's last like and the page's
+// count. Users are uniform; pages follow PageZipf. WriteFrac controls
+// the transaction mix.
+//
+// Both transaction types access the user record before the page record,
+// which gives the 2PL baseline a deadlock-free global lock order.
+type Like struct {
+	Users     *KeySpace
+	Pages     *KeySpace
+	PageZipf  *Zipf
+	WriteFrac float64
+}
+
+// Next implements Generator.
+func (g *Like) Next(worker int, r *rng.Rand) (engine.TxFunc, bool) {
+	user := g.Users.Key(r.Intn(g.Users.N()))
+	pageIdx := g.PageZipf.Sample(r)
+	page := g.Pages.Key(pageIdx)
+	if r.Bool(g.WriteFrac) {
+		like := []byte(page)
+		return func(tx engine.Tx) error {
+			if err := tx.PutBytes(user, like); err != nil {
+				return err
+			}
+			return tx.Add(page, 1)
+		}, true
+	}
+	return func(tx engine.Tx) error {
+		if _, err := tx.GetBytes(user); err != nil {
+			return err
+		}
+		_, err := tx.GetInt(page)
+		return err
+	}, false
+}
