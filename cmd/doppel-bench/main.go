@@ -9,21 +9,27 @@
 //	doppel-bench -experiment all             # the whole evaluation
 //	doppel-bench -experiment fig11 -cores 40 # different core count
 //	doppel-bench -real -duration 2s          # real-engine INCR1 run
+//	doppel-bench -net -duration 2s           # network protocol: blocking vs pipelined
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log"
 	"os"
 	"runtime"
 	"strings"
 	"time"
 
+	"doppel"
 	"doppel/internal/atomiceng"
 	"doppel/internal/bench"
 	"doppel/internal/core"
 	"doppel/internal/engine"
+	"doppel/internal/metrics"
 	"doppel/internal/occ"
+	"doppel/internal/rng"
+	"doppel/internal/server"
 	"doppel/internal/store"
 	"doppel/internal/twopl"
 	"doppel/internal/workload"
@@ -36,11 +42,19 @@ func main() {
 	full := flag.Bool("full", false, "longer simulations for smoother curves")
 	seed := flag.Uint64("seed", 42, "simulation seed")
 	real := flag.Bool("real", false, "run INCR1 on the real engines instead of the simulator")
-	hot := flag.Float64("hot", 1.0, "real mode: fraction of transactions on the hot key")
-	duration := flag.Duration("duration", time.Second, "real mode: run duration per engine")
-	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "real mode: worker count")
+	netMode := flag.Bool("net", false, "run the networked INCR1 benchmark: blocking vs pipelined on one connection")
+	addr := flag.String("addr", "", "net mode: benchmark an already-running server instead of an in-process one")
+	inflight := flag.Int("inflight", 128, "net mode: pipelined requests kept in flight")
+	flush := flag.Duration("flush", 0, "net mode: server/client flush interval (0 flushes when idle)")
+	hot := flag.Float64("hot", 1.0, "real/net mode: fraction of transactions on the hot key")
+	duration := flag.Duration("duration", time.Second, "real/net mode: run duration per engine")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "real/net mode: worker count")
 	flag.Parse()
 
+	if *netMode {
+		runNet(*addr, *hot, *duration, *workers, *inflight, *flush)
+		return
+	}
 	if *real {
 		runReal(*hot, *duration, *workers)
 		return
@@ -64,6 +78,121 @@ func main() {
 		os.Exit(2)
 	}
 	fn(os.Stdout, cfg)
+}
+
+// runNet measures the network path with INCR1-over-RPC on a single
+// client connection, first with the blocking request/response pattern
+// (one request in flight, as the seed protocol forced), then pipelined
+// with `inflight` outstanding requests. The gap between the two is the
+// round-trip cost the pipelined protocol removes.
+func runNet(addr string, hot float64, dur time.Duration, workers, inflight int, flush time.Duration) {
+	const keys = 100_000
+	if addr == "" {
+		db := doppel.Open(doppel.Options{Workers: workers})
+		defer db.Close()
+		srv := server.NewWithOptions(db, server.Options{MaxInFlight: inflight, FlushEvery: flush})
+		srv.Register("add", func(tx doppel.Tx, args []server.Arg) (server.Arg, error) {
+			n, err := args[1].Int64()
+			if err != nil {
+				return server.Nil, err
+			}
+			return server.Nil, tx.Add(args[0].String(), n)
+		})
+		bound, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		addr = bound
+	}
+
+	ks := workload.NewKeySpace('k', keys)
+	pick := func(r *rng.Rand) string {
+		if r.Bool(hot) {
+			return ks.Key(0)
+		}
+		return ks.Key(1 + r.Intn(keys-1))
+	}
+
+	fmt.Printf("# networked INCR1: 1 connection, %d workers, hot=%.0f%%, %v per mode, flush=%v\n",
+		workers, hot*100, dur, flush)
+	fmt.Printf("%-22s %12s %12s %12s %12s\n", "mode", "req/s", "requests", "p50", "p99")
+	row := func(mode string, n int, elapsed time.Duration, lat *metrics.Hist) float64 {
+		tput := float64(n) / elapsed.Seconds()
+		fmt.Printf("%-22s %12.0f %12d %12v %12v\n", mode, tput, n,
+			time.Duration(lat.Quantile(0.5)), time.Duration(lat.Quantile(0.99)))
+		return tput
+	}
+
+	n, elapsed, lat := netBlocking(addr, flush, dur, pick)
+	blocking := row("blocking (seed-style)", n, elapsed, lat)
+	n, elapsed, lat = netPipelined(addr, flush, dur, inflight, pick)
+	pipelined := row(fmt.Sprintf("pipelined (%d)", inflight), n, elapsed, lat)
+	if blocking > 0 {
+		fmt.Printf("speedup: %.1fx\n", pipelined/blocking)
+	}
+}
+
+func netDial(addr string, flush time.Duration) *server.Client {
+	c, err := server.DialOptions(addr, server.Options{FlushEvery: flush})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return c
+}
+
+// netBlocking issues one synchronous request at a time: every request
+// pays a full network round trip, like the seed protocol.
+func netBlocking(addr string, flush time.Duration, dur time.Duration, pick func(*rng.Rand) string) (int, time.Duration, *metrics.Hist) {
+	c := netDial(addr, flush)
+	defer c.Close()
+	r := rng.New(1)
+	lat := metrics.NewHist()
+	n := 0
+	begin := time.Now()
+	deadline := begin.Add(dur)
+	for time.Now().Before(deadline) {
+		start := time.Now()
+		if _, err := c.Call("add", server.Str(pick(r)), server.Int(1)); err != nil {
+			log.Fatal(err)
+		}
+		lat.Record(time.Since(start).Nanoseconds())
+		n++
+	}
+	return n, time.Since(begin), lat
+}
+
+// netPipelined keeps `window` requests outstanding on one connection,
+// reaping completions as the server answers (possibly out of order).
+func netPipelined(addr string, flush time.Duration, dur time.Duration, window int, pick func(*rng.Rand) string) (int, time.Duration, *metrics.Hist) {
+	c := netDial(addr, flush)
+	defer c.Close()
+	r := rng.New(2)
+	lat := metrics.NewHist()
+	done := make(chan *server.Call, 2*window)
+	starts := make(map[*server.Call]time.Time, window)
+	n, inFlight := 0, 0
+	begin := time.Now()
+	deadline := begin.Add(dur)
+	for {
+		for inFlight < window && time.Now().Before(deadline) {
+			call := c.Go("add", []server.Arg{server.Str(pick(r)), server.Int(1)}, done)
+			starts[call] = time.Now()
+			inFlight++
+		}
+		if inFlight == 0 {
+			break
+		}
+		call := <-done
+		if call.Err != nil {
+			log.Fatal(call.Err)
+		}
+		lat.Record(time.Since(starts[call]).Nanoseconds())
+		delete(starts, call)
+		inFlight--
+		n++
+	}
+	return n, time.Since(begin), lat
 }
 
 // runReal measures the real engines on this machine with the INCR1

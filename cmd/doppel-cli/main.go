@@ -15,10 +15,27 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strconv"
 	"strings"
 
 	"doppel/internal/server"
 )
+
+// toArgs types each token: integers become Int args, everything else a
+// byte string. A token is only treated as an integer when the decimal
+// rendering round-trips exactly ("007" or "+5" stay byte strings), so
+// no value is ever stored differently from how it was typed.
+func toArgs(tokens []string) []server.Arg {
+	args := make([]server.Arg, len(tokens))
+	for i, tok := range tokens {
+		if n, err := strconv.ParseInt(tok, 10, 64); err == nil && strconv.FormatInt(n, 10) == tok {
+			args[i] = server.Int(n)
+		} else {
+			args[i] = server.Str(tok)
+		}
+	}
+	return args
+}
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7777", "server address")
@@ -31,11 +48,11 @@ func main() {
 			log.Fatal(err)
 		}
 		defer c.Close()
-		out, err := c.Call(args[0], args[1:]...)
+		out, err := c.Call(args[0], toArgs(args[1:])...)
 		if err != nil {
 			log.Fatal(err)
 		}
-		if out != "" {
+		if !out.IsNil() {
 			fmt.Println(out)
 		}
 		return
@@ -57,10 +74,10 @@ func main() {
 		if fields[0] == "quit" || fields[0] == "exit" {
 			return
 		}
-		out, err := c.Call(fields[0], fields[1:]...)
+		out, err := c.Call(fields[0], toArgs(fields[1:])...)
 		if err != nil {
 			fmt.Printf("error: %v\n", err)
-		} else if out != "" {
+		} else if !out.IsNil() {
 			fmt.Println(out)
 		} else {
 			fmt.Println("ok")

@@ -1,7 +1,8 @@
 // Command doppel-server runs a Doppel database serving a small
 // general-purpose procedure set over TCP: get/put/add/max/min/topk.
+// The protocol is pipelined; see internal/server.
 //
-//	doppel-server -addr 127.0.0.1:7777 -workers 4
+//	doppel-server -addr 127.0.0.1:7777 -workers 4 -max-inflight 256 -flush 100us
 package main
 
 import (
@@ -10,13 +11,13 @@ import (
 	"log"
 	"os"
 	"os/signal"
-	"strconv"
+	"time"
 
 	"doppel"
 	"doppel/internal/server"
 )
 
-func needArgs(args []string, n int) error {
+func needArgs(args []server.Arg, n int) error {
 	if len(args) != n {
 		return fmt.Errorf("need %d args, got %d", n, len(args))
 	}
@@ -26,82 +27,96 @@ func needArgs(args []string, n int) error {
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7777", "listen address")
 	workers := flag.Int("workers", 4, "worker count")
+	maxInFlight := flag.Int("max-inflight", 128, "max concurrently executing requests per connection")
+	flush := flag.Duration("flush", 0, "response flush interval (0 flushes when the queue goes idle)")
+	maxFrame := flag.Int("max-frame", server.DefaultMaxFrame, "max frame payload bytes")
 	flag.Parse()
 
 	db := doppel.Open(doppel.Options{Workers: *workers})
 	defer db.Close()
-	srv := server.New(db)
+	srv := server.NewWithOptions(db, server.Options{
+		MaxInFlight: *maxInFlight,
+		FlushEvery:  *flush,
+		MaxFrame:    *maxFrame,
+	})
 
-	srv.Register("get", func(tx doppel.Tx, args []string) (string, error) {
+	srv.Register("get", func(tx doppel.Tx, args []server.Arg) (server.Arg, error) {
 		if err := needArgs(args, 1); err != nil {
-			return "", err
+			return server.Nil, err
 		}
-		n, err := tx.GetInt(args[0])
-		return strconv.FormatInt(n, 10), err
+		n, err := tx.GetInt(args[0].String())
+		return server.Int(n), err
 	})
-	srv.Register("getbytes", func(tx doppel.Tx, args []string) (string, error) {
+	srv.Register("getbytes", func(tx doppel.Tx, args []server.Arg) (server.Arg, error) {
 		if err := needArgs(args, 1); err != nil {
-			return "", err
+			return server.Nil, err
 		}
-		b, err := tx.GetBytes(args[0])
-		return string(b), err
+		b, err := tx.GetBytes(args[0].String())
+		return server.Bytes(b), err
 	})
-	srv.Register("put", func(tx doppel.Tx, args []string) (string, error) {
+	srv.Register("put", func(tx doppel.Tx, args []server.Arg) (server.Arg, error) {
 		if err := needArgs(args, 2); err != nil {
-			return "", err
+			return server.Nil, err
 		}
-		return "", tx.PutBytes(args[0], []byte(args[1]))
+		// String() rather than Bytes(): integer-typed args (the CLI sends
+		// them for numeric tokens) coerce to their decimal text instead of
+		// silently storing nothing.
+		return server.Nil, tx.PutBytes(args[0].String(), []byte(args[1].String()))
 	})
 	intOp := func(op func(tx doppel.Tx, key string, n int64) error) server.Handler {
-		return func(tx doppel.Tx, args []string) (string, error) {
+		return func(tx doppel.Tx, args []server.Arg) (server.Arg, error) {
 			if err := needArgs(args, 2); err != nil {
-				return "", err
+				return server.Nil, err
 			}
-			n, err := strconv.ParseInt(args[1], 10, 64)
+			n, err := args[1].Int64()
 			if err != nil {
-				return "", err
+				return server.Nil, err
 			}
-			return "", op(tx, args[0], n)
+			return server.Nil, op(tx, args[0].String(), n)
 		}
 	}
 	srv.Register("add", intOp(func(tx doppel.Tx, k string, n int64) error { return tx.Add(k, n) }))
 	srv.Register("max", intOp(func(tx doppel.Tx, k string, n int64) error { return tx.Max(k, n) }))
 	srv.Register("min", intOp(func(tx doppel.Tx, k string, n int64) error { return tx.Min(k, n) }))
-	srv.Register("topk-insert", func(tx doppel.Tx, args []string) (string, error) {
+	srv.Register("topk-insert", func(tx doppel.Tx, args []server.Arg) (server.Arg, error) {
 		if err := needArgs(args, 3); err != nil {
-			return "", err
+			return server.Nil, err
 		}
-		order, err := strconv.ParseInt(args[1], 10, 64)
+		order, err := args[1].Int64()
 		if err != nil {
-			return "", err
+			return server.Nil, err
 		}
-		return "", tx.TopKInsert(args[0], order, []byte(args[2]), 100)
+		return server.Nil, tx.TopKInsert(args[0].String(), order, []byte(args[2].String()), 100)
 	})
-	srv.Register("topk", func(tx doppel.Tx, args []string) (string, error) {
+	srv.Register("topk", func(tx doppel.Tx, args []server.Arg) (server.Arg, error) {
 		if err := needArgs(args, 1); err != nil {
-			return "", err
+			return server.Nil, err
 		}
-		es, err := tx.GetTopK(args[0])
+		es, err := tx.GetTopK(args[0].String())
 		if err != nil {
-			return "", err
+			return server.Nil, err
 		}
 		out := ""
 		for _, e := range es {
 			out += fmt.Sprintf("%d:%s\n", e.Order, e.Data)
 		}
-		return out, nil
+		return server.Str(out), nil
 	})
-	srv.Register("stats", func(tx doppel.Tx, args []string) (string, error) {
+	srv.Register("stats", func(tx doppel.Tx, args []server.Arg) (server.Arg, error) {
 		s := db.Stats()
-		return fmt.Sprintf("committed=%d aborted=%d stashed=%d phase=%s split=%d",
-			s.Committed, s.Aborted, s.Stashed, s.Phase, len(s.SplitKeys)), nil
+		requests, errs, lat := srv.Stats()
+		return server.Str(fmt.Sprintf(
+			"committed=%d aborted=%d stashed=%d phase=%s split=%d rpc=%d rpc_errors=%d rpc_p50=%v rpc_p99=%v",
+			s.Committed, s.Aborted, s.Stashed, s.Phase, len(s.SplitKeys),
+			requests, errs,
+			time.Duration(lat.Quantile(0.5)), time.Duration(lat.Quantile(0.99)))), nil
 	})
 
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("doppel-server listening on %s (%d workers)", bound, *workers)
+	log.Printf("doppel-server listening on %s (%d workers, %d in-flight/conn)", bound, *workers, *maxInFlight)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)

@@ -116,7 +116,18 @@ type DB struct {
 type request struct {
 	fn     TxFunc
 	submit int64
-	done   chan error
+	done   chan error  // synchronous completion (Exec)
+	cb     func(error) // asynchronous completion (ExecAsync); nil for Exec
+}
+
+// finish reports the request's outcome through whichever completion
+// mechanism the submitter chose.
+func (req *request) finish(err error) {
+	if req.cb != nil {
+		req.cb(err)
+		return
+	}
+	req.done <- err
 }
 
 // Open creates a database and starts its workers. It panics only on
@@ -226,7 +237,7 @@ func (db *DB) run(w int, req *request) {
 		out, err := db.eng.Attempt(w, req.fn, req.submit)
 		switch out {
 		case engine.Committed:
-			req.done <- nil
+			req.finish(nil)
 			return
 		case engine.Stashed:
 			// The transaction accessed split data incompatibly and was
@@ -239,10 +250,10 @@ func (db *DB) run(w int, req *request) {
 				db.eng.Poll(w)
 				time.Sleep(50 * time.Microsecond)
 			}
-			req.done <- nil
+			req.finish(nil)
 			return
 		case engine.UserAbort:
-			req.done <- err
+			req.finish(err)
 			return
 		case engine.Paused:
 			db.eng.Poll(w)
@@ -267,6 +278,22 @@ func (db *DB) Exec(fn TxFunc) error {
 	w := int(db.next.Add(1)) % len(db.queues)
 	db.queues[w] <- req
 	return <-req.done
+}
+
+// ExecAsync submits fn like Exec but returns without waiting: done is
+// called exactly once with the transaction's outcome, from the worker
+// goroutine that completed it. done must be quick and must not submit
+// further transactions synchronously, or it stalls that worker. This is
+// the batching path the network server uses to keep every worker busy
+// without one blocked goroutine per in-flight request.
+func (db *DB) ExecAsync(fn TxFunc, done func(error)) {
+	if db.stopped.Load() {
+		done(errors.New("doppel: database closed"))
+		return
+	}
+	req := &request{fn: fn, submit: time.Now().UnixNano(), cb: done}
+	w := int(db.next.Add(1)) % len(db.queues)
+	db.queues[w] <- req
 }
 
 // ExecWait is Exec for callers that need the stashed-transaction commit

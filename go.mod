@@ -1,0 +1,3 @@
+module doppel
+
+go 1.24

@@ -1,0 +1,73 @@
+package metrics
+
+import "sync"
+
+// rpcShards spreads request accounting over several locks so database
+// workers' completion callbacks don't all serialize on one mutex.
+const rpcShards = 8
+
+// RPCStats accumulates server-side request accounting: counts and a
+// request latency histogram. Unlike TxnStats (one per worker, merged
+// after a run), RPCStats is shared by every connection of a server, so
+// it synchronizes internally — sharded, because Record runs on the
+// database workers' request-completion path.
+type RPCStats struct {
+	shards [rpcShards]rpcShard
+}
+
+type rpcShard struct {
+	mu       sync.Mutex
+	requests uint64
+	errors   uint64
+	latency  *Hist
+	_        [24]byte // keep neighbouring shards off one cache line
+}
+
+// NewRPCStats returns a zeroed RPCStats.
+func NewRPCStats() *RPCStats {
+	s := &RPCStats{}
+	for i := range s.shards {
+		s.shards[i].latency = NewHist()
+	}
+	return s
+}
+
+// Record adds one executed request with its latency in nanoseconds.
+// The shard is picked from the latency's low bits: effectively random
+// at nanosecond granularity, and free of shared state.
+func (s *RPCStats) Record(latencyNanos int64, ok bool) {
+	sh := &s.shards[uint64(latencyNanos)%rpcShards]
+	sh.mu.Lock()
+	sh.requests++
+	if !ok {
+		sh.errors++
+	}
+	sh.latency.Record(latencyNanos)
+	sh.mu.Unlock()
+}
+
+// RecordError counts a request that failed before executing (e.g. an
+// unknown procedure) without contributing a latency sample, which
+// would otherwise drag the histogram's quantiles toward zero.
+func (s *RPCStats) RecordError() {
+	sh := &s.shards[0]
+	sh.mu.Lock()
+	sh.requests++
+	sh.errors++
+	sh.mu.Unlock()
+}
+
+// Snapshot returns the merged counters and an independent copy of the
+// latency histogram, safe to read while the server keeps recording.
+func (s *RPCStats) Snapshot() (requests, errors uint64, latency *Hist) {
+	merged := NewHist()
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		requests += sh.requests
+		errors += sh.errors
+		merged.Merge(sh.latency)
+		sh.mu.Unlock()
+	}
+	return requests, errors, merged
+}

@@ -1,49 +1,188 @@
 package server
 
 import (
+	"bufio"
 	"errors"
 	"net"
 	"sync"
 )
 
-// Client is a synchronous client for one server connection. It is safe
-// for concurrent use; calls serialize on the connection.
-type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
+// ErrClientClosed is returned for calls issued after (or failed by)
+// Close.
+var ErrClientClosed = errors.New("server: client closed")
+
+// Call is one in-flight request, in the style of net/rpc: Go returns it
+// immediately and delivers it on Done once the reply (or error) is in.
+type Call struct {
+	Name  string // procedure name
+	Args  []Arg  // arguments
+	Reply Arg    // result, valid after Done fires with Err == nil
+	Err   error  // per-call or connection error
+	Done  chan *Call
 }
 
-// Dial connects to a server.
-func Dial(addr string) (*Client, error) {
+func (c *Call) finish() {
+	select {
+	case c.Done <- c:
+	default:
+		// The caller under-buffered Done; dropping beats deadlocking the
+		// read loop (net/rpc makes the same choice).
+	}
+}
+
+// Client is a pipelined client for one server connection. It is safe
+// for concurrent use: any number of goroutines may have calls in
+// flight; requests share the connection through a batching writer and a
+// reader goroutine matches responses to calls by ID, so responses may
+// arrive out of request order.
+type Client struct {
+	conn     net.Conn
+	fw       *frameWriter
+	maxFrame int
+
+	mu      sync.Mutex
+	pending map[uint64]*Call
+	nextID  uint64
+	err     error // sticky connection error; nil while usable
+
+	sendWG   sync.WaitGroup // in-progress fw.send calls
+	stopOnce sync.Once      // tears down the frame writer exactly once
+}
+
+// Dial connects to a server with default tuning.
+func Dial(addr string) (*Client, error) { return DialOptions(addr, Options{}) }
+
+// DialOptions connects to a server. Only FlushEvery and MaxFrame of
+// opts apply client-side (the server enforces its own MaxInFlight).
+func DialOptions(addr string, opts Options) (*Client, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	return &Client{conn: conn}, nil
+	opts = opts.withDefaults()
+	c := &Client{
+		conn:     conn,
+		fw:       startFrameWriter(conn, opts.FlushEvery),
+		maxFrame: opts.MaxFrame,
+		pending:  map[uint64]*Call{},
+	}
+	go c.readLoop(opts.MaxFrame)
+	return c, nil
 }
 
-// Call invokes the named procedure with args and returns its result.
-// A procedure error comes back as a non-nil error with the server's
-// message.
-func (c *Client) Call(name string, args ...string) (string, error) {
+// Go invokes the named procedure asynchronously. It returns the Call
+// immediately; done (buffered, or nil to allocate one) receives the
+// same Call when the response arrives. Issue many Go calls before
+// reading Done to pipeline requests on the connection.
+func (c *Client) Go(name string, args []Arg, done chan *Call) *Call {
+	if done == nil {
+		done = make(chan *Call, 1)
+	} else if cap(done) == 0 {
+		panic("server: Go done channel is unbuffered")
+	}
+	call := &Call{Name: name, Args: args, Done: done}
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	if err := writeFrame(c.conn, encodeRequest(name, args)); err != nil {
-		return "", err
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		call.Err = err
+		call.finish()
+		return call
 	}
-	payload, err := readFrame(c.conn)
-	if err != nil {
-		return "", err
+	id := c.nextID
+	c.nextID++
+	req := encodeRequest(id, name, args)
+	if len(req) > c.maxFrame {
+		// Fail just this call; sending it would make the server drop the
+		// whole connection (and a frame over 4 GiB would wrap the length
+		// header and desync the stream).
+		c.mu.Unlock()
+		call.Err = &FrameSizeError{Size: len(req), Limit: c.maxFrame}
+		call.finish()
+		return call
 	}
-	ok, msg, err := decodeResponse(payload)
-	if err != nil {
-		return "", err
+	c.pending[id] = call
+	c.sendWG.Add(1) // under mu: teardown sets c.err first, so no send starts after stop
+	c.mu.Unlock()
+	if !c.fw.send(req) {
+		// The server stopped draining requests; tear the connection
+		// down, which fails this call (and the rest) via the read loop.
+		_ = c.conn.Close()
 	}
-	if !ok {
-		return "", errors.New(msg)
-	}
-	return msg, nil
+	c.sendWG.Done()
+	return call
 }
 
-// Close closes the connection.
-func (c *Client) Close() error { return c.conn.Close() }
+// Call invokes the named procedure and waits for its result. A
+// procedure error comes back as a non-nil error; UnknownProcedureError
+// (detect with errors.As) means the server has no such handler.
+func (c *Client) Call(name string, args ...Arg) (Arg, error) {
+	call := <-c.Go(name, args, make(chan *Call, 1)).Done
+	return call.Reply, call.Err
+}
+
+// readLoop matches responses to pending calls until the connection
+// dies, then fails everything still outstanding.
+func (c *Client) readLoop(maxFrame int) {
+	br := bufio.NewReaderSize(c.conn, 64<<10)
+	var wireErr error
+	for {
+		payload, err := readFrame(br, maxFrame)
+		if err != nil {
+			wireErr = err
+			break
+		}
+		id, result, callErr, err := decodeResponse(payload)
+		if err != nil {
+			wireErr = err
+			break
+		}
+		c.mu.Lock()
+		call := c.pending[id]
+		delete(c.pending, id)
+		c.mu.Unlock()
+		if call == nil {
+			continue // response to a call we gave up on; ignore
+		}
+		call.Reply, call.Err = result, callErr
+		call.finish()
+	}
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = wireErr
+	}
+	failed := make([]*Call, 0, len(c.pending))
+	for id, call := range c.pending {
+		delete(c.pending, id)
+		call.Err = c.err
+		failed = append(failed, call)
+	}
+	c.mu.Unlock()
+	for _, call := range failed {
+		call.finish()
+	}
+	c.stop()
+}
+
+// stop shuts the frame writer down once no send can still be in
+// flight. Callers must have set c.err first so new Go calls fail fast
+// instead of sending.
+func (c *Client) stop() {
+	c.stopOnce.Do(func() {
+		c.sendWG.Wait()
+		c.fw.close()
+	})
+}
+
+// Close tears down the connection. Calls still in flight fail with
+// ErrClientClosed.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = ErrClientClosed
+	}
+	c.mu.Unlock()
+	err := c.conn.Close() // unblocks the read loop, which fails pending calls
+	c.stop()
+	return err
+}

@@ -1,45 +1,93 @@
 // Package server provides Doppel's network interface: "clients submit
 // transactions in the form of procedures" (§3) over TCP (§6: "Doppel
 // supports RPC from remote clients over TCP"). Applications register
-// named procedures; clients invoke them by name with string arguments.
+// named procedures; clients invoke them by name with typed arguments.
 //
-// The wire protocol is deliberately small: every message is a uint32
-// length prefix followed by the payload. Requests carry a procedure name
-// and its arguments; responses carry a status byte and either a result
-// or an error string.
+// The protocol is pipelined: requests carry IDs, so a client keeps many
+// requests in flight on one connection and the server answers in
+// whatever order transactions commit. Each connection runs a reader
+// that fans requests out to the database's worker pool (bounded by
+// Options.MaxInFlight) and a single flusher goroutine that batches
+// response writes, which is what lets one TCP connection saturate the
+// phase-reconciliation engine instead of paying a network round trip
+// per transaction. See wire.go for the frame format.
 package server
 
 import (
-	"encoding/binary"
-	"errors"
-	"fmt"
-	"io"
+	"bufio"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"doppel"
+	"doppel/internal/metrics"
 )
 
 // Handler executes one named procedure inside a transaction. The
-// returned string is sent back to the client on commit.
-type Handler func(tx doppel.Tx, args []string) (string, error)
+// returned Arg is sent back to the client on commit; return Nil for
+// void procedures.
+type Handler func(tx doppel.Tx, args []Arg) (Arg, error)
+
+// Options tunes a Server. The zero value means defaults.
+type Options struct {
+	// MaxInFlight bounds how many requests from one connection execute
+	// concurrently; further requests wait in the kernel socket buffer.
+	// 0 means 128.
+	MaxInFlight int
+	// FlushEvery is how long the response flusher waits for more
+	// completions before flushing a batch. 0 flushes as soon as the
+	// response queue goes idle, which keeps latency minimal; a small
+	// interval (e.g. 100µs) trades latency for larger batches.
+	FlushEvery time.Duration
+	// MaxFrame bounds the payload of one frame in either direction;
+	// oversized frames are rejected before allocation and the
+	// connection is dropped. 0 means DefaultMaxFrame (1 MiB).
+	MaxFrame int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxInFlight <= 0 {
+		o.MaxInFlight = 128
+	}
+	if o.MaxFrame <= 0 {
+		o.MaxFrame = DefaultMaxFrame
+	}
+	if o.MaxFrame > 1<<31 {
+		o.MaxFrame = 1 << 31 // frame headers are uint32; larger would wrap
+	}
+	return o
+}
 
 // Server serves registered procedures over TCP on top of a Doppel
 // database.
 type Server struct {
-	db *doppel.DB
+	db    *doppel.DB
+	opts  Options
+	stats *metrics.RPCStats
 
 	mu       sync.RWMutex
 	handlers map[string]Handler
 
 	lis    net.Listener
 	connWG sync.WaitGroup
-	closed bool
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed atomic.Bool
 }
 
-// New returns a server over db.
-func New(db *doppel.DB) *Server {
-	return &Server{db: db, handlers: map[string]Handler{}}
+// New returns a server over db with default Options.
+func New(db *doppel.DB) *Server { return NewWithOptions(db, Options{}) }
+
+// NewWithOptions returns a server over db with explicit tuning.
+func NewWithOptions(db *doppel.DB, opts Options) *Server {
+	return &Server{
+		db:       db,
+		opts:     opts.withDefaults(),
+		stats:    metrics.NewRPCStats(),
+		handlers: map[string]Handler{},
+		conns:    map[net.Conn]struct{}{},
+	}
 }
 
 // Register installs a procedure under name, replacing any previous one.
@@ -47,6 +95,13 @@ func (s *Server) Register(name string, h Handler) {
 	s.mu.Lock()
 	s.handlers[name] = h
 	s.mu.Unlock()
+}
+
+// Stats returns the server's request accounting: total requests served,
+// how many failed, and a request latency histogram (nanoseconds from
+// decode to response enqueue).
+func (s *Server) Stats() (requests, errors uint64, latency *metrics.Hist) {
+	return s.stats.Snapshot()
 }
 
 // Listen starts accepting connections on addr (e.g. "127.0.0.1:7777")
@@ -70,159 +125,110 @@ func (s *Server) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
+		s.connMu.Lock()
+		if s.closed.Load() {
+			s.connMu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.connMu.Unlock()
 		s.connWG.Add(1)
 		go func() {
 			defer s.connWG.Done()
-			defer conn.Close()
 			s.serveConn(conn)
+			s.connMu.Lock()
+			delete(s.conns, conn)
+			s.connMu.Unlock()
+			conn.Close()
 		}()
 	}
 }
 
-// serveConn handles one client connection: a sequence of
-// request/response exchanges.
+// serveConn pumps one client connection: the read loop decodes requests
+// and fans each straight into the database's worker pool via ExecAsync
+// (no goroutine per request), while a frameWriter streams completions
+// back as transactions commit — possibly out of request order. sem
+// bounds in-flight requests per connection; response sends never block,
+// so a completion callback can never stall a database worker on a slow
+// client.
 func (s *Server) serveConn(conn net.Conn) {
+	fw := startFrameWriter(conn, s.opts.FlushEvery)
+	sem := make(chan struct{}, s.opts.MaxInFlight)
+	var reqWG sync.WaitGroup
+	br := bufio.NewReaderSize(conn, 64<<10)
 	for {
-		payload, err := readFrame(conn)
+		payload, err := readFrame(br, s.opts.MaxFrame)
 		if err != nil {
-			return
+			break // EOF, peer reset, or oversized frame: drop the connection
 		}
-		name, args, err := decodeRequest(payload)
+		id, name, args, err := decodeRequest(payload)
 		if err != nil {
-			_ = writeFrame(conn, encodeResponse(false, "bad request: "+err.Error()))
-			return
+			break // corrupt stream: nothing after this point can be trusted
 		}
 		s.mu.RLock()
 		h := s.handlers[name]
 		s.mu.RUnlock()
 		if h == nil {
-			_ = writeFrame(conn, encodeResponse(false, "unknown procedure "+name))
+			s.stats.RecordError()
+			if !fw.send(encodeErrResponse(id, statusUnknownProc, name)) {
+				break
+			}
 			continue
 		}
-		var result string
-		err = s.db.Exec(func(tx doppel.Tx) error {
+		sem <- struct{}{} // bounds in-flight executions for this connection
+		reqWG.Add(1)
+		start := time.Now()
+		var result Arg
+		s.db.ExecAsync(func(tx doppel.Tx) error {
 			var herr error
 			result, herr = h(tx, args)
 			return herr
+		}, func(err error) {
+			s.stats.Record(time.Since(start).Nanoseconds(), err == nil)
+			if !fw.send(s.encodeResult(id, result, err)) {
+				// The client stopped draining responses; drop it rather
+				// than stall a database worker shared by every client.
+				_ = conn.Close()
+			}
+			<-sem
+			reqWG.Done()
 		})
-		if err != nil {
-			_ = writeFrame(conn, encodeResponse(false, err.Error()))
-			continue
-		}
-		_ = writeFrame(conn, encodeResponse(true, result))
 	}
+	reqWG.Wait()
+	fw.close()
 }
 
-// Close stops accepting and waits for in-flight connections.
+// encodeResult encodes one completed request's response, downgrading
+// results too large for the connection's frame limit to an error. The
+// downgrade message states that the transaction committed: the client
+// must not treat it as a safe-to-retry failure.
+func (s *Server) encodeResult(id uint64, result Arg, err error) []byte {
+	if err != nil {
+		return encodeErrResponse(id, statusErr, err.Error())
+	}
+	resp := encodeOKResponse(id, result)
+	if len(resp) > s.opts.MaxFrame {
+		msg := "transaction committed but result dropped: " +
+			(&FrameSizeError{Size: len(resp), Limit: s.opts.MaxFrame}).Error()
+		return encodeErrResponse(id, statusErr, msg)
+	}
+	return resp
+}
+
+// Close stops accepting, closes open connections, and waits for
+// in-flight requests to finish.
 func (s *Server) Close() {
-	if s.closed {
+	if s.closed.Swap(true) {
 		return
 	}
-	s.closed = true
 	if s.lis != nil {
 		_ = s.lis.Close()
 	}
+	s.connMu.Lock()
+	for conn := range s.conns {
+		_ = conn.Close() // unblocks the connection's read loop
+	}
+	s.connMu.Unlock()
 	s.connWG.Wait()
-}
-
-// --- framing and encoding ---
-
-const maxFrame = 1 << 20
-
-func writeFrame(w io.Writer, payload []byte) error {
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err := w.Write(payload)
-	return err
-}
-
-func readFrame(r io.Reader) ([]byte, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, err
-	}
-	n := binary.BigEndian.Uint32(hdr[:])
-	if n > maxFrame {
-		return nil, fmt.Errorf("server: frame of %d bytes exceeds limit", n)
-	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(r, payload); err != nil {
-		return nil, err
-	}
-	return payload, nil
-}
-
-func appendString(buf []byte, s string) []byte {
-	var l [4]byte
-	binary.BigEndian.PutUint32(l[:], uint32(len(s)))
-	buf = append(buf, l[:]...)
-	return append(buf, s...)
-}
-
-func readString(buf []byte) (string, []byte, error) {
-	if len(buf) < 4 {
-		return "", nil, errors.New("server: truncated string length")
-	}
-	n := binary.BigEndian.Uint32(buf)
-	buf = buf[4:]
-	if uint32(len(buf)) < n {
-		return "", nil, errors.New("server: truncated string")
-	}
-	return string(buf[:n]), buf[n:], nil
-}
-
-func encodeRequest(name string, args []string) []byte {
-	buf := appendString(nil, name)
-	var c [4]byte
-	binary.BigEndian.PutUint32(c[:], uint32(len(args)))
-	buf = append(buf, c[:]...)
-	for _, a := range args {
-		buf = appendString(buf, a)
-	}
-	return buf
-}
-
-func decodeRequest(buf []byte) (name string, args []string, err error) {
-	name, buf, err = readString(buf)
-	if err != nil {
-		return "", nil, err
-	}
-	if len(buf) < 4 {
-		return "", nil, errors.New("server: truncated arg count")
-	}
-	n := binary.BigEndian.Uint32(buf)
-	buf = buf[4:]
-	if n > 1<<16 {
-		return "", nil, errors.New("server: too many args")
-	}
-	args = make([]string, 0, n)
-	for i := uint32(0); i < n; i++ {
-		var a string
-		a, buf, err = readString(buf)
-		if err != nil {
-			return "", nil, err
-		}
-		args = append(args, a)
-	}
-	return name, args, nil
-}
-
-func encodeResponse(ok bool, msg string) []byte {
-	status := byte(0)
-	if ok {
-		status = 1
-	}
-	return appendString([]byte{status}, msg)
-}
-
-func decodeResponse(buf []byte) (ok bool, msg string, err error) {
-	if len(buf) < 1 {
-		return false, "", errors.New("server: empty response")
-	}
-	ok = buf[0] == 1
-	msg, _, err = readString(buf[1:])
-	return ok, msg, err
 }

@@ -1,0 +1,305 @@
+package server
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// The wire protocol is a stream of length-prefixed frames in each
+// direction. Every frame is a 4-byte big-endian payload length followed
+// by the payload; payloads use varint-encoded fields (the same style as
+// internal/store's codec) so small requests stay small.
+//
+// Request payload:
+//
+//	uvarint  request ID (echoed in the response; unique per connection)
+//	uvarint  procedure name length, then the name bytes
+//	uvarint  argument count
+//	args     each: 1 tag byte, then a tag-specific payload
+//
+// Response payload:
+//
+//	uvarint  request ID
+//	byte     status (statusOK, statusErr, statusUnknownProc)
+//	body     statusOK: one typed result arg; otherwise an error message
+//	         (uvarint length + bytes)
+//
+// Because requests carry IDs, responses may be written in any order: a
+// client keeps many requests in flight on one connection and matches
+// responses by ID.
+
+// DefaultMaxFrame bounds a frame payload unless Options override it. A
+// peer announcing a larger frame is rejected before any allocation.
+const DefaultMaxFrame = 1 << 20
+
+// maxArgs bounds the argument count of one request.
+const maxArgs = 1 << 16
+
+// Response status codes.
+const (
+	statusOK          = 0 // body is the typed result
+	statusErr         = 1 // body is the handler's error message
+	statusUnknownProc = 2 // body is the unregistered procedure name
+)
+
+// Argument tag bytes.
+const (
+	tagNil   = 0
+	tagInt   = 1
+	tagBytes = 2
+)
+
+// ArgKind identifies the type of an Arg.
+type ArgKind uint8
+
+// Argument kinds.
+const (
+	ArgNil   ArgKind = ArgKind(tagNil)   // absent value (e.g. a void result)
+	ArgInt   ArgKind = ArgKind(tagInt)   // int64
+	ArgBytes ArgKind = ArgKind(tagBytes) // byte string (also used for text)
+)
+
+// Arg is one typed argument or result value on the wire.
+type Arg struct {
+	kind ArgKind
+	n    int64
+	b    []byte
+}
+
+// Nil is the absent Arg (a void result).
+var Nil = Arg{}
+
+// Int returns an integer Arg.
+func Int(n int64) Arg { return Arg{kind: ArgInt, n: n} }
+
+// Str returns a byte-string Arg holding s.
+func Str(s string) Arg { return Arg{kind: ArgBytes, b: []byte(s)} }
+
+// Bytes returns a byte-string Arg holding b. The caller must not modify
+// b afterwards.
+func Bytes(b []byte) Arg { return Arg{kind: ArgBytes, b: b} }
+
+// Kind reports the Arg's type.
+func (a Arg) Kind() ArgKind { return a.kind }
+
+// IsNil reports whether the Arg is absent.
+func (a Arg) IsNil() bool { return a.kind == ArgNil }
+
+// Int64 returns the Arg as an int64. Byte-string args are parsed as
+// decimal, so text-oriented clients (the CLI) interoperate with integer
+// procedures.
+func (a Arg) Int64() (int64, error) {
+	switch a.kind {
+	case ArgInt:
+		return a.n, nil
+	case ArgBytes:
+		return strconv.ParseInt(string(a.b), 10, 64)
+	default:
+		return 0, errors.New("server: nil argument where integer expected")
+	}
+}
+
+// Bytes returns the Arg's byte-string payload (nil for other kinds).
+func (a Arg) Bytes() []byte { return a.b }
+
+// String renders the Arg as text: integers in decimal, byte strings
+// verbatim, nil as "".
+func (a Arg) String() string {
+	switch a.kind {
+	case ArgInt:
+		return strconv.FormatInt(a.n, 10)
+	case ArgBytes:
+		return string(a.b)
+	default:
+		return ""
+	}
+}
+
+// UnknownProcedureError reports a call to a procedure the server has no
+// handler for. Detect it with errors.As; the connection stays usable.
+type UnknownProcedureError struct {
+	Name string
+}
+
+func (e *UnknownProcedureError) Error() string {
+	return "server: unknown procedure " + strconv.Quote(e.Name)
+}
+
+// FrameSizeError reports a frame whose announced payload length exceeds
+// the connection's limit. The frame is rejected before any allocation
+// and the connection is closed, since the stream can no longer be
+// trusted.
+type FrameSizeError struct {
+	Size  int
+	Limit int
+}
+
+func (e *FrameSizeError) Error() string {
+	return fmt.Sprintf("server: frame of %d bytes exceeds limit %d", e.Size, e.Limit)
+}
+
+// --- framing ---
+
+func writeFrame(w io.Writer, payload []byte) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func readFrame(r io.Reader, maxFrame int) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if int64(n) > int64(maxFrame) {
+		return nil, &FrameSizeError{Size: int(n), Limit: maxFrame}
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+// --- payload encoding ---
+
+func appendArg(buf []byte, a Arg) []byte {
+	switch a.kind {
+	case ArgInt:
+		buf = append(buf, tagInt)
+		return binary.AppendVarint(buf, a.n)
+	case ArgBytes:
+		buf = append(buf, tagBytes)
+		buf = binary.AppendUvarint(buf, uint64(len(a.b)))
+		return append(buf, a.b...)
+	default:
+		return append(buf, tagNil)
+	}
+}
+
+func readArg(buf []byte) (Arg, []byte, error) {
+	if len(buf) < 1 {
+		return Nil, nil, errors.New("server: truncated argument tag")
+	}
+	tag := buf[0]
+	buf = buf[1:]
+	switch tag {
+	case tagNil:
+		return Nil, buf, nil
+	case tagInt:
+		n, w := binary.Varint(buf)
+		if w <= 0 {
+			return Nil, nil, errors.New("server: bad integer argument")
+		}
+		return Int(n), buf[w:], nil
+	case tagBytes:
+		l, w := binary.Uvarint(buf)
+		if w <= 0 || l > uint64(len(buf)-w) {
+			return Nil, nil, errors.New("server: truncated byte-string argument")
+		}
+		buf = buf[w:]
+		b := make([]byte, l)
+		copy(b, buf[:l])
+		return Bytes(b), buf[l:], nil
+	default:
+		return Nil, nil, fmt.Errorf("server: unknown argument tag %d", tag)
+	}
+}
+
+func encodeRequest(id uint64, name string, args []Arg) []byte {
+	buf := binary.AppendUvarint(nil, id)
+	buf = binary.AppendUvarint(buf, uint64(len(name)))
+	buf = append(buf, name...)
+	buf = binary.AppendUvarint(buf, uint64(len(args)))
+	for _, a := range args {
+		buf = appendArg(buf, a)
+	}
+	return buf
+}
+
+func decodeRequest(buf []byte) (id uint64, name string, args []Arg, err error) {
+	id, w := binary.Uvarint(buf)
+	if w <= 0 {
+		return 0, "", nil, errors.New("server: truncated request ID")
+	}
+	buf = buf[w:]
+	nl, w := binary.Uvarint(buf)
+	if w <= 0 || nl > uint64(len(buf)-w) {
+		return 0, "", nil, errors.New("server: truncated procedure name")
+	}
+	buf = buf[w:]
+	name = string(buf[:nl])
+	buf = buf[nl:]
+	argc, w := binary.Uvarint(buf)
+	if w <= 0 {
+		return 0, "", nil, errors.New("server: truncated arg count")
+	}
+	if argc > maxArgs {
+		return 0, "", nil, fmt.Errorf("server: %d args exceeds limit %d", argc, maxArgs)
+	}
+	buf = buf[w:]
+	args = make([]Arg, 0, argc)
+	for i := uint64(0); i < argc; i++ {
+		var a Arg
+		a, buf, err = readArg(buf)
+		if err != nil {
+			return 0, "", nil, err
+		}
+		args = append(args, a)
+	}
+	return id, name, args, nil
+}
+
+func encodeOKResponse(id uint64, result Arg) []byte {
+	buf := binary.AppendUvarint(nil, id)
+	buf = append(buf, statusOK)
+	return appendArg(buf, result)
+}
+
+func encodeErrResponse(id uint64, status byte, msg string) []byte {
+	buf := binary.AppendUvarint(nil, id)
+	buf = append(buf, status)
+	buf = binary.AppendUvarint(buf, uint64(len(msg)))
+	return append(buf, msg...)
+}
+
+// decodeResponse splits per-call failures (callErr: the procedure
+// failed, the connection stays usable) from wire corruption (wireErr:
+// the stream can no longer be trusted).
+func decodeResponse(buf []byte) (id uint64, result Arg, callErr, wireErr error) {
+	id, w := binary.Uvarint(buf)
+	if w <= 0 {
+		return 0, Nil, nil, errors.New("server: truncated response ID")
+	}
+	buf = buf[w:]
+	if len(buf) < 1 {
+		return 0, Nil, nil, errors.New("server: truncated response status")
+	}
+	status := buf[0]
+	buf = buf[1:]
+	if status == statusOK {
+		result, _, wireErr = readArg(buf)
+		return id, result, nil, wireErr
+	}
+	ml, w := binary.Uvarint(buf)
+	if w <= 0 || ml > uint64(len(buf)-w) {
+		return 0, Nil, nil, errors.New("server: truncated error message")
+	}
+	msg := string(buf[w : w+int(ml)])
+	switch status {
+	case statusUnknownProc:
+		return id, Nil, &UnknownProcedureError{Name: msg}, nil
+	case statusErr:
+		return id, Nil, errors.New(msg), nil
+	default:
+		return 0, Nil, nil, fmt.Errorf("server: unknown response status %d", status)
+	}
+}

@@ -1,0 +1,126 @@
+package server
+
+import (
+	"bufio"
+	"io"
+	"sync"
+	"time"
+)
+
+// flushThreshold is the buffered-byte level at which the writer flushes
+// mid-batch instead of accumulating further.
+const flushThreshold = 256 << 10
+
+// maxPendingBytes bounds the bytes queued behind one connection's
+// flusher. A peer that stops draining its socket hits this cap and is
+// dropped; until then sends never block, which is what lets database
+// workers complete requests without ever stalling on the network.
+const maxPendingBytes = 32 << 20
+
+// frameWriter batches frame writes through a single flusher goroutine:
+// senders enqueue encoded payloads without blocking, the goroutine
+// writes them through a buffered writer and flushes when the queue goes
+// idle (or after waiting flushEvery for stragglers, when set). Both
+// ends of a connection use one — the server for out-of-order responses,
+// the client for pipelined requests — so a burst of messages costs one
+// syscall, not one per message.
+//
+// After the underlying writer errors, the goroutine keeps draining the
+// queue without writing, so late senders stay cheap no-ops.
+type frameWriter struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   [][]byte
+	pending int // bytes in queue
+	closed  bool
+
+	done chan struct{}
+}
+
+func startFrameWriter(w io.Writer, flushEvery time.Duration) *frameWriter {
+	fw := &frameWriter{done: make(chan struct{})}
+	fw.cond = sync.NewCond(&fw.mu)
+	go fw.loop(w, flushEvery)
+	return fw
+}
+
+// send enqueues one encoded payload without blocking. False means the
+// queue is over its byte cap (the peer has stopped draining the
+// connection) or the writer is closed; the caller should drop the
+// connection.
+func (fw *frameWriter) send(payload []byte) bool {
+	fw.mu.Lock()
+	if fw.closed || fw.pending > maxPendingBytes {
+		fw.mu.Unlock()
+		return false
+	}
+	fw.queue = append(fw.queue, payload)
+	fw.pending += len(payload)
+	fw.mu.Unlock()
+	fw.cond.Signal()
+	return true
+}
+
+// close stops the flusher after the queue drains. All sends must have
+// completed; callers typically sequence this with a WaitGroup.
+func (fw *frameWriter) close() {
+	fw.mu.Lock()
+	fw.closed = true
+	fw.mu.Unlock()
+	fw.cond.Signal()
+	<-fw.done
+}
+
+func (fw *frameWriter) loop(w io.Writer, flushEvery time.Duration) {
+	defer close(fw.done)
+	bw := bufio.NewWriterSize(w, 64<<10)
+	broken := false
+	var batch [][]byte
+	for {
+		fw.mu.Lock()
+		for len(fw.queue) == 0 && !fw.closed {
+			fw.cond.Wait()
+		}
+		if len(fw.queue) == 0 {
+			fw.mu.Unlock() // closed and drained
+			if !broken {
+				_ = bw.Flush()
+			}
+			return
+		}
+		batch, fw.queue = fw.queue, batch[:0]
+		fw.mu.Unlock()
+
+		written := 0
+		for _, p := range batch {
+			if !broken && writeFrame(bw, p) != nil {
+				broken = true
+			}
+			written += len(p)
+		}
+		fw.mu.Lock()
+		fw.pending -= written
+		more := len(fw.queue) > 0
+		fw.mu.Unlock()
+		if broken {
+			continue // keep draining so senders stay no-ops
+		}
+		if more && bw.Buffered() < flushThreshold {
+			continue // batch the next round into the same flush
+		}
+		if !more && flushEvery > 0 {
+			// Idle: wait briefly for stragglers — the extra latency buys
+			// larger batches under sustained pipelined load.
+			time.Sleep(flushEvery)
+			fw.mu.Lock()
+			more = len(fw.queue) > 0
+			fw.mu.Unlock()
+			if more && bw.Buffered() < flushThreshold {
+				continue
+			}
+		}
+		if bw.Flush() != nil {
+			broken = true
+		}
+	}
+}
