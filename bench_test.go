@@ -11,6 +11,7 @@ package doppel_test
 // is exactly what internal/sim substitutes for (see DESIGN.md §2).
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -259,6 +260,79 @@ func BenchmarkRealLoadDoppel(b *testing.B) {
 		res := bench.RunLoad(db, gen, bench.Options{Duration: 50 * time.Millisecond, Seed: 1})
 		db.Close()
 		b.ReportMetric(res.Throughput, "real-txn/s")
+	}
+}
+
+// BenchmarkCheckpoint measures one full checkpoint (quiesced cut +
+// snapshot write + manifest install + segment GC) of a 10k-record store
+// under a running database.
+func BenchmarkCheckpoint(b *testing.B) {
+	dir := b.TempDir()
+	db, err := doppel.OpenErr(doppel.Options{Workers: 2, RedoLog: dir})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	const keys = 10_000
+	for i := 0; i < keys; i++ {
+		key := "k" + string(rune('a'+i%26)) + fmt.Sprint(i)
+		if err := db.Exec(func(tx doppel.Tx) error { return tx.PutInt(key, int64(i)) }); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := db.Checkpoint(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRecoverFullReplay measures Recover with no checkpoint: the
+// whole log replays. Compare with BenchmarkRecoverAfterCheckpoint; the
+// doppel-bench -recovery mode sweeps this at larger scales.
+func BenchmarkRecoverFullReplay(b *testing.B) {
+	benchRecover(b, false)
+}
+
+// BenchmarkRecoverAfterCheckpoint measures bounded recovery: snapshot
+// load plus replay of only the post-checkpoint tail.
+func BenchmarkRecoverAfterCheckpoint(b *testing.B) {
+	benchRecover(b, true)
+}
+
+func benchRecover(b *testing.B, checkpoint bool) {
+	b.Helper()
+	dir := b.TempDir()
+	db, err := doppel.OpenErr(doppel.Options{Workers: 2, RedoLog: dir})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const txns = 10_000
+	for i := 0; i < txns; i++ {
+		key := fmt.Sprintf("k%d", i%500)
+		if err := db.Exec(func(tx doppel.Tx) error { return tx.Add(key, 1) }); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if checkpoint {
+		if err := db.Checkpoint(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	db.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec, err := doppel.Recover(dir, doppel.Options{Workers: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(rec.LastRecovery().RecordsReplayed), "records-replayed")
+		}
+		b.StopTimer()
+		rec.Close()
+		b.StartTimer()
 	}
 }
 

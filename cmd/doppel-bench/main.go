@@ -10,6 +10,7 @@
 //	doppel-bench -experiment fig11 -cores 40 # different core count
 //	doppel-bench -real -duration 2s          # real-engine INCR1 run
 //	doppel-bench -net -duration 2s           # network protocol: blocking vs pipelined
+//	doppel-bench -recovery -txns 50000       # recovery time: full replay vs after a checkpoint
 package main
 
 import (
@@ -43,6 +44,8 @@ func main() {
 	seed := flag.Uint64("seed", 42, "simulation seed")
 	real := flag.Bool("real", false, "run INCR1 on the real engines instead of the simulator")
 	netMode := flag.Bool("net", false, "run the networked INCR1 benchmark: blocking vs pipelined on one connection")
+	recovery := flag.Bool("recovery", false, "measure recovery time: full WAL replay vs bounded replay after a checkpoint")
+	txns := flag.Int("txns", 50_000, "recovery mode: transactions to log before measuring")
 	addr := flag.String("addr", "", "net mode: benchmark an already-running server instead of an in-process one")
 	inflight := flag.Int("inflight", 128, "net mode: pipelined requests kept in flight")
 	flush := flag.Duration("flush", 0, "net mode: server/client flush interval (0 flushes when idle)")
@@ -51,6 +54,10 @@ func main() {
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "real/net mode: worker count")
 	flag.Parse()
 
+	if *recovery {
+		runRecovery(*txns, *workers)
+		return
+	}
 	if *netMode {
 		runNet(*addr, *hot, *duration, *workers, *inflight, *flush)
 		return
@@ -193,6 +200,74 @@ func netPipelined(addr string, flush time.Duration, dur time.Duration, window in
 		n++
 	}
 	return n, time.Since(begin), lat
+}
+
+// runRecovery measures what checkpoints buy: log a workload, then time
+// Recover twice — once replaying the whole log, once after a checkpoint
+// has bounded the live log to the post-snapshot tail.
+func runRecovery(txns, workers int) {
+	dir, err := os.MkdirTemp("", "doppel-recovery-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	const keys = 1000
+
+	db, err := doppel.OpenErr(doppel.Options{Workers: workers, RedoLog: dir})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < txns; i++ {
+		key := fmt.Sprintf("k%d", i%keys)
+		if err := db.Exec(func(tx doppel.Tx) error { return tx.Add(key, 1) }); err != nil {
+			log.Fatal(err)
+		}
+	}
+	db.Close()
+
+	fmt.Printf("# recovery time: %d logged transactions over %d keys, %d workers\n", txns, keys, workers)
+	fmt.Printf("%-24s %12s %10s %10s %12s\n", "mode", "recover", "segments", "records", "snapshot")
+	row := func(mode string, d time.Duration, rs doppel.RecoveryStats) {
+		snap := "-"
+		if rs.SnapshotFile != "" {
+			snap = fmt.Sprintf("%d recs", rs.SnapshotEntries)
+		}
+		fmt.Printf("%-24s %12v %10d %10d %12s\n", mode, d, rs.SegmentsReplayed, rs.RecordsReplayed, snap)
+	}
+
+	start := time.Now()
+	rec, err := doppel.Recover(dir, doppel.Options{Workers: workers})
+	if err != nil {
+		log.Fatal(err)
+	}
+	full := time.Since(start)
+	row("full replay", full, rec.LastRecovery())
+
+	// Checkpoint, then append a 1% tail so bounded recovery has real
+	// (but small) replay work to do.
+	if err := rec.Checkpoint(); err != nil {
+		log.Fatal(err)
+	}
+	tail := txns / 100
+	for i := 0; i < tail; i++ {
+		key := fmt.Sprintf("k%d", i%keys)
+		if err := rec.Exec(func(tx doppel.Tx) error { return tx.Add(key, 1) }); err != nil {
+			log.Fatal(err)
+		}
+	}
+	rec.Close()
+
+	start = time.Now()
+	rec2, err := doppel.Recover(dir, doppel.Options{Workers: workers})
+	if err != nil {
+		log.Fatal(err)
+	}
+	bounded := time.Since(start)
+	row(fmt.Sprintf("after checkpoint (+%d)", tail), bounded, rec2.LastRecovery())
+	rec2.Close()
+	if bounded > 0 {
+		fmt.Printf("replay bound speedup: %.1fx\n", float64(full)/float64(bounded))
+	}
 }
 
 // runReal measures the real engines on this machine with the INCR1

@@ -30,9 +30,29 @@ func main() {
 	maxInFlight := flag.Int("max-inflight", 128, "max concurrently executing requests per connection")
 	flush := flag.Duration("flush", 0, "response flush interval (0 flushes when the queue goes idle)")
 	maxFrame := flag.Int("max-frame", server.DefaultMaxFrame, "max frame payload bytes")
+	walDir := flag.String("wal", "", "durability directory (enables redo logging; recovers existing state on start)")
+	ckptEvery := flag.Duration("checkpoint-every", 30*time.Second, "checkpoint interval when -wal is set (0 disables)")
 	flag.Parse()
 
-	db := doppel.Open(doppel.Options{Workers: *workers})
+	opts := doppel.Options{Workers: *workers}
+	var db *doppel.DB
+	if *walDir != "" {
+		opts.RedoLog = *walDir
+		opts.CheckpointEvery = *ckptEvery
+		if err := os.MkdirAll(*walDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		var err error
+		db, err = doppel.Recover(*walDir, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rs := db.LastRecovery()
+		log.Printf("recovered from %s: snapshot %q (%d records), %d segments / %d records replayed",
+			*walDir, rs.SnapshotFile, rs.SnapshotEntries, rs.SegmentsReplayed, rs.RecordsReplayed)
+	} else {
+		db = doppel.Open(opts)
+	}
 	defer db.Close()
 	srv := server.NewWithOptions(db, server.Options{
 		MaxInFlight: *maxInFlight,
@@ -105,11 +125,35 @@ func main() {
 	srv.Register("stats", func(tx doppel.Tx, args []server.Arg) (server.Arg, error) {
 		s := db.Stats()
 		requests, errs, lat := srv.Stats()
-		return server.Str(fmt.Sprintf(
+		out := fmt.Sprintf(
 			"committed=%d aborted=%d stashed=%d phase=%s split=%d rpc=%d rpc_errors=%d rpc_p50=%v rpc_p99=%v",
 			s.Committed, s.Aborted, s.Stashed, s.Phase, len(s.SplitKeys),
 			requests, errs,
-			time.Duration(lat.Quantile(0.5)), time.Duration(lat.Quantile(0.99)))), nil
+			time.Duration(lat.Quantile(0.5)), time.Duration(lat.Quantile(0.99)))
+		if *walDir != "" {
+			cs := db.CheckpointStats()
+			out += fmt.Sprintf(
+				" checkpoints=%d ckpt_failures=%d ckpt_seg=%d ckpt_entries=%d ckpt_bytes=%d ckpt_barrier=%v",
+				cs.Checkpoints, cs.Failures, cs.LastSeq, cs.LastEntries, cs.LastBytes, cs.LastBarrier)
+			if s.RedoLogError != "" {
+				out += fmt.Sprintf(" redo_error=%q", s.RedoLogError)
+			}
+		}
+		return server.Str(out), nil
+	})
+	// Handlers execute on worker goroutines, and a checkpoint barrier
+	// needs every worker to reach a transaction boundary — so the RPC
+	// only kicks the checkpoint off; progress is visible via "stats".
+	srv.Register("checkpoint", func(tx doppel.Tx, args []server.Arg) (server.Arg, error) {
+		if *walDir == "" {
+			return server.Nil, fmt.Errorf("server started without -wal")
+		}
+		go func() {
+			if err := db.Checkpoint(); err != nil {
+				log.Printf("checkpoint: %v", err)
+			}
+		}()
+		return server.Str("checkpoint started"), nil
 	})
 
 	bound, err := srv.Listen(*addr)

@@ -34,6 +34,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"doppel/internal/checkpoint"
 	"doppel/internal/core"
 	"doppel/internal/engine"
 	"doppel/internal/metrics"
@@ -85,10 +86,19 @@ type Options struct {
 	// Engine overrides internal classifier knobs; leave zero-valued
 	// unless benchmarking.
 	Engine core.Config
-	// RedoLog, when non-empty, enables asynchronous group-commit redo
-	// logging to this file (the durability design the paper cites as
-	// future work). Use Recover to rebuild a database from the log.
+	// RedoLog, when non-empty, names a durability directory and enables
+	// asynchronous group-commit redo logging into it (the durability
+	// design the paper cites as future work). The directory holds
+	// numbered WAL segments, snapshot files and a MANIFEST; use Recover
+	// to rebuild a database from it. Reopening an existing directory
+	// appends — it never truncates logged data.
 	RedoLog string
+	// CheckpointEvery, when non-zero, checkpoints the database at this
+	// interval: a consistent snapshot is written at a quiesced phase
+	// boundary, the WAL rotates to a fresh segment, and segments covered
+	// by the snapshot are deleted. This bounds both recovery time and
+	// log disk usage. Requires RedoLog. Checkpoint() forces one manually.
+	CheckpointEvery time.Duration
 }
 
 // Stats is a point-in-time summary of database activity.
@@ -100,17 +110,38 @@ type Stats struct {
 	Phase        string
 	PhaseChanges uint64
 	SplitKeys    []string
+	// RedoLogError is the redo logger's terminal failure ("" when
+	// healthy or logging is disabled). Logging is asynchronous, so
+	// transactions keep committing in memory after such a failure —
+	// operators must watch this field to know durability has stopped.
+	RedoLogError string
+}
+
+// CheckpointStats summarizes checkpoint activity; see checkpoint.Stats.
+type CheckpointStats = checkpoint.Stats
+
+// RecoveryStats reports what Recover read to rebuild the database. After
+// a checkpoint, recovery is bounded: it loads the snapshot and replays
+// only the segments written after it.
+type RecoveryStats struct {
+	SnapshotFile     string // snapshot loaded, "" when none existed
+	SnapshotEntries  int    // records restored from the snapshot
+	SnapshotSeq      uint64 // first segment sequence the snapshot does not cover
+	SegmentsReplayed int    // live segments replayed after the snapshot
+	RecordsReplayed  int    // redo records replayed from those segments
 }
 
 // DB is a Doppel database with its own worker goroutines. All methods
 // are safe for concurrent use.
 type DB struct {
-	eng     *core.DB
-	redo    *wal.Logger
-	queues  []chan *request
-	wg      sync.WaitGroup
-	stopped atomic.Bool
-	next    atomic.Uint64
+	eng      *core.DB
+	redo     *wal.Logger
+	ckpt     *checkpoint.Checkpointer
+	recovery RecoveryStats
+	queues   []chan *request
+	wg       sync.WaitGroup
+	stopped  atomic.Bool
+	next     atomic.Uint64
 }
 
 type request struct {
@@ -141,38 +172,54 @@ func Open(opts Options) *DB {
 }
 
 // OpenErr is Open with an error return (needed only when Options.RedoLog
-// is set).
+// is set). It refuses a durability directory that already holds logged
+// state — appending a fresh database's records behind an old
+// generation's would make the new writes unrecoverable; use Recover for
+// existing directories.
 func OpenErr(opts Options) (*DB, error) {
+	if opts.RedoLog != "" {
+		has, err := wal.HasState(opts.RedoLog)
+		if err != nil {
+			return nil, err
+		}
+		if has {
+			return nil, fmt.Errorf("doppel: %s contains an existing log; use Recover", opts.RedoLog)
+		}
+	}
 	return openInto(opts, store.New())
 }
 
-// Recover replays the redo log at path into a fresh database and starts
-// it (without further logging; pass a different Options.RedoLog to
-// resume logging to a new file).
-func Recover(path string, opts Options) (*DB, error) {
-	recs, err := wal.Replay(path)
+// Recover rebuilds a database from the durability directory at dir:
+// it loads the manifest's snapshot (if any), replays only the segments
+// the snapshot does not cover, and starts the database. Unless
+// opts.RedoLog names a different directory, logging resumes into dir by
+// appending a fresh records to the existing log — recovering and
+// crashing again never loses recovered state. RecoveryStats reports how
+// bounded the replay was.
+func Recover(dir string, opts Options) (*DB, error) {
+	rec, err := checkpoint.Load(dir)
 	if err != nil {
 		return nil, err
 	}
-	st := store.New()
-	// Per-record TIDs increase monotonically (every commit's TID exceeds
-	// the record's previous TID), so replay applies a record's value only
-	// when its TID advances — belt and braces against any log reordering.
-	seen := map[string]uint64{}
-	for _, rec := range recs {
-		for _, op := range rec.Ops {
-			if prev, ok := seen[op.Key]; ok && rec.TID <= prev {
-				continue
-			}
-			v, err := store.DecodeValue(op.Value)
-			if err != nil {
-				return nil, fmt.Errorf("doppel: corrupt redo value for %q: %w", op.Key, err)
-			}
-			st.Preload(op.Key, v)
-			seen[op.Key] = rec.TID
-		}
+	st, err := rec.BuildStore()
+	if err != nil {
+		return nil, err
 	}
-	return openInto(opts, st)
+	if opts.RedoLog == "" {
+		opts.RedoLog = dir
+	}
+	db, err := openInto(opts, st)
+	if err != nil {
+		return nil, err
+	}
+	db.recovery = RecoveryStats{
+		SnapshotFile:     rec.Manifest.Snapshot,
+		SnapshotEntries:  len(rec.Snapshot),
+		SnapshotSeq:      rec.Manifest.SnapshotSeq,
+		SegmentsReplayed: len(rec.Segments),
+		RecordsReplayed:  len(rec.Records),
+	}
+	return db, nil
 }
 
 func openInto(opts Options, st *store.Store) (*DB, error) {
@@ -196,11 +243,16 @@ func openInto(opts Options, st *store.Store) (*DB, error) {
 			return nil, err
 		}
 		cfg.Redo = redo
+	} else if opts.CheckpointEvery > 0 {
+		return nil, errors.New("doppel: CheckpointEvery requires RedoLog")
 	}
 	db := &DB{
 		eng:    core.Open(st, cfg),
 		redo:   redo,
 		queues: make([]chan *request, workers),
+	}
+	if redo != nil {
+		db.ckpt = checkpoint.New(db.eng, redo, checkpoint.Options{Every: opts.CheckpointEvery})
 	}
 	for w := 0; w < workers; w++ {
 		db.queues[w] = make(chan *request, 128)
@@ -307,6 +359,33 @@ func (db *DB) ExecWait(fn TxFunc) error {
 	return db.Exec(func(tx Tx) error { return nil })
 }
 
+// Checkpoint forces a checkpoint now: a consistent snapshot is written
+// at a quiesced phase boundary, the WAL rotates, and segments the
+// snapshot covers are garbage-collected. It returns once the checkpoint
+// is durable. Requires Options.RedoLog.
+func (db *DB) Checkpoint() error {
+	if db.ckpt == nil {
+		return errors.New("doppel: checkpointing requires Options.RedoLog")
+	}
+	if db.stopped.Load() {
+		return errors.New("doppel: database closed")
+	}
+	return db.ckpt.Checkpoint()
+}
+
+// CheckpointStats returns checkpoint activity counters (zero when no
+// redo log is configured).
+func (db *DB) CheckpointStats() CheckpointStats {
+	if db.ckpt == nil {
+		return CheckpointStats{}
+	}
+	return db.ckpt.Stats()
+}
+
+// LastRecovery reports what Recover loaded to build this database; it is
+// zero for databases not created by Recover.
+func (db *DB) LastRecovery() RecoveryStats { return db.recovery }
+
 // SplitHint manually labels key as split data for op (§5.5 of the
 // paper). The classifier handles hot keys automatically; hints are for
 // workloads whose contention the application can predict.
@@ -321,7 +400,7 @@ func (db *DB) Stats() Stats {
 	for w := 0; w < db.eng.Workers(); w++ {
 		agg.Merge(db.eng.WorkerStats(w))
 	}
-	return Stats{
+	s := Stats{
 		Committed:    agg.Committed,
 		Aborted:      agg.Aborted,
 		Stashed:      agg.Stashed,
@@ -330,6 +409,12 @@ func (db *DB) Stats() Stats {
 		PhaseChanges: db.eng.PhaseChanges(),
 		SplitKeys:    db.eng.SplitKeys(),
 	}
+	if db.redo != nil {
+		if err := db.redo.Err(); err != nil {
+			s.RedoLogError = err.Error()
+		}
+	}
+	return s
 }
 
 // Close stops the workers, reconciles outstanding per-core slices and
@@ -338,6 +423,11 @@ func (db *DB) Stats() Stats {
 func (db *DB) Close() {
 	if db.stopped.Swap(true) {
 		return
+	}
+	// Stop the checkpointer while the workers are still being driven: an
+	// in-flight checkpoint barrier needs polling workers to complete.
+	if db.ckpt != nil {
+		db.ckpt.Close()
 	}
 	for _, q := range db.queues {
 		close(q)

@@ -1,18 +1,24 @@
 package doppel
 
 import (
+	"bytes"
 	"fmt"
+	"math/rand"
+	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 	"time"
+
+	"doppel/internal/store"
 )
 
 // TestRedoLogRecovery writes through a logged database (including split
 // phases so reconciliation merges get logged), closes it, and recovers a
-// fresh database from the log.
+// fresh database from the log directory.
 func TestRedoLogRecovery(t *testing.T) {
-	path := filepath.Join(t.TempDir(), "doppel.wal")
-	opts := Options{Workers: 2, PhaseLength: 2 * time.Millisecond, RedoLog: path}
+	dir := t.TempDir()
+	opts := Options{Workers: 2, PhaseLength: 2 * time.Millisecond, RedoLog: dir}
 	db, err := OpenErr(opts)
 	if err != nil {
 		t.Fatal(err)
@@ -41,7 +47,7 @@ func TestRedoLogRecovery(t *testing.T) {
 	}
 	db.Close()
 
-	rec, err := Recover(path, Options{Workers: 2})
+	rec, err := Recover(dir, Options{Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,14 +88,419 @@ func TestRedoLogRecovery(t *testing.T) {
 	}
 }
 
-func TestRecoverMissingLog(t *testing.T) {
-	if _, err := Recover(filepath.Join(t.TempDir(), "nope.wal"), Options{}); err == nil {
+// TestRecoverThenCrashAgain is the regression test for the seed's
+// truncate-on-open bug: wal.Open used os.Create, so a database that
+// recovered and then crashed (or merely closed) before writing anything
+// new silently lost the entire recovered state. Recovery must survive
+// any number of crash → recover cycles, with and without new writes.
+func TestRecoverThenCrashAgain(t *testing.T) {
+	dir := t.TempDir()
+	db, err := OpenErr(Options{Workers: 2, RedoLog: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Exec(func(tx Tx) error { return tx.PutInt("gen", 1) }); err != nil {
+		t.Fatal(err)
+	}
+	db.Close() // crash #1 (Close flushes; the file is now the crash image)
+
+	wantGen := func(db *DB, want int64) {
+		t.Helper()
+		err := db.Exec(func(tx Tx) error {
+			n, err := tx.GetInt("gen")
+			if err != nil {
+				return err
+			}
+			if n != want {
+				return fmt.Errorf("gen = %d, want %d", n, want)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Recover and crash again immediately, writing nothing. The seed bug
+	// truncated the log right here.
+	db2, err := Recover(dir, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantGen(db2, 1)
+	db2.Close() // crash #2
+
+	// Recover again: generation 1 must still be there; add generation 2.
+	db3, err := Recover(dir, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantGen(db3, 1)
+	if err := db3.Exec(func(tx Tx) error { return tx.PutInt("gen", 2) }); err != nil {
+		t.Fatal(err)
+	}
+	db3.Close() // crash #3
+
+	// Both generations' effects must survive.
+	db4, err := Recover(dir, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantGen(db4, 2)
+	db4.Close()
+}
+
+// TestCheckpointBoundsReplay is the acceptance test for bounded
+// recovery: after a checkpoint, recovery loads the snapshot and replays
+// only post-snapshot segments, verified via segment accounting.
+func TestCheckpointBoundsReplay(t *testing.T) {
+	dir := t.TempDir()
+	db, err := OpenErr(Options{Workers: 2, RedoLog: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const preCheckpoint = 500
+	for i := 0; i < preCheckpoint; i++ {
+		key := fmt.Sprintf("k%d", i%50)
+		if err := db.Exec(func(tx Tx) error { return tx.Add(key, 1) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	cs := db.CheckpointStats()
+	if cs.Checkpoints != 1 || cs.LastEntries != 50 {
+		t.Fatalf("checkpoint stats: %+v", cs)
+	}
+	// A handful of post-checkpoint transactions: this is all recovery
+	// should have to replay.
+	const postCheckpoint = 7
+	for i := 0; i < postCheckpoint; i++ {
+		if err := db.Exec(func(tx Tx) error { return tx.PutInt(fmt.Sprintf("post%d", i), int64(i)) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db.Close()
+
+	rec, err := Recover(dir, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	rs := rec.LastRecovery()
+	if rs.SnapshotFile == "" || rs.SnapshotEntries != 50 {
+		t.Fatalf("recovery did not use the snapshot: %+v", rs)
+	}
+	if rs.SegmentsReplayed != 1 {
+		t.Fatalf("replayed %d segments, want only the 1 post-snapshot segment (%+v)", rs.SegmentsReplayed, rs)
+	}
+	if rs.RecordsReplayed >= preCheckpoint {
+		t.Fatalf("replay not bounded: %d records for %d post-checkpoint writes (%+v)",
+			rs.RecordsReplayed, postCheckpoint, rs)
+	}
+	// And the state is still complete.
+	err = rec.Exec(func(tx Tx) error {
+		for i := 0; i < 50; i++ {
+			n, err := tx.GetInt(fmt.Sprintf("k%d", i))
+			if err != nil {
+				return err
+			}
+			if n != preCheckpoint/50 {
+				return fmt.Errorf("k%d = %d, want %d", i, n, preCheckpoint/50)
+			}
+		}
+		for i := 0; i < postCheckpoint; i++ {
+			n, err := tx.GetInt(fmt.Sprintf("post%d", i))
+			if err != nil {
+				return err
+			}
+			if n != int64(i) {
+				return fmt.Errorf("post%d = %d", i, n)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBackgroundCheckpointing exercises Options.CheckpointEvery under
+// live traffic: checkpoints must happen, and recovery afterwards must
+// see every committed transaction.
+func TestBackgroundCheckpointing(t *testing.T) {
+	dir := t.TempDir()
+	db, err := OpenErr(Options{
+		Workers:         2,
+		PhaseLength:     2 * time.Millisecond,
+		RedoLog:         dir,
+		CheckpointEvery: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.SplitHint("hot", OpAdd)
+	const txns = 400
+	for i := 0; i < txns; i++ {
+		if err := db.Exec(func(tx Tx) error { return tx.Add("hot", 1) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Let at least one checkpoint land while traffic has stopped too.
+	deadline := time.Now().Add(5 * time.Second)
+	for db.CheckpointStats().Checkpoints == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	cs := db.CheckpointStats()
+	db.Close()
+	if cs.Checkpoints == 0 {
+		t.Fatal("no background checkpoint completed")
+	}
+
+	rec, err := Recover(dir, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	err = rec.Exec(func(tx Tx) error {
+		n, err := tx.GetInt("hot")
+		if err != nil {
+			return err
+		}
+		if n != txns {
+			return fmt.Errorf("hot = %d, want %d", n, txns)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// storeState flattens a store into key → canonical value encoding for
+// deep comparison.
+func storeState(st *store.Store) map[string]string {
+	out := map[string]string{}
+	for _, e := range st.SnapshotEntries() {
+		out[e.Key] = string(store.EncodeValue(e.Value))
+	}
+	return out
+}
+
+// TestRecoverPropertyMixedWorkload is the randomized property test:
+// after a mixed workload of every splittable operation plus Put, run by
+// concurrent workers with checkpoints interleaved, the recovered store
+// must deep-equal the store at Close.
+func TestRecoverPropertyMixedWorkload(t *testing.T) {
+	seeds := []int64{1, 2, 3}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			dir := t.TempDir()
+			db, err := OpenErr(Options{
+				Workers:     2,
+				PhaseLength: 2 * time.Millisecond,
+				RedoLog:     dir,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			db.SplitHint("add:hot", OpAdd)
+
+			const workers = 4
+			const txnsPerWorker = 150
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					r := rand.New(rand.NewSource(seed*1000 + int64(w)))
+					for i := 0; i < txnsPerWorker; i++ {
+						n := int64(r.Intn(100) + 1)
+						key := r.Intn(10)
+						var fn TxFunc
+						switch r.Intn(7) {
+						case 0:
+							k := fmt.Sprintf("add:%d", key)
+							if r.Intn(4) == 0 {
+								k = "add:hot"
+							}
+							fn = func(tx Tx) error { return tx.Add(k, n) }
+						case 1:
+							fn = func(tx Tx) error { return tx.Max(fmt.Sprintf("max:%d", key), n) }
+						case 2:
+							fn = func(tx Tx) error { return tx.Min(fmt.Sprintf("min:%d", key), -n) }
+						case 3:
+							fn = func(tx Tx) error { return tx.Mult(fmt.Sprintf("mult:%d", key), 1+n%3) }
+						case 4:
+							fn = func(tx Tx) error {
+								return tx.OPut(fmt.Sprintf("oput:%d", key), Order{A: n, B: int64(i)},
+									[]byte(fmt.Sprintf("o%d", n)))
+							}
+						case 5:
+							fn = func(tx Tx) error {
+								return tx.TopKInsert(fmt.Sprintf("topk:%d", key%3), n,
+									[]byte(fmt.Sprintf("e%d", n)), 5)
+							}
+						default:
+							fn = func(tx Tx) error {
+								return tx.PutBytes(fmt.Sprintf("put:%d", key), []byte(fmt.Sprintf("v%d", n)))
+							}
+						}
+						if err := db.Exec(fn); err != nil {
+							t.Error(err)
+							return
+						}
+						// A mid-workload checkpoint from one goroutine
+						// exercises cut-under-traffic.
+						if w == 0 && i == txnsPerWorker/2 {
+							if err := db.Checkpoint(); err != nil {
+								t.Error(err)
+								return
+							}
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			db.Close() // final reconciliation + flush
+			want := storeState(db.Internal().Store())
+
+			rec, err := Recover(dir, Options{Workers: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer rec.Close()
+			got := storeState(rec.Internal().Store())
+			if len(got) != len(want) {
+				t.Fatalf("recovered %d keys, want %d", len(got), len(want))
+			}
+			for k, v := range want {
+				if got[k] != v {
+					t.Fatalf("key %q: recovered %x, want %x", k, got[k], v)
+				}
+			}
+		})
+	}
+}
+
+// TestRecoveredTIDsStayMonotonic: writes after recovery must generate
+// per-key TIDs above the recovered ones, or a later recovery would
+// drop them as stale.
+func TestRecoveredTIDsStayMonotonic(t *testing.T) {
+	dir := t.TempDir()
+	db, err := OpenErr(Options{Workers: 2, RedoLog: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if err := db.Exec(func(tx Tx) error { return tx.PutInt("k", int64(i)) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db.Close()
+
+	db2, err := Recover(dir, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db2.Exec(func(tx Tx) error { return tx.PutInt("k", 999) }); err != nil {
+		t.Fatal(err)
+	}
+	db2.Close()
+
+	db3, err := Recover(dir, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db3.Close()
+	err = db3.Exec(func(tx Tx) error {
+		n, err := tx.GetInt("k")
+		if err != nil {
+			return err
+		}
+		if n != 999 {
+			return fmt.Errorf("k = %d: post-recovery write lost to a stale TID", n)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSnapshotCanonical: two checkpoints of identical state produce
+// byte-identical snapshots (entries are sorted), which keeps snapshots
+// diffable and the fuzz round-trip meaningful.
+func TestSnapshotCanonical(t *testing.T) {
+	st := store.New()
+	st.PreloadTID("b", store.IntValue(2), 2)
+	st.PreloadTID("a", store.IntValue(1), 1)
+	var b1, b2 bytes.Buffer
+	if err := store.WriteSnapshot(&b1, st.SnapshotEntries()); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.WriteSnapshot(&b2, st.SnapshotEntries()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatal("snapshots of identical state differ")
+	}
+}
+
+func TestRecoverMissingDir(t *testing.T) {
+	if _, err := Recover(filepath.Join(t.TempDir(), "nope"), Options{}); err == nil {
 		t.Fatal("expected error")
 	}
 }
 
 func TestOpenErrBadLogPath(t *testing.T) {
-	if _, err := OpenErr(Options{RedoLog: filepath.Join(t.TempDir(), "no", "such", "dir", "x.wal")}); err == nil {
-		t.Fatal("expected error")
+	// A path that exists as a regular file cannot become a log directory.
+	f := filepath.Join(t.TempDir(), "file")
+	if err := os.WriteFile(f, []byte("not a dir"), 0o644); err != nil {
+		t.Fatal(err)
 	}
+	if _, err := OpenErr(Options{RedoLog: f}); err == nil {
+		t.Fatal("expected error for file in place of log directory")
+	}
+}
+
+func TestCheckpointRequiresRedoLog(t *testing.T) {
+	if _, err := OpenErr(Options{CheckpointEvery: time.Second}); err == nil {
+		t.Fatal("expected error: CheckpointEvery without RedoLog")
+	}
+	db := Open(Options{})
+	defer db.Close()
+	if err := db.Checkpoint(); err == nil {
+		t.Fatal("expected error: Checkpoint without RedoLog")
+	}
+}
+
+// TestOpenErrRefusesExistingState: opening (rather than recovering) a
+// directory that already holds logged state must fail — a fresh store's
+// low-TID records appended behind the old generation's would be
+// silently dropped by the next recovery.
+func TestOpenErrRefusesExistingState(t *testing.T) {
+	dir := t.TempDir()
+	db, err := OpenErr(Options{Workers: 2, RedoLog: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Exec(func(tx Tx) error { return tx.PutInt("k", 1) }); err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+	if _, err := OpenErr(Options{Workers: 2, RedoLog: dir}); err == nil {
+		t.Fatal("OpenErr accepted a directory with existing state")
+	}
+	// Recover is the sanctioned path and must still work.
+	rec, err := Recover(dir, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.Close()
 }

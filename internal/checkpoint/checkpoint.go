@@ -1,0 +1,255 @@
+// Package checkpoint turns the segmented WAL into a bounded-recovery
+// durability layer: a checkpointer periodically captures a consistent
+// snapshot of the store at a quiesced phase boundary, rotates the log to
+// a fresh segment, publishes the snapshot in the log's manifest, and
+// garbage-collects the segments the snapshot subsumes. Recovery then
+// loads the newest snapshot and replays only the segments written after
+// it, so both replay time and disk usage are bounded by the checkpoint
+// interval instead of the database's lifetime.
+//
+// The consistency argument: the cut runs inside a core.DB barrier
+// transition, i.e. with every worker paused between transactions and all
+// per-core slices reconciled. At that point each committed value is
+// visible in the store and its redo record has been submitted to the
+// logger, and no commit is in flight. Rotate flushes those records to
+// the sealed segments, so snapshot ⊇ every record in segments before the
+// cut; records logged after the cut land in newer segments and carry
+// per-key TIDs larger than the snapshot's, so replaying them over the
+// snapshot is exact.
+package checkpoint
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"doppel/internal/core"
+	"doppel/internal/store"
+	"doppel/internal/wal"
+)
+
+// Options configures a Checkpointer.
+type Options struct {
+	// Every is the background checkpoint interval; 0 disables the
+	// background loop (manual Checkpoint calls still work).
+	Every time.Duration
+}
+
+// Stats is a point-in-time summary of checkpoint activity.
+type Stats struct {
+	Checkpoints  uint64        // completed checkpoints
+	Failures     uint64        // failed checkpoint attempts
+	LastSeq      uint64        // first live segment after the last checkpoint
+	LastEntries  int           // records in the last snapshot
+	LastBytes    int64         // size of the last snapshot file
+	LastBarrier  time.Duration // time workers were stalled by the last cut
+	LastDuration time.Duration // wall time of the last checkpoint
+	LastError    string        // message of the last failure, if any
+}
+
+// Checkpointer drives snapshot+rotate checkpoints for one database and
+// its logger.
+type Checkpointer struct {
+	db  *core.DB
+	log *wal.Logger
+
+	ckptMu sync.Mutex // serializes checkpoints; held across Close's drain
+	mu     sync.Mutex // guards stats
+	stats  Stats
+
+	closed atomic.Bool
+	stop   chan struct{}
+	done   chan struct{}
+}
+
+// New returns a checkpointer for db and log. When opts.Every > 0 a
+// background goroutine checkpoints at that interval until Close.
+func New(db *core.DB, log *wal.Logger, opts Options) *Checkpointer {
+	c := &Checkpointer{db: db, log: log, stop: make(chan struct{}), done: make(chan struct{})}
+	if opts.Every > 0 {
+		go c.loop(opts.Every)
+	} else {
+		close(c.done)
+	}
+	return c
+}
+
+func (c *Checkpointer) loop(every time.Duration) {
+	defer close(c.done)
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+			_ = c.Checkpoint() // failures are recorded in Stats
+		}
+	}
+}
+
+// Stats returns a copy of the checkpointer's counters.
+func (c *Checkpointer) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+func (c *Checkpointer) fail(err error) error {
+	c.mu.Lock()
+	c.stats.Failures++
+	c.stats.LastError = err.Error()
+	c.mu.Unlock()
+	return err
+}
+
+// cut is what the barrier captures: the rotation point and the store
+// contents at the quiesced boundary.
+type cut struct {
+	seq     uint64
+	entries []store.SnapshotEntry
+	barrier time.Duration
+	err     error
+}
+
+// Checkpoint performs one checkpoint now: cut at a barrier, write the
+// snapshot, install it in the manifest, garbage-collect. It blocks until
+// the checkpoint is durable (or failed). Workers must be running (being
+// polled) for the barrier to complete.
+func (c *Checkpointer) Checkpoint() error {
+	c.ckptMu.Lock()
+	defer c.ckptMu.Unlock()
+	if c.closed.Load() {
+		return errors.New("checkpoint: checkpointer closed")
+	}
+	start := time.Now()
+
+	// Publish the barrier; retry while another phase transition is in
+	// flight. Once published it is guaranteed to run (workers complete
+	// it as they poll; core.DB.Close completes it during quiesce).
+	cutCh := make(chan cut, 1)
+	for !c.db.RequestBarrier(func() {
+		t0 := time.Now()
+		seq, err := c.log.Rotate()
+		if err != nil {
+			cutCh <- cut{err: err}
+			return
+		}
+		// Values are immutable: collecting pointers is all the barrier
+		// needs; encoding and file I/O happen after workers resume.
+		cutCh <- cut{
+			seq:     seq,
+			entries: c.db.Store().SnapshotEntries(),
+			barrier: time.Since(t0),
+		}
+	}) {
+		if c.closed.Load() {
+			return errors.New("checkpoint: checkpointer closed")
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+	cu := <-cutCh
+	if cu.err != nil {
+		return c.fail(fmt.Errorf("checkpoint: rotate: %w", cu.err))
+	}
+
+	name := wal.SnapshotFileName(cu.seq)
+	size, err := wal.WriteFileAtomic(c.log.Dir(), name, func(w io.Writer) error {
+		return store.WriteSnapshot(w, cu.entries)
+	})
+	if err != nil {
+		return c.fail(fmt.Errorf("checkpoint: snapshot: %w", err))
+	}
+	if err := c.log.Install(name, cu.seq); err != nil {
+		return c.fail(fmt.Errorf("checkpoint: install: %w", err))
+	}
+
+	c.mu.Lock()
+	c.stats.Checkpoints++
+	c.stats.LastSeq = cu.seq
+	c.stats.LastEntries = len(cu.entries)
+	c.stats.LastBytes = size
+	c.stats.LastBarrier = cu.barrier
+	c.stats.LastDuration = time.Since(start)
+	c.stats.LastError = ""
+	c.mu.Unlock()
+	return nil
+}
+
+// Close stops the background loop and waits for any in-flight
+// checkpoint. It must be called while the database's workers are still
+// being driven (before core.DB.Close), so an in-flight barrier can
+// complete.
+func (c *Checkpointer) Close() {
+	if c.closed.Swap(true) {
+		return
+	}
+	close(c.stop)
+	<-c.done
+	c.ckptMu.Lock() // wait out an in-flight manual Checkpoint
+	c.ckptMu.Unlock()
+}
+
+// Recovered is the durable state read back from a log directory.
+type Recovered struct {
+	Manifest wal.Manifest
+	Snapshot []store.SnapshotEntry // entries of the manifest's snapshot
+	Records  []wal.Record          // live-segment records, log order
+	Segments []wal.SegmentInfo     // the segments those records came from
+}
+
+// Load reads dir's manifest, snapshot and live segments. It fails
+// loudly on a corrupt manifest or snapshot (both are published
+// atomically, so corruption means real damage) and tolerates only a
+// torn tail in the newest segment.
+func Load(dir string) (*Recovered, error) {
+	man, recs, segs, err := wal.ReplayDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	r := &Recovered{Manifest: man, Records: recs, Segments: segs}
+	if man.Snapshot != "" {
+		f, err := os.Open(filepath.Join(dir, man.Snapshot))
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint: manifest names missing snapshot: %w", err)
+		}
+		r.Snapshot, err = store.ReadSnapshot(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint: %s: %w", man.Snapshot, err)
+		}
+	}
+	return r, nil
+}
+
+// BuildStore materializes the recovered state: snapshot entries first,
+// then redo records in log order. A record's op applies only when its
+// TID exceeds the key's current TID, which both deduplicates records the
+// snapshot already covers and keeps replay idempotent.
+func (r *Recovered) BuildStore() (*store.Store, error) {
+	st := store.New()
+	for _, e := range r.Snapshot {
+		st.PreloadTID(e.Key, e.Value, e.TID)
+	}
+	for _, rec := range r.Records {
+		for _, op := range rec.Ops {
+			sr, _ := st.GetOrCreate(op.Key)
+			tid, _ := sr.TIDWord()
+			if tid >= rec.TID {
+				continue
+			}
+			v, err := store.DecodeValue(op.Value)
+			if err != nil {
+				return nil, fmt.Errorf("checkpoint: corrupt redo value for %q: %w", op.Key, err)
+			}
+			sr.SetValue(v)
+			sr.SetTID(rec.TID)
+		}
+	}
+	return st, nil
+}

@@ -1,0 +1,215 @@
+package checkpoint
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"doppel/internal/core"
+	"doppel/internal/engine"
+	"doppel/internal/store"
+	"doppel/internal/wal"
+)
+
+// harness drives a coordinator-less core.DB whose workers are polled
+// from the test goroutine, the way checkpoint barriers require.
+type harness struct {
+	t   *testing.T
+	db  *core.DB
+	log *wal.Logger
+}
+
+func newHarness(t *testing.T, workers int) *harness {
+	t.Helper()
+	log, err := wal.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig(workers)
+	cfg.PhaseLength = 0
+	cfg.Redo = log
+	return &harness{t: t, db: core.Open(store.New(), cfg), log: log}
+}
+
+func (h *harness) commit(w int, fn engine.TxFunc) {
+	h.t.Helper()
+	for i := 0; i < 10000; i++ {
+		out, err := h.db.Attempt(w, fn, time.Now().UnixNano())
+		if err != nil {
+			h.t.Fatalf("attempt: %v", err)
+		}
+		if out == engine.Committed {
+			return
+		}
+	}
+	h.t.Fatal("never committed")
+}
+
+// checkpoint runs c.Checkpoint while polling every worker so the
+// barrier can complete.
+func (h *harness) checkpoint(c *Checkpointer) error {
+	h.t.Helper()
+	errCh := make(chan error, 1)
+	go func() { errCh <- c.Checkpoint() }()
+	for {
+		select {
+		case err := <-errCh:
+			return err
+		default:
+			for w := 0; w < h.db.Workers(); w++ {
+				h.db.Poll(w)
+			}
+			time.Sleep(50 * time.Microsecond)
+		}
+	}
+}
+
+func TestCheckpointRotateInstallRecover(t *testing.T) {
+	h := newHarness(t, 2)
+	defer h.log.Close()
+	for i := 0; i < 10; i++ {
+		key := fmt.Sprintf("k%d", i)
+		n := int64(i)
+		h.commit(i%2, func(tx engine.Tx) error { return tx.PutInt(key, n) })
+	}
+	c := New(h.db, h.log, Options{})
+	defer c.Close()
+	if err := h.checkpoint(c); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Checkpoints != 1 || st.Failures != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.LastSeq != 2 {
+		t.Fatalf("rotation landed on segment %d, want 2", st.LastSeq)
+	}
+	if st.LastEntries != 10 {
+		t.Fatalf("snapshot has %d entries, want 10", st.LastEntries)
+	}
+	if st.LastBytes <= 0 {
+		t.Fatalf("snapshot size %d", st.LastBytes)
+	}
+
+	// Post-checkpoint traffic lands in the new segment only.
+	h.commit(0, func(tx engine.Tx) error { return tx.PutInt("k3", 333) })
+	h.commit(1, func(tx engine.Tx) error { return tx.PutInt("new", 1) })
+	h.db.Close()
+	if err := h.log.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rec, err := Load(h.log.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Manifest.Snapshot != wal.SnapshotFileName(2) || rec.Manifest.SnapshotSeq != 2 {
+		t.Fatalf("manifest: %+v", rec.Manifest)
+	}
+	if len(rec.Snapshot) != 10 {
+		t.Fatalf("snapshot entries: %d", len(rec.Snapshot))
+	}
+	if len(rec.Segments) != 1 || rec.Segments[0].Seq != 2 {
+		t.Fatalf("bounded replay violated: live segments %+v", rec.Segments)
+	}
+	if len(rec.Records) != 2 {
+		t.Fatalf("replayed %d records, want only the 2 post-checkpoint ones", len(rec.Records))
+	}
+	built, err := rec.BuildStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantInt := func(key string, want int64) {
+		t.Helper()
+		r := built.Get(key)
+		if r == nil {
+			t.Fatalf("%s missing after recovery", key)
+		}
+		n, err := r.Value().AsInt()
+		if err != nil || n != want {
+			t.Fatalf("%s = %d (%v), want %d", key, n, err, want)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		if i == 3 {
+			continue
+		}
+		wantInt(fmt.Sprintf("k%d", i), int64(i))
+	}
+	wantInt("k3", 333) // post-snapshot record overrides snapshot value
+	wantInt("new", 1)
+}
+
+// TestBuildStoreSkipsStaleRecords: replay applies a redo record only
+// when its TID advances past the key's snapshot TID, so records the
+// snapshot already covers are no-ops.
+func TestBuildStoreSkipsStaleRecords(t *testing.T) {
+	r := &Recovered{
+		Snapshot: []store.SnapshotEntry{{Key: "k", TID: 500, Value: store.IntValue(42)}},
+		Records: []wal.Record{
+			{TID: 400, Ops: []wal.Op{{Key: "k", Value: store.EncodeValue(store.IntValue(1))}}},
+			{TID: 600, Ops: []wal.Op{{Key: "j", Value: store.EncodeValue(store.IntValue(2))}}},
+		},
+	}
+	st, err := r.BuildStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := st.Get("k").Value().AsInt(); n != 42 {
+		t.Fatalf("stale record applied: k=%d", n)
+	}
+	if n, _ := st.Get("j").Value().AsInt(); n != 2 {
+		t.Fatalf("fresh record dropped: j=%d", n)
+	}
+	if tid, _ := st.Get("k").TIDWord(); tid != 500 {
+		t.Fatalf("k TID %d, want 500", tid)
+	}
+}
+
+func TestCheckpointerClosedErrors(t *testing.T) {
+	h := newHarness(t, 1)
+	defer h.db.Close()
+	defer h.log.Close()
+	c := New(h.db, h.log, Options{})
+	c.Close()
+	c.Close() // idempotent
+	if err := c.Checkpoint(); err == nil {
+		t.Fatal("expected error after close")
+	}
+}
+
+func TestBackgroundCheckpointLoop(t *testing.T) {
+	h := newHarness(t, 1)
+	defer h.log.Close()
+	h.commit(0, func(tx engine.Tx) error { return tx.PutInt("k", 7) })
+	c := New(h.db, h.log, Options{Every: 2 * time.Millisecond})
+	// Keep the worker polled until the checkpointer has fully stopped:
+	// the loop may begin another checkpoint at any tick, and its barrier
+	// needs a polling worker to complete (same ordering doppel.DB.Close
+	// follows).
+	pollStop := make(chan struct{})
+	pollDone := make(chan struct{})
+	go func() {
+		defer close(pollDone)
+		for {
+			select {
+			case <-pollStop:
+				return
+			default:
+				h.db.Poll(0)
+				time.Sleep(50 * time.Microsecond)
+			}
+		}
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Stats().Checkpoints == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	c.Close()
+	close(pollStop)
+	<-pollDone
+	h.db.Close()
+	if c.Stats().Checkpoints == 0 {
+		t.Fatal("background loop never checkpointed")
+	}
+}

@@ -38,6 +38,7 @@ type transition struct {
 	target   Phase
 	epoch    uint64
 	nextSet  *splitSet // split set to install when target == PhaseSplit
+	barrier  func()    // checkpoint cut, run by the last acknowledger
 	acks     atomic.Int32
 	total    int32
 	released chan struct{}
@@ -52,6 +53,13 @@ type DB struct {
 	phaseEpoch atomic.Uint64
 	inflight   atomic.Pointer[transition]
 	split      atomic.Pointer[splitSet]
+	// pubMu serializes transition publication (coordinator, test hooks
+	// and checkpoint barriers). While it is held and inflight is nil, no
+	// transition can complete, so phaseEpoch cannot move between reading
+	// it and CASing the new transition in — without this, a second
+	// publisher could install a transition whose epoch the workers have
+	// already acknowledged, which would never complete.
+	pubMu sync.Mutex
 
 	workers []*Worker
 
@@ -166,6 +174,8 @@ func (db *DB) ClearSplitHint(key string) {
 // beginTransition publishes a transition toward target. It returns false
 // when one is already in flight or the database is already in target.
 func (db *DB) beginTransition(target Phase, nextSet *splitSet) bool {
+	db.pubMu.Lock()
+	defer db.pubMu.Unlock()
 	if db.inflight.Load() != nil || db.Phase() == target {
 		return false
 	}
@@ -185,8 +195,19 @@ func (db *DB) beginTransition(target Phase, nextSet *splitSet) bool {
 
 // completeTransition is called by the final acknowledging worker: it
 // installs the new phase and split set, clears the in-flight pointer and
-// releases all waiting workers.
+// releases all waiting workers. If the transition carries a barrier
+// function it runs first, at the one point where every worker is paused
+// between transactions and all reconciliation duties have completed —
+// the quiesced boundary checkpoints cut at.
 func (db *DB) completeTransition(tr *transition) {
+	if tr.barrier != nil {
+		tr.barrier()
+	}
+	// A joined→joined barrier is a checkpoint cut, not a phase change:
+	// leave the phase clock and change counter alone, or frequent
+	// checkpoints would keep resetting the coordinator's "joined phase
+	// long enough?" timer and starve split phases entirely.
+	noop := tr.target == Phase(db.phase.Load())
 	if tr.target == PhaseSplit {
 		db.split.Store(tr.nextSet)
 		db.splitPhases.Add(1)
@@ -195,8 +216,10 @@ func (db *DB) completeTransition(tr *transition) {
 	}
 	db.phase.Store(int32(tr.target))
 	db.phaseEpoch.Store(tr.epoch)
-	db.phaseChanges.Add(1)
-	db.phaseStartNs.Store(time.Now().UnixNano())
+	if !noop {
+		db.phaseChanges.Add(1)
+		db.phaseStartNs.Store(time.Now().UnixNano())
+	}
 	db.inflight.Store(nil)
 	close(tr.released)
 }
@@ -287,6 +310,34 @@ func (db *DB) RequestSplitPhase() bool {
 // RequestSplitPhase.
 func (db *DB) RequestJoinedPhase() bool {
 	return db.beginTransition(PhaseJoined, nil)
+}
+
+// RequestBarrier proposes a transition to a joined phase that runs fn at
+// the quiesced boundary: after every worker has stopped between
+// transactions and reconciled its slices (when leaving a split phase),
+// and before any worker resumes. fn runs exactly once, on the last
+// acknowledging worker's goroutine (or inside Close's quiesce), and must
+// be brief — every worker is stalled until it returns.
+//
+// Unlike beginTransition this may target the phase the database is
+// already in: a joined→joined barrier is the checkpoint cut for an
+// uncontended database. It returns false when another transition is in
+// flight; the caller should retry. Workers must be polled for the
+// barrier to complete.
+func (db *DB) RequestBarrier(fn func()) bool {
+	db.pubMu.Lock()
+	defer db.pubMu.Unlock()
+	if db.inflight.Load() != nil {
+		return false
+	}
+	tr := &transition{
+		target:   PhaseJoined,
+		epoch:    db.phaseEpoch.Load() + 1,
+		barrier:  fn,
+		total:    int32(len(db.workers)),
+		released: make(chan struct{}),
+	}
+	return db.inflight.CompareAndSwap(nil, tr)
 }
 
 // Close stops the coordinator, completes any in-flight transition on

@@ -573,3 +573,112 @@ func TestReconcileBumpsTIDForValidation(t *testing.T) {
 		t.Fatalf("reconcile value %d", n)
 	}
 }
+
+// TestRequestBarrier: the barrier function runs exactly once, at a point
+// where every worker is paused, and the database continues normally
+// afterwards — including a joined→joined barrier, which is not a normal
+// phase transition.
+func TestRequestBarrier(t *testing.T) {
+	db := manualDB(2)
+	defer db.Close()
+	mustCommit(t, db, 0, func(tx engine.Tx) error { return tx.PutInt("a", 1) })
+
+	var calls atomic.Int32
+	if !db.RequestBarrier(func() { calls.Add(1) }) {
+		t.Fatal("barrier refused")
+	}
+	if db.RequestBarrier(func() {}) {
+		t.Fatal("second barrier accepted while one is in flight")
+	}
+	for i := 0; i < 1000 && calls.Load() == 0; i++ {
+		db.Poll(0)
+		db.Poll(1)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("barrier ran %d times, want 1", got)
+	}
+	if db.Phase() != PhaseJoined {
+		t.Fatalf("phase %v after barrier", db.Phase())
+	}
+	mustCommit(t, db, 0, func(tx engine.Tx) error { return tx.PutInt("a", 2) })
+}
+
+// TestRequestBarrierDuringSplitReconciles: a barrier cut during a split
+// phase must observe fully reconciled state — the per-core slices merge
+// before the barrier function runs.
+func TestRequestBarrierDuringSplitReconciles(t *testing.T) {
+	db := manualDB(2)
+	defer db.Close()
+	db.Store().Preload("hot", store.IntValue(0))
+	db.SplitHint("hot", store.OpAdd)
+	if !db.RequestSplitPhase() {
+		t.Fatal("split refused")
+	}
+	db.Poll(0)
+	db.Poll(1)
+	if db.Phase() != PhaseSplit {
+		t.Fatal("not split")
+	}
+	for w := 0; w < 2; w++ {
+		for i := 0; i < 10; i++ {
+			mustCommit(t, db, w, func(tx engine.Tx) error { return tx.Add("hot", 1) })
+		}
+	}
+	var atBarrier int64 = -1
+	if !db.RequestBarrier(func() {
+		atBarrier, _ = db.Store().Get("hot").Value().AsInt()
+	}) {
+		t.Fatal("barrier refused")
+	}
+	for i := 0; i < 1000 && atBarrier < 0; i++ {
+		db.Poll(0)
+		db.Poll(1)
+	}
+	if atBarrier != 20 {
+		t.Fatalf("barrier saw %d, want 20 (slices reconciled)", atBarrier)
+	}
+	if db.Phase() != PhaseJoined {
+		t.Fatal("barrier must land in a joined phase")
+	}
+}
+
+// TestBarrierCompletedByClose: a published barrier whose workers are
+// never polled still runs during Close's quiesce.
+func TestBarrierCompletedByClose(t *testing.T) {
+	db := manualDB(2)
+	var calls atomic.Int32
+	if !db.RequestBarrier(func() { calls.Add(1) }) {
+		t.Fatal("barrier refused")
+	}
+	db.Close()
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("barrier ran %d times, want 1", got)
+	}
+}
+
+// TestBarrierDoesNotPerturbPhaseAccounting: a joined→joined checkpoint
+// barrier is not a phase change — it must not bump PhaseChanges or
+// reset the phase clock, or frequent checkpoints would starve split
+// phases by keeping the joined phase perpetually "young".
+func TestBarrierDoesNotPerturbPhaseAccounting(t *testing.T) {
+	db := manualDB(1)
+	defer db.Close()
+	before := db.PhaseChanges()
+	startNs := db.phaseStartNs.Load()
+	ran := false
+	if !db.RequestBarrier(func() { ran = true }) {
+		t.Fatal("barrier refused")
+	}
+	for i := 0; i < 1000 && !ran; i++ {
+		db.Poll(0)
+	}
+	if !ran {
+		t.Fatal("barrier never ran")
+	}
+	if got := db.PhaseChanges(); got != before {
+		t.Fatalf("PhaseChanges %d → %d across a joined→joined barrier", before, got)
+	}
+	if db.phaseStartNs.Load() != startNs {
+		t.Fatal("phase clock reset by a joined→joined barrier")
+	}
+}

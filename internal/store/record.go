@@ -66,6 +66,14 @@ func (r *Record) UnlockWithTID(tid uint64) {
 	r.tid.Store(tid << 1)
 }
 
+// SetTID installs tid with the lock released, without going through the
+// commit protocol. It exists for recovery preloading, where there is no
+// concurrency: replayed records must keep their pre-crash TIDs so that
+// post-recovery commits generate strictly larger ones per key.
+func (r *Record) SetTID(tid uint64) {
+	r.tid.Store(tid << 1)
+}
+
 // Locked reports whether the commit lock is currently held.
 func (r *Record) Locked() bool {
 	return r.tid.Load()&lockBit != 0

@@ -1,0 +1,164 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"sort"
+)
+
+// snapshotMagic begins every snapshot stream.
+var snapshotMagic = []byte("DOPSNAP1")
+
+var snapCastagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// SnapshotEntry is one record captured by a checkpoint: the key, the TID
+// of the transaction that produced the value, and the value itself.
+// Preserving TIDs lets recovery skip redo records the snapshot already
+// covers and keeps post-recovery commit TIDs monotonic per key.
+type SnapshotEntry struct {
+	Key   string
+	TID   uint64
+	Value *Value
+}
+
+// SnapshotEntries captures every record as a SnapshotEntry, in
+// unspecified order: it runs inside the checkpoint barrier with every
+// worker stalled, so it does only pointer collection — WriteSnapshot
+// sorts later, off the barrier. The store must be quiescent (no
+// in-flight commits) — the barrier guarantees that; values are
+// immutable, so holding the returned pointers is safe while the store
+// keeps running afterwards.
+func (s *Store) SnapshotEntries() []SnapshotEntry {
+	out := make([]SnapshotEntry, 0, s.Len())
+	s.Range(func(key string, r *Record) bool {
+		tid, _ := r.TIDWord()
+		out = append(out, SnapshotEntry{Key: key, TID: tid, Value: r.Value()})
+		return true
+	})
+	return out
+}
+
+// PreloadTID is Preload but also installs the record's TID. Recovery
+// uses it so that replayed state carries the commit TIDs it had before
+// the crash.
+func (s *Store) PreloadTID(key string, v *Value, tid uint64) {
+	r, _ := s.GetOrCreate(key)
+	r.SetValue(v)
+	r.SetTID(tid)
+}
+
+// WriteSnapshot serializes entries to w:
+//
+//	magic | u64 count | count × (u32 bodyLen | u32 crc(body) | body)
+//	body = u32 keyLen | key | u64 tid | encoded value
+//
+// Entries are stable-sorted by key in place first, so snapshots of
+// identical state are byte-identical (canonical) regardless of the
+// store's iteration order.
+func WriteSnapshot(w io.Writer, entries []SnapshotEntry) error {
+	sort.SliceStable(entries, func(i, j int) bool { return entries[i].Key < entries[j].Key })
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.Write(snapshotMagic); err != nil {
+		return err
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint64(hdr[:], uint64(len(entries)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var body []byte
+	for _, e := range entries {
+		body = body[:0]
+		body = binary.LittleEndian.AppendUint32(body, uint32(len(e.Key)))
+		body = append(body, e.Key...)
+		body = binary.LittleEndian.AppendUint64(body, e.TID)
+		body = append(body, EncodeValue(e.Value)...)
+		binary.LittleEndian.PutUint32(hdr[:4], uint32(len(body)))
+		binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum(body, snapCastagnoli))
+		if _, err := bw.Write(hdr[:]); err != nil {
+			return err
+		}
+		if _, err := bw.Write(body); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadSnapshot parses WriteSnapshot's output. Unlike WAL replay, a
+// snapshot is all-or-nothing: it is published atomically by manifest
+// install, so any truncation or corruption is an error, never a silent
+// partial result.
+func ReadSnapshot(r io.Reader) ([]SnapshotEntry, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	magic := make([]byte, len(snapshotMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("store: short snapshot magic: %w", err)
+	}
+	if string(magic) != string(snapshotMagic) {
+		return nil, errors.New("store: bad snapshot magic")
+	}
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("store: short snapshot count: %w", err)
+	}
+	count := binary.LittleEndian.Uint64(hdr[:])
+	if count > 1<<40 {
+		return nil, fmt.Errorf("store: implausible snapshot entry count %d", count)
+	}
+	var out []SnapshotEntry
+	for i := uint64(0); i < count; i++ {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			return nil, fmt.Errorf("store: truncated snapshot entry %d: %w", i, err)
+		}
+		bodyLen := binary.LittleEndian.Uint32(hdr[:4])
+		wantCRC := binary.LittleEndian.Uint32(hdr[4:])
+		if bodyLen > 1<<30 {
+			return nil, fmt.Errorf("store: implausible snapshot body length %d", bodyLen)
+		}
+		body := make([]byte, bodyLen)
+		if _, err := io.ReadFull(br, body); err != nil {
+			return nil, fmt.Errorf("store: truncated snapshot entry %d: %w", i, err)
+		}
+		if crc32.Checksum(body, snapCastagnoli) != wantCRC {
+			return nil, fmt.Errorf("store: snapshot entry %d checksum mismatch", i)
+		}
+		e, err := decodeSnapshotBody(body)
+		if err != nil {
+			return nil, fmt.Errorf("store: snapshot entry %d: %w", i, err)
+		}
+		out = append(out, e)
+	}
+	// Trailing bytes mean the writer and reader disagree about the
+	// format; reject rather than silently ignore.
+	if _, err := br.ReadByte(); err != io.EOF {
+		return nil, errors.New("store: trailing bytes after snapshot entries")
+	}
+	return out, nil
+}
+
+func decodeSnapshotBody(body []byte) (SnapshotEntry, error) {
+	if len(body) < 4 {
+		return SnapshotEntry{}, errors.New("short key length")
+	}
+	kl := binary.LittleEndian.Uint32(body)
+	body = body[4:]
+	if uint32(len(body)) < kl {
+		return SnapshotEntry{}, errors.New("short key")
+	}
+	key := string(body[:kl])
+	body = body[kl:]
+	if len(body) < 8 {
+		return SnapshotEntry{}, errors.New("short tid")
+	}
+	tid := binary.LittleEndian.Uint64(body)
+	v, err := DecodeValue(body[8:])
+	if err != nil {
+		return SnapshotEntry{}, err
+	}
+	return SnapshotEntry{Key: key, TID: tid, Value: v}, nil
+}

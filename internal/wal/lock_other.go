@@ -1,0 +1,11 @@
+//go:build !unix
+
+package wal
+
+import "os"
+
+// Non-unix platforms get no advisory directory locking; double-open
+// protection is a unix-only safety net.
+func lockDir(dir string) (*os.File, error) { return nil, nil }
+
+func unlockDir(f *os.File) {}

@@ -1,0 +1,36 @@
+//go:build unix
+
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// lockDir takes an exclusive advisory lock on dir's LOCK file. Two
+// loggers on one directory would interleave appends and, worse,
+// garbage-collect each other's live segments at checkpoint install; the
+// lock turns that operator error into a clean failure at Open. The lock
+// is released by unlockDir and automatically when the process dies, so
+// a crashed process never wedges recovery.
+func lockDir(dir string) (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(dir, "LOCK"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: %s is in use by another process: %w", dir, err)
+	}
+	return f, nil
+}
+
+func unlockDir(f *os.File) {
+	if f == nil {
+		return
+	}
+	_ = syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+	f.Close()
+}

@@ -1,0 +1,82 @@
+package wal
+
+import (
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// manifestName is the manifest file inside a log directory.
+const manifestName = "MANIFEST"
+
+// Manifest names the durable snapshot recovery starts from and the
+// first segment it must replay. A zero Manifest (no snapshot, sequence
+// 0) means "replay everything".
+type Manifest struct {
+	// Snapshot is the snapshot file name (inside the log directory), or
+	// "" when no checkpoint has completed yet.
+	Snapshot string
+	// SnapshotSeq is the first segment sequence number whose records are
+	// not covered by the snapshot. Segments with a smaller sequence are
+	// garbage.
+	SnapshotSeq uint64
+}
+
+// manifestBody renders the checksummed portion of the manifest.
+func manifestBody(m Manifest) string {
+	return fmt.Sprintf("doppel-manifest-v1\nseq=%d\nsnapshot=%s\n", m.SnapshotSeq, m.Snapshot)
+}
+
+// writeManifest atomically replaces dir's manifest via WriteFileAtomic.
+func writeManifest(dir string, m Manifest) error {
+	body := manifestBody(m)
+	content := body + fmt.Sprintf("crc=%08x\n", crc32.Checksum([]byte(body), castagnoli))
+	_, err := WriteFileAtomic(dir, manifestName, func(w io.Writer) error {
+		_, err := io.WriteString(w, content)
+		return err
+	})
+	return err
+}
+
+// ReadManifest loads dir's manifest. ok is false (with a zero Manifest
+// and nil error) when no manifest exists, i.e. no checkpoint has ever
+// completed. A present-but-corrupt manifest is an error: segments named
+// only by the manifest may already be garbage-collected, so guessing
+// would risk silently wrong recovery.
+func ReadManifest(dir string) (m Manifest, ok bool, err error) {
+	raw, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return Manifest{}, false, nil
+		}
+		return Manifest{}, false, err
+	}
+	content := string(raw)
+	i := strings.LastIndex(content, "crc=")
+	if i < 0 || !strings.HasSuffix(content, "\n") {
+		return Manifest{}, false, fmt.Errorf("wal: malformed manifest in %s", dir)
+	}
+	body, crcLine := content[:i], content[i:]
+	var wantCRC uint32
+	if n, err := fmt.Sscanf(crcLine, "crc=%08x\n", &wantCRC); n != 1 || err != nil {
+		return Manifest{}, false, fmt.Errorf("wal: malformed manifest crc in %s", dir)
+	}
+	if crc32.Checksum([]byte(body), castagnoli) != wantCRC {
+		return Manifest{}, false, fmt.Errorf("wal: manifest checksum mismatch in %s", dir)
+	}
+	lines := strings.Split(strings.TrimSuffix(body, "\n"), "\n")
+	if len(lines) != 3 || lines[0] != "doppel-manifest-v1" {
+		return Manifest{}, false, fmt.Errorf("wal: unsupported manifest version in %s", dir)
+	}
+	if n, err := fmt.Sscanf(lines[1], "seq=%d", &m.SnapshotSeq); n != 1 || err != nil {
+		return Manifest{}, false, fmt.Errorf("wal: malformed manifest seq in %s", dir)
+	}
+	m.Snapshot = strings.TrimPrefix(lines[2], "snapshot=")
+	if m.Snapshot == lines[2] {
+		return Manifest{}, false, fmt.Errorf("wal: malformed manifest snapshot in %s", dir)
+	}
+	return m, true, nil
+}

@@ -1,13 +1,27 @@
-// Package wal implements asynchronous batched redo logging — the
-// durability design the paper defers to future work ("existing work
+// Package wal implements a segmented, asynchronous, batched redo log —
+// the durability design the paper defers to future work ("existing work
 // suggests that asynchronous batched logging could be added to Doppel
 // without becoming a bottleneck", §3, citing Silo and Hekaton).
 //
-// Writers append per-transaction redo records; a single background
-// goroutine batches everything that arrived since the last write, writes
-// one group to the log file, syncs once, and then releases every waiter
-// in the group (group commit). Records carry a CRC so torn tails are
-// detected and ignored at replay.
+// A log lives in a directory of numbered segment files
+// (wal-00000001.log, wal-00000002.log, ...) plus a MANIFEST that names
+// the newest durable snapshot and the first segment recovery must
+// replay. Writers append per-transaction redo records; a single
+// background goroutine batches everything that arrived since the last
+// write, writes one group to the current segment, syncs once, and then
+// releases every waiter in the group (group commit). Records carry a
+// CRC so torn tails are detected and ignored at replay.
+//
+// Checkpointing rotates the log: Rotate seals the current segment and
+// opens the next one, and Install publishes a snapshot in the manifest
+// and garbage-collects segments the snapshot has subsumed. Recovery is
+// then bounded: load the snapshot, replay only segments at or after the
+// manifest's sequence number.
+//
+// Reopening an existing directory never truncates data: the newest
+// segment is opened in append mode after trimming any torn tail left by
+// a crash (bytes past the last valid record, which by construction were
+// never acknowledged to any committer).
 package wal
 
 import (
@@ -17,6 +31,8 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
+	"sort"
 	"sync"
 )
 
@@ -34,16 +50,61 @@ type Record struct {
 	Ops []Op
 }
 
-// Logger is an asynchronous group-commit redo logger.
+// segmentName returns the file name of segment seq.
+func segmentName(seq uint64) string { return fmt.Sprintf("wal-%08d.log", seq) }
+
+// parseSegmentName inverts segmentName.
+func parseSegmentName(name string) (uint64, bool) {
+	var seq uint64
+	if n, err := fmt.Sscanf(name, "wal-%d.log", &seq); n != 1 || err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// segFile is the subset of *os.File the logger writes through. Tests
+// substitute a crash-injecting implementation.
+type segFile interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// openSegFunc opens (creating if needed, never truncating) a segment
+// file for appending. Tests override it to inject write crashes.
+type openSegFunc func(path string) (segFile, error)
+
+func osOpenSeg(path string) (segFile, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+// syncDir fsyncs a directory so a just-created file's directory entry is
+// durable. Without it, records group-committed into a freshly rotated
+// segment could be acknowledged and then lost with the whole file on
+// power failure. Best effort: not every filesystem supports it.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+}
+
+// Logger is an asynchronous group-commit redo logger over a segment
+// directory.
 type Logger struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
 	pending []pendingRec
+	rot     *rotateReq
 	closed  bool
-	err     error
+	termErr error // terminal failure: the logger can no longer write
 
-	f  *os.File
-	wg sync.WaitGroup
+	dir     string
+	openSeg openSegFunc
+	lock    *os.File // exclusive directory lock (see lockDir)
+	f       segFile
+	seq     uint64 // sequence number of the open segment
+	wg      sync.WaitGroup
 }
 
 type pendingRec struct {
@@ -51,18 +112,65 @@ type pendingRec struct {
 	done chan error
 }
 
-// Open creates (or truncates) a log file at path and starts the group
-// committer.
-func Open(path string) (*Logger, error) {
-	f, err := os.Create(path)
+type rotateReq struct {
+	seq  uint64 // new segment's sequence number (filled by committer)
+	err  error
+	done chan struct{}
+}
+
+// Open opens (or creates) the log directory at dir and starts the group
+// committer. Existing segments are preserved: the newest one is opened
+// for appending after trimming any torn tail a crash may have left.
+func Open(dir string) (*Logger, error) {
+	return openWith(dir, osOpenSeg)
+}
+
+func openWith(dir string, openSeg openSegFunc) (*Logger, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	lock, err := lockDir(dir)
 	if err != nil {
 		return nil, err
 	}
-	l := &Logger{f: f}
+	segs, err := listSegments(dir)
+	if err != nil {
+		unlockDir(lock)
+		return nil, err
+	}
+	seq := uint64(1)
+	if n := len(segs); n > 0 {
+		seq = segs[n-1].Seq
+		// Trim a torn tail so that records appended after reopen follow
+		// the last valid record; otherwise replay would stop at the torn
+		// bytes and miss everything written after recovery.
+		if err := trimTornTail(segs[n-1].Path); err != nil {
+			unlockDir(lock)
+			return nil, err
+		}
+	}
+	f, err := openSeg(filepath.Join(dir, segmentName(seq)))
+	if err != nil {
+		unlockDir(lock)
+		return nil, err
+	}
+	syncDir(dir)
+	l := &Logger{dir: dir, openSeg: openSeg, lock: lock, f: f, seq: seq}
 	l.cond = sync.NewCond(&l.mu)
 	l.wg.Add(1)
 	go l.committer()
 	return l, nil
+}
+
+// Dir returns the log directory.
+func (l *Logger) Dir() string { return l.dir }
+
+// SegmentSeq returns the sequence number of the segment currently being
+// appended to.
+func (l *Logger) SegmentSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
 }
 
 // Append submits rec for durable logging and returns a channel that
@@ -85,24 +193,68 @@ func (l *Logger) Append(rec Record) <-chan error {
 // AppendSync is Append plus waiting for durability.
 func (l *Logger) AppendSync(rec Record) error { return <-l.Append(rec) }
 
-// committer drains batches and group-commits them.
+// Rotate flushes everything appended so far to the current segment,
+// seals it, and opens the next segment; it returns the new segment's
+// sequence number. The caller must guarantee no Appends are in flight
+// (the checkpoint barrier quiesces all workers before rotating):
+// otherwise a record could land on the wrong side of the cut.
+func (l *Logger) Rotate() (uint64, error) {
+	req := &rotateReq{done: make(chan struct{})}
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return 0, errors.New("wal: logger closed")
+	}
+	if l.rot != nil {
+		l.mu.Unlock()
+		return 0, errors.New("wal: rotation already in progress")
+	}
+	l.rot = req
+	l.cond.Signal()
+	l.mu.Unlock()
+	<-req.done
+	return req.seq, req.err
+}
+
+// committer drains batches and group-commits them; it also executes
+// rotation requests after flushing the batch that preceded them.
 func (l *Logger) committer() {
 	defer l.wg.Done()
 	for {
 		l.mu.Lock()
-		for len(l.pending) == 0 && !l.closed {
+		for len(l.pending) == 0 && l.rot == nil && !l.closed {
 			l.cond.Wait()
 		}
 		batch := l.pending
 		l.pending = nil
+		rot := l.rot
+		l.rot = nil
 		closed := l.closed
+		f := l.f
 		l.mu.Unlock()
 
 		if len(batch) > 0 {
-			err := l.writeBatch(batch)
+			err := writeBatch(f, batch)
 			for _, p := range batch {
 				p.done <- err
 			}
+			if err != nil {
+				// A failed (possibly partial) batch write leaves junk at
+				// the segment tail. Appending later batches after it
+				// would strand them behind bytes replay cannot cross —
+				// they would look durable but be unrecoverable, and the
+				// next Open's torn-tail trim would even delete them. So
+				// any write failure is terminal: fail fast and loudly.
+				l.fail(err)
+				if rot != nil {
+					rot.err = err
+					close(rot.done)
+				}
+				return
+			}
+		}
+		if rot != nil {
+			l.doRotate(rot)
 		}
 		if closed {
 			return
@@ -110,28 +262,203 @@ func (l *Logger) committer() {
 	}
 }
 
-func (l *Logger) writeBatch(batch []pendingRec) error {
+// fail marks the logger terminally broken: appends error out
+// immediately, queued records are refused, and Err() reports the cause
+// so operators can see that durability has stopped.
+func (l *Logger) fail(err error) {
+	l.mu.Lock()
+	l.closed = true
+	if l.termErr == nil {
+		l.termErr = err
+	}
+	pending := l.pending
+	l.pending = nil
+	l.mu.Unlock()
+	for _, p := range pending {
+		p.done <- err
+	}
+	_ = l.f.Close()
+}
+
+// doRotate seals the current segment and opens the next one. Every
+// failure is terminal: a segment that cannot be synced or sealed cannot
+// be trusted to hold further acknowledged records.
+func (l *Logger) doRotate(rot *rotateReq) {
+	if err := l.f.Sync(); err != nil {
+		l.fail(err)
+		rot.err = err
+		close(rot.done)
+		return
+	}
+	if err := l.f.Close(); err != nil {
+		l.fail(err)
+		rot.err = err
+		close(rot.done)
+		return
+	}
+	next := l.seq + 1
+	f, err := l.openSeg(filepath.Join(l.dir, segmentName(next)))
+	if err != nil {
+		// The old segment is closed and no new one exists; the logger is
+		// unusable.
+		l.fail(err)
+		rot.err = err
+		close(rot.done)
+		return
+	}
+	syncDir(l.dir)
+	l.mu.Lock()
+	l.f = f
+	l.seq = next
+	l.mu.Unlock()
+	rot.seq = next
+	close(rot.done)
+}
+
+func writeBatch(f segFile, batch []pendingRec) error {
 	var buf []byte
 	for _, p := range batch {
 		buf = appendRecord(buf, p.rec)
 	}
-	if _, err := l.f.Write(buf); err != nil {
+	if _, err := f.Write(buf); err != nil {
 		return err
 	}
-	return l.f.Sync()
+	return f.Sync()
 }
 
-// Close flushes outstanding records and closes the file.
+// countingWriter counts bytes on their way to the underlying writer.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// WriteFileAtomic durably publishes dir/name: write to a temporary
+// file, fsync it, rename into place, fsync the directory. Readers never
+// observe a partial file. It returns the bytes written. Both the
+// manifest and the checkpointer's snapshots publish through this one
+// sequence so the crash-safety-critical dance exists exactly once.
+func WriteFileAtomic(dir, name string, write func(io.Writer) error) (int64, error) {
+	tmp := filepath.Join(dir, name+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return 0, err
+	}
+	cw := &countingWriter{w: f}
+	fail := func(err error) (int64, error) {
+		f.Close()
+		os.Remove(tmp)
+		return 0, err
+	}
+	if err := write(cw); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, name)); err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	syncDir(dir)
+	return cw.n, nil
+}
+
+// Install atomically publishes snapshot (a file name inside the log
+// directory) as covering every segment before seq, then deletes the
+// segments and snapshots it has subsumed. Call it only after the
+// snapshot file itself is durable.
+func (l *Logger) Install(snapshot string, seq uint64) error {
+	if err := writeManifest(l.dir, Manifest{Snapshot: snapshot, SnapshotSeq: seq}); err != nil {
+		return err
+	}
+	return gc(l.dir, snapshot, seq)
+}
+
+// gc removes segments older than keepSeq and snapshot files other than
+// keepSnap, plus any leftover temporary files.
+func gc(dir, keepSnap string, keepSeq uint64) error {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	var firstErr error
+	for _, ent := range ents {
+		name := ent.Name()
+		remove := false
+		if seq, ok := parseSegmentName(name); ok && seq < keepSeq {
+			remove = true
+		}
+		if isSnapshotName(name) && name != keepSnap {
+			remove = true
+		}
+		if filepath.Ext(name) == ".tmp" {
+			remove = true
+		}
+		if remove {
+			if err := os.Remove(filepath.Join(dir, name)); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	return firstErr
+}
+
+// SnapshotFileName returns the snapshot file name for a checkpoint whose
+// first uncovered segment is seq. It is defined here, next to the GC
+// that recognizes snapshot files, so the format has a single source of
+// truth.
+func SnapshotFileName(seq uint64) string {
+	return fmt.Sprintf("snapshot-%08d.db", seq)
+}
+
+// isSnapshotName reports whether name matches SnapshotFileName's format.
+func isSnapshotName(name string) bool {
+	var seq uint64
+	n, err := fmt.Sscanf(name, "snapshot-%d.db", &seq)
+	return n == 1 && err == nil
+}
+
+// Err returns the logger's terminal failure, if any. A non-nil result
+// means appends can no longer reach disk — transactions still commit in
+// memory (logging is asynchronous by design), so operators must watch
+// this to know durability has stopped.
+func (l *Logger) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.termErr
+}
+
+// Close flushes outstanding records, closes the current segment and
+// releases the directory lock. It is idempotent; after a terminal
+// failure it only releases the lock (the committer already closed the
+// segment).
 func (l *Logger) Close() error {
 	l.mu.Lock()
-	if l.closed {
-		l.mu.Unlock()
-		return nil
-	}
+	already := l.closed
 	l.closed = true
 	l.cond.Signal()
+	lock := l.lock
+	l.lock = nil
 	l.mu.Unlock()
 	l.wg.Wait()
+	defer unlockDir(lock)
+	if already {
+		return nil
+	}
+	if err := l.f.Sync(); err != nil {
+		l.f.Close()
+		return err
+	}
 	return l.f.Close()
 }
 
@@ -158,41 +485,186 @@ func appendRecord(buf []byte, rec Record) []byte {
 	return append(buf, body...)
 }
 
-// Replay reads records from path in order, stopping cleanly at a torn or
-// corrupt tail. It returns the decoded records.
-func Replay(path string) ([]Record, error) {
+// EncodeRecord serializes rec exactly as the logger writes it. Exposed
+// for tests and fuzzing (the canonical-prefix invariant: re-encoding
+// replayed records must reproduce a byte prefix of the input).
+func EncodeRecord(rec Record) []byte { return appendRecord(nil, rec) }
+
+// replayReader reads records from r, stopping cleanly at a torn or
+// corrupt tail. It returns the decoded records, the byte offset of the
+// end of the last valid record, and whether it stopped early (before a
+// clean EOF) because of torn or corrupt data.
+func replayReader(r io.Reader) (recs []Record, valid int64, torn bool, err error) {
+	var hdr [8]byte
+	for {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			if err == io.EOF {
+				return recs, valid, false, nil // clean end
+			}
+			if err == io.ErrUnexpectedEOF {
+				return recs, valid, true, nil // torn header
+			}
+			return recs, valid, false, err
+		}
+		bodyLen := binary.LittleEndian.Uint32(hdr[:4])
+		wantCRC := binary.LittleEndian.Uint32(hdr[4:])
+		if bodyLen > 1<<30 {
+			return recs, valid, true, nil // corrupt length: treat as torn tail
+		}
+		body := make([]byte, bodyLen)
+		if _, err := io.ReadFull(r, body); err != nil {
+			return recs, valid, true, nil // torn body
+		}
+		if crc32.Checksum(body, castagnoli) != wantCRC {
+			return recs, valid, true, nil // corrupt body: stop at last good record
+		}
+		rec, err := decodeBody(body)
+		if err != nil {
+			return recs, valid, true, nil
+		}
+		recs = append(recs, rec)
+		valid += int64(8 + len(body))
+	}
+}
+
+// ReplayFile reads records from a single segment file in order, stopping
+// cleanly at a torn or corrupt tail.
+func ReplayFile(path string) ([]Record, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	var out []Record
-	var hdr [8]byte
-	for {
-		if _, err := io.ReadFull(f, hdr[:]); err != nil {
-			if err == io.EOF || err == io.ErrUnexpectedEOF {
-				return out, nil // clean end or torn header: stop
-			}
-			return out, err
-		}
-		bodyLen := binary.LittleEndian.Uint32(hdr[:4])
-		wantCRC := binary.LittleEndian.Uint32(hdr[4:])
-		if bodyLen > 1<<30 {
-			return out, nil // corrupt length: treat as torn tail
-		}
-		body := make([]byte, bodyLen)
-		if _, err := io.ReadFull(f, body); err != nil {
-			return out, nil // torn body
-		}
-		if crc32.Checksum(body, castagnoli) != wantCRC {
-			return out, nil // corrupt body: stop at last good record
-		}
-		rec, err := decodeBody(body)
-		if err != nil {
-			return out, nil
-		}
-		out = append(out, rec)
+	recs, _, _, err := replayReader(f)
+	return recs, err
+}
+
+// trimTornTail truncates path to the end of its last valid record. The
+// discarded bytes were never synced as part of a completed group commit
+// acknowledgement, so no committed transaction is lost.
+func trimTornTail(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
 	}
+	_, valid, torn, err := replayReader(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	if !torn {
+		return nil
+	}
+	return os.Truncate(path, valid)
+}
+
+// HasState reports whether dir holds durable state a fresh database
+// must not append to: a manifest, or any non-empty segment. Opening
+// such a directory with an empty store would mix a new low-TID
+// generation behind the old high-TID records, and recovery's
+// TID-monotonic filter would silently drop the new writes — callers
+// must go through recovery instead.
+func HasState(dir string) (bool, error) {
+	_, ok, err := ReadManifest(dir)
+	if err != nil {
+		return true, nil // a corrupt manifest is damaged pre-existing state
+	}
+	if ok {
+		return true, nil
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return false, nil
+		}
+		return false, err
+	}
+	for _, s := range segs {
+		fi, err := os.Stat(s.Path)
+		if err != nil {
+			return false, err
+		}
+		if fi.Size() > 0 {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// SegmentInfo describes one replayed segment.
+type SegmentInfo struct {
+	Seq     uint64
+	Path    string
+	Records int
+}
+
+// listSegments returns the directory's segment files in sequence order.
+func listSegments(dir string) ([]SegmentInfo, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var segs []SegmentInfo
+	for _, ent := range ents {
+		if seq, ok := parseSegmentName(ent.Name()); ok {
+			segs = append(segs, SegmentInfo{Seq: seq, Path: filepath.Join(dir, ent.Name())})
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].Seq < segs[j].Seq })
+	return segs, nil
+}
+
+// ReplayDir reads the manifest at dir and replays every live segment (at
+// or after the manifest's snapshot sequence; all segments when no
+// manifest exists). Only the newest segment may end in a torn tail — a
+// crash can tear only the segment being appended to; corruption in an
+// earlier, sealed segment means acknowledged commits are unrecoverable,
+// which is reported as an error rather than silently dropped.
+func ReplayDir(dir string) (Manifest, []Record, []SegmentInfo, error) {
+	man, _, err := ReadManifest(dir)
+	if err != nil {
+		return Manifest{}, nil, nil, err
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return Manifest{}, nil, nil, err
+	}
+	live := segs[:0]
+	for _, s := range segs {
+		if s.Seq >= man.SnapshotSeq {
+			live = append(live, s)
+		}
+	}
+	// The manifest's sequence number names a segment that existed when it
+	// was installed (rotation precedes install); its absence is the same
+	// damage as a gap between segments and must fail just as loudly.
+	if man.SnapshotSeq > 0 && (len(live) == 0 || live[0].Seq != man.SnapshotSeq) {
+		return Manifest{}, nil, nil, fmt.Errorf(
+			"wal: manifest expects segment %d but the first live segment is missing", man.SnapshotSeq)
+	}
+	var out []Record
+	for i := range live {
+		if i > 0 && live[i].Seq != live[i-1].Seq+1 {
+			return Manifest{}, nil, nil, fmt.Errorf(
+				"wal: segment gap: %d follows %d", live[i].Seq, live[i-1].Seq)
+		}
+		f, err := os.Open(live[i].Path)
+		if err != nil {
+			return Manifest{}, nil, nil, err
+		}
+		recs, _, torn, err := replayReader(f)
+		f.Close()
+		if err != nil {
+			return Manifest{}, nil, nil, err
+		}
+		if torn && i != len(live)-1 {
+			return Manifest{}, nil, nil, fmt.Errorf(
+				"wal: corrupt record in sealed segment %s", live[i].Path)
+		}
+		live[i].Records = len(recs)
+		out = append(out, recs...)
+	}
+	return man, out, live, nil
 }
 
 func decodeBody(body []byte) (Record, error) {

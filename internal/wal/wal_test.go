@@ -7,17 +7,27 @@ import (
 	"testing"
 )
 
-func tmpLog(t *testing.T) string {
+func openT(t *testing.T, dir string) *Logger {
 	t.Helper()
-	return filepath.Join(t.TempDir(), "doppel.wal")
-}
-
-func TestAppendReplayRoundTrip(t *testing.T) {
-	path := tmpLog(t)
-	l, err := Open(path)
+	l, err := Open(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
+	return l
+}
+
+func replayAllT(t *testing.T, dir string) []Record {
+	t.Helper()
+	_, recs, _, err := ReplayDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return recs
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir)
 	recs := []Record{
 		{TID: 1, Ops: []Op{{Key: "a", Value: []byte("1")}}},
 		{TID: 2, Ops: []Op{{Key: "b", Value: []byte("22")}, {Key: "c", Value: nil}}},
@@ -31,10 +41,7 @@ func TestAppendReplayRoundTrip(t *testing.T) {
 	if err := l.Close(); err != nil {
 		t.Fatal(err)
 	}
-	got, err := Replay(path)
-	if err != nil {
-		t.Fatal(err)
-	}
+	got := replayAllT(t, dir)
 	if len(got) != 3 {
 		t.Fatalf("replayed %d records", len(got))
 	}
@@ -48,11 +55,8 @@ func TestAppendReplayRoundTrip(t *testing.T) {
 }
 
 func TestGroupCommitConcurrentAppends(t *testing.T) {
-	path := tmpLog(t)
-	l, err := Open(path)
-	if err != nil {
-		t.Fatal(err)
-	}
+	dir := t.TempDir()
+	l := openT(t, dir)
 	const writers = 8
 	const perWriter = 200
 	var wg sync.WaitGroup
@@ -74,10 +78,7 @@ func TestGroupCommitConcurrentAppends(t *testing.T) {
 	if err := l.Close(); err != nil {
 		t.Fatal(err)
 	}
-	got, err := Replay(path)
-	if err != nil {
-		t.Fatal(err)
-	}
+	got := replayAllT(t, dir)
 	if len(got) != writers*perWriter {
 		t.Fatalf("replayed %d, want %d", len(got), writers*perWriter)
 	}
@@ -91,10 +92,7 @@ func TestGroupCommitConcurrentAppends(t *testing.T) {
 }
 
 func TestAppendAfterClose(t *testing.T) {
-	l, err := Open(tmpLog(t))
-	if err != nil {
-		t.Fatal(err)
-	}
+	l := openT(t, t.TempDir())
 	if err := l.Close(); err != nil {
 		t.Fatal(err)
 	}
@@ -106,12 +104,49 @@ func TestAppendAfterClose(t *testing.T) {
 	}
 }
 
-func TestReplayTornTail(t *testing.T) {
-	path := tmpLog(t)
-	l, err := Open(path)
+// TestReopenAppends is the regression test for the seed's truncate-on-
+// open bug: opening an existing log must append, never discard.
+func TestReopenAppends(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir)
+	if err := l.AppendSync(Record{TID: 1, Ops: []Op{{Key: "a", Value: []byte("1")}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l = openT(t, dir)
+	if got := l.SegmentSeq(); got != 1 {
+		t.Fatalf("reopen segment seq %d, want 1", got)
+	}
+	if err := l.AppendSync(Record{TID: 2, Ops: []Op{{Key: "b", Value: []byte("2")}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got := replayAllT(t, dir)
+	if len(got) != 2 || got[0].TID != 1 || got[1].TID != 2 {
+		t.Fatalf("after reopen: %+v", got)
+	}
+}
+
+func tornTail(t *testing.T, dir string, cut int64) string {
+	t.Helper()
+	seg := filepath.Join(dir, segmentName(1))
+	fi, err := os.Stat(seg)
 	if err != nil {
 		t.Fatal(err)
 	}
+	if err := os.Truncate(seg, fi.Size()-cut); err != nil {
+		t.Fatal(err)
+	}
+	return seg
+}
+
+func TestReplayTornTail(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir)
 	for tid := uint64(1); tid <= 5; tid++ {
 		if err := l.AppendSync(Record{TID: tid, Ops: []Op{{Key: "k", Value: []byte("v")}}}); err != nil {
 			t.Fatal(err)
@@ -121,28 +156,46 @@ func TestReplayTornTail(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Truncate mid-record to simulate a crash during a write.
-	fi, err := os.Stat(path)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := os.Truncate(path, fi.Size()-3); err != nil {
-		t.Fatal(err)
-	}
-	got, err := Replay(path)
-	if err != nil {
-		t.Fatal(err)
-	}
+	tornTail(t, dir, 3)
+	got := replayAllT(t, dir)
 	if len(got) != 4 {
 		t.Fatalf("torn tail: replayed %d, want 4", len(got))
 	}
 }
 
-func TestReplayCorruptBody(t *testing.T) {
-	path := tmpLog(t)
-	l, err := Open(path)
-	if err != nil {
+// TestReopenAfterTornTail: a crash mid-write leaves a torn tail; reopen
+// must trim it so records appended after recovery are replayable.
+func TestReopenAfterTornTail(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir)
+	for tid := uint64(1); tid <= 5; tid++ {
+		if err := l.AppendSync(Record{TID: tid, Ops: []Op{{Key: "k", Value: []byte("v")}}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
 		t.Fatal(err)
 	}
+	tornTail(t, dir, 3)
+	l = openT(t, dir)
+	if err := l.AppendSync(Record{TID: 6, Ops: []Op{{Key: "k", Value: []byte("w")}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got := replayAllT(t, dir)
+	if len(got) != 5 {
+		t.Fatalf("replayed %d, want 5 (4 survivors + 1 new)", len(got))
+	}
+	if got[4].TID != 6 || string(got[4].Ops[0].Value) != "w" {
+		t.Fatalf("post-reopen record: %+v", got[4])
+	}
+}
+
+func TestReplayCorruptBody(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir)
 	for tid := uint64(1); tid <= 3; tid++ {
 		if err := l.AppendSync(Record{TID: tid, Ops: []Op{{Key: "key", Value: []byte("value")}}}); err != nil {
 			t.Fatal(err)
@@ -152,25 +205,269 @@ func TestReplayCorruptBody(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Flip a byte inside the last record's body.
-	raw, err := os.ReadFile(path)
+	seg := filepath.Join(dir, segmentName(1))
+	raw, err := os.ReadFile(seg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	raw[len(raw)-2] ^= 0xFF
-	if err := os.WriteFile(path, raw, 0o644); err != nil {
+	if err := os.WriteFile(seg, raw, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	got, err := Replay(path)
-	if err != nil {
-		t.Fatal(err)
-	}
+	got := replayAllT(t, dir)
 	if len(got) != 2 {
 		t.Fatalf("corrupt body: replayed %d, want 2", len(got))
 	}
 }
 
-func TestReplayMissingFile(t *testing.T) {
-	if _, err := Replay(filepath.Join(t.TempDir(), "nope.wal")); err == nil {
+func TestReplayMissingDir(t *testing.T) {
+	if _, _, _, err := ReplayDir(filepath.Join(t.TempDir(), "nope")); err == nil {
 		t.Fatal("expected error")
+	}
+	if _, err := ReplayFile(filepath.Join(t.TempDir(), "nope.log")); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestRotateSplitsSegments(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir)
+	if err := l.AppendSync(Record{TID: 1, Ops: []Op{{Key: "a", Value: []byte("1")}}}); err != nil {
+		t.Fatal(err)
+	}
+	seq, err := l.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 2 || l.SegmentSeq() != 2 {
+		t.Fatalf("rotate seq %d (logger %d), want 2", seq, l.SegmentSeq())
+	}
+	if err := l.AppendSync(Record{TID: 2, Ops: []Op{{Key: "b", Value: []byte("2")}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, recs, segs, err := ReplayDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 2 || segs[0].Records != 1 || segs[1].Records != 1 {
+		t.Fatalf("segments: %+v", segs)
+	}
+	if len(recs) != 2 || recs[0].TID != 1 || recs[1].TID != 2 {
+		t.Fatalf("records: %+v", recs)
+	}
+}
+
+// TestInstallGarbageCollects checks manifest install plus GC: after a
+// snapshot covering segment 1 is installed, replay starts at segment 2
+// and the subsumed files are gone.
+func TestInstallGarbageCollects(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir)
+	if err := l.AppendSync(Record{TID: 1, Ops: []Op{{Key: "a", Value: []byte("old")}}}); err != nil {
+		t.Fatal(err)
+	}
+	seq, err := l.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A stand-in snapshot file (contents are the checkpointer's business)
+	// and a stale one that Install must collect.
+	snap := "snapshot-00000002.db"
+	if err := os.WriteFile(filepath.Join(dir, snap), []byte("snap"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "snapshot-00000001.db"), []byte("stale"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Install(snap, seq); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendSync(Record{TID: 2, Ops: []Op{{Key: "b", Value: []byte("new")}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := os.Stat(filepath.Join(dir, segmentName(1))); !os.IsNotExist(err) {
+		t.Fatalf("segment 1 not collected: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "snapshot-00000001.db")); !os.IsNotExist(err) {
+		t.Fatalf("stale snapshot not collected: %v", err)
+	}
+	man, recs, segs, err := ReplayDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Snapshot != snap || man.SnapshotSeq != seq {
+		t.Fatalf("manifest: %+v", man)
+	}
+	if len(segs) != 1 || segs[0].Seq != 2 {
+		t.Fatalf("live segments: %+v", segs)
+	}
+	if len(recs) != 1 || recs[0].TID != 2 {
+		t.Fatalf("live records: %+v", recs)
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	if _, ok, err := ReadManifest(dir); ok || err != nil {
+		t.Fatalf("empty dir: ok=%v err=%v", ok, err)
+	}
+	want := Manifest{Snapshot: "snapshot-00000007.db", SnapshotSeq: 7}
+	if err := writeManifest(dir, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := ReadManifest(dir)
+	if err != nil || !ok || got != want {
+		t.Fatalf("got %+v ok=%v err=%v", got, ok, err)
+	}
+}
+
+func TestManifestCorruptionDetected(t *testing.T) {
+	dir := t.TempDir()
+	if err := writeManifest(dir, Manifest{Snapshot: "s.db", SnapshotSeq: 3}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, manifestName)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[4] ^= 0xFF
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadManifest(dir); err == nil {
+		t.Fatal("expected checksum error")
+	}
+}
+
+// TestSegmentGapDetected: a missing middle segment means acknowledged
+// commits are unrecoverable; replay must say so, not skip silently.
+func TestSegmentGapDetected(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir)
+	if err := l.AppendSync(Record{TID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendSync(Record{TID: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendSync(Record{TID: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, segmentName(2))); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := ReplayDir(dir); err == nil {
+		t.Fatal("expected segment-gap error")
+	}
+}
+
+// TestCorruptSealedSegmentDetected: corruption before the newest segment
+// cannot be a crash artifact; replay must fail loudly.
+func TestCorruptSealedSegmentDetected(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir)
+	if err := l.AppendSync(Record{TID: 1, Ops: []Op{{Key: "k", Value: []byte("v")}}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendSync(Record{TID: 2, Ops: []Op{{Key: "k", Value: []byte("w")}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seg1 := filepath.Join(dir, segmentName(1))
+	raw, err := os.ReadFile(seg1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-2] ^= 0xFF
+	if err := os.WriteFile(seg1, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := ReplayDir(dir); err == nil {
+		t.Fatal("expected sealed-segment corruption error")
+	}
+}
+
+func TestSnapshotNameRecognizedByGC(t *testing.T) {
+	if !isSnapshotName(SnapshotFileName(7)) {
+		t.Fatal("GC does not recognize the checkpointer's snapshot file name")
+	}
+	if isSnapshotName("wal-00000001.log") || isSnapshotName("MANIFEST") {
+		t.Fatal("GC misclassifies non-snapshot files")
+	}
+}
+
+// TestDoubleOpenRefused: two loggers on one directory would interleave
+// appends and GC each other's segments; the second Open must fail.
+func TestDoubleOpenRefused(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir)
+	defer l.Close()
+	if l2, err := Open(dir); err == nil {
+		l2.Close()
+		t.Fatal("second Open of a locked directory succeeded")
+	}
+	// After Close the directory is free again.
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l3 := openT(t, dir)
+	if err := l3.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMissingFirstLiveSegmentDetected: if the segment the manifest
+// points at is gone, acknowledged commits are unrecoverable and replay
+// must fail, not silently skip to the next segment.
+func TestMissingFirstLiveSegmentDetected(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir)
+	if err := l.AppendSync(Record{TID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	seq, err := l.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := SnapshotFileName(seq)
+	if err := os.WriteFile(filepath.Join(dir, snap), []byte("snap"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Install(snap, seq); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Rotate(); err != nil { // segment seq+1 now exists
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, segmentName(seq))); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := ReplayDir(dir); err == nil {
+		t.Fatal("expected error for missing manifest segment")
 	}
 }
