@@ -12,6 +12,8 @@ package doppel_test
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 	"testing"
 	"time"
 
@@ -286,6 +288,94 @@ func BenchmarkCheckpoint(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// benchCheckpointBarrier populates a store of the given size and
+// reports the worker-visible pause of a checkpoint cut alongside the
+// concurrent walk time. The acceptance property of the incremental
+// copy-on-write cut is that barrier-ns stays flat as keys grows (the
+// pause is O(1)) while only walk-ns — which runs with workers live —
+// scales with the store.
+func benchCheckpointBarrier(b *testing.B, keys int) {
+	b.Helper()
+	dir := b.TempDir()
+	db, err := doppel.OpenErr(doppel.Options{Workers: 2, RedoLog: dir})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	var wg sync.WaitGroup
+	wg.Add(keys)
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("k%d", i)
+		n := int64(i)
+		db.ExecAsync(func(tx doppel.Tx) error { return tx.PutInt(key, n) }, func(err error) {
+			if err != nil {
+				b.Error(err)
+			}
+			wg.Done()
+		})
+	}
+	wg.Wait()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := db.Checkpoint(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	cs := db.CheckpointStats()
+	b.ReportMetric(float64(cs.LastBarrier.Nanoseconds()), "barrier-ns")
+	b.ReportMetric(float64(cs.LastWalk.Nanoseconds()), "walk-ns")
+	b.ReportMetric(float64(cs.LastEntries), "entries")
+}
+
+func BenchmarkCheckpointBarrier1k(b *testing.B)   { benchCheckpointBarrier(b, 1_000) }
+func BenchmarkCheckpointBarrier10k(b *testing.B)  { benchCheckpointBarrier(b, 10_000) }
+func BenchmarkCheckpointBarrier100k(b *testing.B) { benchCheckpointBarrier(b, 100_000) }
+
+// benchRecoverParallel measures Recover over a size-rotated,
+// multi-segment log at a given parallelism. Compare par=1 with par=N
+// for the parallel-replay speedup (visible on multi-core hosts).
+func benchRecoverParallel(b *testing.B, parallelism int) {
+	b.Helper()
+	dir := b.TempDir()
+	db, err := doppel.OpenErr(doppel.Options{Workers: 2, RedoLog: dir, MaxSegmentBytes: 64 << 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const txns = 20_000
+	var wg sync.WaitGroup
+	wg.Add(txns)
+	for i := 0; i < txns; i++ {
+		key := fmt.Sprintf("k%d", i%500)
+		db.ExecAsync(func(tx doppel.Tx) error { return tx.Add(key, 1) }, func(err error) {
+			if err != nil {
+				b.Error(err)
+			}
+			wg.Done()
+		})
+	}
+	wg.Wait()
+	db.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec, err := doppel.Recover(dir, doppel.Options{Workers: 2, RecoveryParallelism: parallelism})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(rec.LastRecovery().SegmentsReplayed), "segments")
+		}
+		b.StopTimer()
+		rec.Close()
+		b.StartTimer()
+	}
+}
+
+func BenchmarkRecoverSegmentsSequential(b *testing.B) { benchRecoverParallel(b, 1) }
+func BenchmarkRecoverSegmentsParallel(b *testing.B) {
+	benchRecoverParallel(b, runtime.GOMAXPROCS(0))
 }
 
 // BenchmarkRecoverFullReplay measures Recover with no checkpoint: the

@@ -46,6 +46,8 @@ func main() {
 	netMode := flag.Bool("net", false, "run the networked INCR1 benchmark: blocking vs pipelined on one connection")
 	recovery := flag.Bool("recovery", false, "measure recovery time: full WAL replay vs bounded replay after a checkpoint")
 	txns := flag.Int("txns", 50_000, "recovery mode: transactions to log before measuring")
+	segBytes := flag.Int64("segment-bytes", 128<<10, "recovery mode: WAL segment size (small values force a multi-segment log)")
+	recoveryPar := flag.Int("recovery-parallelism", runtime.GOMAXPROCS(0), "recovery mode: parallelism for the parallel-replay row")
 	addr := flag.String("addr", "", "net mode: benchmark an already-running server instead of an in-process one")
 	inflight := flag.Int("inflight", 128, "net mode: pipelined requests kept in flight")
 	flush := flag.Duration("flush", 0, "net mode: server/client flush interval (0 flushes when idle)")
@@ -55,7 +57,7 @@ func main() {
 	flag.Parse()
 
 	if *recovery {
-		runRecovery(*txns, *workers)
+		runRecovery(*txns, *workers, *segBytes, *recoveryPar)
 		return
 	}
 	if *netMode {
@@ -202,10 +204,13 @@ func netPipelined(addr string, flush time.Duration, dur time.Duration, window in
 	return n, time.Since(begin), lat
 }
 
-// runRecovery measures what checkpoints buy: log a workload, then time
-// Recover twice — once replaying the whole log, once after a checkpoint
-// has bounded the live log to the post-snapshot tail.
-func runRecovery(txns, workers int) {
+// runRecovery measures what the durability layer's two recovery levers
+// buy: parallel segment replay (sequential vs parallel over a
+// multi-segment, size-rotated log) and checkpointing (full replay vs
+// bounded replay of the post-snapshot tail). On a single-CPU host the
+// parallel row shows only I/O/decode overlap; the speedup needs real
+// cores.
+func runRecovery(txns, workers int, segBytes int64, par int) {
 	dir, err := os.MkdirTemp("", "doppel-recovery-")
 	if err != nil {
 		log.Fatal(err)
@@ -213,7 +218,7 @@ func runRecovery(txns, workers int) {
 	defer os.RemoveAll(dir)
 	const keys = 1000
 
-	db, err := doppel.OpenErr(doppel.Options{Workers: workers, RedoLog: dir})
+	db, err := doppel.OpenErr(doppel.Options{Workers: workers, RedoLog: dir, MaxSegmentBytes: segBytes})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -225,23 +230,34 @@ func runRecovery(txns, workers int) {
 	}
 	db.Close()
 
-	fmt.Printf("# recovery time: %d logged transactions over %d keys, %d workers\n", txns, keys, workers)
-	fmt.Printf("%-24s %12s %10s %10s %12s\n", "mode", "recover", "segments", "records", "snapshot")
+	fmt.Printf("# recovery time: %d logged transactions over %d keys, %d workers, %dKiB segments\n",
+		txns, keys, workers, segBytes>>10)
+	fmt.Printf("%-26s %12s %10s %10s %12s\n", "mode", "recover", "segments", "records", "snapshot")
 	row := func(mode string, d time.Duration, rs doppel.RecoveryStats) {
 		snap := "-"
 		if rs.SnapshotFile != "" {
 			snap = fmt.Sprintf("%d recs", rs.SnapshotEntries)
 		}
-		fmt.Printf("%-24s %12v %10d %10d %12s\n", mode, d, rs.SegmentsReplayed, rs.RecordsReplayed, snap)
+		fmt.Printf("%-26s %12v %10d %10d %12s\n", mode, d, rs.SegmentsReplayed, rs.RecordsReplayed, snap)
+	}
+	recover := func(par int) (*doppel.DB, time.Duration) {
+		start := time.Now()
+		rec, err := doppel.Recover(dir, doppel.Options{Workers: workers, RecoveryParallelism: par})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return rec, time.Since(start)
 	}
 
-	start := time.Now()
-	rec, err := doppel.Recover(dir, doppel.Options{Workers: workers})
-	if err != nil {
-		log.Fatal(err)
+	rec, full := recover(1)
+	row("full replay (sequential)", full, rec.LastRecovery())
+	rec.Close()
+
+	rec, parTime := recover(par)
+	row(fmt.Sprintf("full replay (par=%d)", par), parTime, rec.LastRecovery())
+	if parTime > 0 {
+		fmt.Printf("parallel replay speedup: %.1fx\n", float64(full)/float64(parTime))
 	}
-	full := time.Since(start)
-	row("full replay", full, rec.LastRecovery())
 
 	// Checkpoint, then append a 1% tail so bounded recovery has real
 	// (but small) replay work to do.
@@ -257,12 +273,7 @@ func runRecovery(txns, workers int) {
 	}
 	rec.Close()
 
-	start = time.Now()
-	rec2, err := doppel.Recover(dir, doppel.Options{Workers: workers})
-	if err != nil {
-		log.Fatal(err)
-	}
-	bounded := time.Since(start)
+	rec2, bounded := recover(par)
 	row(fmt.Sprintf("after checkpoint (+%d)", tail), bounded, rec2.LastRecovery())
 	rec2.Close()
 	if bounded > 0 {

@@ -32,6 +32,8 @@ func main() {
 	maxFrame := flag.Int("max-frame", server.DefaultMaxFrame, "max frame payload bytes")
 	walDir := flag.String("wal", "", "durability directory (enables redo logging; recovers existing state on start)")
 	ckptEvery := flag.Duration("checkpoint-every", 30*time.Second, "checkpoint interval when -wal is set (0 disables)")
+	segBytes := flag.Int64("max-segment-bytes", 64<<20, "seal WAL segments at this size, independent of checkpoints (0 disables)")
+	recoveryPar := flag.Int("recovery-parallelism", 0, "goroutines for snapshot decode and segment replay on start (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	opts := doppel.Options{Workers: *workers}
@@ -39,6 +41,8 @@ func main() {
 	if *walDir != "" {
 		opts.RedoLog = *walDir
 		opts.CheckpointEvery = *ckptEvery
+		opts.MaxSegmentBytes = *segBytes
+		opts.RecoveryParallelism = *recoveryPar
 		if err := os.MkdirAll(*walDir, 0o755); err != nil {
 			log.Fatal(err)
 		}
@@ -48,8 +52,8 @@ func main() {
 			log.Fatal(err)
 		}
 		rs := db.LastRecovery()
-		log.Printf("recovered from %s: snapshot %q (%d records), %d segments / %d records replayed",
-			*walDir, rs.SnapshotFile, rs.SnapshotEntries, rs.SegmentsReplayed, rs.RecordsReplayed)
+		log.Printf("recovered from %s: snapshot %q (%d records), %d segments / %d records replayed (parallelism %d)",
+			*walDir, rs.SnapshotFile, rs.SnapshotEntries, rs.SegmentsReplayed, rs.RecordsReplayed, rs.Parallelism)
 	} else {
 		db = doppel.Open(opts)
 	}
@@ -133,8 +137,8 @@ func main() {
 		if *walDir != "" {
 			cs := db.CheckpointStats()
 			out += fmt.Sprintf(
-				" checkpoints=%d ckpt_failures=%d ckpt_seg=%d ckpt_entries=%d ckpt_bytes=%d ckpt_barrier=%v",
-				cs.Checkpoints, cs.Failures, cs.LastSeq, cs.LastEntries, cs.LastBytes, cs.LastBarrier)
+				" checkpoints=%d ckpt_failures=%d ckpt_seg=%d ckpt_entries=%d ckpt_bytes=%d ckpt_barrier=%v ckpt_walk=%v ckpt_cow=%d",
+				cs.Checkpoints, cs.Failures, cs.LastSeq, cs.LastEntries, cs.LastBytes, cs.LastBarrier, cs.LastWalk, cs.LastCOWSaves)
 			if s.RedoLogError != "" {
 				out += fmt.Sprintf(" redo_error=%q", s.RedoLogError)
 			}

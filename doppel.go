@@ -94,11 +94,23 @@ type Options struct {
 	// appends — it never truncates logged data.
 	RedoLog string
 	// CheckpointEvery, when non-zero, checkpoints the database at this
-	// interval: a consistent snapshot is written at a quiesced phase
-	// boundary, the WAL rotates to a fresh segment, and segments covered
-	// by the snapshot are deleted. This bounds both recovery time and
-	// log disk usage. Requires RedoLog. Checkpoint() forces one manually.
+	// interval: a consistent snapshot is captured incrementally starting
+	// at a quiesced phase boundary (the pause is O(1); the store walk
+	// runs concurrently with traffic, copy-on-write), the WAL rotates to
+	// a fresh segment, and segments covered by the snapshot are deleted.
+	// This bounds both recovery time and log disk usage. Requires
+	// RedoLog. Checkpoint() forces one manually.
 	CheckpointEvery time.Duration
+	// MaxSegmentBytes, when non-zero, seals the active WAL segment and
+	// opens the next one as soon as it exceeds this many bytes,
+	// independent of checkpoints. Bounded segments keep any single log
+	// file small between checkpoints and give parallel recovery units of
+	// work. Requires RedoLog.
+	MaxSegmentBytes int64
+	// RecoveryParallelism caps the goroutines Recover uses to decode the
+	// snapshot and replay WAL segments; 0 means GOMAXPROCS. 1 forces
+	// sequential recovery.
+	RecoveryParallelism int
 }
 
 // Stats is a point-in-time summary of database activity.
@@ -129,6 +141,7 @@ type RecoveryStats struct {
 	SnapshotSeq      uint64 // first segment sequence the snapshot does not cover
 	SegmentsReplayed int    // live segments replayed after the snapshot
 	RecordsReplayed  int    // redo records replayed from those segments
+	Parallelism      int    // goroutines used for snapshot decode and segment replay
 }
 
 // DB is a Doppel database with its own worker goroutines. All methods
@@ -191,17 +204,17 @@ func OpenErr(opts Options) (*DB, error) {
 
 // Recover rebuilds a database from the durability directory at dir:
 // it loads the manifest's snapshot (if any), replays only the segments
-// the snapshot does not cover, and starts the database. Unless
-// opts.RedoLog names a different directory, logging resumes into dir by
-// appending a fresh records to the existing log — recovering and
-// crashing again never loses recovered state. RecoveryStats reports how
-// bounded the replay was.
+// the snapshot does not cover, and starts the database. Loading is
+// parallel (Options.RecoveryParallelism): snapshot entries decode on N
+// goroutines sharded by key, and segments replay concurrently — safe
+// because a redo record applies only when it advances the key's TID,
+// so the merge is order-independent. Unless opts.RedoLog names a
+// different directory, logging resumes into dir by appending fresh
+// records to the existing log — recovering and crashing again never
+// loses recovered state. RecoveryStats reports how bounded the replay
+// was.
 func Recover(dir string, opts Options) (*DB, error) {
-	rec, err := checkpoint.Load(dir)
-	if err != nil {
-		return nil, err
-	}
-	st, err := rec.BuildStore()
+	st, res, err := checkpoint.LoadStore(dir, checkpoint.LoadOptions{Parallelism: opts.RecoveryParallelism})
 	if err != nil {
 		return nil, err
 	}
@@ -213,11 +226,12 @@ func Recover(dir string, opts Options) (*DB, error) {
 		return nil, err
 	}
 	db.recovery = RecoveryStats{
-		SnapshotFile:     rec.Manifest.Snapshot,
-		SnapshotEntries:  len(rec.Snapshot),
-		SnapshotSeq:      rec.Manifest.SnapshotSeq,
-		SegmentsReplayed: len(rec.Segments),
-		RecordsReplayed:  len(rec.Records),
+		SnapshotFile:     res.Manifest.Snapshot,
+		SnapshotEntries:  res.SnapshotEntries,
+		SnapshotSeq:      res.Manifest.SnapshotSeq,
+		SegmentsReplayed: len(res.Segments),
+		RecordsReplayed:  res.Records,
+		Parallelism:      res.Parallelism,
 	}
 	return db, nil
 }
@@ -238,13 +252,15 @@ func openInto(opts Options, st *store.Store) (*DB, error) {
 	var redo *wal.Logger
 	if opts.RedoLog != "" {
 		var err error
-		redo, err = wal.Open(opts.RedoLog)
+		redo, err = wal.OpenOptions(opts.RedoLog, wal.Options{MaxSegmentBytes: opts.MaxSegmentBytes})
 		if err != nil {
 			return nil, err
 		}
 		cfg.Redo = redo
 	} else if opts.CheckpointEvery > 0 {
 		return nil, errors.New("doppel: CheckpointEvery requires RedoLog")
+	} else if opts.MaxSegmentBytes > 0 {
+		return nil, errors.New("doppel: MaxSegmentBytes requires RedoLog")
 	}
 	db := &DB{
 		eng:    core.Open(st, cfg),

@@ -1,21 +1,3 @@
-// Package checkpoint turns the segmented WAL into a bounded-recovery
-// durability layer: a checkpointer periodically captures a consistent
-// snapshot of the store at a quiesced phase boundary, rotates the log to
-// a fresh segment, publishes the snapshot in the log's manifest, and
-// garbage-collects the segments the snapshot subsumes. Recovery then
-// loads the newest snapshot and replays only the segments written after
-// it, so both replay time and disk usage are bounded by the checkpoint
-// interval instead of the database's lifetime.
-//
-// The consistency argument: the cut runs inside a core.DB barrier
-// transition, i.e. with every worker paused between transactions and all
-// per-core slices reconciled. At that point each committed value is
-// visible in the store and its redo record has been submitted to the
-// logger, and no commit is in flight. Rotate flushes those records to
-// the sealed segments, so snapshot ⊇ every record in segments before the
-// cut; records logged after the cut land in newer segments and carry
-// per-key TIDs larger than the snapshot's, so replaying them over the
-// snapshot is exact.
 package checkpoint
 
 import (
@@ -24,6 +6,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -47,7 +30,9 @@ type Stats struct {
 	LastSeq      uint64        // first live segment after the last checkpoint
 	LastEntries  int           // records in the last snapshot
 	LastBytes    int64         // size of the last snapshot file
-	LastBarrier  time.Duration // time workers were stalled by the last cut
+	LastBarrier  time.Duration // time workers were stalled by the last cut (O(1), not O(records))
+	LastWalk     time.Duration // duration of the last concurrent store walk
+	LastCOWSaves int           // records whose barrier value a concurrent writer had to copy
 	LastDuration time.Duration // wall time of the last checkpoint
 	LastError    string        // message of the last failure, if any
 }
@@ -108,19 +93,28 @@ func (c *Checkpointer) fail(err error) error {
 	return err
 }
 
-// cut is what the barrier captures: the rotation point and the store
-// contents at the quiesced boundary.
+// cut is what the barrier captures: the rotation point and the handle
+// of the copy-on-write capture started at the quiesced boundary.
 type cut struct {
 	seq     uint64
-	entries []store.SnapshotEntry
+	cap     *store.Capture
 	barrier time.Duration
 	err     error
 }
 
-// Checkpoint performs one checkpoint now: cut at a barrier, write the
-// snapshot, install it in the manifest, garbage-collect. It blocks until
-// the checkpoint is durable (or failed). Workers must be running (being
-// polled) for the barrier to complete.
+// Checkpoint performs one checkpoint now: start an incremental
+// copy-on-write cut at a barrier, walk the store concurrently with the
+// resumed workers, write the snapshot, install it in the manifest,
+// garbage-collect. It blocks until the checkpoint is durable (or
+// failed). Workers must be running (being polled) for the barrier to
+// complete.
+//
+// The barrier itself is O(1): it rotates the log (a bounded flush of
+// records already submitted) and installs a capture generation. The
+// O(records) work — walking the store, encoding, file I/O — happens
+// after the workers resume; writers that beat the walk to a record copy
+// its pre-barrier value aside first (store.SaveBeforeWrite), so the
+// assembled snapshot is exactly the store's state at the barrier.
 func (c *Checkpointer) Checkpoint() error {
 	c.ckptMu.Lock()
 	defer c.ckptMu.Unlock()
@@ -140,11 +134,9 @@ func (c *Checkpointer) Checkpoint() error {
 			cutCh <- cut{err: err}
 			return
 		}
-		// Values are immutable: collecting pointers is all the barrier
-		// needs; encoding and file I/O happen after workers resume.
 		cutCh <- cut{
 			seq:     seq,
-			entries: c.db.Store().SnapshotEntries(),
+			cap:     c.db.Store().StartCapture(),
 			barrier: time.Since(t0),
 		}
 	}) {
@@ -158,9 +150,15 @@ func (c *Checkpointer) Checkpoint() error {
 		return c.fail(fmt.Errorf("checkpoint: rotate: %w", cu.err))
 	}
 
+	// Collect before any fallible I/O so the capture is always
+	// deactivated and writers stop paying the copy-on-write hook.
+	walkStart := time.Now()
+	entries, cowSaves := c.db.Store().CollectCapture(cu.cap)
+	walk := time.Since(walkStart)
+
 	name := wal.SnapshotFileName(cu.seq)
 	size, err := wal.WriteFileAtomic(c.log.Dir(), name, func(w io.Writer) error {
-		return store.WriteSnapshot(w, cu.entries)
+		return store.WriteSnapshot(w, entries)
 	})
 	if err != nil {
 		return c.fail(fmt.Errorf("checkpoint: snapshot: %w", err))
@@ -172,9 +170,11 @@ func (c *Checkpointer) Checkpoint() error {
 	c.mu.Lock()
 	c.stats.Checkpoints++
 	c.stats.LastSeq = cu.seq
-	c.stats.LastEntries = len(cu.entries)
+	c.stats.LastEntries = len(entries)
 	c.stats.LastBytes = size
 	c.stats.LastBarrier = cu.barrier
+	c.stats.LastWalk = walk
+	c.stats.LastCOWSaves = cowSaves
 	c.stats.LastDuration = time.Since(start)
 	c.stats.LastError = ""
 	c.mu.Unlock()
@@ -237,19 +237,165 @@ func (r *Recovered) BuildStore() (*store.Store, error) {
 		st.PreloadTID(e.Key, e.Value, e.TID)
 	}
 	for _, rec := range r.Records {
-		for _, op := range rec.Ops {
-			sr, _ := st.GetOrCreate(op.Key)
-			tid, _ := sr.TIDWord()
-			if tid >= rec.TID {
-				continue
-			}
-			v, err := store.DecodeValue(op.Value)
-			if err != nil {
-				return nil, fmt.Errorf("checkpoint: corrupt redo value for %q: %w", op.Key, err)
-			}
-			sr.SetValue(v)
-			sr.SetTID(rec.TID)
+		if err := applyRecord(st, rec); err != nil {
+			return nil, err
 		}
 	}
 	return st, nil
+}
+
+// applyRecord applies one redo record to st under the highest-TID-wins
+// rule, atomically per key. Because per-key TIDs are unique and
+// monotone in commit order, applying any set of records in any order —
+// including concurrently from several goroutines — converges to the
+// same state as sequential log-order replay.
+func applyRecord(st *store.Store, rec wal.Record) error {
+	for _, op := range rec.Ops {
+		sr, _ := st.GetOrCreate(op.Key)
+		// Optimistic staleness check before paying for the decode; on
+		// skewed logs most records lose to the snapshot or a newer record.
+		// InstallIfNewer re-validates under the record lock, so a racing
+		// concurrent install cannot break the highest-TID-wins merge.
+		if tid, _ := sr.TIDWord(); tid >= rec.TID {
+			continue
+		}
+		v, err := store.DecodeValue(op.Value)
+		if err != nil {
+			return fmt.Errorf("checkpoint: corrupt redo value for %q: %w", op.Key, err)
+		}
+		sr.InstallIfNewer(v, rec.TID)
+	}
+	return nil
+}
+
+// LoadOptions tunes LoadStore.
+type LoadOptions struct {
+	// Parallelism caps the goroutines used for snapshot decoding and
+	// segment replay; values below 1 mean runtime.GOMAXPROCS(0).
+	Parallelism int
+}
+
+// LoadResult summarizes what LoadStore read.
+type LoadResult struct {
+	Manifest        wal.Manifest
+	SnapshotEntries int               // records restored from the snapshot
+	Segments        []wal.SegmentInfo // live segments replayed, with record counts
+	Records         int               // redo records replayed from those segments
+	Parallelism     int               // goroutines actually configured
+}
+
+// LoadStore reads dir and materializes the recovered store with
+// parallel replay: the snapshot decodes on N goroutines sharded by key,
+// and live segments replay concurrently, each applied under the
+// highest-TID-wins rule with per-record atomicity (see applyRecord; the
+// snapshot is fully loaded first, since preloading is unconditional).
+// The manifest's sealed-segment metadata, where present, is used as a
+// corruption check: a sealed segment must replay to exactly the record
+// count and TID range it sealed with. Corruption semantics otherwise
+// match Load: only the newest segment may end in a torn tail.
+func LoadStore(dir string, opts LoadOptions) (*store.Store, LoadResult, error) {
+	par := opts.Parallelism
+	if par < 1 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	res := LoadResult{Parallelism: par}
+	man, segs, err := wal.LiveSegments(dir)
+	if err != nil {
+		return nil, res, err
+	}
+	res.Manifest = man
+	st := store.New()
+	if man.Snapshot != "" {
+		f, err := os.Open(filepath.Join(dir, man.Snapshot))
+		if err != nil {
+			return nil, res, fmt.Errorf("checkpoint: manifest names missing snapshot: %w", err)
+		}
+		n, err := store.ReadSnapshotInto(f, st, par)
+		f.Close()
+		if err != nil {
+			return nil, res, fmt.Errorf("checkpoint: %s: %w", man.Snapshot, err)
+		}
+		res.SnapshotEntries = n
+	}
+
+	// Replay live segments concurrently. Each worker streams one segment
+	// from disk and applies its records; decoding and application of
+	// different segments overlap, and the TID filter makes the merge
+	// order-independent.
+	var (
+		mu       sync.Mutex
+		firstErr error
+		workers  = par
+	)
+	if workers > len(segs) {
+		workers = len(segs)
+	}
+	setErr := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				n, err := replaySegmentInto(st, segs[i], man.SealedFor(segs[i].Seq), i == len(segs)-1)
+				if err != nil {
+					setErr(err)
+					continue
+				}
+				segs[i].Records = n
+			}
+		}()
+	}
+	for i := range segs {
+		mu.Lock()
+		stop := firstErr != nil
+		mu.Unlock()
+		if stop {
+			break
+		}
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, res, firstErr
+	}
+	res.Segments = segs
+	for _, s := range segs {
+		res.Records += s.Records
+	}
+	return st, res, nil
+}
+
+// replaySegmentInto replays one segment into st and returns its record
+// count. meta, when non-nil, is the manifest's sealed metadata for the
+// segment and must match what the file replays to.
+func replaySegmentInto(st *store.Store, seg wal.SegmentInfo, meta *wal.SegmentMeta, newest bool) (int, error) {
+	recs, torn, err := wal.ReplaySegment(seg.Path)
+	if err != nil {
+		return 0, err
+	}
+	if torn && !newest {
+		return 0, fmt.Errorf("wal: corrupt record in sealed segment %s", seg.Path)
+	}
+	if meta != nil {
+		if check := wal.MetaFor(seg.Seq, recs); check != *meta {
+			return 0, fmt.Errorf(
+				"wal: sealed segment %s replays to %d records TIDs [%d,%d], manifest sealed it with %d records TIDs [%d,%d]",
+				seg.Path, check.Records, check.MinTID, check.MaxTID, meta.Records, meta.MinTID, meta.MaxTID)
+		}
+	}
+	for _, rec := range recs {
+		if err := applyRecord(st, rec); err != nil {
+			return 0, err
+		}
+	}
+	return len(recs), nil
 }

@@ -1,0 +1,46 @@
+// Package checkpoint turns the segmented WAL into a bounded-recovery
+// durability layer: a checkpointer periodically captures a consistent
+// snapshot of the store, rotates the log to a fresh segment, publishes
+// the snapshot in the log's manifest, and garbage-collects the segments
+// the snapshot subsumes. Recovery then loads the newest snapshot and
+// replays only the segments written after it, so both replay time and
+// disk usage are bounded by the checkpoint interval instead of the
+// database's lifetime.
+//
+// # The incremental cut
+//
+// A checkpoint cut begins inside a core.DB barrier transition, i.e.
+// with every worker paused between transactions and all per-core slices
+// reconciled. The barrier itself is O(1): it rotates the log and starts
+// a store.Capture, then the workers resume. The O(records) walk runs
+// concurrently with traffic under the copy-on-write protocol (see
+// store/cow.go): a post-barrier writer that reaches a record before the
+// walk does saves the record's pre-barrier state aside first, so the
+// assembled snapshot is exactly the store's state at the barrier.
+//
+// # The consistency argument
+//
+// At the barrier, each committed value is visible in the store and its
+// redo record has been submitted to the logger, and no commit is in
+// flight. Rotate flushes those records to the sealed segments, so
+// snapshot ⊇ every record in segments before the cut; records logged
+// after the cut land in newer segments and carry per-key TIDs larger
+// than the snapshot's, so replaying them over the snapshot is exact.
+// The snapshot is published atomically (write + fsync + rename +
+// manifest install), so a crash at any point mid-checkpoint leaves the
+// previous checkpoint authoritative and recovery replays across the
+// aborted cut's rotation as if it never happened.
+//
+// # Recovery
+//
+// Load/BuildStore is the sequential reference implementation; LoadStore
+// is the parallel production path: snapshot frames decode on N
+// goroutines sharded by key, and live segments replay concurrently.
+// Order independence holds because replay applies a redo record only
+// when it advances the key's TID, atomically per record — per-key TIDs
+// are unique and monotone in log order, so highest-TID-wins converges
+// to the sequential result from any interleaving. The manifest's
+// sealed-segment metadata (TID ranges, record counts) is checked
+// against what each segment actually replays to, so sealed-file
+// corruption fails recovery loudly.
+package checkpoint

@@ -1,14 +1,3 @@
-// Package core implements Doppel, the phase reconciliation engine of the
-// paper (§5): a serializable in-memory transaction system that cycles
-// through joined, split and reconciliation phases. Joined phases run
-// Silo-style OCC for all records; split phases route the selected
-// commutative operation on contended records to per-core slices; short
-// reconciliation phases merge the slices back into the global store.
-//
-// The engine is driven through the engine.Engine interface: worker w must
-// be driven from a single goroutine that calls Attempt/Poll regularly so
-// the worker can participate in phase transitions. The coordinator
-// goroutine only proposes transitions; workers (and Close) complete them.
 package core
 
 import (

@@ -1,0 +1,41 @@
+// Package core implements Doppel, the phase reconciliation engine of
+// the paper (§5): a serializable in-memory transaction system that
+// cycles through joined, split and reconciliation phases. Joined phases
+// run Silo-style OCC for all records; split phases route the selected
+// commutative operation on contended records to per-core slices; short
+// reconciliation phases merge the slices back into the global store.
+// The classifier (classifier.go, §5.5) decides which records split.
+//
+// # The phase-transition protocol
+//
+// The engine is driven through the engine.Engine interface: worker w
+// must be driven from a single goroutine that calls Attempt/Poll
+// regularly so the worker can participate in phase transitions. The
+// coordinator goroutine only proposes transitions (publishing one
+// in-flight *transition at a time); workers notice it between
+// transactions, perform their pre-transition duty — reconciling their
+// slices when leaving a split phase — and acknowledge. The last
+// acknowledger installs the new phase and releases everyone (§5.4).
+// Consequently every transaction executes entirely within one phase,
+// and no commit is ever in flight while a transition completes.
+//
+// # Barriers and durability
+//
+// RequestBarrier reuses this machinery to run a function at the
+// quiesced boundary (all workers paused, slices reconciled, no commit
+// in flight) — the point checkpoints cut at. The barrier body is O(1):
+// it rotates the redo log and starts a copy-on-write capture; the
+// store walk happens after workers resume. To keep captures exact,
+// every value/TID install on the global store goes through
+// store.SaveBeforeWrite while the record's commit lock is held (see
+// Tx.commit and Worker.reconcile).
+//
+// # TID invariant
+//
+// Commit TIDs are per-key monotone: genTID produces a TID above every
+// TID the transaction observed, and reconciliation merges bump the
+// record's TID the same way. Redo records are submitted to the logger
+// while the commit lock is held, so the log's per-key order matches
+// commit order — the property recovery's highest-TID-wins replay
+// depends on.
+package core

@@ -343,6 +343,10 @@ func (t *Tx) commit() (engine.Outcome, error) {
 	newVals := t.pend[:0]
 	for i := 0; i < len(t.wset); {
 		rec := t.wset[i].rec
+		// Copy-on-write hook for incremental checkpoints: holding the
+		// commit lock, save the record's pre-write state if an active
+		// capture has not claimed it yet.
+		t.w.db.st.SaveBeforeWrite(t.wset[i].key, rec)
 		v := rec.Value()
 		var err error
 		j := i

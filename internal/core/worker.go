@@ -141,6 +141,10 @@ func (w *Worker) reconcile() {
 		}
 		rec := sk.rec
 		rec.Lock()
+		// Copy-on-write hook for incremental checkpoints: the merge below
+		// installs a new value and TID, so the pre-merge state must be
+		// saved first if an active capture has not claimed this record.
+		w.db.st.SaveBeforeWrite(sk.key, rec)
 		merged, err := store.MergeValues(sk.op, rec.Value(), sl.val)
 		if err == nil {
 			rec.SetValue(merged)

@@ -1,0 +1,19 @@
+// Package engine defines the contract shared by every concurrency-control
+// engine in this repository: Doppel (phase reconciliation), OCC, 2PL and
+// Atomic. The benchmark harness drives all four through this interface so
+// their measurements differ only in concurrency control, matching the
+// paper's setup ("Both OCC and 2PL are implemented in the same framework
+// as Doppel", §8.1).
+//
+// # The driving contract
+//
+// Each worker index w must be driven from a single goroutine calling
+// Attempt (run one transaction) and Poll (participate in engine
+// housekeeping — for Doppel, phase transitions) between transactions.
+// Transaction bodies receive a Tx and may be re-executed after
+// conflicts or stashes, so they must be pure functions of the database
+// state they read. The sentinel errors classify outcomes: ErrAbort is
+// a retryable conflict, ErrStash means the transaction was saved for
+// the next joined phase (Doppel only); anything else is the caller's
+// own error and aborts without retry.
+package engine

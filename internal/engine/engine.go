@@ -1,9 +1,3 @@
-// Package engine defines the contract shared by every concurrency-control
-// engine in this repository: Doppel (phase reconciliation), OCC, 2PL and
-// Atomic. The benchmark harness drives all four through this interface so
-// their measurements differ only in concurrency control, matching the
-// paper's setup ("Both OCC and 2PL are implemented in the same framework
-// as Doppel", §8.1).
 package engine
 
 import (

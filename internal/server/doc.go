@@ -1,0 +1,26 @@
+// Package server provides Doppel's network interface: "clients submit
+// transactions in the form of procedures" (§3) over TCP (§6: "Doppel
+// supports RPC from remote clients over TCP"). Applications register
+// named procedures; clients invoke them by name with typed arguments.
+//
+// The protocol is pipelined: requests carry IDs, so a client keeps many
+// requests in flight on one connection and the server answers in
+// whatever order transactions commit. Each connection runs a reader
+// that fans requests out to the database's worker pool (bounded by
+// Options.MaxInFlight) and a single flusher goroutine that batches
+// response writes, which is what lets one TCP connection saturate the
+// phase-reconciliation engine instead of paying a network round trip
+// per transaction. See wire.go for the frame format.
+//
+// # Invariants
+//
+//   - Frames are length-prefixed and bounded by Options.MaxFrame; an
+//     oversized or malformed frame fails the connection, never the
+//     server.
+//   - Responses for one connection are written by exactly one flusher
+//     goroutine (writer.go), so replies are never interleaved
+//     mid-frame even though they complete out of order.
+//   - Handlers run inside a database transaction on worker goroutines;
+//     a handler error aborts only its own transaction and is reported
+//     to the client as a typed error response.
+package server

@@ -1,16 +1,3 @@
-// Package server provides Doppel's network interface: "clients submit
-// transactions in the form of procedures" (§3) over TCP (§6: "Doppel
-// supports RPC from remote clients over TCP"). Applications register
-// named procedures; clients invoke them by name with typed arguments.
-//
-// The protocol is pipelined: requests carry IDs, so a client keeps many
-// requests in flight on one connection and the server answers in
-// whatever order transactions commit. Each connection runs a reader
-// that fans requests out to the database's worker pool (bounded by
-// Options.MaxInFlight) and a single flusher goroutine that batches
-// response writes, which is what lets one TCP connection saturate the
-// phase-reconciliation engine instead of paying a network round trip
-// per transaction. See wire.go for the frame format.
 package server
 
 import (

@@ -1,0 +1,172 @@
+package store
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements incremental copy-on-write state capture, the
+// store half of the incremental checkpoint: instead of collecting every
+// record while all workers are stalled at a barrier (an O(records)
+// pause), the barrier only installs a Capture — O(1) — and the
+// checkpointer walks the store afterwards, concurrently with writers.
+//
+// The protocol is a per-record claim race on Record.capGen. Exactly one
+// party saves each record's barrier-time state per capture generation:
+//
+//   - A writer about to install a post-barrier value calls
+//     SaveBeforeWrite while holding the record's commit lock. If the
+//     record is unclaimed it saves the record's current (pre-write)
+//     value, which is the barrier value because the claim proves no
+//     earlier post-barrier write landed.
+//   - The walker visits every record, reads a consistent (TID, value)
+//     pair with the Silo read protocol, and claims the record with a
+//     compare-and-swap on capGen. A successful claim proves the pair
+//     predates every post-barrier write (any such write would have
+//     claimed the record first), so the pair is the barrier state.
+//
+// Correctness leans on two engine invariants: no commit is in flight at
+// the barrier (it runs at a quiesced phase boundary), and every
+// post-barrier install of a value or TID on a captured store goes
+// through SaveBeforeWrite while holding the record's commit lock. A
+// writer therefore cannot straddle two captures: captures start only at
+// quiesced barriers, where no writer holds a commit lock.
+
+// captureReadSpins bounds one consistent-read attempt during the walk
+// before yielding the processor; commit locks are held briefly, so the
+// walk retries rather than aborting.
+const captureReadSpins = 256
+
+// Capture is one incremental copy-on-write capture in progress: the
+// consistent snapshot of the store as of the barrier that called
+// StartCapture, assembled concurrently with post-barrier writers.
+type Capture struct {
+	gen uint64
+
+	// pending counts writers that may hold an unprocessed claim: it is
+	// incremented before a writer's capGen CAS and decremented after its
+	// save completes. CollectCapture drains it to zero after the walk and
+	// before sealing, so a claim that beat the walker (making the walker
+	// skip the record) can never have its save discarded by the seal.
+	pending atomic.Int64
+
+	mu       sync.Mutex
+	sealed   bool
+	saved    []SnapshotEntry // pre-barrier values saved by writers
+	cowSaves int             // how many records writers had to copy
+}
+
+// StartCapture begins a copy-on-write capture of the store's state as
+// of this call and returns its handle. It is O(1): the caller (the
+// checkpoint barrier) must invoke it at a quiesced point with no commit
+// in flight. Captures must not overlap; the previous capture must have
+// been collected before a new one starts.
+func (s *Store) StartCapture() *Capture {
+	c := &Capture{gen: s.captureGen.Add(1)}
+	s.capture.Store(c)
+	return c
+}
+
+// SaveBeforeWrite is the writer half of the copy-on-write protocol.
+// Engines must call it with r's commit lock held, after deciding to
+// install a new value or TID and before doing so. When a capture is
+// active and the record is unclaimed for it, the record's current state
+// — its pre-barrier state — is saved into the capture. When no capture
+// is active the cost is one atomic load.
+func (s *Store) SaveBeforeWrite(key string, r *Record) {
+	c := s.capture.Load()
+	if c == nil {
+		return
+	}
+	g := r.capGen.Load()
+	if g == c.gen {
+		return // already captured for this generation
+	}
+	// Announce the claim attempt before making it, so the collector's
+	// pre-seal drain (see Capture.pending) covers the window between a
+	// winning CAS and the append below.
+	c.pending.Add(1)
+	if !r.capGen.CompareAndSwap(g, c.gen) {
+		c.pending.Add(-1)
+		return // someone else captured it
+	}
+	tid, _ := r.TIDWord()
+	e := SnapshotEntry{Key: key, TID: tid, Value: r.Value()}
+	c.mu.Lock()
+	if !c.sealed {
+		c.saved = append(c.saved, e)
+		c.cowSaves++
+	}
+	// A claim processed after the seal can only be a record created after
+	// the barrier: the walk resolved every record that existed when it
+	// ran, and the seal happens only after claims that beat the walker
+	// have drained. Such a record's barrier state is "absent" — dropped.
+	c.mu.Unlock()
+	c.pending.Add(-1)
+}
+
+// CollectCapture walks the store concurrently with writers and returns
+// the complete barrier-time state of capture c, in unspecified order,
+// along with how many records post-barrier writers had to copy. Records
+// with no value at the barrier (created by reads, or created after the
+// barrier) are omitted. It must be called exactly once per capture, and
+// it deactivates the capture before returning.
+func (s *Store) CollectCapture(c *Capture) (entries []SnapshotEntry, cowSaves int) {
+	entries = make([]SnapshotEntry, 0, s.Len())
+	var keys []string
+	var recs []*Record
+	for i := range s.shards {
+		sh := &s.shards[i]
+		// Copy the shard's contents so record claims spin without the
+		// shard lock held. Records inserted after this copy were created
+		// after the barrier and have no barrier state to save.
+		sh.mu.RLock()
+		keys, recs = keys[:0], recs[:0]
+		for k, r := range sh.m {
+			keys = append(keys, k)
+			recs = append(recs, r)
+		}
+		sh.mu.RUnlock()
+		for j, r := range recs {
+			for {
+				g := r.capGen.Load()
+				if g == c.gen {
+					break // a writer already saved this record's barrier state
+				}
+				v, tid, ok := r.ReadConsistent(captureReadSpins)
+				if !ok {
+					runtime.Gosched() // commit in progress; retry shortly
+					continue
+				}
+				// The claim validates the read: if it fails, a writer
+				// claimed (and saved) the record between our read and now.
+				if r.capGen.CompareAndSwap(g, c.gen) && v != nil {
+					entries = append(entries, SnapshotEntry{Key: keys[j], TID: tid, Value: v})
+				}
+				break
+			}
+		}
+	}
+	// Drain in-flight claims before sealing: a writer that won its claim
+	// during the walk made the walker skip that record, so its save must
+	// land before the seal or the record would vanish from the snapshot.
+	for c.pending.Load() != 0 {
+		runtime.Gosched()
+	}
+	// Seal: laggard writers that loaded the capture pointer before it is
+	// cleared must not append concurrently with the caller reading saved.
+	c.mu.Lock()
+	c.sealed = true
+	saved := c.saved
+	cowSaves = c.cowSaves
+	c.saved = nil
+	c.mu.Unlock()
+	s.capture.CompareAndSwap(c, nil)
+	for _, e := range saved {
+		if e.Value != nil {
+			entries = append(entries, e)
+		}
+	}
+	return entries, cowSaves
+}

@@ -1,0 +1,216 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// captureMap flattens capture output for comparison.
+func captureMap(t *testing.T, entries []SnapshotEntry) map[string]SnapshotEntry {
+	t.Helper()
+	out := make(map[string]SnapshotEntry, len(entries))
+	for _, e := range entries {
+		if _, dup := out[e.Key]; dup {
+			t.Fatalf("capture contains key %q twice", e.Key)
+		}
+		out[e.Key] = e
+	}
+	return out
+}
+
+func TestCaptureQuiescentStore(t *testing.T) {
+	st := New()
+	for i := 0; i < 100; i++ {
+		st.PreloadTID(fmt.Sprintf("k%d", i), IntValue(int64(i)), uint64(i+1))
+	}
+	c := st.StartCapture()
+	entries, cowSaves := st.CollectCapture(c)
+	if cowSaves != 0 {
+		t.Fatalf("%d copy-on-write saves with no writers", cowSaves)
+	}
+	got := captureMap(t, entries)
+	if len(got) != 100 {
+		t.Fatalf("captured %d entries, want 100", len(got))
+	}
+	for i := 0; i < 100; i++ {
+		e := got[fmt.Sprintf("k%d", i)]
+		if e.TID != uint64(i+1) {
+			t.Fatalf("k%d captured TID %d, want %d", i, e.TID, i+1)
+		}
+		if n, _ := e.Value.AsInt(); n != int64(i) {
+			t.Fatalf("k%d captured value %d, want %d", i, n, i)
+		}
+	}
+}
+
+// TestCaptureOmitsValuelessRecords: records created by reads (no value
+// ever installed) have no barrier state and must not appear.
+func TestCaptureOmitsValuelessRecords(t *testing.T) {
+	st := New()
+	st.PreloadTID("real", IntValue(1), 1)
+	st.GetOrCreate("phantom")
+	entries, _ := st.CollectCapture(st.StartCapture())
+	if len(entries) != 1 || entries[0].Key != "real" {
+		t.Fatalf("capture = %+v, want only 'real'", entries)
+	}
+}
+
+// TestCaptureConcurrentWriters is the store-level copy-on-write
+// property test: writers following the commit protocol (lock,
+// SaveBeforeWrite, install, unlock-with-TID) run throughout the walk,
+// and the capture must still equal the store's state at StartCapture.
+// Run with -race.
+func TestCaptureConcurrentWriters(t *testing.T) {
+	const keys = 2000
+	const writers = 4
+	st := New()
+	want := map[string]SnapshotEntry{}
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("k%d", i)
+		st.PreloadTID(k, IntValue(int64(i)), uint64(i+1))
+		want[k] = SnapshotEntry{Key: k, TID: uint64(i + 1), Value: st.Get(k).Value()}
+	}
+
+	// Quiesced point: no writer is running yet, matching the engine's
+	// barrier contract.
+	c := st.StartCapture()
+
+	// Overwrite a slice of the keys before the walk can reach them, so
+	// the copy-on-write path is exercised deterministically: these
+	// records' barrier values can only come from writer-side saves.
+	const overwritten = keys / 10
+	for i := 0; i < overwritten; i++ {
+		k := fmt.Sprintf("k%d", i*10)
+		r := st.Get(k)
+		r.Lock()
+		st.SaveBeforeWrite(k, r)
+		r.SetValue(IntValue(-1))
+		r.UnlockWithTID(uint64(keys + 1))
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tid := uint64(keys + 10 + w) // above every pre-barrier TID
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := fmt.Sprintf("k%d", (i*7+w)%keys)
+				r, _ := st.GetOrCreate(k)
+				r.Lock()
+				st.SaveBeforeWrite(k, r)
+				r.SetValue(IntValue(int64(-i)))
+				tid += writers
+				r.UnlockWithTID(tid)
+			}
+		}(w)
+	}
+
+	entries, cowSaves := st.CollectCapture(c)
+	close(stop)
+	wg.Wait()
+	if cowSaves < overwritten {
+		t.Fatalf("%d copy-on-write saves, want at least the %d pre-walk overwrites", cowSaves, overwritten)
+	}
+
+	got := captureMap(t, entries)
+	if len(got) != len(want) {
+		t.Fatalf("captured %d entries, want %d", len(got), len(want))
+	}
+	for k, we := range want {
+		ge, ok := got[k]
+		if !ok {
+			t.Fatalf("key %q missing from capture", k)
+		}
+		if ge.TID != we.TID || ge.Value != we.Value {
+			t.Fatalf("key %q captured (tid=%d, %p), want barrier state (tid=%d, %p)",
+				k, ge.TID, ge.Value, we.TID, we.Value)
+		}
+	}
+	t.Logf("writers copied %d of %d records before the walk reached them", cowSaves, keys)
+}
+
+// TestCaptureNewKeysExcluded: records created after the barrier do not
+// belong to the capture even when written during the walk.
+func TestCaptureNewKeysExcluded(t *testing.T) {
+	st := New()
+	st.PreloadTID("old", IntValue(1), 1)
+	c := st.StartCapture()
+	r, _ := st.GetOrCreate("new")
+	r.Lock()
+	st.SaveBeforeWrite("new", r)
+	r.SetValue(IntValue(99))
+	r.UnlockWithTID(50)
+	entries, _ := st.CollectCapture(c)
+	got := captureMap(t, entries)
+	if _, ok := got["new"]; ok {
+		t.Fatal("post-barrier key leaked into the capture")
+	}
+	if e, ok := got["old"]; !ok || e.TID != 1 {
+		t.Fatalf("pre-barrier key wrong: %+v", got)
+	}
+}
+
+// TestCollectWaitsForInFlightClaim is the regression test for the
+// claim/seal race: a writer that has won a record's capGen claim but
+// has not yet appended its save must block the seal, or the record —
+// skipped by the walker because of that very claim — would vanish from
+// the snapshot. The test performs the writer's protocol by hand,
+// pausing at the descheduling point.
+func TestCollectWaitsForInFlightClaim(t *testing.T) {
+	st := New()
+	st.PreloadTID("k", IntValue(7), 3)
+	c := st.StartCapture()
+	r := st.Get("k")
+
+	// Writer side, step 1: announce and win the claim — then stall
+	// before saving, as a descheduled goroutine would.
+	c.pending.Add(1)
+	if g := r.capGen.Load(); !r.capGen.CompareAndSwap(g, c.gen) {
+		t.Fatal("claim lost with no contention")
+	}
+
+	done := make(chan []SnapshotEntry, 1)
+	go func() {
+		entries, _ := st.CollectCapture(c)
+		done <- entries
+	}()
+	select {
+	case <-done:
+		t.Fatal("capture sealed while a claimed save was in flight")
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	// Writer side, step 2: finish the save and release the claim.
+	c.mu.Lock()
+	c.saved = append(c.saved, SnapshotEntry{Key: "k", TID: 3, Value: r.Value()})
+	c.cowSaves++
+	c.mu.Unlock()
+	c.pending.Add(-1)
+
+	entries := <-done
+	if len(entries) != 1 || entries[0].Key != "k" || entries[0].TID != 3 {
+		t.Fatalf("in-flight save lost: capture = %+v", entries)
+	}
+}
+
+// TestCaptureGenerationsDoNotLeak: a record claimed in one capture must
+// be captured again by the next one.
+func TestCaptureGenerationsDoNotLeak(t *testing.T) {
+	st := New()
+	st.PreloadTID("k", IntValue(1), 1)
+	for gen := 0; gen < 3; gen++ {
+		entries, _ := st.CollectCapture(st.StartCapture())
+		if len(entries) != 1 || entries[0].Key != "k" {
+			t.Fatalf("capture %d = %+v", gen, entries)
+		}
+	}
+}

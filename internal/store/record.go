@@ -20,7 +20,12 @@ import (
 type Record struct {
 	tid atomic.Uint64
 	val atomic.Pointer[Value]
-	mu  sync.RWMutex
+	// capGen is the copy-on-write capture generation that has already
+	// saved this record's pre-barrier state; see cow.go. A record whose
+	// capGen differs from the active Capture's generation has not been
+	// captured yet.
+	capGen atomic.Uint64
+	mu     sync.RWMutex
 }
 
 const lockBit = 1
@@ -114,6 +119,25 @@ func (r *Record) ReadConsistent(maxSpins int) (v *Value, tid uint64, ok bool) {
 // other concurrency control", §8.2).
 func (r *Record) CasValue(old, new *Value) bool {
 	return r.val.CompareAndSwap(old, new)
+}
+
+// InstallIfNewer atomically installs (v, tid) when tid is strictly
+// greater than the record's current TID, taking the commit lock for the
+// duration of the check-and-set. It returns whether it installed.
+// Parallel recovery uses it to apply redo records concurrently: per-key
+// TIDs are unique and monotone in commit order, so "highest TID wins"
+// applied atomically in any order converges to the sequential-replay
+// state.
+func (r *Record) InstallIfNewer(v *Value, tid uint64) bool {
+	r.Lock()
+	cur, _ := r.TIDWord()
+	if cur >= tid {
+		r.Unlock()
+		return false
+	}
+	r.SetValue(v)
+	r.UnlockWithTID(tid)
+	return true
 }
 
 // RWMutex exposes the record's 2PL mutex. Only the 2PL engine uses it;

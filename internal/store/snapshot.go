@@ -8,6 +8,8 @@ import (
 	"hash/crc32"
 	"io"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // snapshotMagic begins every snapshot stream.
@@ -139,6 +141,130 @@ func ReadSnapshot(r io.Reader) ([]SnapshotEntry, error) {
 		return nil, errors.New("store: trailing bytes after snapshot entries")
 	}
 	return out, nil
+}
+
+// snapFrame is one length-delimited snapshot entry handed from the
+// reader goroutine to a decoder goroutine.
+type snapFrame struct {
+	body []byte
+	crc  uint32
+}
+
+// ReadSnapshotInto streams WriteSnapshot's output directly into st with
+// parallelism decoder goroutines and returns the number of entries
+// loaded. The reader goroutine does only framing I/O; CRC verification,
+// value decoding and store insertion run on the decoders, sharded by
+// key hash so shard-lock contention between decoders stays low (safety
+// does not depend on the sharding — concurrent inserts are protected by
+// the store's shard mutexes). Entries are installed with PreloadTID, so
+// st must not be serving traffic yet — this is the recovery path.
+// Corruption semantics match ReadSnapshot: any truncated or corrupt
+// frame fails the whole load.
+func ReadSnapshotInto(r io.Reader, st *Store, parallelism int) (int, error) {
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	br := bufio.NewReaderSize(r, 1<<20)
+	magic := make([]byte, len(snapshotMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return 0, fmt.Errorf("store: short snapshot magic: %w", err)
+	}
+	if string(magic) != string(snapshotMagic) {
+		return 0, errors.New("store: bad snapshot magic")
+	}
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return 0, fmt.Errorf("store: short snapshot count: %w", err)
+	}
+	count := binary.LittleEndian.Uint64(hdr[:])
+	if count > 1<<40 {
+		return 0, fmt.Errorf("store: implausible snapshot entry count %d", count)
+	}
+
+	var (
+		failed  atomic.Bool
+		errOnce sync.Once
+		loadErr error
+	)
+	setErr := func(err error) {
+		errOnce.Do(func() { loadErr = err })
+		failed.Store(true)
+	}
+	chans := make([]chan snapFrame, parallelism)
+	var wg sync.WaitGroup
+	for w := 0; w < parallelism; w++ {
+		chans[w] = make(chan snapFrame, 256)
+		wg.Add(1)
+		go func(ch <-chan snapFrame) {
+			defer wg.Done()
+			for fr := range ch {
+				if failed.Load() {
+					continue // drain so the reader never blocks
+				}
+				if crc32.Checksum(fr.body, snapCastagnoli) != fr.crc {
+					setErr(errors.New("store: snapshot entry checksum mismatch"))
+					continue
+				}
+				e, err := decodeSnapshotBody(fr.body)
+				if err != nil {
+					setErr(fmt.Errorf("store: snapshot entry: %w", err))
+					continue
+				}
+				st.PreloadTID(e.Key, e.Value, e.TID)
+			}
+		}(chans[w])
+	}
+	finish := func(err error) (int, error) {
+		for _, ch := range chans {
+			close(ch)
+		}
+		wg.Wait()
+		if err == nil && loadErr != nil {
+			err = loadErr
+		}
+		if err != nil {
+			return 0, err
+		}
+		return int(count), nil
+	}
+
+	for i := uint64(0); i < count; i++ {
+		if failed.Load() {
+			return finish(nil)
+		}
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			return finish(fmt.Errorf("store: truncated snapshot entry %d: %w", i, err))
+		}
+		bodyLen := binary.LittleEndian.Uint32(hdr[:4])
+		wantCRC := binary.LittleEndian.Uint32(hdr[4:])
+		if bodyLen > 1<<30 {
+			return finish(fmt.Errorf("store: implausible snapshot body length %d", bodyLen))
+		}
+		body := make([]byte, bodyLen)
+		if _, err := io.ReadFull(br, body); err != nil {
+			return finish(fmt.Errorf("store: truncated snapshot entry %d: %w", i, err))
+		}
+		// Route by the entry's key hash: one key always lands on one
+		// decoder, and distinct keys spread out, keeping store shard-lock
+		// contention low (decoder = hash % parallelism does not coincide
+		// with the store's hash & 255 sharding, so exclusivity is not
+		// guaranteed — nor needed; shard mutexes protect inserts). A
+		// malformed frame (body too short to hold even a key length) may
+		// dispatch anywhere; its decoder reports the corruption.
+		w := 0
+		if len(body) >= 4 {
+			if kl := binary.LittleEndian.Uint32(body); uint64(kl)+4 <= uint64(len(body)) {
+				w = int(fnv1aBytes(body[4:4+kl]) % uint64(parallelism))
+			}
+		}
+		chans[w] <- snapFrame{body: body, crc: wantCRC}
+	}
+	// Trailing bytes mean the writer and reader disagree about the
+	// format; reject rather than silently ignore.
+	if _, err := br.ReadByte(); err != io.EOF {
+		return finish(errors.New("store: trailing bytes after snapshot entries"))
+	}
+	return finish(nil)
 }
 
 func decodeSnapshotBody(body []byte) (SnapshotEntry, error) {

@@ -2,6 +2,9 @@ package store
 
 import (
 	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
 	"testing"
 )
 
@@ -107,6 +110,104 @@ func TestSnapshotCorruptionDetected(t *testing.T) {
 }
 
 func clone(b []byte) []byte { return append([]byte(nil), b...) }
+
+// TestReadSnapshotIntoMatchesReadSnapshot: the parallel loader must
+// install exactly what the sequential reader decodes, at every
+// parallelism level.
+func TestReadSnapshotIntoMatchesReadSnapshot(t *testing.T) {
+	var entries []SnapshotEntry
+	for i := 0; i < 500; i++ {
+		entries = append(entries, SnapshotEntry{
+			Key: fmt.Sprintf("key-%04d", i), TID: uint64(i + 1), Value: IntValue(int64(i * 3)),
+		})
+	}
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, entries); err != nil {
+		t.Fatal(err)
+	}
+	want, err := ReadSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{0, 1, 3, 8} {
+		t.Run(fmt.Sprintf("par=%d", par), func(t *testing.T) {
+			st := New()
+			n, err := ReadSnapshotInto(bytes.NewReader(buf.Bytes()), st, par)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n != len(want) || st.Len() != len(want) {
+				t.Fatalf("loaded %d entries into %d records, want %d", n, st.Len(), len(want))
+			}
+			for _, e := range want {
+				r := st.Get(e.Key)
+				if r == nil {
+					t.Fatalf("%s missing", e.Key)
+				}
+				tid, _ := r.TIDWord()
+				if tid != e.TID {
+					t.Fatalf("%s TID %d, want %d", e.Key, tid, e.TID)
+				}
+				if !bytes.Equal(EncodeValue(r.Value()), EncodeValue(e.Value)) {
+					t.Fatalf("%s value mismatch", e.Key)
+				}
+			}
+		})
+	}
+}
+
+// TestReadSnapshotIntoCorruptionDetected: the parallel loader keeps the
+// sequential reader's all-or-nothing corruption policy.
+func TestReadSnapshotIntoCorruptionDetected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, snapshotFixture()); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for _, tc := range []struct {
+		name   string
+		mutate func([]byte) []byte
+	}{
+		{"bad magic", func(b []byte) []byte { c := clone(b); c[0] ^= 0xFF; return c }},
+		{"truncated", func(b []byte) []byte { return b[:len(b)-5] }},
+		{"bit flip", func(b []byte) []byte { c := clone(b); c[len(c)-3] ^= 0x10; return c }},
+		{"trailing bytes", func(b []byte) []byte { return append(clone(b), 0xAB) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, par := range []int{1, 4} {
+				if _, err := ReadSnapshotInto(bytes.NewReader(tc.mutate(raw)), New(), par); err == nil {
+					t.Fatalf("corruption accepted at parallelism %d", par)
+				}
+			}
+		})
+	}
+}
+
+// TestReadSnapshotIntoShortBody: a frame whose declared body is too
+// short to hold even a key length must error, not panic in the
+// key-sharding dispatch (regression: index out of range).
+func TestReadSnapshotIntoShortBody(t *testing.T) {
+	for _, bodyLen := range []int{0, 1, 2, 3} {
+		var raw []byte
+		raw = append(raw, snapshotMagic...)
+		var hdr [8]byte
+		binary.LittleEndian.PutUint64(hdr[:], 1) // one entry
+		raw = append(raw, hdr[:]...)
+		body := make([]byte, bodyLen)
+		binary.LittleEndian.PutUint32(hdr[:4], uint32(bodyLen))
+		binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum(body, snapCastagnoli))
+		raw = append(raw, hdr[:]...)
+		raw = append(raw, body...)
+		for _, par := range []int{1, 4} {
+			if _, err := ReadSnapshotInto(bytes.NewReader(raw), New(), par); err == nil {
+				t.Fatalf("bodyLen=%d accepted at parallelism %d", bodyLen, par)
+			}
+		}
+		if _, err := ReadSnapshot(bytes.NewReader(raw)); err == nil {
+			t.Fatalf("bodyLen=%d accepted by sequential reader", bodyLen)
+		}
+	}
+}
 
 // FuzzReadSnapshot: arbitrary bytes must never panic the reader, and
 // anything it accepts must survive a write/read round trip unchanged

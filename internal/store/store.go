@@ -2,6 +2,7 @@ package store
 
 import (
 	"sync"
+	"sync/atomic"
 )
 
 // shardCount is the number of independent hash-map shards. Sharding keeps
@@ -20,6 +21,12 @@ type shard struct {
 // concurrency control is entirely the engines' business.
 type Store struct {
 	shards [shardCount]shard
+
+	// capture is the active copy-on-write checkpoint capture, nil when no
+	// checkpoint walk is in progress; captureGen issues its generation
+	// numbers. See cow.go.
+	capture    atomic.Pointer[Capture]
+	captureGen atomic.Uint64
 }
 
 // New returns an empty store.
@@ -34,6 +41,20 @@ func New() *Store {
 // fnv1a is the 64-bit FNV-1a hash, inlined to avoid an interface
 // allocation per lookup.
 func fnv1a(key string) uint64 {
+	const offset64 = 14695981039346656037
+	const prime64 = 1099511628211
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return h
+}
+
+// fnv1aBytes is fnv1a for a key still in its encoded []byte form; the
+// parallel snapshot loader uses it to shard frames by key without
+// allocating a string first.
+func fnv1aBytes(key []byte) uint64 {
 	const offset64 = 14695981039346656037
 	const prime64 = 1099511628211
 	h := uint64(offset64)

@@ -1,12 +1,3 @@
-// Package store is the shared-memory substrate every engine in this
-// repository builds on: immutable typed values, the semantics of the
-// paper's splittable operations (§4), records with Silo-style TID words,
-// and a sharded hash-map key/value store with per-key locks (§6).
-//
-// Values are immutable: applying an operation produces a fresh *Value.
-// Records publish values through an atomic pointer, which makes the Silo
-// read protocol (read TID word, read value, re-check TID word) race-free
-// under the Go memory model.
 package store
 
 import (

@@ -88,7 +88,7 @@ func TestCrashInjectionEveryTruncationPoint(t *testing.T) {
 					return nil, err
 				}
 				return &cutFile{f: f, remaining: &remaining}, nil
-			})
+			}, Options{})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -163,7 +163,7 @@ func TestCrashThenReopenAppends(t *testing.T) {
 			return nil, err
 		}
 		return &cutFile{f: f, remaining: &remaining}, nil
-	})
+	}, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -216,7 +216,7 @@ func TestWriteFailureIsTerminal(t *testing.T) {
 			return nil, err
 		}
 		return &cutFile{f: f, remaining: &remaining}, nil
-	})
+	}, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,44 @@
+// Package wal implements a segmented, asynchronous, batched redo log —
+// the durability design the paper defers to future work ("existing work
+// suggests that asynchronous batched logging could be added to Doppel
+// without becoming a bottleneck", §3, citing Silo and Hekaton).
+//
+// A log lives in a directory of numbered segment files
+// (wal-00000001.log, wal-00000002.log, ...) plus a MANIFEST that names
+// the newest durable snapshot, the first segment recovery must replay,
+// and the TID range and record count of every live sealed segment.
+// Writers append per-transaction redo records; a single background
+// goroutine batches everything that arrived since the last write,
+// writes one group to the current segment, syncs once, and then
+// releases every waiter in the group (group commit). Records carry a
+// CRC so torn tails are detected and ignored at replay.
+//
+// Segments seal two ways: checkpoints call Rotate at a quiesced
+// barrier, and Options.MaxSegmentBytes seals a segment as soon as its
+// size crosses the threshold, between group commits. Either way the
+// sealed segment's metadata is published in the manifest, Install
+// publishes a snapshot and garbage-collects the segments (and
+// metadata) the snapshot subsumes, and recovery replays only segments
+// at or after the manifest's sequence number.
+//
+// # Invariants
+//
+//   - Append order per key follows commit order: a committer holds the
+//     record's commit lock while submitting its redo record, so records
+//     touching one key enter the log in strictly increasing TID order.
+//     Recovery's highest-TID-wins replay depends on this.
+//   - Segment boundaries fall on record boundaries: rotation (explicit
+//     or size-based) happens only between group commits.
+//   - Torn-tail trim rule: reopening an existing directory never
+//     truncates acknowledged data. Only bytes past the last valid
+//     record of the newest segment — bytes that were never part of a
+//     completed group-commit acknowledgement — are trimmed, so any
+//     number of crash → recover cycles preserve state. Corruption
+//     anywhere else (a sealed segment, a gap in the sequence, the
+//     manifest, a sealed segment disagreeing with its recorded
+//     metadata) fails recovery loudly instead of dropping commits.
+//   - Write failures are terminal: after any segment write, sync, seal
+//     or manifest failure the logger refuses further appends and
+//     reports the cause via Err, because records appended behind
+//     unreplayable bytes would look durable but be unrecoverable.
+package wal

@@ -12,9 +12,52 @@ import (
 // manifestName is the manifest file inside a log directory.
 const manifestName = "MANIFEST"
 
-// Manifest names the durable snapshot recovery starts from and the
-// first segment it must replay. A zero Manifest (no snapshot, sequence
-// 0) means "replay everything".
+// SegmentMeta records a sealed segment's identity in the manifest: the
+// range of transaction IDs it holds and how many records it sealed
+// with. Recovery uses the metadata two ways: as a corruption check (a
+// sealed segment must replay to exactly these counts and bounds — its
+// file can no longer legitimately change) and as the ordering evidence
+// for parallel replay (per-key TIDs are monotone in log order, so
+// segments may be applied concurrently under the highest-TID-wins
+// rule; the recorded ranges make that ordering auditable).
+type SegmentMeta struct {
+	// Seq is the segment's sequence number.
+	Seq uint64
+	// MinTID and MaxTID bound the TIDs of the segment's records; both
+	// are zero when the segment sealed empty.
+	MinTID uint64
+	MaxTID uint64
+	// Records is how many redo records the segment held when sealed.
+	Records int
+}
+
+// extend folds one record into the metadata of the segment being
+// written.
+func (m *SegmentMeta) extend(rec Record) {
+	if m.Records == 0 || rec.TID < m.MinTID {
+		m.MinTID = rec.TID
+	}
+	if rec.TID > m.MaxTID {
+		m.MaxTID = rec.TID
+	}
+	m.Records++
+}
+
+// MetaFor computes the metadata segment seq would seal with if it held
+// exactly recs. Recovery uses it to check a sealed segment's file
+// against the manifest.
+func MetaFor(seq uint64, recs []Record) SegmentMeta {
+	m := SegmentMeta{Seq: seq}
+	for _, rec := range recs {
+		m.extend(rec)
+	}
+	return m
+}
+
+// Manifest names the durable snapshot recovery starts from, the first
+// segment it must replay, and the metadata of every live sealed
+// segment. A zero Manifest (no snapshot, sequence 0, no sealed
+// segments) means "replay everything, ranges unknown".
 type Manifest struct {
 	// Snapshot is the snapshot file name (inside the log directory), or
 	// "" when no checkpoint has completed yet.
@@ -23,11 +66,32 @@ type Manifest struct {
 	// not covered by the snapshot. Segments with a smaller sequence are
 	// garbage.
 	SnapshotSeq uint64
+	// Sealed holds the metadata of live sealed segments in ascending
+	// sequence order. A live sealed segment may be absent (the process
+	// crashed between sealing it and writing the manifest); recovery
+	// then simply has no metadata to check that segment against.
+	Sealed []SegmentMeta
+}
+
+// SealedFor returns the manifest's metadata for segment seq, or nil
+// when none was recorded.
+func (m *Manifest) SealedFor(seq uint64) *SegmentMeta {
+	for i := range m.Sealed {
+		if m.Sealed[i].Seq == seq {
+			return &m.Sealed[i]
+		}
+	}
+	return nil
 }
 
 // manifestBody renders the checksummed portion of the manifest.
 func manifestBody(m Manifest) string {
-	return fmt.Sprintf("doppel-manifest-v1\nseq=%d\nsnapshot=%s\n", m.SnapshotSeq, m.Snapshot)
+	var b strings.Builder
+	fmt.Fprintf(&b, "doppel-manifest-v2\nseq=%d\nsnapshot=%s\n", m.SnapshotSeq, m.Snapshot)
+	for _, s := range m.Sealed {
+		fmt.Fprintf(&b, "segment=%d %d %d %d\n", s.Seq, s.MinTID, s.MaxTID, s.Records)
+	}
+	return b.String()
 }
 
 // writeManifest atomically replaces dir's manifest via WriteFileAtomic.
@@ -42,10 +106,11 @@ func writeManifest(dir string, m Manifest) error {
 }
 
 // ReadManifest loads dir's manifest. ok is false (with a zero Manifest
-// and nil error) when no manifest exists, i.e. no checkpoint has ever
-// completed. A present-but-corrupt manifest is an error: segments named
-// only by the manifest may already be garbage-collected, so guessing
-// would risk silently wrong recovery.
+// and nil error) when no manifest exists, i.e. no checkpoint or sealing
+// rotation has ever completed. Both the current v2 format and the
+// segment-metadata-less v1 format are accepted. A present-but-corrupt
+// manifest is an error: segments named only by the manifest may already
+// be garbage-collected, so guessing would risk silently wrong recovery.
 func ReadManifest(dir string) (m Manifest, ok bool, err error) {
 	raw, err := os.ReadFile(filepath.Join(dir, manifestName))
 	if err != nil {
@@ -68,7 +133,7 @@ func ReadManifest(dir string) (m Manifest, ok bool, err error) {
 		return Manifest{}, false, fmt.Errorf("wal: manifest checksum mismatch in %s", dir)
 	}
 	lines := strings.Split(strings.TrimSuffix(body, "\n"), "\n")
-	if len(lines) != 3 || lines[0] != "doppel-manifest-v1" {
+	if len(lines) < 3 || (lines[0] != "doppel-manifest-v1" && lines[0] != "doppel-manifest-v2") {
 		return Manifest{}, false, fmt.Errorf("wal: unsupported manifest version in %s", dir)
 	}
 	if n, err := fmt.Sscanf(lines[1], "seq=%d", &m.SnapshotSeq); n != 1 || err != nil {
@@ -77,6 +142,16 @@ func ReadManifest(dir string) (m Manifest, ok bool, err error) {
 	m.Snapshot = strings.TrimPrefix(lines[2], "snapshot=")
 	if m.Snapshot == lines[2] {
 		return Manifest{}, false, fmt.Errorf("wal: malformed manifest snapshot in %s", dir)
+	}
+	for _, line := range lines[3:] {
+		var sm SegmentMeta
+		if n, err := fmt.Sscanf(line, "segment=%d %d %d %d", &sm.Seq, &sm.MinTID, &sm.MaxTID, &sm.Records); n != 4 || err != nil {
+			return Manifest{}, false, fmt.Errorf("wal: malformed manifest segment line in %s", dir)
+		}
+		if k := len(m.Sealed); k > 0 && sm.Seq <= m.Sealed[k-1].Seq {
+			return Manifest{}, false, fmt.Errorf("wal: manifest segment lines out of order in %s", dir)
+		}
+		m.Sealed = append(m.Sealed, sm)
 	}
 	return m, true, nil
 }

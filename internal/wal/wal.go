@@ -1,27 +1,3 @@
-// Package wal implements a segmented, asynchronous, batched redo log —
-// the durability design the paper defers to future work ("existing work
-// suggests that asynchronous batched logging could be added to Doppel
-// without becoming a bottleneck", §3, citing Silo and Hekaton).
-//
-// A log lives in a directory of numbered segment files
-// (wal-00000001.log, wal-00000002.log, ...) plus a MANIFEST that names
-// the newest durable snapshot and the first segment recovery must
-// replay. Writers append per-transaction redo records; a single
-// background goroutine batches everything that arrived since the last
-// write, writes one group to the current segment, syncs once, and then
-// releases every waiter in the group (group commit). Records carry a
-// CRC so torn tails are detected and ignored at replay.
-//
-// Checkpointing rotates the log: Rotate seals the current segment and
-// opens the next one, and Install publishes a snapshot in the manifest
-// and garbage-collects segments the snapshot has subsumed. Recovery is
-// then bounded: load the snapshot, replay only segments at or after the
-// manifest's sequence number.
-//
-// Reopening an existing directory never truncates data: the newest
-// segment is opened in append mode after trimming any torn tail left by
-// a crash (bytes past the last valid record, which by construction were
-// never acknowledged to any committer).
 package wal
 
 import (
@@ -89,6 +65,17 @@ func syncDir(dir string) {
 	}
 }
 
+// Options tunes a Logger.
+type Options struct {
+	// MaxSegmentBytes, when positive, seals the active segment and opens
+	// the next one as soon as appended records push it past this size —
+	// independent of checkpoints, which also rotate the log. Small
+	// segments bound how much any single file can hold and give parallel
+	// recovery units of work; 0 disables size-based rotation (segments
+	// then seal only at checkpoint rotations).
+	MaxSegmentBytes int64
+}
+
 // Logger is an asynchronous group-commit redo logger over a segment
 // directory.
 type Logger struct {
@@ -100,11 +87,24 @@ type Logger struct {
 	termErr error // terminal failure: the logger can no longer write
 
 	dir     string
+	opts    Options
 	openSeg openSegFunc
 	lock    *os.File // exclusive directory lock (see lockDir)
 	f       segFile
 	seq     uint64 // sequence number of the open segment
 	wg      sync.WaitGroup
+
+	// man is the authoritative in-memory copy of the directory's
+	// manifest; every durable manifest write goes through updateManifest
+	// under manMu (the committer seals segments, the checkpointer
+	// installs snapshots — they race).
+	manMu sync.Mutex
+	man   Manifest
+
+	// curBytes and curMeta describe the open segment. They are written
+	// at open (before the committer starts) and by the committer only.
+	curBytes int64
+	curMeta  SegmentMeta
 }
 
 type pendingRec struct {
@@ -122,10 +122,15 @@ type rotateReq struct {
 // committer. Existing segments are preserved: the newest one is opened
 // for appending after trimming any torn tail a crash may have left.
 func Open(dir string) (*Logger, error) {
-	return openWith(dir, osOpenSeg)
+	return OpenOptions(dir, Options{})
 }
 
-func openWith(dir string, openSeg openSegFunc) (*Logger, error) {
+// OpenOptions is Open with tuning options.
+func OpenOptions(dir string, opts Options) (*Logger, error) {
+	return openWith(dir, osOpenSeg, opts)
+}
+
+func openWith(dir string, openSeg openSegFunc, opts Options) (*Logger, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
@@ -133,29 +138,62 @@ func openWith(dir string, openSeg openSegFunc) (*Logger, error) {
 	if err != nil {
 		return nil, err
 	}
-	segs, err := listSegments(dir)
-	if err != nil {
+	fail := func(err error) (*Logger, error) {
 		unlockDir(lock)
 		return nil, err
 	}
+	// A corrupt manifest is refused here for the same reason recovery
+	// refuses it: appending behind state we cannot interpret risks
+	// making acknowledged commits unrecoverable.
+	man, _, err := ReadManifest(dir)
+	if err != nil {
+		return fail(err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return fail(err)
+	}
 	seq := uint64(1)
+	var curBytes int64
+	var curMeta SegmentMeta
 	if n := len(segs); n > 0 {
 		seq = segs[n-1].Seq
 		// Trim a torn tail so that records appended after reopen follow
-		// the last valid record; otherwise replay would stop at the torn
-		// bytes and miss everything written after recovery.
-		if err := trimTornTail(segs[n-1].Path); err != nil {
-			unlockDir(lock)
-			return nil, err
+		// the last valid record (otherwise replay would stop at the torn
+		// bytes and miss everything written after recovery), and rebuild
+		// the open segment's size and TID-range metadata from the same
+		// scan.
+		curBytes, curMeta, err = trimAndScan(segs[n-1].Path, seq)
+		if err != nil {
+			return fail(err)
+		}
+	}
+	curMeta.Seq = seq
+	// A crash between sealing a segment and opening its successor leaves
+	// the manifest recording the newest segment as sealed. We are about
+	// to append to that segment, which would contradict its recorded
+	// metadata (failing the next recovery's corruption check) and later
+	// duplicate its manifest line when it seals again — so durably
+	// retract the entry before any append.
+	if man.SealedFor(seq) != nil {
+		live := man.Sealed[:0]
+		for _, s := range man.Sealed {
+			if s.Seq != seq {
+				live = append(live, s)
+			}
+		}
+		man.Sealed = live
+		if err := writeManifest(dir, man); err != nil {
+			return fail(err)
 		}
 	}
 	f, err := openSeg(filepath.Join(dir, segmentName(seq)))
 	if err != nil {
-		unlockDir(lock)
-		return nil, err
+		return fail(err)
 	}
 	syncDir(dir)
-	l := &Logger{dir: dir, openSeg: openSeg, lock: lock, f: f, seq: seq}
+	l := &Logger{dir: dir, opts: opts, openSeg: openSeg, lock: lock, f: f, seq: seq,
+		man: man, curBytes: curBytes, curMeta: curMeta}
 	l.cond = sync.NewCond(&l.mu)
 	l.wg.Add(1)
 	go l.committer()
@@ -234,7 +272,7 @@ func (l *Logger) committer() {
 		l.mu.Unlock()
 
 		if len(batch) > 0 {
-			err := writeBatch(f, batch)
+			n, err := writeBatch(f, batch)
 			for _, p := range batch {
 				p.done <- err
 			}
@@ -252,9 +290,22 @@ func (l *Logger) committer() {
 				}
 				return
 			}
+			l.curBytes += int64(n)
+			for _, p := range batch {
+				l.curMeta.extend(p.rec)
+			}
 		}
 		if rot != nil {
 			l.doRotate(rot)
+		} else if l.opts.MaxSegmentBytes > 0 && l.curBytes >= l.opts.MaxSegmentBytes && !closed {
+			// Size-based rotation: the segment reached its byte budget, so
+			// seal it and move on, independent of any checkpoint. Sealing
+			// happens between batches, so segment boundaries always fall
+			// on record boundaries.
+			if _, err := l.advance(); err != nil {
+				l.fail(err)
+				return
+			}
 		}
 		if closed {
 			return
@@ -263,8 +314,11 @@ func (l *Logger) committer() {
 }
 
 // fail marks the logger terminally broken: appends error out
-// immediately, queued records are refused, and Err() reports the cause
-// so operators can see that durability has stopped.
+// immediately, queued records are refused, a Rotate that queued while
+// the committer was mid-write is released with the error (its caller is
+// a checkpoint barrier holding every worker — stranding it would
+// deadlock the database), and Err() reports the cause so operators can
+// see that durability has stopped.
 func (l *Logger) fail(err error) {
 	l.mu.Lock()
 	l.closed = true
@@ -273,57 +327,120 @@ func (l *Logger) fail(err error) {
 	}
 	pending := l.pending
 	l.pending = nil
+	rot := l.rot
+	l.rot = nil
 	l.mu.Unlock()
 	for _, p := range pending {
 		p.done <- err
 	}
+	if rot != nil {
+		rot.err = err
+		close(rot.done)
+	}
 	_ = l.f.Close()
 }
 
-// doRotate seals the current segment and opens the next one. Every
-// failure is terminal: a segment that cannot be synced or sealed cannot
-// be trusted to hold further acknowledged records.
+// doRotate seals the current segment and opens the next one on behalf
+// of an explicit Rotate call. Every failure is terminal: a segment that
+// cannot be synced or sealed cannot be trusted to hold further
+// acknowledged records.
 func (l *Logger) doRotate(rot *rotateReq) {
-	if err := l.f.Sync(); err != nil {
+	seq, err := l.advance()
+	if err != nil {
 		l.fail(err)
 		rot.err = err
 		close(rot.done)
 		return
 	}
+	rot.seq = seq
+	close(rot.done)
+}
+
+// advance seals the current segment — sync, close, publish its
+// metadata in the manifest — and opens the next one, returning the new
+// sequence number. It runs on the committer goroutine only. On error
+// the caller must fail the logger: the old segment is closed and the
+// log cannot accept further records.
+func (l *Logger) advance() (uint64, error) {
+	if err := l.f.Sync(); err != nil {
+		return 0, err
+	}
 	if err := l.f.Close(); err != nil {
-		l.fail(err)
-		rot.err = err
-		close(rot.done)
-		return
+		return 0, err
+	}
+	// Publish the sealed segment's metadata before opening the next
+	// segment. If we crash in between, the just-sealed segment is the
+	// newest on disk and recovery treats it like any append target —
+	// metadata is a cross-check, never a prerequisite. A manifest that
+	// cannot be written is treated like any other write failure:
+	// terminal, because it signals the directory is no longer reliably
+	// writable.
+	sealed := l.curMeta
+	if err := l.updateManifest(func(m *Manifest) {
+		m.Sealed = append(m.Sealed, sealed)
+	}); err != nil {
+		return 0, err
 	}
 	next := l.seq + 1
 	f, err := l.openSeg(filepath.Join(l.dir, segmentName(next)))
 	if err != nil {
-		// The old segment is closed and no new one exists; the logger is
-		// unusable.
-		l.fail(err)
-		rot.err = err
-		close(rot.done)
-		return
+		return 0, err
 	}
 	syncDir(l.dir)
 	l.mu.Lock()
 	l.f = f
 	l.seq = next
 	l.mu.Unlock()
-	rot.seq = next
-	close(rot.done)
+	l.curBytes = 0
+	l.curMeta = SegmentMeta{Seq: next}
+	return next, nil
 }
 
-func writeBatch(f segFile, batch []pendingRec) error {
+// maxSealedMeta bounds how many sealed-segment metadata lines the
+// manifest keeps. Install prunes the list at every checkpoint, but a
+// log running with size-based rotation and no checkpoints would
+// otherwise grow the manifest (and the cost of rewriting it at every
+// seal) without bound. The metadata is advisory — recovery simply has
+// nothing to cross-check for segments whose entries were dropped — so
+// capping it trades a little corruption-detection coverage on the
+// oldest segments for bounded seal cost.
+const maxSealedMeta = 512
+
+// trimSealed drops the oldest entries beyond maxSealedMeta.
+func trimSealed(s []SegmentMeta) []SegmentMeta {
+	if len(s) > maxSealedMeta {
+		return s[len(s)-maxSealedMeta:]
+	}
+	return s
+}
+
+// updateManifest applies mut to a copy of the in-memory manifest,
+// writes the result durably, and only then adopts it. Both the
+// committer (sealing segments) and the checkpointer (installing
+// snapshots) mutate the manifest; manMu serializes them.
+func (l *Logger) updateManifest(mut func(*Manifest)) error {
+	l.manMu.Lock()
+	defer l.manMu.Unlock()
+	m := l.man
+	m.Sealed = append([]SegmentMeta(nil), l.man.Sealed...)
+	mut(&m)
+	m.Sealed = trimSealed(m.Sealed)
+	if err := writeManifest(l.dir, m); err != nil {
+		return err
+	}
+	l.man = m
+	return nil
+}
+
+func writeBatch(f segFile, batch []pendingRec) (int, error) {
 	var buf []byte
 	for _, p := range batch {
 		buf = appendRecord(buf, p.rec)
 	}
 	if _, err := f.Write(buf); err != nil {
-		return err
+		return 0, err
 	}
-	return f.Sync()
+	return len(buf), f.Sync()
 }
 
 // countingWriter counts bytes on their way to the underlying writer.
@@ -375,10 +492,22 @@ func WriteFileAtomic(dir, name string, write func(io.Writer) error) (int64, erro
 
 // Install atomically publishes snapshot (a file name inside the log
 // directory) as covering every segment before seq, then deletes the
-// segments and snapshots it has subsumed. Call it only after the
-// snapshot file itself is durable.
+// segments and snapshots it has subsumed (pruning their metadata from
+// the manifest). Call it only after the snapshot file itself is
+// durable.
 func (l *Logger) Install(snapshot string, seq uint64) error {
-	if err := writeManifest(l.dir, Manifest{Snapshot: snapshot, SnapshotSeq: seq}); err != nil {
+	err := l.updateManifest(func(m *Manifest) {
+		m.Snapshot = snapshot
+		m.SnapshotSeq = seq
+		live := m.Sealed[:0]
+		for _, s := range m.Sealed {
+			if s.Seq >= seq {
+				live = append(live, s)
+			}
+		}
+		m.Sealed = live
+	})
+	if err != nil {
 		return err
 	}
 	return gc(l.dir, snapshot, seq)
@@ -530,32 +659,46 @@ func replayReader(r io.Reader) (recs []Record, valid int64, torn bool, err error
 // ReplayFile reads records from a single segment file in order, stopping
 // cleanly at a torn or corrupt tail.
 func ReplayFile(path string) ([]Record, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	recs, _, _, err := replayReader(f)
+	recs, _, err := ReplaySegment(path)
 	return recs, err
 }
 
-// trimTornTail truncates path to the end of its last valid record. The
-// discarded bytes were never synced as part of a completed group commit
-// acknowledgement, so no committed transaction is lost.
-func trimTornTail(path string) error {
+// ReplaySegment reads records from a single segment file in order and
+// additionally reports whether the file ended in a torn or corrupt
+// tail. Parallel recovery uses the torn flag to enforce the rule that
+// only the newest segment may be torn.
+func ReplaySegment(path string) ([]Record, bool, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return err
+		return nil, false, err
 	}
-	_, valid, torn, err := replayReader(f)
+	defer f.Close()
+	recs, _, torn, err := replayReader(f)
+	return recs, torn, err
+}
+
+// trimAndScan truncates path to the end of its last valid record and
+// returns the resulting byte size along with the TID-range metadata of
+// the records it holds. The discarded bytes were never synced as part
+// of a completed group commit acknowledgement, so no committed
+// transaction is lost.
+func trimAndScan(path string, seq uint64) (int64, SegmentMeta, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, SegmentMeta{}, err
+	}
+	recs, valid, torn, err := replayReader(f)
 	f.Close()
 	if err != nil {
-		return err
+		return 0, SegmentMeta{}, err
 	}
-	if !torn {
-		return nil
+	meta := MetaFor(seq, recs)
+	if torn {
+		if err := os.Truncate(path, valid); err != nil {
+			return 0, SegmentMeta{}, err
+		}
 	}
-	return os.Truncate(path, valid)
+	return valid, meta, nil
 }
 
 // HasState reports whether dir holds durable state a fresh database
@@ -614,20 +757,18 @@ func listSegments(dir string) ([]SegmentInfo, error) {
 	return segs, nil
 }
 
-// ReplayDir reads the manifest at dir and replays every live segment (at
-// or after the manifest's snapshot sequence; all segments when no
-// manifest exists). Only the newest segment may end in a torn tail — a
-// crash can tear only the segment being appended to; corruption in an
-// earlier, sealed segment means acknowledged commits are unrecoverable,
-// which is reported as an error rather than silently dropped.
-func ReplayDir(dir string) (Manifest, []Record, []SegmentInfo, error) {
+// LiveSegments reads the manifest at dir and returns the segments
+// recovery must replay (at or after the manifest's snapshot sequence;
+// all segments when no manifest exists), in ascending sequence order,
+// after validating that none of them is missing.
+func LiveSegments(dir string) (Manifest, []SegmentInfo, error) {
 	man, _, err := ReadManifest(dir)
 	if err != nil {
-		return Manifest{}, nil, nil, err
+		return Manifest{}, nil, err
 	}
 	segs, err := listSegments(dir)
 	if err != nil {
-		return Manifest{}, nil, nil, err
+		return Manifest{}, nil, err
 	}
 	live := segs[:0]
 	for _, s := range segs {
@@ -639,21 +780,32 @@ func ReplayDir(dir string) (Manifest, []Record, []SegmentInfo, error) {
 	// was installed (rotation precedes install); its absence is the same
 	// damage as a gap between segments and must fail just as loudly.
 	if man.SnapshotSeq > 0 && (len(live) == 0 || live[0].Seq != man.SnapshotSeq) {
-		return Manifest{}, nil, nil, fmt.Errorf(
+		return Manifest{}, nil, fmt.Errorf(
 			"wal: manifest expects segment %d but the first live segment is missing", man.SnapshotSeq)
+	}
+	for i := 1; i < len(live); i++ {
+		if live[i].Seq != live[i-1].Seq+1 {
+			return Manifest{}, nil, fmt.Errorf(
+				"wal: segment gap: %d follows %d", live[i].Seq, live[i-1].Seq)
+		}
+	}
+	return man, live, nil
+}
+
+// ReplayDir reads the manifest at dir and replays every live segment (at
+// or after the manifest's snapshot sequence; all segments when no
+// manifest exists). Only the newest segment may end in a torn tail — a
+// crash can tear only the segment being appended to; corruption in an
+// earlier, sealed segment means acknowledged commits are unrecoverable,
+// which is reported as an error rather than silently dropped.
+func ReplayDir(dir string) (Manifest, []Record, []SegmentInfo, error) {
+	man, live, err := LiveSegments(dir)
+	if err != nil {
+		return Manifest{}, nil, nil, err
 	}
 	var out []Record
 	for i := range live {
-		if i > 0 && live[i].Seq != live[i-1].Seq+1 {
-			return Manifest{}, nil, nil, fmt.Errorf(
-				"wal: segment gap: %d follows %d", live[i].Seq, live[i-1].Seq)
-		}
-		f, err := os.Open(live[i].Path)
-		if err != nil {
-			return Manifest{}, nil, nil, err
-		}
-		recs, _, torn, err := replayReader(f)
-		f.Close()
+		recs, torn, err := ReplaySegment(live[i].Path)
 		if err != nil {
 			return Manifest{}, nil, nil, err
 		}

@@ -1,10 +1,15 @@
 package wal
 
 import (
+	"errors"
+	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
+	"reflect"
 	"sync"
 	"testing"
+	"time"
 )
 
 func openT(t *testing.T, dir string) *Logger {
@@ -318,13 +323,34 @@ func TestManifestRoundTrip(t *testing.T) {
 	if _, ok, err := ReadManifest(dir); ok || err != nil {
 		t.Fatalf("empty dir: ok=%v err=%v", ok, err)
 	}
-	want := Manifest{Snapshot: "snapshot-00000007.db", SnapshotSeq: 7}
+	want := Manifest{Snapshot: "snapshot-00000007.db", SnapshotSeq: 7, Sealed: []SegmentMeta{
+		{Seq: 7, MinTID: 100, MaxTID: 250, Records: 12},
+		{Seq: 8, MinTID: 251, MaxTID: 260, Records: 3},
+	}}
 	if err := writeManifest(dir, want); err != nil {
 		t.Fatal(err)
 	}
 	got, ok, err := ReadManifest(dir)
-	if err != nil || !ok || got != want {
+	if err != nil || !ok || !reflect.DeepEqual(got, want) {
 		t.Fatalf("got %+v ok=%v err=%v", got, ok, err)
+	}
+}
+
+// TestManifestV1Compat: manifests written before segment metadata
+// existed (format v1) must still load, with no sealed-segment ranges.
+func TestManifestV1Compat(t *testing.T) {
+	dir := t.TempDir()
+	body := "doppel-manifest-v1\nseq=3\nsnapshot=snapshot-00000003.db\n"
+	content := body + fmt.Sprintf("crc=%08x\n", crc32.Checksum([]byte(body), castagnoli))
+	if err := os.WriteFile(filepath.Join(dir, manifestName), []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := ReadManifest(dir)
+	if err != nil || !ok {
+		t.Fatalf("v1 manifest rejected: ok=%v err=%v", ok, err)
+	}
+	if got.Snapshot != "snapshot-00000003.db" || got.SnapshotSeq != 3 || len(got.Sealed) != 0 {
+		t.Fatalf("v1 manifest parsed as %+v", got)
 	}
 }
 
@@ -415,6 +441,227 @@ func TestSnapshotNameRecognizedByGC(t *testing.T) {
 	}
 	if isSnapshotName("wal-00000001.log") || isSnapshotName("MANIFEST") {
 		t.Fatal("GC misclassifies non-snapshot files")
+	}
+}
+
+// TestFailReleasesQueuedRotate is the regression test for the
+// stranded-rotate deadlock: a Rotate that queues while the committer is
+// mid-write must be released with the terminal error when the write
+// fails, because its caller is a checkpoint barrier holding every
+// worker quiesced — stranding it would deadlock the whole database.
+func TestFailReleasesQueuedRotate(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir)
+	// Queue a rotate request directly, simulating one that registered
+	// after the committer captured l.rot for its current iteration.
+	req := &rotateReq{done: make(chan struct{})}
+	l.mu.Lock()
+	l.rot = req
+	l.mu.Unlock()
+	l.fail(errors.New("injected write failure"))
+	select {
+	case <-req.done:
+		if req.err == nil {
+			t.Fatal("queued rotate released without the terminal error")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("queued rotate stranded after terminal failure")
+	}
+	if l.Err() == nil {
+		t.Fatal("terminal failure not recorded")
+	}
+	_ = l.Close()
+}
+
+// TestSizeBasedRotation: with MaxSegmentBytes set, segments seal on
+// byte thresholds with no Rotate calls, the manifest records each
+// sealed segment's TID range, and replay still sees every record in
+// order.
+func TestSizeBasedRotation(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenOptions(dir, Options{MaxSegmentBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 5
+	for tid := uint64(1); tid <= n; tid++ {
+		if err := l.AppendSync(Record{TID: tid, Ops: []Op{{Key: "k", Value: []byte("v")}}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Wait for the committer to finish any rotation triggered by the last
+	// batch: Close drains the committer loop.
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	man, recs, segs, err := ReplayDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != n {
+		t.Fatalf("replayed %d records, want %d", len(recs), n)
+	}
+	for i, r := range recs {
+		if r.TID != uint64(i+1) {
+			t.Fatalf("record %d has TID %d: order lost across size rotations", i, r.TID)
+		}
+	}
+	// Every AppendSync is its own batch, and a 1-byte budget seals the
+	// segment after each batch, so there must be n sealed segments plus
+	// the open one.
+	if len(segs) != n+1 {
+		t.Fatalf("got %d segments, want %d", len(segs), n+1)
+	}
+	if len(man.Sealed) != n {
+		t.Fatalf("manifest records %d sealed segments, want %d: %+v", len(man.Sealed), n, man.Sealed)
+	}
+	for i, sm := range man.Sealed {
+		want := SegmentMeta{Seq: uint64(i + 1), MinTID: uint64(i + 1), MaxTID: uint64(i + 1), Records: 1}
+		if sm != want {
+			t.Fatalf("sealed[%d] = %+v, want %+v", i, sm, want)
+		}
+	}
+}
+
+// TestSizeRotationMetaSurvivesReopen: the open segment's TID-range
+// metadata is rebuilt from the file on reopen, so a seal after a
+// crash-restart still publishes a correct range.
+func TestSizeRotationMetaSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir)
+	if err := l.AppendSync(Record{TID: 7, Ops: []Op{{Key: "k", Value: []byte("v")}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l = openT(t, dir)
+	if err := l.AppendSync(Record{TID: 9, Ops: []Op{{Key: "k", Value: []byte("w")}}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	man, _, err := ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm := man.SealedFor(1)
+	if sm == nil || sm.MinTID != 7 || sm.MaxTID != 9 || sm.Records != 2 {
+		t.Fatalf("sealed segment 1 metadata %+v, want range [7,9] with 2 records", sm)
+	}
+}
+
+// TestReopenRetractsSealedMetaOfAppendTarget is the regression test
+// for the crash window between sealing a segment and opening its
+// successor: the manifest records the newest segment as sealed, but
+// reopen must append to that segment. Without durably retracting the
+// metadata, post-reopen commits would contradict it and the next
+// recovery would reject the log as corrupt.
+func TestReopenRetractsSealedMetaOfAppendTarget(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir)
+	if err := l.AppendSync(Record{TID: 1, Ops: []Op{{Key: "a", Value: []byte("1")}}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the crash: segment 2 was never durably created, so the
+	// sealed segment 1 is the newest file on disk.
+	if err := os.Remove(filepath.Join(dir, segmentName(2))); err != nil {
+		t.Fatal(err)
+	}
+
+	l = openT(t, dir)
+	if man, _, err := ReadManifest(dir); err != nil || man.SealedFor(1) != nil {
+		t.Fatalf("reopen left sealed metadata for the append target: %+v (err %v)", man.Sealed, err)
+	}
+	if err := l.AppendSync(Record{TID: 2, Ops: []Op{{Key: "b", Value: []byte("2")}}}); err != nil {
+		t.Fatal(err)
+	}
+	// Crash again without any further manifest write: recovery must not
+	// reject segment 1 for having grown past retracted metadata.
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, recs, _, err := ReplayDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].TID != 1 || recs[1].TID != 2 {
+		t.Fatalf("records after reopen-append: %+v", recs)
+	}
+
+	// And when the reopened segment seals again, its manifest line must
+	// not duplicate (ReadManifest rejects out-of-order lines).
+	l = openT(t, dir)
+	if _, err := l.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	man, _, err := ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm := man.SealedFor(1)
+	if sm == nil || sm.Records != 2 || sm.MinTID != 1 || sm.MaxTID != 2 {
+		t.Fatalf("re-sealed segment 1 metadata: %+v", man.Sealed)
+	}
+}
+
+// TestSealedMetaBounded: without checkpoints to prune it, the sealed
+// metadata list must still stay bounded so per-seal manifest rewrites
+// do not grow without limit.
+func TestSealedMetaBounded(t *testing.T) {
+	var s []SegmentMeta
+	for seq := uint64(1); seq <= maxSealedMeta+100; seq++ {
+		s = trimSealed(append(s, SegmentMeta{Seq: seq}))
+	}
+	if len(s) != maxSealedMeta {
+		t.Fatalf("sealed metadata grew to %d entries, cap is %d", len(s), maxSealedMeta)
+	}
+	if s[0].Seq != 101 || s[len(s)-1].Seq != maxSealedMeta+100 {
+		t.Fatalf("trim kept the wrong window: [%d, %d]", s[0].Seq, s[len(s)-1].Seq)
+	}
+}
+
+// TestInstallPrunesSealedMeta: installing a snapshot drops manifest
+// metadata for the segments the snapshot subsumed.
+func TestInstallPrunesSealedMeta(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir)
+	if err := l.AppendSync(Record{TID: 1, Ops: []Op{{Key: "a", Value: []byte("1")}}}); err != nil {
+		t.Fatal(err)
+	}
+	seq, err := l.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := SnapshotFileName(seq)
+	if err := os.WriteFile(filepath.Join(dir, snap), []byte("snap"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Install(snap, seq); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	man, _, err := ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(man.Sealed) != 0 {
+		t.Fatalf("subsumed segment metadata not pruned: %+v", man.Sealed)
 	}
 }
 

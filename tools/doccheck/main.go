@@ -1,0 +1,204 @@
+// Command doccheck enforces the repository's documentation invariants
+// in CI:
+//
+//  1. Every exported identifier (functions, methods, types, consts,
+//     vars) in the audited packages carries a doc comment, and every
+//     audited package has a package comment.
+//  2. Every relative markdown link in the audited documents resolves to
+//     a file that exists.
+//
+// Usage:
+//
+//	go run ./tools/doccheck -pkgs internal/core,internal/store -docs README.md,docs
+//
+// It exits non-zero listing every violation, so the docs job fails
+// loudly rather than letting exported API drift undocumented or links
+// rot.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+func main() {
+	pkgs := flag.String("pkgs", "", "comma-separated package directories to audit for godoc coverage")
+	docs := flag.String("docs", "", "comma-separated markdown files or directories to audit for link rot")
+	flag.Parse()
+
+	var problems []string
+	for _, dir := range splitList(*pkgs) {
+		ps, err := auditPackage(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doccheck: %s: %v\n", dir, err)
+			os.Exit(2)
+		}
+		problems = append(problems, ps...)
+	}
+	for _, path := range splitList(*docs) {
+		ps, err := auditDocs(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doccheck: %s: %v\n", path, err)
+			os.Exit(2)
+		}
+		problems = append(problems, ps...)
+	}
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, p)
+		}
+		fmt.Fprintf(os.Stderr, "doccheck: %d problem(s)\n", len(problems))
+		os.Exit(1)
+	}
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// auditPackage parses dir (non-test files only) and reports exported
+// identifiers without doc comments.
+func auditPackage(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgMap, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var problems []string
+	report := func(pos token.Pos, what, name string) {
+		p := fset.Position(pos)
+		problems = append(problems, fmt.Sprintf("%s:%d: exported %s %s has no doc comment", p.Filename, p.Line, what, name))
+	}
+	for _, pkg := range pkgMap {
+		hasPkgDoc := false
+		for _, f := range pkg.Files {
+			if f.Doc != nil {
+				hasPkgDoc = true
+			}
+		}
+		if !hasPkgDoc {
+			problems = append(problems, fmt.Sprintf("%s: package %s has no package comment", dir, pkg.Name))
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if !d.Name.IsExported() || receiverUnexported(d) {
+						continue
+					}
+					if d.Doc == nil {
+						what := "function"
+						if d.Recv != nil {
+							what = "method"
+						}
+						report(d.Pos(), what, d.Name.Name)
+					}
+				case *ast.GenDecl:
+					auditGenDecl(d, report)
+				}
+			}
+		}
+	}
+	return problems, nil
+}
+
+// receiverUnexported reports whether a method's receiver type is
+// unexported (methods on unexported types are not part of the API).
+func receiverUnexported(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return false
+	}
+	t := d.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver
+		t = idx.X
+	}
+	id, ok := t.(*ast.Ident)
+	return ok && !id.IsExported()
+}
+
+// auditGenDecl checks type/const/var declarations. A spec counts as
+// documented when the declaration group, the spec, or the spec's
+// trailing comment documents it.
+func auditGenDecl(d *ast.GenDecl, report func(token.Pos, string, string)) {
+	if d.Tok != token.TYPE && d.Tok != token.CONST && d.Tok != token.VAR {
+		return
+	}
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if s.Name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+				report(s.Pos(), "type", s.Name.Name)
+			}
+		case *ast.ValueSpec:
+			for _, name := range s.Names {
+				if name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+					report(s.Pos(), strings.ToLower(d.Tok.String()), name.Name)
+				}
+			}
+		}
+	}
+}
+
+// mdLink matches inline markdown links; group 2 is the target.
+var mdLink = regexp.MustCompile(`\[([^\]]*)\]\(([^)\s]+)[^)]*\)`)
+
+// auditDocs checks every relative link in path (a markdown file or a
+// directory of them) for a resolvable target.
+func auditDocs(path string) ([]string, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	if fi.IsDir() {
+		err := filepath.WalkDir(path, func(p string, d os.DirEntry, err error) error {
+			if err == nil && !d.IsDir() && strings.HasSuffix(p, ".md") {
+				files = append(files, p)
+			}
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		files = []string{path}
+	}
+	var problems []string
+	for _, f := range files {
+		raw, err := os.ReadFile(f)
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(raw), -1) {
+			target := m[2]
+			if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") ||
+				strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "#") {
+				continue
+			}
+			target = strings.SplitN(target, "#", 2)[0]
+			resolved := filepath.Join(filepath.Dir(f), target)
+			if _, err := os.Stat(resolved); err != nil {
+				problems = append(problems, fmt.Sprintf("%s: broken link %q (%s)", f, m[2], resolved))
+			}
+		}
+	}
+	return problems, nil
+}
