@@ -292,12 +292,16 @@ func BenchmarkCheckpoint(b *testing.B) {
 
 // benchCheckpointBarrier populates a store of the given size and
 // reports the worker-visible pause of a checkpoint cut alongside the
-// concurrent walk time. The acceptance property of the incremental
-// copy-on-write cut is that barrier-ns stays flat as keys grows (the
-// pause is O(1)) while only walk-ns — which runs with workers live —
-// scales with the store.
+// concurrent walk time. Two acceptance properties of the incremental
+// streaming cut: barrier-ns stays flat as keys grows (the pause is
+// O(1)) while only walk-ns — which runs with workers live — scales
+// with the store; and allocated bytes/op stay roughly flat from 1k to
+// 100k records, because the streaming walk encodes and writes entries
+// through reused buffers instead of materializing the store
+// (ReportAllocs makes this visible as B/op).
 func benchCheckpointBarrier(b *testing.B, keys int) {
 	b.Helper()
+	b.ReportAllocs()
 	dir := b.TempDir()
 	db, err := doppel.OpenErr(doppel.Options{Workers: 2, RedoLog: dir})
 	if err != nil {
@@ -335,9 +339,11 @@ func BenchmarkCheckpointBarrier10k(b *testing.B)  { benchCheckpointBarrier(b, 10
 func BenchmarkCheckpointBarrier100k(b *testing.B) { benchCheckpointBarrier(b, 100_000) }
 
 // benchRecoverParallel measures Recover over a size-rotated,
-// multi-segment log at a given parallelism. Compare par=1 with par=N
-// for the parallel-replay speedup (visible on multi-core hosts).
-func benchRecoverParallel(b *testing.B, parallelism int) {
+// multi-segment log (with a mid-run checkpoint, so a snapshot plus a
+// segment tail both exist) at a given parallelism. Compare par=1 with
+// par=N for the parallel-replay speedup (visible on multi-core hosts)
+// and the overlapped variant for the snapshot/segment overlap win.
+func benchRecoverParallel(b *testing.B, parallelism int, overlap bool) {
 	b.Helper()
 	dir := b.TempDir()
 	db, err := doppel.OpenErr(doppel.Options{Workers: 2, RedoLog: dir, MaxSegmentBytes: 64 << 10})
@@ -345,27 +351,37 @@ func benchRecoverParallel(b *testing.B, parallelism int) {
 		b.Fatal(err)
 	}
 	const txns = 20_000
-	var wg sync.WaitGroup
-	wg.Add(txns)
-	for i := 0; i < txns; i++ {
-		key := fmt.Sprintf("k%d", i%500)
-		db.ExecAsync(func(tx doppel.Tx) error { return tx.Add(key, 1) }, func(err error) {
-			if err != nil {
-				b.Error(err)
-			}
-			wg.Done()
-		})
+	load := func(n int) {
+		var wg sync.WaitGroup
+		wg.Add(n)
+		for i := 0; i < n; i++ {
+			key := fmt.Sprintf("k%d", i%500)
+			db.ExecAsync(func(tx doppel.Tx) error { return tx.Add(key, 1) }, func(err error) {
+				if err != nil {
+					b.Error(err)
+				}
+				wg.Done()
+			})
+		}
+		wg.Wait()
 	}
-	wg.Wait()
+	load(txns / 2)
+	if err := db.Checkpoint(); err != nil {
+		b.Fatal(err)
+	}
+	load(txns / 2)
 	db.Close()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rec, err := doppel.Recover(dir, doppel.Options{Workers: 2, RecoveryParallelism: parallelism})
+		rec, err := doppel.Recover(dir, doppel.Options{
+			Workers: 2, RecoveryParallelism: parallelism, RecoveryOverlap: overlap,
+		})
 		if err != nil {
 			b.Fatal(err)
 		}
 		if i == 0 {
 			b.ReportMetric(float64(rec.LastRecovery().SegmentsReplayed), "segments")
+			b.ReportMetric(float64(rec.LastRecovery().SnapshotEntries), "snapshot-entries")
 		}
 		b.StopTimer()
 		rec.Close()
@@ -373,9 +389,12 @@ func benchRecoverParallel(b *testing.B, parallelism int) {
 	}
 }
 
-func BenchmarkRecoverSegmentsSequential(b *testing.B) { benchRecoverParallel(b, 1) }
+func BenchmarkRecoverSegmentsSequential(b *testing.B) { benchRecoverParallel(b, 1, false) }
 func BenchmarkRecoverSegmentsParallel(b *testing.B) {
-	benchRecoverParallel(b, runtime.GOMAXPROCS(0))
+	benchRecoverParallel(b, runtime.GOMAXPROCS(0), false)
+}
+func BenchmarkRecoverSegmentsOverlapped(b *testing.B) {
+	benchRecoverParallel(b, runtime.GOMAXPROCS(0), true)
 }
 
 // BenchmarkRecoverFullReplay measures Recover with no checkpoint: the

@@ -11,15 +11,19 @@
 //	doppel-bench -real -duration 2s          # real-engine INCR1 run
 //	doppel-bench -net -duration 2s           # network protocol: blocking vs pipelined
 //	doppel-bench -recovery -txns 50000       # recovery time: full replay vs after a checkpoint
+//	doppel-bench -checkpoint                 # checkpoint cost vs store size (barrier/walk/alloc)
+//	doppel-bench -recovery -json             # additionally write BENCH_recovery.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"doppel"
@@ -45,6 +49,8 @@ func main() {
 	real := flag.Bool("real", false, "run INCR1 on the real engines instead of the simulator")
 	netMode := flag.Bool("net", false, "run the networked INCR1 benchmark: blocking vs pipelined on one connection")
 	recovery := flag.Bool("recovery", false, "measure recovery time: full WAL replay vs bounded replay after a checkpoint")
+	ckptMode := flag.Bool("checkpoint", false, "measure checkpoint cost (barrier, walk, allocation) across store sizes")
+	jsonOut := flag.Bool("json", false, "recovery/checkpoint modes: also write machine-readable BENCH_<mode>.json")
 	txns := flag.Int("txns", 50_000, "recovery mode: transactions to log before measuring")
 	segBytes := flag.Int64("segment-bytes", 128<<10, "recovery mode: WAL segment size (small values force a multi-segment log)")
 	recoveryPar := flag.Int("recovery-parallelism", runtime.GOMAXPROCS(0), "recovery mode: parallelism for the parallel-replay row")
@@ -57,7 +63,11 @@ func main() {
 	flag.Parse()
 
 	if *recovery {
-		runRecovery(*txns, *workers, *segBytes, *recoveryPar)
+		runRecovery(*txns, *workers, *segBytes, *recoveryPar, *jsonOut)
+		return
+	}
+	if *ckptMode {
+		runCheckpoint(*workers, *jsonOut)
 		return
 	}
 	if *netMode {
@@ -204,13 +214,53 @@ func netPipelined(addr string, flush time.Duration, dur time.Duration, window in
 	return n, time.Since(begin), lat
 }
 
-// runRecovery measures what the durability layer's two recovery levers
-// buy: parallel segment replay (sequential vs parallel over a
-// multi-segment, size-rotated log) and checkpointing (full replay vs
-// bounded replay of the post-snapshot tail). On a single-CPU host the
-// parallel row shows only I/O/decode overlap; the speedup needs real
-// cores.
-func runRecovery(txns, workers int, segBytes int64, par int) {
+// benchRow is one mode's measurement in the machine-readable output.
+type benchRow struct {
+	Mode            string `json:"mode"`
+	NS              int64  `json:"ns"`
+	Segments        int    `json:"segments,omitempty"`
+	Records         int    `json:"records,omitempty"`
+	SnapshotEntries int    `json:"snapshot_entries,omitempty"`
+	Overlapped      bool   `json:"overlapped,omitempty"`
+	StoreRecords    int    `json:"store_records,omitempty"`
+	BarrierNS       int64  `json:"barrier_ns,omitempty"`
+	WalkNS          int64  `json:"walk_ns,omitempty"`
+	SnapshotBytes   int64  `json:"snapshot_bytes,omitempty"`
+	AllocBytes      uint64 `json:"alloc_bytes,omitempty"`
+	COWSaves        int    `json:"cow_saves,omitempty"`
+}
+
+// benchReport is the BENCH_<mode>.json document: enough context to
+// compare the same mode's rows across PRs.
+type benchReport struct {
+	Mode    string            `json:"mode"`
+	Config  map[string]string `json:"config"`
+	Rows    []benchRow        `json:"rows"`
+	Version int               `json:"version"`
+}
+
+// writeBenchJSON writes report to BENCH_<mode>.json in the current
+// directory so CI can track the perf trajectory across PRs.
+func writeBenchJSON(report benchReport) {
+	report.Version = 1
+	raw, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	name := "BENCH_" + report.Mode + ".json"
+	if err := os.WriteFile(name, append(raw, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", name)
+}
+
+// runRecovery measures what the durability layer's recovery levers buy:
+// parallel segment replay (sequential vs parallel over a multi-segment,
+// size-rotated log), overlapping segment replay with the snapshot load,
+// and checkpointing (full replay vs bounded replay of the post-snapshot
+// tail). On a single-CPU host the parallel row shows only I/O/decode
+// overlap; the speedup needs real cores.
+func runRecovery(txns, workers int, segBytes int64, par int, jsonOut bool) {
 	dir, err := os.MkdirTemp("", "doppel-recovery-")
 	if err != nil {
 		log.Fatal(err)
@@ -233,34 +283,44 @@ func runRecovery(txns, workers int, segBytes int64, par int) {
 	fmt.Printf("# recovery time: %d logged transactions over %d keys, %d workers, %dKiB segments\n",
 		txns, keys, workers, segBytes>>10)
 	fmt.Printf("%-26s %12s %10s %10s %12s\n", "mode", "recover", "segments", "records", "snapshot")
+	var rows []benchRow
 	row := func(mode string, d time.Duration, rs doppel.RecoveryStats) {
 		snap := "-"
 		if rs.SnapshotFile != "" {
 			snap = fmt.Sprintf("%d recs", rs.SnapshotEntries)
 		}
 		fmt.Printf("%-26s %12v %10d %10d %12s\n", mode, d, rs.SegmentsReplayed, rs.RecordsReplayed, snap)
+		rows = append(rows, benchRow{
+			Mode: mode, NS: d.Nanoseconds(),
+			Segments: rs.SegmentsReplayed, Records: rs.RecordsReplayed,
+			SnapshotEntries: rs.SnapshotEntries, Overlapped: rs.Overlapped,
+		})
 	}
-	recover := func(par int) (*doppel.DB, time.Duration) {
+	recover := func(par int, overlap bool) (*doppel.DB, time.Duration) {
 		start := time.Now()
-		rec, err := doppel.Recover(dir, doppel.Options{Workers: workers, RecoveryParallelism: par})
+		rec, err := doppel.Recover(dir, doppel.Options{
+			Workers: workers, RecoveryParallelism: par, RecoveryOverlap: overlap,
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
 		return rec, time.Since(start)
 	}
 
-	rec, full := recover(1)
+	rec, full := recover(1, false)
 	row("full replay (sequential)", full, rec.LastRecovery())
 	rec.Close()
 
-	rec, parTime := recover(par)
+	rec, parTime := recover(par, false)
 	row(fmt.Sprintf("full replay (par=%d)", par), parTime, rec.LastRecovery())
+	rec.Close()
 	if parTime > 0 {
 		fmt.Printf("parallel replay speedup: %.1fx\n", float64(full)/float64(parTime))
 	}
 
-	// Checkpoint, then append a 1% tail so bounded recovery has real
-	// (but small) replay work to do.
+	// Checkpoint, then append a 1% tail so the snapshot-vs-segments
+	// rows below have both a snapshot and real (but small) replay work.
+	rec, _ = recover(par, false)
 	if err := rec.Checkpoint(); err != nil {
 		log.Fatal(err)
 	}
@@ -273,11 +333,100 @@ func runRecovery(txns, workers int, segBytes int64, par int) {
 	}
 	rec.Close()
 
-	rec2, bounded := recover(par)
+	rec2, bounded := recover(par, false)
 	row(fmt.Sprintf("after checkpoint (+%d)", tail), bounded, rec2.LastRecovery())
 	rec2.Close()
 	if bounded > 0 {
 		fmt.Printf("replay bound speedup: %.1fx\n", float64(full)/float64(bounded))
+	}
+
+	// Overlapped: same snapshot + tail, but segment replay starts
+	// concurrently with the snapshot load instead of after it.
+	rec3, overlapped := recover(par, true)
+	row(fmt.Sprintf("overlapped (par=%d)", par), overlapped, rec3.LastRecovery())
+	rec3.Close()
+	if overlapped > 0 {
+		fmt.Printf("overlap speedup vs after-checkpoint: %.2fx\n", float64(bounded)/float64(overlapped))
+	}
+
+	if jsonOut {
+		writeBenchJSON(benchReport{
+			Mode: "recovery",
+			Config: map[string]string{
+				"txns":          fmt.Sprint(txns),
+				"keys":          fmt.Sprint(keys),
+				"workers":       fmt.Sprint(workers),
+				"segment_bytes": fmt.Sprint(segBytes),
+				"parallelism":   fmt.Sprint(par),
+			},
+			Rows: rows,
+		})
+	}
+}
+
+// runCheckpoint measures one streaming checkpoint at several store
+// sizes: the worker-visible barrier pause (must stay flat — it is
+// O(1)), the concurrent walk+write time (scales with the store), and
+// the bytes allocated during the checkpoint (must stay roughly flat:
+// the streaming walk never materializes the store).
+func runCheckpoint(workers int, jsonOut bool) {
+	sizes := []int{1_000, 10_000, 100_000}
+	fmt.Printf("# checkpoint cost vs store size: %d workers\n", workers)
+	fmt.Printf("%-10s %12s %12s %12s %12s %12s\n", "records", "barrier", "walk", "total", "snapshot", "alloc")
+	var rows []benchRow
+	for _, n := range sizes {
+		dir, err := os.MkdirTemp("", "doppel-checkpoint-")
+		if err != nil {
+			log.Fatal(err)
+		}
+		db, err := doppel.OpenErr(doppel.Options{Workers: workers, RedoLog: dir})
+		if err != nil {
+			log.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		wg.Add(n)
+		for i := 0; i < n; i++ {
+			key := fmt.Sprintf("k%d", i)
+			v := int64(i)
+			db.ExecAsync(func(tx doppel.Tx) error { return tx.PutInt(key, v) }, func(err error) {
+				if err != nil {
+					log.Fatal(err)
+				}
+				wg.Done()
+			})
+		}
+		wg.Wait()
+		if err := db.Checkpoint(); err != nil { // warm up file system + buffers
+			log.Fatal(err)
+		}
+		runtime.GC()
+		var m1, m2 runtime.MemStats
+		runtime.ReadMemStats(&m1)
+		start := time.Now()
+		if err := db.Checkpoint(); err != nil {
+			log.Fatal(err)
+		}
+		total := time.Since(start)
+		runtime.ReadMemStats(&m2)
+		cs := db.CheckpointStats()
+		alloc := m2.TotalAlloc - m1.TotalAlloc
+		fmt.Printf("%-10d %12v %12v %12v %11dB %11dB\n",
+			n, cs.LastBarrier, cs.LastWalk, total, cs.LastBytes, alloc)
+		rows = append(rows, benchRow{
+			Mode: fmt.Sprintf("checkpoint-%d", n), NS: total.Nanoseconds(),
+			StoreRecords: n, BarrierNS: cs.LastBarrier.Nanoseconds(),
+			WalkNS: cs.LastWalk.Nanoseconds(), SnapshotBytes: cs.LastBytes,
+			AllocBytes: alloc, COWSaves: cs.LastCOWSaves,
+		})
+		db.Close()
+		os.RemoveAll(dir)
+	}
+	if jsonOut {
+		writeBenchJSON(benchReport{
+			Mode:   "checkpoint",
+			Config: map[string]string{"workers": fmt.Sprint(workers)},
+			Rows:   rows,
+		})
 	}
 }
 

@@ -34,6 +34,9 @@ func main() {
 	ckptEvery := flag.Duration("checkpoint-every", 30*time.Second, "checkpoint interval when -wal is set (0 disables)")
 	segBytes := flag.Int64("max-segment-bytes", 64<<20, "seal WAL segments at this size, independent of checkpoints (0 disables)")
 	recoveryPar := flag.Int("recovery-parallelism", 0, "goroutines for snapshot decode and segment replay on start (0 = GOMAXPROCS)")
+	recoveryOverlap := flag.Bool("recovery-overlap", true, "replay WAL segments concurrently with the snapshot load on start")
+	ckptFrames := flag.Int("checkpoint-frame-buffer", 0, "snapshot entries buffered between the checkpoint walker and writer (0 = default)")
+	walFailStop := flag.Bool("wal-fail-stop", false, "refuse new transactions once the redo logger has failed terminally")
 	flag.Parse()
 
 	opts := doppel.Options{Workers: *workers}
@@ -43,6 +46,9 @@ func main() {
 		opts.CheckpointEvery = *ckptEvery
 		opts.MaxSegmentBytes = *segBytes
 		opts.RecoveryParallelism = *recoveryPar
+		opts.RecoveryOverlap = *recoveryOverlap
+		opts.CheckpointFrameBuffer = *ckptFrames
+		opts.WALFailStop = *walFailStop
 		if err := os.MkdirAll(*walDir, 0o755); err != nil {
 			log.Fatal(err)
 		}
@@ -52,8 +58,8 @@ func main() {
 			log.Fatal(err)
 		}
 		rs := db.LastRecovery()
-		log.Printf("recovered from %s: snapshot %q (%d records), %d segments / %d records replayed (parallelism %d)",
-			*walDir, rs.SnapshotFile, rs.SnapshotEntries, rs.SegmentsReplayed, rs.RecordsReplayed, rs.Parallelism)
+		log.Printf("recovered from %s: snapshot %q (%d records), %d segments / %d records replayed (parallelism %d, overlapped %v)",
+			*walDir, rs.SnapshotFile, rs.SnapshotEntries, rs.SegmentsReplayed, rs.RecordsReplayed, rs.Parallelism, rs.Overlapped)
 	} else {
 		db = doppel.Open(opts)
 	}
@@ -130,8 +136,8 @@ func main() {
 		s := db.Stats()
 		requests, errs, lat := srv.Stats()
 		out := fmt.Sprintf(
-			"committed=%d aborted=%d stashed=%d phase=%s split=%d rpc=%d rpc_errors=%d rpc_p50=%v rpc_p99=%v",
-			s.Committed, s.Aborted, s.Stashed, s.Phase, len(s.SplitKeys),
+			"committed=%d aborted=%d stashed=%d merge_failures=%d phase=%s split=%d rpc=%d rpc_errors=%d rpc_p50=%v rpc_p99=%v",
+			s.Committed, s.Aborted, s.Stashed, s.MergeFailures, s.Phase, len(s.SplitKeys),
 			requests, errs,
 			time.Duration(lat.Quantile(0.5)), time.Duration(lat.Quantile(0.99)))
 		if *walDir != "" {

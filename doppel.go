@@ -111,6 +111,28 @@ type Options struct {
 	// snapshot and replay WAL segments; 0 means GOMAXPROCS. 1 forces
 	// sequential recovery.
 	RecoveryParallelism int
+	// RecoveryOverlap starts WAL segment replay concurrently with the
+	// snapshot load instead of after it, cutting total recovery time to
+	// roughly max(snapshot, segments) instead of their sum. Snapshot
+	// entries then install through the same per-key highest-TID-wins
+	// filter replay uses, so the interleaving cannot change the result.
+	RecoveryOverlap bool
+	// CheckpointFrameBuffer bounds how many snapshot entries may sit
+	// between the checkpoint's store walker and its file writer. The
+	// streaming walk never materializes the store, so checkpoint memory
+	// is O(frame buffer), not O(records); 0 means a sensible default
+	// (1024). Requires RedoLog.
+	CheckpointFrameBuffer int
+	// WALFailStop makes the database refuse new transactions once the
+	// redo logger has failed terminally (disk gone, write error):
+	// Exec/ExecAsync then return the logger's error instead of
+	// acknowledging commits that can never be durable. This covers
+	// stashed transactions too — a transaction stashed before the
+	// failure whose replay was refused reports the logger error, not
+	// success. Without the option the database keeps serving from
+	// memory and the failure is visible only via WALErr /
+	// Stats.RedoLogError. Requires RedoLog.
+	WALFailStop bool
 }
 
 // Stats is a point-in-time summary of database activity.
@@ -122,6 +144,12 @@ type Stats struct {
 	Phase        string
 	PhaseChanges uint64
 	SplitKeys    []string
+	// MergeFailures counts reconciliation merges that failed on a type
+	// mismatch between a split record's global value and a per-core
+	// slice; the affected slice writes were dropped and the record kept
+	// its previous value and TID. Non-zero means the application mixed
+	// incompatible operations on a split key.
+	MergeFailures uint64
 	// RedoLogError is the redo logger's terminal failure ("" when
 	// healthy or logging is disabled). Logging is asynchronous, so
 	// transactions keep committing in memory after such a failure —
@@ -142,19 +170,21 @@ type RecoveryStats struct {
 	SegmentsReplayed int    // live segments replayed after the snapshot
 	RecordsReplayed  int    // redo records replayed from those segments
 	Parallelism      int    // goroutines used for snapshot decode and segment replay
+	Overlapped       bool   // segment replay ran concurrently with the snapshot load
 }
 
 // DB is a Doppel database with its own worker goroutines. All methods
 // are safe for concurrent use.
 type DB struct {
-	eng      *core.DB
-	redo     *wal.Logger
-	ckpt     *checkpoint.Checkpointer
-	recovery RecoveryStats
-	queues   []chan *request
-	wg       sync.WaitGroup
-	stopped  atomic.Bool
-	next     atomic.Uint64
+	eng         *core.DB
+	redo        *wal.Logger
+	ckpt        *checkpoint.Checkpointer
+	walFailStop bool
+	recovery    RecoveryStats
+	queues      []chan *request
+	wg          sync.WaitGroup
+	stopped     atomic.Bool
+	next        atomic.Uint64
 }
 
 type request struct {
@@ -214,7 +244,10 @@ func OpenErr(opts Options) (*DB, error) {
 // loses recovered state. RecoveryStats reports how bounded the replay
 // was.
 func Recover(dir string, opts Options) (*DB, error) {
-	st, res, err := checkpoint.LoadStore(dir, checkpoint.LoadOptions{Parallelism: opts.RecoveryParallelism})
+	st, res, err := checkpoint.LoadStore(dir, checkpoint.LoadOptions{
+		Parallelism: opts.RecoveryParallelism,
+		Overlap:     opts.RecoveryOverlap,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -232,6 +265,7 @@ func Recover(dir string, opts Options) (*DB, error) {
 		SegmentsReplayed: len(res.Segments),
 		RecordsReplayed:  res.Records,
 		Parallelism:      res.Parallelism,
+		Overlapped:       res.Overlapped,
 	}
 	return db, nil
 }
@@ -240,6 +274,11 @@ func openInto(opts Options, st *store.Store) (*DB, error) {
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = 4
+	}
+	if workers > core.MaxWorkers {
+		// Commit TIDs carry an 8-bit worker ID (see internal/core's
+		// doc.go); more workers would mint colliding TIDs.
+		workers = core.MaxWorkers
 	}
 	cfg := opts.Engine
 	cfg.Workers = workers
@@ -257,18 +296,25 @@ func openInto(opts Options, st *store.Store) (*DB, error) {
 			return nil, err
 		}
 		cfg.Redo = redo
+		cfg.WALFailStop = opts.WALFailStop
 	} else if opts.CheckpointEvery > 0 {
 		return nil, errors.New("doppel: CheckpointEvery requires RedoLog")
 	} else if opts.MaxSegmentBytes > 0 {
 		return nil, errors.New("doppel: MaxSegmentBytes requires RedoLog")
+	} else if opts.WALFailStop {
+		return nil, errors.New("doppel: WALFailStop requires RedoLog")
 	}
 	db := &DB{
-		eng:    core.Open(st, cfg),
-		redo:   redo,
-		queues: make([]chan *request, workers),
+		eng:         core.Open(st, cfg),
+		redo:        redo,
+		walFailStop: cfg.WALFailStop,
+		queues:      make([]chan *request, workers),
 	}
 	if redo != nil {
-		db.ckpt = checkpoint.New(db.eng, redo, checkpoint.Options{Every: opts.CheckpointEvery})
+		db.ckpt = checkpoint.New(db.eng, redo, checkpoint.Options{
+			Every:       opts.CheckpointEvery,
+			FrameBuffer: opts.CheckpointFrameBuffer,
+		})
 	}
 	for w := 0; w < workers; w++ {
 		db.queues[w] = make(chan *request, 128)
@@ -317,6 +363,19 @@ func (db *DB) run(w int, req *request) {
 			for db.eng.StashLen(w) > 0 {
 				db.eng.Poll(w)
 				time.Sleep(50 * time.Microsecond)
+			}
+			// Fail-stop: if the redo logger died, the drain may have
+			// refused (and dropped) this stashed transaction instead of
+			// executing it — acknowledging success here would violate
+			// the fail-stop contract. Report the logger failure; a
+			// transaction that in fact replayed just before the death
+			// gets a conservative error for a commit whose durability
+			// is unknown anyway.
+			if db.walFailStop {
+				if err := db.redo.Err(); err != nil {
+					req.finish(fmt.Errorf("doppel: redo log failed, stashed transaction dropped: %w", err))
+					return
+				}
 			}
 			req.finish(nil)
 			return
@@ -402,6 +461,18 @@ func (db *DB) CheckpointStats() CheckpointStats {
 // zero for databases not created by Recover.
 func (db *DB) LastRecovery() RecoveryStats { return db.recovery }
 
+// WALErr returns the redo logger's terminal failure, or nil while the
+// logger is healthy or logging is disabled. Logging is asynchronous, so
+// without Options.WALFailStop transactions keep committing in memory
+// after such a failure — operators must watch this (or
+// Stats.RedoLogError) to know durability has stopped.
+func (db *DB) WALErr() error {
+	if db.redo == nil {
+		return nil
+	}
+	return db.redo.Err()
+}
+
 // SplitHint manually labels key as split data for op (§5.5 of the
 // paper). The classifier handles hot keys automatically; hints are for
 // workloads whose contention the application can predict.
@@ -417,13 +488,14 @@ func (db *DB) Stats() Stats {
 		agg.Merge(db.eng.WorkerStats(w))
 	}
 	s := Stats{
-		Committed:    agg.Committed,
-		Aborted:      agg.Aborted,
-		Stashed:      agg.Stashed,
-		Retries:      agg.Retries,
-		Phase:        db.eng.Phase().String(),
-		PhaseChanges: db.eng.PhaseChanges(),
-		SplitKeys:    db.eng.SplitKeys(),
+		Committed:     agg.Committed,
+		Aborted:       agg.Aborted,
+		Stashed:       agg.Stashed,
+		Retries:       agg.Retries,
+		MergeFailures: agg.MergeFailures,
+		Phase:         db.eng.Phase().String(),
+		PhaseChanges:  db.eng.PhaseChanges(),
+		SplitKeys:     db.eng.SplitKeys(),
 	}
 	if db.redo != nil {
 		if err := db.redo.Err(); err != nil {

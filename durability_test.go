@@ -549,6 +549,132 @@ func TestRecoveredTIDsStayMonotonic(t *testing.T) {
 	}
 }
 
+// TestOverlappedRecoveryMatchesSequential: overlapping segment replay
+// with the snapshot load must rebuild exactly the state sequential
+// recovery does — the end-to-end check that the per-key TID filter
+// makes the snapshot/segment interleaving order-independent.
+func TestOverlappedRecoveryMatchesSequential(t *testing.T) {
+	dir := t.TempDir()
+	db, err := OpenErr(Options{
+		Workers:         2,
+		PhaseLength:     2 * time.Millisecond,
+		RedoLog:         dir,
+		MaxSegmentBytes: 2 << 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.SplitHint("hot", OpAdd)
+	const txns = 1500
+	run := func(base int) {
+		for i := 0; i < txns/2; i++ {
+			key := fmt.Sprintf("k%d", (i+base)%97)
+			if i%10 == 0 {
+				key = "hot"
+			}
+			if err := db.Exec(func(tx Tx) error { return tx.Add(key, 1) }); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	run(0)
+	// A mid-run checkpoint gives recovery both a snapshot and a segment
+	// tail, so the overlap actually has two streams to interleave.
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	run(31)
+	db.Close()
+	want := storeState(db.Internal().Store())
+
+	seq, err := Recover(dir, Options{Workers: 2, RecoveryParallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotSeq := storeState(seq.Internal().Store())
+	srs := seq.LastRecovery()
+	seq.Close()
+	if srs.Overlapped {
+		t.Fatal("sequential recovery reported overlap")
+	}
+	if srs.SnapshotEntries == 0 || srs.RecordsReplayed == 0 {
+		t.Fatalf("scenario too weak — snapshot %d entries, %d records replayed", srs.SnapshotEntries, srs.RecordsReplayed)
+	}
+
+	over, err := Recover(dir, Options{Workers: 2, RecoveryParallelism: 4, RecoveryOverlap: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotOver := storeState(over.Internal().Store())
+	ors := over.LastRecovery()
+	over.Close()
+	if !ors.Overlapped {
+		t.Fatal("overlapped recovery did not report overlap")
+	}
+	if ors.SnapshotEntries != srs.SnapshotEntries || ors.RecordsReplayed != srs.RecordsReplayed {
+		t.Fatalf("overlapped recovery accounting diverged: %+v vs %+v", ors, srs)
+	}
+
+	for name, got := range map[string]map[string]string{"sequential": gotSeq, "overlapped": gotOver} {
+		if len(got) != len(want) {
+			t.Fatalf("%s recovery: %d keys, want %d", name, len(got), len(want))
+		}
+		for k, v := range want {
+			if got[k] != v {
+				t.Fatalf("%s recovery: key %q = %x, want %x", name, k, got[k], v)
+			}
+		}
+	}
+}
+
+// TestWALFailStop kills the redo log mid-run (the next segment's path is
+// occupied by a directory, so rotation's open fails terminally) and
+// checks the fail-stop contract: the failure surfaces through WALErr and
+// Stats.RedoLogError, and with Options.WALFailStop new transactions are
+// refused instead of being acknowledged without durability.
+func TestWALFailStop(t *testing.T) {
+	dir := t.TempDir()
+	db, err := OpenErr(Options{Workers: 2, RedoLog: dir, WALFailStop: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.Exec(func(tx Tx) error { return tx.PutInt("k", 1) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.WALErr(); err != nil {
+		t.Fatalf("healthy logger reports %v", err)
+	}
+
+	// Kill the log: the checkpoint rotation will try to open segment 2,
+	// which is now a directory.
+	if err := os.Mkdir(filepath.Join(dir, "wal-00000002.log"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Checkpoint(); err == nil {
+		t.Fatal("checkpoint succeeded over a dead segment path")
+	}
+	if err := db.WALErr(); err == nil {
+		t.Fatal("WALErr nil after terminal logger failure")
+	}
+	if db.Stats().RedoLogError == "" {
+		t.Fatal("Stats.RedoLogError empty after terminal logger failure")
+	}
+	// Fail-stop: new transactions must be refused, not silently
+	// committed in memory only.
+	if err := db.Exec(func(tx Tx) error { return tx.PutInt("k", 2) }); err == nil {
+		t.Fatal("Exec acknowledged a commit after the redo log died")
+	}
+}
+
+// TestWALFailStopRequiresRedoLog: the option is meaningless without a
+// log and must be rejected rather than silently ignored.
+func TestWALFailStopRequiresRedoLog(t *testing.T) {
+	if _, err := OpenErr(Options{WALFailStop: true}); err == nil {
+		t.Fatal("expected error: WALFailStop without RedoLog")
+	}
+}
+
 // TestSnapshotCanonical: two checkpoints of identical state produce
 // byte-identical snapshots (entries are sorted), which keeps snapshots
 // diffable and the fuzz round-trip meaningful.

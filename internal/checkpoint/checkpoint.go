@@ -21,7 +21,19 @@ type Options struct {
 	// Every is the background checkpoint interval; 0 disables the
 	// background loop (manual Checkpoint calls still work).
 	Every time.Duration
+	// FrameBuffer is how many snapshot entries may sit between the
+	// store walker and the file writer of a streaming checkpoint. It
+	// bounds the checkpoint's memory footprint: the walk never
+	// materializes the store, it stays at most FrameBuffer entries
+	// ahead of the bytes on disk. 0 means defaultFrameBuffer.
+	FrameBuffer int
 }
+
+// defaultFrameBuffer is the walker→writer channel capacity when
+// Options.FrameBuffer is zero: deep enough to ride out fsync hiccups,
+// shallow enough that a checkpoint holds only ~a thousand entry headers
+// (values are shared pointers, not copies) regardless of store size.
+const defaultFrameBuffer = 1024
 
 // Stats is a point-in-time summary of checkpoint activity.
 type Stats struct {
@@ -31,7 +43,7 @@ type Stats struct {
 	LastEntries  int           // records in the last snapshot
 	LastBytes    int64         // size of the last snapshot file
 	LastBarrier  time.Duration // time workers were stalled by the last cut (O(1), not O(records))
-	LastWalk     time.Duration // duration of the last concurrent store walk
+	LastWalk     time.Duration // duration of the last concurrent streaming walk (includes snapshot-writer backpressure)
 	LastCOWSaves int           // records whose barrier value a concurrent writer had to copy
 	LastDuration time.Duration // wall time of the last checkpoint
 	LastError    string        // message of the last failure, if any
@@ -40,8 +52,9 @@ type Stats struct {
 // Checkpointer drives snapshot+rotate checkpoints for one database and
 // its logger.
 type Checkpointer struct {
-	db  *core.DB
-	log *wal.Logger
+	db     *core.DB
+	log    *wal.Logger
+	frames int // walker→writer channel capacity
 
 	ckptMu sync.Mutex // serializes checkpoints; held across Close's drain
 	mu     sync.Mutex // guards stats
@@ -55,7 +68,11 @@ type Checkpointer struct {
 // New returns a checkpointer for db and log. When opts.Every > 0 a
 // background goroutine checkpoints at that interval until Close.
 func New(db *core.DB, log *wal.Logger, opts Options) *Checkpointer {
-	c := &Checkpointer{db: db, log: log, stop: make(chan struct{}), done: make(chan struct{})}
+	c := &Checkpointer{db: db, log: log, frames: opts.FrameBuffer,
+		stop: make(chan struct{}), done: make(chan struct{})}
+	if c.frames <= 0 {
+		c.frames = defaultFrameBuffer
+	}
 	if opts.Every > 0 {
 		go c.loop(opts.Every)
 	} else {
@@ -150,16 +167,51 @@ func (c *Checkpointer) Checkpoint() error {
 		return c.fail(fmt.Errorf("checkpoint: rotate: %w", cu.err))
 	}
 
-	// Collect before any fallible I/O so the capture is always
-	// deactivated and writers stop paying the copy-on-write hook.
-	walkStart := time.Now()
-	entries, cowSaves := c.db.Store().CollectCapture(cu.cap)
-	walk := time.Since(walkStart)
-
+	// Stream the walk straight to disk: the walker goroutine resolves
+	// capture claims shard by shard and feeds entries through a bounded
+	// channel to this goroutine, which encodes and writes them as they
+	// arrive. Memory stays O(frame buffer + copy-on-write saves) instead
+	// of O(store). The walker always runs the capture to completion —
+	// even if the writer fails, the writer keeps draining the channel —
+	// so the capture is deactivated and writers stop paying the
+	// copy-on-write hook on every exit path.
+	type walkOut struct {
+		entries  int
+		cowSaves int
+		walk     time.Duration
+	}
+	entryCh := make(chan store.SnapshotEntry, c.frames)
+	walkCh := make(chan walkOut, 1)
+	go func() {
+		walkStart := time.Now()
+		n := 0
+		cowSaves, _ := c.db.Store().StreamCapture(cu.cap, func(e store.SnapshotEntry) error {
+			entryCh <- e
+			n++
+			return nil
+		})
+		close(entryCh)
+		walkCh <- walkOut{entries: n, cowSaves: cowSaves, walk: time.Since(walkStart)}
+	}()
 	name := wal.SnapshotFileName(cu.seq)
 	size, err := wal.WriteFileAtomic(c.log.Dir(), name, func(w io.Writer) error {
-		return store.WriteSnapshot(w, entries)
+		sw, err := store.NewSnapshotWriter(w)
+		for e := range entryCh {
+			if err == nil {
+				err = sw.Write(e)
+			}
+			// On error keep draining so the walker never blocks.
+		}
+		if err != nil {
+			return err
+		}
+		return sw.Close()
 	})
+	for range entryCh {
+		// WriteFileAtomic can fail before its callback runs (e.g. the
+		// temporary file cannot be created); unblock the walker then too.
+	}
+	wo := <-walkCh
 	if err != nil {
 		return c.fail(fmt.Errorf("checkpoint: snapshot: %w", err))
 	}
@@ -170,11 +222,11 @@ func (c *Checkpointer) Checkpoint() error {
 	c.mu.Lock()
 	c.stats.Checkpoints++
 	c.stats.LastSeq = cu.seq
-	c.stats.LastEntries = len(entries)
+	c.stats.LastEntries = wo.entries
 	c.stats.LastBytes = size
 	c.stats.LastBarrier = cu.barrier
-	c.stats.LastWalk = walk
-	c.stats.LastCOWSaves = cowSaves
+	c.stats.LastWalk = wo.walk
+	c.stats.LastCOWSaves = wo.cowSaves
 	c.stats.LastDuration = time.Since(start)
 	c.stats.LastError = ""
 	c.mu.Unlock()
@@ -273,6 +325,12 @@ type LoadOptions struct {
 	// Parallelism caps the goroutines used for snapshot decoding and
 	// segment replay; values below 1 mean runtime.GOMAXPROCS(0).
 	Parallelism int
+	// Overlap starts segment replay concurrently with the snapshot
+	// load instead of after it. Snapshot entries then install through a
+	// per-key TID filter (highest TID wins, like replay itself), so the
+	// merge is correct in any arrival order: a redo record for a key
+	// always carries a higher TID than the snapshot's entry for it.
+	Overlap bool
 }
 
 // LoadResult summarizes what LoadStore read.
@@ -282,13 +340,16 @@ type LoadResult struct {
 	Segments        []wal.SegmentInfo // live segments replayed, with record counts
 	Records         int               // redo records replayed from those segments
 	Parallelism     int               // goroutines actually configured
+	Overlapped      bool              // snapshot load and segment replay ran concurrently
 }
 
 // LoadStore reads dir and materializes the recovered store with
 // parallel replay: the snapshot decodes on N goroutines sharded by key,
 // and live segments replay concurrently, each applied under the
-// highest-TID-wins rule with per-record atomicity (see applyRecord; the
-// snapshot is fully loaded first, since preloading is unconditional).
+// highest-TID-wins rule with per-record atomicity (see applyRecord).
+// Without opts.Overlap the snapshot is fully loaded first (preloading
+// is then unconditional); with it, segment replay starts immediately
+// and the snapshot installs through the same per-key TID filter.
 // The manifest's sealed-segment metadata, where present, is used as a
 // corruption check: a sealed segment must replay to exactly the record
 // count and TID range it sealed with. Corruption semantics otherwise
@@ -304,18 +365,37 @@ func LoadStore(dir string, opts LoadOptions) (*store.Store, LoadResult, error) {
 		return nil, res, err
 	}
 	res.Manifest = man
+	// Overlap is only real when there is a snapshot for segment replay
+	// to run concurrently with; report what actually happened.
+	res.Overlapped = opts.Overlap && man.Snapshot != ""
 	st := store.New()
+	snapDone := make(chan error, 1)
+	snapDone <- nil // replaced below when there is a snapshot to load
 	if man.Snapshot != "" {
-		f, err := os.Open(filepath.Join(dir, man.Snapshot))
-		if err != nil {
-			return nil, res, fmt.Errorf("checkpoint: manifest names missing snapshot: %w", err)
+		loadSnap := func() error {
+			f, err := os.Open(filepath.Join(dir, man.Snapshot))
+			if err != nil {
+				return fmt.Errorf("checkpoint: manifest names missing snapshot: %w", err)
+			}
+			n, err := store.ReadSnapshotInto(f, st, par, opts.Overlap)
+			f.Close()
+			if err != nil {
+				return fmt.Errorf("checkpoint: %s: %w", man.Snapshot, err)
+			}
+			res.SnapshotEntries = n
+			return nil
 		}
-		n, err := store.ReadSnapshotInto(f, st, par)
-		f.Close()
-		if err != nil {
-			return nil, res, fmt.Errorf("checkpoint: %s: %w", man.Snapshot, err)
+		<-snapDone
+		if opts.Overlap {
+			// Segment replay proceeds below while the snapshot loads;
+			// the TID-filtered install makes the interleaving safe.
+			go func() { snapDone <- loadSnap() }()
+		} else {
+			if err := loadSnap(); err != nil {
+				return nil, res, err
+			}
+			snapDone <- nil
 		}
-		res.SnapshotEntries = n
 	}
 
 	// Replay live segments concurrently. Each worker streams one segment
@@ -364,6 +444,9 @@ func LoadStore(dir string, opts LoadOptions) (*store.Store, LoadResult, error) {
 	}
 	close(work)
 	wg.Wait()
+	if err := <-snapDone; err != nil && firstErr == nil {
+		firstErr = err
+	}
 	if firstErr != nil {
 		return nil, res, firstErr
 	}

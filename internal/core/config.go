@@ -6,11 +6,20 @@ import (
 	"doppel/internal/wal"
 )
 
+// MaxWorkers is the largest worker count a Config may carry. Commit
+// TIDs embed the worker ID in their low 8 bits (see the TID layout in
+// this package's doc.go), so more than 256 workers would let two
+// workers mint the same TID for different transactions — and recovery's
+// highest-TID-wins replay could then pick the wrong value. withDefaults
+// caps Config.Workers here.
+const MaxWorkers = 256
+
 // Config tunes a Doppel instance. The zero value is not valid; use
 // DefaultConfig as a base.
 type Config struct {
 	// Workers is the number of worker contexts ("one worker thread per
-	// core", §3).
+	// core", §3). Values above MaxWorkers are capped: the TID layout
+	// reserves only 8 bits for the worker ID.
 	Workers int
 
 	// PhaseLength is how often the coordinator changes phase ("usually
@@ -81,6 +90,14 @@ type Config struct {
 	// without becoming a bottleneck"). Commits do not wait for
 	// durability; the caller owns the logger's lifecycle.
 	Redo *wal.Logger
+
+	// WALFailStop, with Redo set, refuses to execute new transactions
+	// once the logger has failed terminally: every attempt returns an
+	// error naming the logger's failure instead of committing in memory
+	// only. Without it (the default) commits continue and the failure
+	// is visible solely through the logger's Err — acknowledged commits
+	// after the failure are then never durable.
+	WALFailStop bool
 }
 
 // DefaultConfig returns the paper's configuration for w workers: 20 ms
@@ -106,6 +123,9 @@ func (c Config) withDefaults() Config {
 	d := DefaultConfig(c.Workers)
 	if c.Workers < 1 {
 		c.Workers = 1
+	}
+	if c.Workers > MaxWorkers {
+		c.Workers = MaxWorkers // the TID layout has 8 bits of worker ID
 	}
 	if c.HurryFraction <= 0 {
 		c.HurryFraction = d.HurryFraction

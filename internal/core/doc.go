@@ -30,12 +30,35 @@
 // store.SaveBeforeWrite while the record's commit lock is held (see
 // Tx.commit and Worker.reconcile).
 //
-// # TID invariant
+// # TID layout and invariant
+//
+// A commit TID is one 64-bit word:
+//
+//	bits 63..8   sequence number (strictly increasing per worker,
+//	             bumped past every TID the transaction observed)
+//	bits  7..0   worker ID
+//
+// (store.Record additionally shifts the whole TID left one bit to make
+// room for its commit-lock bit; that is the record's concern, not this
+// package's.) The 8-bit worker field is why Config.Workers is capped at
+// MaxWorkers (256): a 257th worker would alias worker 0 and could mint
+// a TID another worker already used, breaking the uniqueness that
+// recovery's highest-TID-wins replay assumes.
 //
 // Commit TIDs are per-key monotone: genTID produces a TID above every
 // TID the transaction observed, and reconciliation merges bump the
-// record's TID the same way. Redo records are submitted to the logger
-// while the commit lock is held, so the log's per-key order matches
-// commit order — the property recovery's highest-TID-wins replay
-// depends on.
+// record's TID the same way (a merge that fails — incompatible types —
+// installs nothing and keeps the old TID, so readers are not
+// invalidated for a write that never happened). Redo records are
+// submitted to the logger while the commit lock is held, so the log's
+// per-key order matches commit order — the property recovery's
+// highest-TID-wins replay depends on.
+//
+// # Durability failure semantics
+//
+// Logging is asynchronous: commits acknowledge before their redo
+// records are durable. When the logger fails terminally it refuses all
+// further records; with Config.WALFailStop the engine then also refuses
+// to execute new transactions (fail-stop), otherwise commits continue
+// in memory and the gap is visible only through the logger's Err.
 package core

@@ -268,7 +268,7 @@ func (t *Tx) genTID() uint64 {
 	}
 	seq++
 	w.lastSeq = seq
-	return seq<<8 | uint64(w.id)&0xff
+	return seq<<8 | uint64(w.id)&workerIDMask
 }
 
 // commit runs the joined-phase protocol (Figure 2) extended with split

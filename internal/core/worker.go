@@ -2,6 +2,8 @@ package core
 
 import (
 	"errors"
+	"fmt"
+	"log"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -14,6 +16,11 @@ import (
 
 // opKindCount sizes per-operation counter arrays.
 const opKindCount = int(store.OpTopKInsert) + 1
+
+// workerIDMask extracts the worker-ID byte of a commit TID; see the TID
+// layout in doc.go. Config.Workers is capped at MaxWorkers so the mask
+// never aliases two workers.
+const workerIDMask = 0xff
 
 // opCounts is a per-key, per-operation conflict/stash counter.
 type opCounts [opKindCount]uint32
@@ -40,14 +47,15 @@ type Worker struct {
 	id    int
 	stats *metrics.TxnStats
 
-	lastSeq     uint64 // TID sequence generator state
-	ackedEpoch  uint64 // highest transition epoch acknowledged
-	seenEpoch   uint64 // highest completed epoch whose entry work ran
-	slices      []sliceState
-	stash       []stashedTxn
-	tx          Tx
-	sampleTick  int
-	maxStashLen int
+	lastSeq         uint64 // TID sequence generator state
+	ackedEpoch      uint64 // highest transition epoch acknowledged
+	seenEpoch       uint64 // highest completed epoch whose entry work ran
+	slices          []sliceState
+	stash           []stashedTxn
+	tx              Tx
+	sampleTick      int
+	maxStashLen     int
+	loggedMergeFail bool // first reconcile merge failure already logged
 
 	// Cross-thread counters read by the coordinator.
 	attemptsWindow   atomic.Uint64 // attempts since the classifier last looked
@@ -144,11 +152,27 @@ func (w *Worker) reconcile() {
 		// Copy-on-write hook for incremental checkpoints: the merge below
 		// installs a new value and TID, so the pre-merge state must be
 		// saved first if an active capture has not claimed this record.
+		// (Harmless on the merge-failure path: the saved state is then
+		// simply the record's unchanged state.)
 		w.db.st.SaveBeforeWrite(sk.key, rec)
 		merged, err := store.MergeValues(sk.op, rec.Value(), sl.val)
-		if err == nil {
-			rec.SetValue(merged)
+		if err != nil {
+			// The slice's absorbed writes cannot merge (the global value
+			// and the slice value have incompatible types). Keep the old
+			// value AND the old TID: a fresh TID would invalidate readers
+			// for a write that never happened, and recovery would diverge
+			// from memory since no redo record is logged. Count the loss
+			// and log it once per worker rather than once per phase.
+			rec.Unlock()
+			w.stats.MergeFailures++
+			if !w.loggedMergeFail {
+				w.loggedMergeFail = true
+				log.Printf("doppel: worker %d: reconcile dropped %d absorbed %v writes for %q: %v",
+					w.id, sl.writes, sk.op, sk.key, err)
+			}
+			continue
 		}
+		rec.SetValue(merged)
 		tid, _ := rec.TIDWord()
 		seq := tid >> 8
 		if w.lastSeq > seq {
@@ -156,8 +180,8 @@ func (w *Worker) reconcile() {
 		}
 		seq++
 		w.lastSeq = seq
-		newTID := seq<<8 | uint64(w.id)&0xff
-		if redo := w.db.cfg.Redo; redo != nil && err == nil {
+		newTID := seq<<8 | uint64(w.id)&workerIDMask
+		if redo := w.db.cfg.Redo; redo != nil {
 			redo.Append(wal.Record{TID: newTID, Ops: []wal.Op{{
 				Key: sk.key, Value: store.EncodeValue(merged),
 			}}})
@@ -187,8 +211,14 @@ func (w *Worker) drainStash() {
 	pending := w.stash
 	w.stash = nil
 	for _, s := range pending {
-		w.stats.Retries++
 		for attempt := 0; ; attempt++ {
+			// The stash itself was already counted (Stashed); the first
+			// replay is the transaction's normal completion, so only
+			// attempts beyond it count as retries — otherwise a stashed
+			// transaction that commits immediately would still report one.
+			if attempt > 0 {
+				w.stats.Retries++
+			}
 			out, _ := w.execOnce(s.fn, s.submit)
 			if out == engine.Committed || out == engine.UserAbort {
 				break
@@ -214,6 +244,12 @@ func (w *Worker) poll() { w.checkPhase() }
 
 // execOnce runs fn once in the current phase and classifies the outcome.
 func (w *Worker) execOnce(fn engine.TxFunc, submitNanos int64) (engine.Outcome, error) {
+	// Fail-stop: once the redo logger is terminally dead, new
+	// transactions must not keep acknowledging as durable. Failed() is
+	// one atomic load, so the healthy path pays nothing.
+	if cfg := &w.db.cfg; cfg.WALFailStop && cfg.Redo != nil && cfg.Redo.Failed() {
+		return engine.UserAbort, fmt.Errorf("core: redo log failed, refusing new transactions: %w", cfg.Redo.Err())
+	}
 	tx := &w.tx
 	tx.reset(w)
 	err := fn(tx)

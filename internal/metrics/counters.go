@@ -11,7 +11,14 @@ type TxnStats struct {
 	Committed uint64 // transactions that committed
 	Aborted   uint64 // conflict aborts (will be retried)
 	Stashed   uint64 // split-phase incompatibility stashes (retried later)
-	Retries   uint64 // re-executions of previously aborted/stashed txns
+	Retries   uint64 // extra re-executions beyond a stashed txn's first replay
+
+	// MergeFailures counts reconciliation merges that failed (a split
+	// record's global value and its per-core slice had incompatible
+	// types), dropping that worker's absorbed slice writes for the
+	// record. The record keeps its pre-merge value and TID; a non-zero
+	// count means committed split-phase operations were lost.
+	MergeFailures uint64
 
 	ReadLatency  *Hist // commit latency of read-only transactions
 	WriteLatency *Hist // commit latency of transactions that wrote
@@ -31,13 +38,14 @@ func (s *TxnStats) Merge(other *TxnStats) {
 	s.Aborted += other.Aborted
 	s.Stashed += other.Stashed
 	s.Retries += other.Retries
+	s.MergeFailures += other.MergeFailures
 	s.ReadLatency.Merge(other.ReadLatency)
 	s.WriteLatency.Merge(other.WriteLatency)
 }
 
 // Reset zeroes all counters and histograms.
 func (s *TxnStats) Reset() {
-	s.Committed, s.Aborted, s.Stashed, s.Retries = 0, 0, 0, 0
+	s.Committed, s.Aborted, s.Stashed, s.Retries, s.MergeFailures = 0, 0, 0, 0, 0
 	s.ReadLatency.Reset()
 	s.WriteLatency.Reset()
 }
@@ -53,6 +61,6 @@ func (s *TxnStats) Throughput(elapsedNanos int64) float64 {
 
 // String summarizes the counters for logs.
 func (s *TxnStats) String() string {
-	return fmt.Sprintf("committed=%d aborted=%d stashed=%d retries=%d",
-		s.Committed, s.Aborted, s.Stashed, s.Retries)
+	return fmt.Sprintf("committed=%d aborted=%d stashed=%d retries=%d merge_failures=%d",
+		s.Committed, s.Aborted, s.Stashed, s.Retries, s.MergeFailures)
 }

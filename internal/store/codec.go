@@ -9,43 +9,43 @@ import (
 // EncodeValue serializes a value for redo logging and snapshots. The
 // format is one kind byte followed by a kind-specific payload; absent
 // values (nil) encode as a single zero byte.
-func EncodeValue(v *Value) []byte {
+func EncodeValue(v *Value) []byte { return AppendValue(nil, v) }
+
+// AppendValue is EncodeValue into a caller-owned buffer: it appends the
+// encoding of v to dst and returns the extended slice. The streaming
+// snapshot writer uses it so encoding a store of any size reuses one
+// buffer instead of allocating per entry.
+func AppendValue(dst []byte, v *Value) []byte {
 	if v == nil {
-		return []byte{byte(KindNone)}
+		return append(dst, byte(KindNone))
 	}
 	switch v.Kind {
 	case KindInt64:
-		out := make([]byte, 9)
-		out[0] = byte(KindInt64)
-		binary.LittleEndian.PutUint64(out[1:], uint64(v.Int))
-		return out
+		dst = append(dst, byte(KindInt64))
+		return binary.LittleEndian.AppendUint64(dst, uint64(v.Int))
 	case KindBytes:
-		out := make([]byte, 1+len(v.Bytes))
-		out[0] = byte(KindBytes)
-		copy(out[1:], v.Bytes)
-		return out
+		dst = append(dst, byte(KindBytes))
+		return append(dst, v.Bytes...)
 	case KindTuple:
-		out := make([]byte, 1+8+8+4+len(v.Tuple.Data))
-		out[0] = byte(KindTuple)
-		binary.LittleEndian.PutUint64(out[1:], uint64(v.Tuple.Order.A))
-		binary.LittleEndian.PutUint64(out[9:], uint64(v.Tuple.Order.B))
-		binary.LittleEndian.PutUint32(out[17:], uint32(v.Tuple.CoreID))
-		copy(out[21:], v.Tuple.Data)
-		return out
+		dst = append(dst, byte(KindTuple))
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(v.Tuple.Order.A))
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(v.Tuple.Order.B))
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(v.Tuple.CoreID))
+		return append(dst, v.Tuple.Data...)
 	case KindTopK:
-		out := []byte{byte(KindTopK)}
-		out = binary.LittleEndian.AppendUint32(out, uint32(v.TopK.K()))
+		dst = append(dst, byte(KindTopK))
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(v.TopK.K()))
 		es := v.TopK.Entries()
-		out = binary.LittleEndian.AppendUint32(out, uint32(len(es)))
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(es)))
 		for _, e := range es {
-			out = binary.LittleEndian.AppendUint64(out, uint64(e.Order))
-			out = binary.LittleEndian.AppendUint32(out, uint32(e.CoreID))
-			out = binary.LittleEndian.AppendUint32(out, uint32(len(e.Data)))
-			out = append(out, e.Data...)
+			dst = binary.LittleEndian.AppendUint64(dst, uint64(e.Order))
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(e.CoreID))
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(len(e.Data)))
+			dst = append(dst, e.Data...)
 		}
-		return out
+		return dst
 	default:
-		return []byte{byte(KindNone)}
+		return append(dst, byte(KindNone))
 	}
 }
 

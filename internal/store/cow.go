@@ -111,12 +111,35 @@ func (s *Store) SaveBeforeWrite(key string, r *Record) {
 // along with how many records post-barrier writers had to copy. Records
 // with no value at the barrier (created by reads, or created after the
 // barrier) are omitted. It must be called exactly once per capture, and
-// it deactivates the capture before returning.
+// it deactivates the capture before returning. Callers that can consume
+// entries one at a time should use StreamCapture instead, which does not
+// materialize the store.
 func (s *Store) CollectCapture(c *Capture) (entries []SnapshotEntry, cowSaves int) {
 	entries = make([]SnapshotEntry, 0, s.Len())
+	cowSaves, _ = s.StreamCapture(c, func(e SnapshotEntry) error {
+		entries = append(entries, e)
+		return nil
+	})
+	return entries, cowSaves
+}
+
+// StreamCapture is CollectCapture without the slice: it resolves capture
+// c concurrently with writers, calling emit once per record that had a
+// value at the barrier, in unspecified order. Memory stays bounded by
+// one shard's contents plus the writer-copied entries (O(copy-on-write
+// saves), itself bounded by the writes that raced the walk) — never by
+// the store size. Like CollectCapture it must be called exactly once per
+// capture and deactivates the capture before returning, even when emit
+// fails: on an emit error the walk stops emitting, finishes the
+// deactivation protocol, and returns the error with the cowSaves count
+// so far. emit runs on the caller's goroutine.
+func (s *Store) StreamCapture(c *Capture, emit func(SnapshotEntry) error) (cowSaves int, err error) {
 	var keys []string
 	var recs []*Record
 	for i := range s.shards {
+		if err != nil {
+			break
+		}
 		sh := &s.shards[i]
 		// Copy the shard's contents so record claims spin without the
 		// shard lock held. Records inserted after this copy were created
@@ -129,6 +152,9 @@ func (s *Store) CollectCapture(c *Capture) (entries []SnapshotEntry, cowSaves in
 		}
 		sh.mu.RUnlock()
 		for j, r := range recs {
+			if err != nil {
+				break
+			}
 			for {
 				g := r.capGen.Load()
 				if g == c.gen {
@@ -142,7 +168,7 @@ func (s *Store) CollectCapture(c *Capture) (entries []SnapshotEntry, cowSaves in
 				// The claim validates the read: if it fails, a writer
 				// claimed (and saved) the record between our read and now.
 				if r.capGen.CompareAndSwap(g, c.gen) && v != nil {
-					entries = append(entries, SnapshotEntry{Key: keys[j], TID: tid, Value: v})
+					err = emit(SnapshotEntry{Key: keys[j], TID: tid, Value: v})
 				}
 				break
 			}
@@ -151,6 +177,8 @@ func (s *Store) CollectCapture(c *Capture) (entries []SnapshotEntry, cowSaves in
 	// Drain in-flight claims before sealing: a writer that won its claim
 	// during the walk made the walker skip that record, so its save must
 	// land before the seal or the record would vanish from the snapshot.
+	// This runs even after an emit error — the capture must always be
+	// deactivated so writers stop paying the copy-on-write hook.
 	for c.pending.Load() != 0 {
 		runtime.Gosched()
 	}
@@ -164,9 +192,12 @@ func (s *Store) CollectCapture(c *Capture) (entries []SnapshotEntry, cowSaves in
 	c.mu.Unlock()
 	s.capture.CompareAndSwap(c, nil)
 	for _, e := range saved {
+		if err != nil {
+			break
+		}
 		if e.Value != nil {
-			entries = append(entries, e)
+			err = emit(e)
 		}
 	}
-	return entries, cowSaves
+	return cowSaves, err
 }

@@ -140,6 +140,27 @@ func (r *Record) InstallIfNewer(v *Value, tid uint64) bool {
 	return true
 }
 
+// InstallRecovered installs a snapshot entry (v, tid) during overlapped
+// recovery, when segment replay may already have written the record. It
+// installs unless the record holds state from a strictly newer TID, and
+// — unlike InstallIfNewer — also installs at equal TIDs while the
+// record is still empty: snapshot entries captured before any commit
+// carry TID 0, and a freshly created record is also TID 0, so the
+// strict rule would drop them. Redo records always carry TIDs above the
+// snapshot's for the same key (they post-date the checkpoint barrier),
+// so the highest-TID-wins merge stays order-independent.
+func (r *Record) InstallRecovered(v *Value, tid uint64) bool {
+	r.Lock()
+	cur, _ := r.TIDWord()
+	if cur > tid || (cur == tid && r.Value() != nil) {
+		r.Unlock()
+		return false
+	}
+	r.SetValue(v)
+	r.UnlockWithTID(tid)
+	return true
+}
+
 // RWMutex exposes the record's 2PL mutex. Only the 2PL engine uses it;
 // keeping it on the record mirrors the paper's "per-key locks".
 func (r *Record) RWMutex() *sync.RWMutex { return &r.mu }

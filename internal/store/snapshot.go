@@ -12,8 +12,19 @@ import (
 	"sync/atomic"
 )
 
-// snapshotMagic begins every snapshot stream.
+// snapshotMagic begins every count-prefixed (v1) snapshot stream.
 var snapshotMagic = []byte("DOPSNAP1")
+
+// snapshotMagic2 begins every streamed (v2) snapshot: frames follow the
+// magic directly, with no up-front entry count — the writer does not
+// know it until the walk completes — and the stream ends with a
+// terminator frame carrying the count as a cross-check.
+var snapshotMagic2 = []byte("DOPSNAP2")
+
+// snapEndMarker is the bodyLen sentinel of the v2 terminator frame. Real
+// bodies are capped at 1<<30 bytes, so the marker can never be confused
+// with one.
+const snapEndMarker = ^uint32(0)
 
 var snapCastagnoli = crc32.MakeTable(crc32.Castagnoli)
 
@@ -53,14 +64,16 @@ func (s *Store) PreloadTID(key string, v *Value, tid uint64) {
 	r.SetTID(tid)
 }
 
-// WriteSnapshot serializes entries to w:
+// WriteSnapshot serializes entries to w in the count-prefixed v1 format:
 //
 //	magic | u64 count | count × (u32 bodyLen | u32 crc(body) | body)
 //	body = u32 keyLen | key | u64 tid | encoded value
 //
 // Entries are stable-sorted by key in place first, so snapshots of
 // identical state are byte-identical (canonical) regardless of the
-// store's iteration order.
+// store's iteration order. Checkpoints of a live store stream through a
+// SnapshotWriter instead, which trades canonical order for bounded
+// memory.
 func WriteSnapshot(w io.Writer, entries []SnapshotEntry) error {
 	sort.SliceStable(entries, func(i, j int) bool { return entries[i].Key < entries[j].Key })
 	bw := bufio.NewWriterSize(w, 1<<16)
@@ -74,11 +87,7 @@ func WriteSnapshot(w io.Writer, entries []SnapshotEntry) error {
 	}
 	var body []byte
 	for _, e := range entries {
-		body = body[:0]
-		body = binary.LittleEndian.AppendUint32(body, uint32(len(e.Key)))
-		body = append(body, e.Key...)
-		body = binary.LittleEndian.AppendUint64(body, e.TID)
-		body = append(body, EncodeValue(e.Value)...)
+		body = appendSnapshotBody(body[:0], e)
 		binary.LittleEndian.PutUint32(hdr[:4], uint32(len(body)))
 		binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum(body, snapCastagnoli))
 		if _, err := bw.Write(hdr[:]); err != nil {
@@ -91,56 +100,179 @@ func WriteSnapshot(w io.Writer, entries []SnapshotEntry) error {
 	return bw.Flush()
 }
 
-// ReadSnapshot parses WriteSnapshot's output. Unlike WAL replay, a
-// snapshot is all-or-nothing: it is published atomically by manifest
-// install, so any truncation or corruption is an error, never a silent
-// partial result.
-func ReadSnapshot(r io.Reader) ([]SnapshotEntry, error) {
-	br := bufio.NewReaderSize(r, 1<<16)
+// appendSnapshotBody appends one entry's frame body to dst.
+func appendSnapshotBody(dst []byte, e SnapshotEntry) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(e.Key)))
+	dst = append(dst, e.Key...)
+	dst = binary.LittleEndian.AppendUint64(dst, e.TID)
+	return AppendValue(dst, e.Value)
+}
+
+// SnapshotWriter streams snapshot entries to a writer in the v2 format,
+// one CRC-framed entry at a time, without knowing the entry count up
+// front. It reuses one internal buffer across Write calls, so encoding
+// a store of any size costs O(largest entry) memory — the property the
+// streaming checkpoint walk depends on. Close writes the terminator
+// frame (carrying the final count as a corruption cross-check) and
+// flushes; a SnapshotWriter that is never Closed produces a stream
+// readers reject as truncated.
+type SnapshotWriter struct {
+	bw  *bufio.Writer
+	n   uint64
+	buf []byte
+}
+
+// NewSnapshotWriter starts a v2 snapshot stream on w.
+func NewSnapshotWriter(w io.Writer) (*SnapshotWriter, error) {
+	sw := &SnapshotWriter{bw: bufio.NewWriterSize(w, 1<<16), buf: make([]byte, 8)}
+	if _, err := sw.bw.Write(snapshotMagic2); err != nil {
+		return nil, err
+	}
+	return sw, nil
+}
+
+// Write appends one entry frame to the stream.
+func (sw *SnapshotWriter) Write(e SnapshotEntry) error {
+	// The frame is assembled — header and body — in the one reused
+	// buffer: a stack-local header array would escape through the
+	// io.Writer interface and cost one heap allocation per entry.
+	sw.buf = appendSnapshotBody(sw.buf[:8], e)
+	body := sw.buf[8:]
+	binary.LittleEndian.PutUint32(sw.buf[:4], uint32(len(body)))
+	binary.LittleEndian.PutUint32(sw.buf[4:8], crc32.Checksum(body, snapCastagnoli))
+	if _, err := sw.bw.Write(sw.buf); err != nil {
+		return err
+	}
+	sw.n++
+	return nil
+}
+
+// Count reports how many entries have been written so far.
+func (sw *SnapshotWriter) Count() int { return int(sw.n) }
+
+// Close writes the terminator frame and flushes the stream. It does not
+// close the underlying writer.
+func (sw *SnapshotWriter) Close() error {
+	var tail [16]byte
+	binary.LittleEndian.PutUint32(tail[:4], snapEndMarker)
+	binary.LittleEndian.PutUint64(tail[8:], sw.n)
+	binary.LittleEndian.PutUint32(tail[4:8], crc32.Checksum(tail[8:], snapCastagnoli))
+	if _, err := sw.bw.Write(tail[:]); err != nil {
+		return err
+	}
+	return sw.bw.Flush()
+}
+
+// snapFraming drives version-dependent frame iteration for both
+// snapshot readers: v1 streams read a declared count of frames, v2
+// streams read frames until the terminator and validate its count.
+type snapFraming struct {
+	br    *bufio.Reader
+	v2    bool
+	count uint64 // v1: declared up front; v2: validated at the terminator
+	seen  uint64
+}
+
+// newSnapFraming consumes the magic (and, for v1, the count header).
+func newSnapFraming(r io.Reader, bufSize int) (*snapFraming, error) {
+	br := bufio.NewReaderSize(r, bufSize)
 	magic := make([]byte, len(snapshotMagic))
 	if _, err := io.ReadFull(br, magic); err != nil {
 		return nil, fmt.Errorf("store: short snapshot magic: %w", err)
 	}
-	if string(magic) != string(snapshotMagic) {
+	sf := &snapFraming{br: br}
+	switch string(magic) {
+	case string(snapshotMagic):
+	case string(snapshotMagic2):
+		sf.v2 = true
+		return sf, nil
+	default:
 		return nil, errors.New("store: bad snapshot magic")
 	}
 	var hdr [8]byte
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
 		return nil, fmt.Errorf("store: short snapshot count: %w", err)
 	}
-	count := binary.LittleEndian.Uint64(hdr[:])
-	if count > 1<<40 {
-		return nil, fmt.Errorf("store: implausible snapshot entry count %d", count)
+	sf.count = binary.LittleEndian.Uint64(hdr[:])
+	if sf.count > 1<<40 {
+		return nil, fmt.Errorf("store: implausible snapshot entry count %d", sf.count)
+	}
+	return sf, nil
+}
+
+// next returns the next frame's raw body and declared CRC (unverified —
+// the caller checks it, possibly on another goroutine), or done == true
+// at a validated end of stream. Trailing bytes after the logical end
+// mean the writer and reader disagree about the format and are rejected.
+func (sf *snapFraming) next() (body []byte, crc uint32, done bool, err error) {
+	if !sf.v2 && sf.seen == sf.count {
+		return nil, 0, true, sf.expectEOF()
+	}
+	var hdr [8]byte
+	if _, err := io.ReadFull(sf.br, hdr[:]); err != nil {
+		return nil, 0, false, fmt.Errorf("store: truncated snapshot entry %d: %w", sf.seen, err)
+	}
+	bodyLen := binary.LittleEndian.Uint32(hdr[:4])
+	wantCRC := binary.LittleEndian.Uint32(hdr[4:])
+	if sf.v2 && bodyLen == snapEndMarker {
+		var cnt [8]byte
+		if _, err := io.ReadFull(sf.br, cnt[:]); err != nil {
+			return nil, 0, false, fmt.Errorf("store: truncated snapshot terminator: %w", err)
+		}
+		if crc32.Checksum(cnt[:], snapCastagnoli) != wantCRC {
+			return nil, 0, false, errors.New("store: snapshot terminator checksum mismatch")
+		}
+		if n := binary.LittleEndian.Uint64(cnt[:]); n != sf.seen {
+			return nil, 0, false, fmt.Errorf("store: snapshot terminator count %d, read %d entries", n, sf.seen)
+		}
+		sf.count = sf.seen
+		return nil, 0, true, sf.expectEOF()
+	}
+	if bodyLen > 1<<30 {
+		return nil, 0, false, fmt.Errorf("store: implausible snapshot body length %d", bodyLen)
+	}
+	body = make([]byte, bodyLen)
+	if _, err := io.ReadFull(sf.br, body); err != nil {
+		return nil, 0, false, fmt.Errorf("store: truncated snapshot entry %d: %w", sf.seen, err)
+	}
+	sf.seen++
+	return body, wantCRC, false, nil
+}
+
+func (sf *snapFraming) expectEOF() error {
+	if _, err := sf.br.ReadByte(); err != io.EOF {
+		return errors.New("store: trailing bytes after snapshot entries")
+	}
+	return nil
+}
+
+// ReadSnapshot parses a snapshot stream (either format) into a slice.
+// Unlike WAL replay, a snapshot is all-or-nothing: it is published
+// atomically by manifest install, so any truncation or corruption is an
+// error, never a silent partial result.
+func ReadSnapshot(r io.Reader) ([]SnapshotEntry, error) {
+	sf, err := newSnapFraming(r, 1<<16)
+	if err != nil {
+		return nil, err
 	}
 	var out []SnapshotEntry
-	for i := uint64(0); i < count; i++ {
-		if _, err := io.ReadFull(br, hdr[:]); err != nil {
-			return nil, fmt.Errorf("store: truncated snapshot entry %d: %w", i, err)
+	for {
+		body, crc, done, err := sf.next()
+		if err != nil {
+			return nil, err
 		}
-		bodyLen := binary.LittleEndian.Uint32(hdr[:4])
-		wantCRC := binary.LittleEndian.Uint32(hdr[4:])
-		if bodyLen > 1<<30 {
-			return nil, fmt.Errorf("store: implausible snapshot body length %d", bodyLen)
+		if done {
+			return out, nil
 		}
-		body := make([]byte, bodyLen)
-		if _, err := io.ReadFull(br, body); err != nil {
-			return nil, fmt.Errorf("store: truncated snapshot entry %d: %w", i, err)
-		}
-		if crc32.Checksum(body, snapCastagnoli) != wantCRC {
-			return nil, fmt.Errorf("store: snapshot entry %d checksum mismatch", i)
+		if crc32.Checksum(body, snapCastagnoli) != crc {
+			return nil, fmt.Errorf("store: snapshot entry %d checksum mismatch", len(out))
 		}
 		e, err := decodeSnapshotBody(body)
 		if err != nil {
-			return nil, fmt.Errorf("store: snapshot entry %d: %w", i, err)
+			return nil, fmt.Errorf("store: snapshot entry %d: %w", len(out), err)
 		}
 		out = append(out, e)
 	}
-	// Trailing bytes mean the writer and reader disagree about the
-	// format; reject rather than silently ignore.
-	if _, err := br.ReadByte(); err != io.EOF {
-		return nil, errors.New("store: trailing bytes after snapshot entries")
-	}
-	return out, nil
 }
 
 // snapFrame is one length-delimited snapshot entry handed from the
@@ -150,35 +282,31 @@ type snapFrame struct {
 	crc  uint32
 }
 
-// ReadSnapshotInto streams WriteSnapshot's output directly into st with
-// parallelism decoder goroutines and returns the number of entries
+// ReadSnapshotInto streams a snapshot (either format) directly into st
+// with parallelism decoder goroutines and returns the number of entries
 // loaded. The reader goroutine does only framing I/O; CRC verification,
 // value decoding and store insertion run on the decoders, sharded by
 // key hash so shard-lock contention between decoders stays low (safety
 // does not depend on the sharding — concurrent inserts are protected by
-// the store's shard mutexes). Entries are installed with PreloadTID, so
-// st must not be serving traffic yet — this is the recovery path.
+// the store's shard mutexes).
+//
+// tidFiltered selects the install rule. false is the exclusive recovery
+// path: entries install unconditionally with PreloadTID, so st must not
+// be written by anyone else during the load. true installs through
+// Record.InstallRecovered — a per-key TID filter under the record lock —
+// which lets WAL segment replay run into the same store concurrently
+// with the snapshot load (overlapped recovery): whichever writer carries
+// the higher TID for a key wins regardless of arrival order.
+//
 // Corruption semantics match ReadSnapshot: any truncated or corrupt
 // frame fails the whole load.
-func ReadSnapshotInto(r io.Reader, st *Store, parallelism int) (int, error) {
+func ReadSnapshotInto(r io.Reader, st *Store, parallelism int, tidFiltered bool) (int, error) {
 	if parallelism < 1 {
 		parallelism = 1
 	}
-	br := bufio.NewReaderSize(r, 1<<20)
-	magic := make([]byte, len(snapshotMagic))
-	if _, err := io.ReadFull(br, magic); err != nil {
-		return 0, fmt.Errorf("store: short snapshot magic: %w", err)
-	}
-	if string(magic) != string(snapshotMagic) {
-		return 0, errors.New("store: bad snapshot magic")
-	}
-	var hdr [8]byte
-	if _, err := io.ReadFull(br, hdr[:]); err != nil {
-		return 0, fmt.Errorf("store: short snapshot count: %w", err)
-	}
-	count := binary.LittleEndian.Uint64(hdr[:])
-	if count > 1<<40 {
-		return 0, fmt.Errorf("store: implausible snapshot entry count %d", count)
+	sf, err := newSnapFraming(r, 1<<20)
+	if err != nil {
+		return 0, err
 	}
 
 	var (
@@ -210,7 +338,12 @@ func ReadSnapshotInto(r io.Reader, st *Store, parallelism int) (int, error) {
 					setErr(fmt.Errorf("store: snapshot entry: %w", err))
 					continue
 				}
-				st.PreloadTID(e.Key, e.Value, e.TID)
+				if tidFiltered {
+					rec, _ := st.GetOrCreate(e.Key)
+					rec.InstallRecovered(e.Value, e.TID)
+				} else {
+					st.PreloadTID(e.Key, e.Value, e.TID)
+				}
 			}
 		}(chans[w])
 	}
@@ -225,24 +358,19 @@ func ReadSnapshotInto(r io.Reader, st *Store, parallelism int) (int, error) {
 		if err != nil {
 			return 0, err
 		}
-		return int(count), nil
+		return int(sf.seen), nil
 	}
 
-	for i := uint64(0); i < count; i++ {
+	for {
 		if failed.Load() {
 			return finish(nil)
 		}
-		if _, err := io.ReadFull(br, hdr[:]); err != nil {
-			return finish(fmt.Errorf("store: truncated snapshot entry %d: %w", i, err))
+		body, wantCRC, done, err := sf.next()
+		if err != nil {
+			return finish(err)
 		}
-		bodyLen := binary.LittleEndian.Uint32(hdr[:4])
-		wantCRC := binary.LittleEndian.Uint32(hdr[4:])
-		if bodyLen > 1<<30 {
-			return finish(fmt.Errorf("store: implausible snapshot body length %d", bodyLen))
-		}
-		body := make([]byte, bodyLen)
-		if _, err := io.ReadFull(br, body); err != nil {
-			return finish(fmt.Errorf("store: truncated snapshot entry %d: %w", i, err))
+		if done {
+			return finish(nil)
 		}
 		// Route by the entry's key hash: one key always lands on one
 		// decoder, and distinct keys spread out, keeping store shard-lock
@@ -259,12 +387,6 @@ func ReadSnapshotInto(r io.Reader, st *Store, parallelism int) (int, error) {
 		}
 		chans[w] <- snapFrame{body: body, crc: wantCRC}
 	}
-	// Trailing bytes mean the writer and reader disagree about the
-	// format; reject rather than silently ignore.
-	if _, err := br.ReadByte(); err != io.EOF {
-		return finish(errors.New("store: trailing bytes after snapshot entries"))
-	}
-	return finish(nil)
 }
 
 func decodeSnapshotBody(body []byte) (SnapshotEntry, error) {

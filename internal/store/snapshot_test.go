@@ -132,7 +132,7 @@ func TestReadSnapshotIntoMatchesReadSnapshot(t *testing.T) {
 	for _, par := range []int{0, 1, 3, 8} {
 		t.Run(fmt.Sprintf("par=%d", par), func(t *testing.T) {
 			st := New()
-			n, err := ReadSnapshotInto(bytes.NewReader(buf.Bytes()), st, par)
+			n, err := ReadSnapshotInto(bytes.NewReader(buf.Bytes()), st, par, false)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -175,7 +175,7 @@ func TestReadSnapshotIntoCorruptionDetected(t *testing.T) {
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			for _, par := range []int{1, 4} {
-				if _, err := ReadSnapshotInto(bytes.NewReader(tc.mutate(raw)), New(), par); err == nil {
+				if _, err := ReadSnapshotInto(bytes.NewReader(tc.mutate(raw)), New(), par, false); err == nil {
 					t.Fatalf("corruption accepted at parallelism %d", par)
 				}
 			}
@@ -199,7 +199,7 @@ func TestReadSnapshotIntoShortBody(t *testing.T) {
 		raw = append(raw, hdr[:]...)
 		raw = append(raw, body...)
 		for _, par := range []int{1, 4} {
-			if _, err := ReadSnapshotInto(bytes.NewReader(raw), New(), par); err == nil {
+			if _, err := ReadSnapshotInto(bytes.NewReader(raw), New(), par, false); err == nil {
 				t.Fatalf("bodyLen=%d accepted at parallelism %d", bodyLen, par)
 			}
 		}
@@ -218,7 +218,22 @@ func FuzzReadSnapshot(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(buf.Bytes())
+	var v2 bytes.Buffer
+	sw, err := NewSnapshotWriter(&v2)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, e := range snapshotFixture() {
+		if err := sw.Write(e); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := sw.Close(); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(v2.Bytes())
 	f.Add([]byte("DOPSNAP1"))
+	f.Add([]byte("DOPSNAP2"))
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		entries, err := ReadSnapshot(bytes.NewReader(data))

@@ -10,6 +10,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Op is one redo operation: set key to value. Doppel's commutative
@@ -84,7 +85,8 @@ type Logger struct {
 	pending []pendingRec
 	rot     *rotateReq
 	closed  bool
-	termErr error // terminal failure: the logger can no longer write
+	termErr error       // terminal failure: the logger can no longer write
+	failed  atomic.Bool // mirrors termErr != nil; lock-free for hot-path checks
 
 	dir     string
 	opts    Options
@@ -325,6 +327,7 @@ func (l *Logger) fail(err error) {
 	if l.termErr == nil {
 		l.termErr = err
 	}
+	l.failed.Store(true)
 	pending := l.pending
 	l.pending = nil
 	rot := l.rot
@@ -567,6 +570,11 @@ func (l *Logger) Err() error {
 	return l.termErr
 }
 
+// Failed reports whether the logger has failed terminally. It is a
+// single atomic load, cheap enough for the engine to consult on every
+// transaction (fail-stop mode); Err carries the cause.
+func (l *Logger) Failed() bool { return l.failed.Load() }
+
 // Close flushes outstanding records, closes the current segment and
 // releases the directory lock. It is idempotent; after a terminal
 // failure it only releases the lock (the committer already closed the
@@ -797,7 +805,11 @@ func LiveSegments(dir string) (Manifest, []SegmentInfo, error) {
 // manifest exists). Only the newest segment may end in a torn tail — a
 // crash can tear only the segment being appended to; corruption in an
 // earlier, sealed segment means acknowledged commits are unrecoverable,
-// which is reported as an error rather than silently dropped.
+// which is reported as an error rather than silently dropped. Where the
+// manifest recorded a sealed segment's metadata, the segment must replay
+// to exactly that record count and TID range: this catches damage that
+// still decodes cleanly, such as a dropped buffered write that happened
+// to end on a record boundary.
 func ReplayDir(dir string) (Manifest, []Record, []SegmentInfo, error) {
 	man, live, err := LiveSegments(dir)
 	if err != nil {
@@ -812,6 +824,13 @@ func ReplayDir(dir string) (Manifest, []Record, []SegmentInfo, error) {
 		if torn && i != len(live)-1 {
 			return Manifest{}, nil, nil, fmt.Errorf(
 				"wal: corrupt record in sealed segment %s", live[i].Path)
+		}
+		if meta := man.SealedFor(live[i].Seq); meta != nil {
+			if check := MetaFor(live[i].Seq, recs); check != *meta {
+				return Manifest{}, nil, nil, fmt.Errorf(
+					"wal: sealed segment %s replays to %d records TIDs [%d,%d], manifest sealed it with %d records TIDs [%d,%d]",
+					live[i].Path, check.Records, check.MinTID, check.MaxTID, meta.Records, meta.MinTID, meta.MaxTID)
+			}
 		}
 		live[i].Records = len(recs)
 		out = append(out, recs...)
