@@ -449,6 +449,44 @@ func benchRecover(b *testing.B, checkpoint bool) {
 func BenchmarkPublicExec(b *testing.B) {
 	db := doppel.Open(doppel.Options{Workers: 2})
 	defer db.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := db.Exec(func(tx doppel.Tx) error { return tx.Add("k", 1) }); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPublicExecRedo is BenchmarkPublicExec with asynchronous redo
+// logging enabled: the gap between the two is the full logging overhead
+// on the service path (encode + LSN append; commits do not wait).
+func BenchmarkPublicExecRedo(b *testing.B) {
+	db, err := doppel.OpenErr(doppel.Options{Workers: 2, RedoLog: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := db.Exec(func(tx doppel.Tx) error { return tx.Add("k", 1) }); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPublicExecSyncCommit measures the durability-synchronous
+// mode: every acknowledgement waits for its group commit's fsync. A
+// single blocking caller pays one fsync per op — the worst case; the
+// watermark design exists so concurrent callers share each fsync.
+func BenchmarkPublicExecSyncCommit(b *testing.B) {
+	db, err := doppel.OpenErr(doppel.Options{Workers: 2, RedoLog: b.TempDir(), SyncCommit: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := db.Exec(func(tx doppel.Tx) error { return tx.Add("k", 1) }); err != nil {

@@ -12,6 +12,7 @@
 //	doppel-bench -net -duration 2s           # network protocol: blocking vs pipelined
 //	doppel-bench -recovery -txns 50000       # recovery time: full replay vs after a checkpoint
 //	doppel-bench -checkpoint                 # checkpoint cost vs store size (barrier/walk/alloc)
+//	doppel-bench -throughput -duration 2s    # steady-state ops/sec + allocs/op, joined vs split mixes
 //	doppel-bench -recovery -json             # additionally write BENCH_recovery.json
 package main
 
@@ -37,6 +38,7 @@ import (
 	"doppel/internal/server"
 	"doppel/internal/store"
 	"doppel/internal/twopl"
+	"doppel/internal/wal"
 	"doppel/internal/workload"
 )
 
@@ -50,6 +52,7 @@ func main() {
 	netMode := flag.Bool("net", false, "run the networked INCR1 benchmark: blocking vs pipelined on one connection")
 	recovery := flag.Bool("recovery", false, "measure recovery time: full WAL replay vs bounded replay after a checkpoint")
 	ckptMode := flag.Bool("checkpoint", false, "measure checkpoint cost (barrier, walk, allocation) across store sizes")
+	tputMode := flag.Bool("throughput", false, "measure steady-state transaction throughput, latency and allocs/op across phase mixes")
 	jsonOut := flag.Bool("json", false, "recovery/checkpoint modes: also write machine-readable BENCH_<mode>.json")
 	txns := flag.Int("txns", 50_000, "recovery mode: transactions to log before measuring")
 	segBytes := flag.Int64("segment-bytes", 128<<10, "recovery mode: WAL segment size (small values force a multi-segment log)")
@@ -62,6 +65,10 @@ func main() {
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "real/net mode: worker count")
 	flag.Parse()
 
+	if *tputMode {
+		runThroughput(*workers, *duration, *jsonOut)
+		return
+	}
 	if *recovery {
 		runRecovery(*txns, *workers, *segBytes, *recoveryPar, *jsonOut)
 		return
@@ -228,6 +235,15 @@ type benchRow struct {
 	SnapshotBytes   int64  `json:"snapshot_bytes,omitempty"`
 	AllocBytes      uint64 `json:"alloc_bytes,omitempty"`
 	COWSaves        int    `json:"cow_saves,omitempty"`
+	// Throughput-mode fields. Deliberately not omitempty: CI asserts
+	// their presence on every throughput row, and a legitimate measured
+	// zero (the target for allocs/op) must not make the key vanish.
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	Committed   uint64  `json:"committed"`
+	Stashed     uint64  `json:"stashed"`
+	P50NS       int64   `json:"p50_ns"`
+	P99NS       int64   `json:"p99_ns"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
 }
 
 // benchReport is the BENCH_<mode>.json document: enough context to
@@ -252,6 +268,117 @@ func writeBenchJSON(report benchReport) {
 		log.Fatal(err)
 	}
 	fmt.Printf("wrote %s\n", name)
+}
+
+// runThroughput measures the transaction hot path in steady state —
+// the headline number the commit-path work optimizes. Four mixes cover
+// the phase model's main shapes:
+//
+//   - joined-uniform: INCR1 over uniformly random keys with no
+//     coordinator — every commit takes the joined-phase OCC path. Run
+//     twice, without and with redo logging, so the logging overhead is
+//     its own row.
+//   - split-incr1-redo: INCR1 with 100% of increments on one hinted hot
+//     key under the default coordinator — split phases dominate and most
+//     commits take the per-core-slice fast path, reconciliation merges
+//     carry the redo records.
+//   - like-mix-redo: the paper's LIKE shape, 50% reads / 50%
+//     user-put+page-add writes over Zipfian pages — a mixed workload
+//     with stashes, the classifier live, and redo logging on.
+//
+// Alongside ops/sec and p50/p99 commit latency, each row reports heap
+// allocations per committed transaction measured as a MemStats.Mallocs
+// delta over the whole run — end to end, workload generation included,
+// so regressions anywhere on the path show up.
+func runThroughput(workers int, dur time.Duration, jsonOut bool) {
+	const keys = 100_000
+	ks := workload.NewKeySpace('k', keys)
+
+	fmt.Printf("# steady-state throughput: %d workers, %v per mix\n", workers, dur)
+	fmt.Printf("%-22s %12s %12s %10s %10s %10s %10s\n",
+		"mode", "txn/s", "committed", "p50", "p99", "allocs/op", "stashed")
+	var rows []benchRow
+
+	run := func(mode string, redo bool, cfg core.Config, gen workload.Generator, hint string) {
+		st := store.New()
+		for i := 0; i < keys; i++ {
+			st.Preload(ks.Key(i), store.IntValue(0))
+		}
+		var logger *wal.Logger
+		if redo {
+			dir, err := os.MkdirTemp("", "doppel-throughput-")
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer os.RemoveAll(dir)
+			logger, err = wal.Open(dir)
+			if err != nil {
+				log.Fatal(err)
+			}
+			cfg.Redo = logger
+		}
+		db := core.Open(st, cfg)
+		if hint != "" {
+			db.SplitHint(hint, store.OpAdd)
+		}
+		runtime.GC()
+		var m1, m2 runtime.MemStats
+		runtime.ReadMemStats(&m1)
+		res := bench.RunLoad(db, gen, bench.Options{Duration: dur, Seed: 1})
+		runtime.ReadMemStats(&m2)
+		db.Close()
+		if logger != nil {
+			if err := logger.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}
+		lat := metrics.NewHist()
+		lat.Merge(res.Stats.ReadLatency)
+		lat.Merge(res.Stats.WriteLatency)
+		allocsPerOp := 0.0
+		if res.Stats.Committed > 0 {
+			allocsPerOp = float64(m2.Mallocs-m1.Mallocs) / float64(res.Stats.Committed)
+		}
+		fmt.Printf("%-22s %12.0f %12d %10v %10v %10.2f %10d\n",
+			mode, res.Throughput, res.Stats.Committed,
+			time.Duration(lat.Quantile(0.5)), time.Duration(lat.Quantile(0.99)),
+			allocsPerOp, res.Stats.Stashed)
+		rows = append(rows, benchRow{
+			Mode: mode, NS: res.Elapsed.Nanoseconds(),
+			OpsPerSec: res.Throughput, Committed: res.Stats.Committed,
+			Stashed: res.Stats.Stashed,
+			P50NS:   lat.Quantile(0.5), P99NS: lat.Quantile(0.99),
+			AllocsPerOp: allocsPerOp,
+		})
+	}
+
+	joined := core.DefaultConfig(workers)
+	joined.PhaseLength = 0 // no coordinator: every commit is joined-phase OCC
+	uniform := &workload.Incr1{Keys: ks, HotKey: 0, HotFrac: 0}
+	run("joined-uniform", false, joined, uniform, "")
+	run("joined-uniform-redo", true, joined, uniform, "")
+
+	split := core.DefaultConfig(workers)
+	hot := &workload.Incr1{Keys: ks, HotKey: 0, HotFrac: 1.0}
+	run("split-incr1-redo", true, split, hot, ks.Key(0))
+
+	like := core.DefaultConfig(workers)
+	users := workload.NewKeySpace('u', keys)
+	z := workload.NewZipf(keys, 1.4)
+	run("like-mix-redo", true, like,
+		&workload.Like{Users: users, Pages: ks, PageZipf: z, WriteFrac: 0.5}, "")
+
+	if jsonOut {
+		writeBenchJSON(benchReport{
+			Mode: "throughput",
+			Config: map[string]string{
+				"workers":  fmt.Sprint(workers),
+				"keys":     fmt.Sprint(keys),
+				"duration": dur.String(),
+			},
+			Rows: rows,
+		})
+	}
 }
 
 // runRecovery measures what the durability layer's recovery levers buy:

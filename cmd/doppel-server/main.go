@@ -37,6 +37,7 @@ func main() {
 	recoveryOverlap := flag.Bool("recovery-overlap", true, "replay WAL segments concurrently with the snapshot load on start")
 	ckptFrames := flag.Int("checkpoint-frame-buffer", 0, "snapshot entries buffered between the checkpoint walker and writer (0 = default)")
 	walFailStop := flag.Bool("wal-fail-stop", false, "refuse new transactions once the redo logger has failed terminally")
+	syncCommit := flag.Bool("sync-commit", false, "acknowledge commits only after their redo record's group commit is fsynced")
 	flag.Parse()
 
 	opts := doppel.Options{Workers: *workers}
@@ -49,6 +50,7 @@ func main() {
 		opts.RecoveryOverlap = *recoveryOverlap
 		opts.CheckpointFrameBuffer = *ckptFrames
 		opts.WALFailStop = *walFailStop
+		opts.SyncCommit = *syncCommit
 		if err := os.MkdirAll(*walDir, 0o755); err != nil {
 			log.Fatal(err)
 		}
@@ -136,8 +138,8 @@ func main() {
 		s := db.Stats()
 		requests, errs, lat := srv.Stats()
 		out := fmt.Sprintf(
-			"committed=%d aborted=%d stashed=%d merge_failures=%d phase=%s split=%d rpc=%d rpc_errors=%d rpc_p50=%v rpc_p99=%v",
-			s.Committed, s.Aborted, s.Stashed, s.MergeFailures, s.Phase, len(s.SplitKeys),
+			"committed=%d aborted=%d stashed=%d merge_failures=%d stash_dropped=%d phase=%s split=%d rpc=%d rpc_errors=%d rpc_p50=%v rpc_p99=%v",
+			s.Committed, s.Aborted, s.Stashed, s.MergeFailures, s.StashDropped, s.Phase, len(s.SplitKeys),
 			requests, errs,
 			time.Duration(lat.Quantile(0.5)), time.Duration(lat.Quantile(0.99)))
 		if *walDir != "" {

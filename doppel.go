@@ -123,6 +123,20 @@ type Options struct {
 	// is O(frame buffer), not O(records); 0 means a sensible default
 	// (1024). Requires RedoLog.
 	CheckpointFrameBuffer int
+	// SyncCommit makes Exec/ExecAsync wait for the transaction's redo
+	// record to be written and fsynced before acknowledging: an
+	// acknowledged commit then survives any crash. The wait is on the
+	// log's group-commit watermark, so concurrent transactions share
+	// fsyncs — throughput degrades far less than one fsync per commit —
+	// but each acknowledgement pays up to one group-commit latency. A
+	// split-phase commutative write costs more: its redo record is
+	// written only when reconciliation merges the per-core slices, so
+	// the acknowledgement additionally waits for the next phase
+	// transition (up to a few PhaseLengths), like a stashed
+	// transaction's. Off by default: the paper's design (§3)
+	// acknowledges from memory and logs asynchronously. Requires
+	// RedoLog.
+	SyncCommit bool
 	// WALFailStop makes the database refuse new transactions once the
 	// redo logger has failed terminally (disk gone, write error):
 	// Exec/ExecAsync then return the logger's error instead of
@@ -150,6 +164,11 @@ type Stats struct {
 	// its previous value and TID. Non-zero means the application mixed
 	// incompatible operations on a split key.
 	MergeFailures uint64
+	// StashDropped counts stashed transactions the drain abandoned after
+	// its replay cap (over a million consecutive conflict aborts — a
+	// pathological livelock). Non-zero means an accepted transaction was
+	// never executed; each worker also logs the first drop it makes.
+	StashDropped uint64
 	// RedoLogError is the redo logger's terminal failure ("" when
 	// healthy or logging is disabled). Logging is asynchronous, so
 	// transactions keep committing in memory after such a failure —
@@ -180,6 +199,7 @@ type DB struct {
 	redo        *wal.Logger
 	ckpt        *checkpoint.Checkpointer
 	walFailStop bool
+	syncCommit  bool
 	recovery    RecoveryStats
 	queues      []chan *request
 	wg          sync.WaitGroup
@@ -303,11 +323,14 @@ func openInto(opts Options, st *store.Store) (*DB, error) {
 		return nil, errors.New("doppel: MaxSegmentBytes requires RedoLog")
 	} else if opts.WALFailStop {
 		return nil, errors.New("doppel: WALFailStop requires RedoLog")
+	} else if opts.SyncCommit {
+		return nil, errors.New("doppel: SyncCommit requires RedoLog")
 	}
 	db := &DB{
 		eng:         core.Open(st, cfg),
 		redo:        redo,
 		walFailStop: cfg.WALFailStop,
+		syncCommit:  opts.SyncCommit && redo != nil,
 		queues:      make([]chan *request, workers),
 	}
 	if redo != nil {
@@ -351,6 +374,12 @@ func (db *DB) run(w int, req *request) {
 		out, err := db.eng.Attempt(w, req.fn, req.submit)
 		switch out {
 		case engine.Committed:
+			if db.syncCommit {
+				if err := db.waitDurableCommit(w); err != nil {
+					req.finish(err)
+					return
+				}
+			}
 			req.finish(nil)
 			return
 		case engine.Stashed:
@@ -377,6 +406,15 @@ func (db *DB) run(w int, req *request) {
 					return
 				}
 			}
+			// The stashed transaction replayed during the drain above, so
+			// the worker's newest redo LSN covers it (or an earlier
+			// record — waiting on that is merely conservative).
+			if db.syncCommit {
+				if err := db.waitDurableCommit(w); err != nil {
+					req.finish(err)
+					return
+				}
+			}
 			req.finish(nil)
 			return
 		case engine.UserAbort:
@@ -391,6 +429,26 @@ func (db *DB) run(w int, req *request) {
 			}
 		}
 	}
+}
+
+// waitDurableCommit holds a SyncCommit acknowledgement until the
+// transaction's redo record is written and fsynced. A commit that
+// buffered split (slice) writes has no redo record yet — slice writes
+// are logged when reconciliation merges them at the next phase
+// transition — so first poll the engine until this worker's slices
+// have reconciled (bounded by the coordinator's phase clock, like the
+// stash wait), then wait on the group-commit watermark. Concurrent
+// commits share each fsync; a terminal logger failure surfaces here
+// instead of acknowledging a commit that can never be durable.
+func (db *DB) waitDurableCommit(w int) error {
+	for db.eng.SliceRedoPending(w) {
+		db.eng.Poll(w)
+		time.Sleep(50 * time.Microsecond)
+	}
+	if err := db.redo.WaitDurable(db.eng.RedoLSN(w)); err != nil {
+		return fmt.Errorf("doppel: commit not durable: %w", err)
+	}
+	return nil
 }
 
 // Exec runs fn as a serializable transaction and returns once it has
@@ -493,6 +551,7 @@ func (db *DB) Stats() Stats {
 		Stashed:       agg.Stashed,
 		Retries:       agg.Retries,
 		MergeFailures: agg.MergeFailures,
+		StashDropped:  agg.StashDropped,
 		Phase:         db.eng.Phase().String(),
 		PhaseChanges:  db.eng.PhaseChanges(),
 		SplitKeys:     db.eng.SplitKeys(),

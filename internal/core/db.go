@@ -152,6 +152,23 @@ func (db *DB) PhaseChanges() uint64 { return db.phaseChanges.Load() }
 // that drives worker w.
 func (db *DB) StashLen(w int) int { return len(db.workers[w].stash) }
 
+// RedoLSN reports the log sequence number of worker w's newest redo
+// append — what a caller that wants commit-then-durable semantics must
+// WaitDurable on after Attempt returns Committed. It is the max-LSN
+// sentinel when the worker's last append was refused by a terminally
+// failed logger (waiting on it reports the terminal error), and 0 when
+// the worker has never logged. Like StashLen it must be called from
+// the goroutine that drives worker w.
+func (db *DB) RedoLSN(w int) uint64 { return db.workers[w].redoLSN }
+
+// SliceRedoPending reports whether worker w has committed split-phase
+// slice writes whose redo records have not been appended yet (they are
+// logged when the worker reconciles its slices at the next phase
+// transition). While it is true, RedoLSN does not cover the worker's
+// newest commit; durability-synchronous callers poll the worker until
+// it clears. Must be called from the goroutine that drives worker w.
+func (db *DB) SliceRedoPending(w int) bool { return db.workers[w].slicedRedo }
+
 // SplitHint manually labels key as split data for op ("this record should
 // be split for this operation", §5.5). It takes effect at the next
 // joined→split transition. Non-splittable operations are ignored.

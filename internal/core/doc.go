@@ -57,8 +57,12 @@
 // # Durability failure semantics
 //
 // Logging is asynchronous: commits acknowledge before their redo
-// records are durable. When the logger fails terminally it refuses all
-// further records; with Config.WALFailStop the engine then also refuses
-// to execute new transactions (fail-stop), otherwise commits continue
-// in memory and the gap is visible only through the logger's Err.
+// records are durable. Workers encode each record into per-worker
+// scratch buffers (no allocation in steady state) and the logger's
+// LSN/watermark contract (wal.Logger.Durable) is how durability is
+// observed after the fact. When the logger fails terminally it refuses
+// all further records; with Config.WALFailStop the engine then also
+// refuses to execute new transactions (fail-stop), otherwise commits
+// continue in memory and the gap is visible only through the logger's
+// Err.
 package core

@@ -1,0 +1,6 @@
+//go:build !race
+
+package core
+
+// raceEnabled is false in a normal build; see race_enabled_test.go.
+const raceEnabled = false

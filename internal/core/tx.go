@@ -1,8 +1,6 @@
 package core
 
 import (
-	"sort"
-
 	"doppel/internal/engine"
 	"doppel/internal/store"
 	"doppel/internal/wal"
@@ -22,11 +20,12 @@ type Tx struct {
 	phase Phase
 	set   *splitSet
 
-	reads []readEnt
-	wset  []writeEnt
-	sw    []sliceWrite // buffered split writes (the paper's SW, Figure 3)
-	pend  []pending
-	wrote bool
+	reads  []readEnt
+	wset   []writeEnt
+	sw     []sliceWrite // buffered split writes (the paper's SW, Figure 3)
+	pend   []pending
+	swPend []pending // scratch for pre-computed slice values
+	wrote  bool
 }
 
 type readEnt struct {
@@ -50,6 +49,7 @@ type sliceWrite struct {
 type pending struct {
 	rec *store.Record
 	val *store.Value
+	key string // the record's key, carried so logRedo need not re-match
 }
 
 func (t *Tx) reset(w *Worker) {
@@ -277,9 +277,10 @@ func (t *Tx) genTID() uint64 {
 // because they are invisible to other cores.
 func (t *Tx) commit() (engine.Outcome, error) {
 	// Pre-compute slice values so a type error aborts with no effects.
-	var swVals []pending // reuse of pending shape: rec unused, val holds new slice value
+	// The scratch slice persists across transactions, so the split-phase
+	// fast path allocates only the new values themselves.
+	swVals := t.swPend[:0] // reuse of pending shape: rec unused, val holds new slice value
 	if len(t.sw) > 0 {
-		swVals = make([]pending, len(t.sw))
 		slices := t.w.slices
 		// Track the latest pending value per slice index for correct
 		// composition of multiple ops on one slice within this txn.
@@ -292,10 +293,12 @@ func (t *Tx) commit() (engine.Outcome, error) {
 			}
 			nv, err := store.Apply(cur, sw.op)
 			if err != nil {
+				t.swPend = swVals
 				return engine.UserAbort, err
 			}
-			swVals[i] = pending{nil, nv}
+			swVals = append(swVals, pending{val: nv})
 		}
+		t.swPend = swVals
 	}
 
 	// Read-only (and slice-only) fast path.
@@ -311,8 +314,17 @@ func (t *Tx) commit() (engine.Outcome, error) {
 		return engine.Committed, nil
 	}
 
-	// Part 1: lock the write set in key order.
-	sort.SliceStable(t.wset, func(i, j int) bool { return t.wset[i].key < t.wset[j].key })
+	// Part 1: lock the write set in key order. Write sets are almost
+	// always tiny (one to a handful of entries), so an inline insertion
+	// sort beats sort.SliceStable — which costs a closure allocation and
+	// reflection-based swaps on every commit. Shifting only on strict
+	// inequality keeps the sort stable: entries for the same key stay in
+	// buffered order, which the per-record Apply loop below relies on.
+	for i := 1; i < len(t.wset); i++ {
+		for j := i; j > 0 && t.wset[j].key < t.wset[j-1].key; j-- {
+			t.wset[j], t.wset[j-1] = t.wset[j-1], t.wset[j]
+		}
+	}
 	locked := 0
 	for i := range t.wset {
 		if i > 0 && t.wset[i].rec == t.wset[i-1].rec {
@@ -357,7 +369,7 @@ func (t *Tx) commit() (engine.Outcome, error) {
 				return engine.UserAbort, err
 			}
 		}
-		newVals = append(newVals, pending{rec, v})
+		newVals = append(newVals, pending{rec, v, t.wset[i].key})
 		i = j
 	}
 	t.pend = newVals
@@ -374,29 +386,37 @@ func (t *Tx) commit() (engine.Outcome, error) {
 
 // logRedo emits an asynchronous redo record for the installed values.
 // Split (slice) writes are not globally visible yet; they are logged by
-// reconcile when they merge.
+// reconcile when they merge. Each pending entry carries its key, so the
+// record is assembled in one pass; values encode into the worker's
+// reusable scratch buffers and the finished frame is handed to the
+// logger, which copies it — the steady-state path allocates nothing.
 func (t *Tx) logRedo(commitTID uint64, newVals []pending) {
 	redo := t.w.db.cfg.Redo
 	if redo == nil || len(newVals) == 0 {
 		return
 	}
-	rec := wal.Record{TID: commitTID, Ops: make([]wal.Op, 0, len(newVals))}
-	// Recover keys from the sorted write set (one entry per record).
-	for i := 0; i < len(t.wset); i++ {
-		if i > 0 && t.wset[i].rec == t.wset[i-1].rec {
-			continue
-		}
-		for _, p := range newVals {
-			if p.rec == t.wset[i].rec {
-				rec.Ops = append(rec.Ops, wal.Op{
-					Key:   t.wset[i].key,
-					Value: store.EncodeValue(p.val),
-				})
-				break
-			}
-		}
+	w := t.w
+	// Encode all values first, recording offsets: appending can grow
+	// (and move) the buffer, so slices are taken only after the last
+	// append.
+	val := w.redoVal[:0]
+	offs := w.redoOffs[:0]
+	for i := range newVals {
+		offs = append(offs, len(val))
+		val = store.AppendValue(val, newVals[i].val)
 	}
-	redo.Append(rec)
+	offs = append(offs, len(val))
+	ops := w.redoOps[:0]
+	for i := range newVals {
+		ops = append(ops, wal.Op{Key: newVals[i].key, Value: val[offs[i]:offs[i+1]]})
+	}
+	enc := wal.AppendRecord(w.redoEnc[:0], wal.Record{TID: commitTID, Ops: ops})
+	w.redoVal, w.redoOffs, w.redoOps, w.redoEnc = val, offs, ops, enc
+	// Commits do not wait for durability (asynchronous batched logging,
+	// §3); a refused append means the logger failed terminally, which
+	// surfaces through Failed()/Err() and WALFailStop. The assigned LSN
+	// is noted so durability-synchronous callers can wait on it.
+	w.noteRedoLSN(redo.Append(enc, commitTID))
 }
 
 // applySliceWrites installs pre-computed slice values and bumps write
@@ -409,6 +429,12 @@ func (t *Tx) applySliceWrites(swVals []pending) {
 	}
 	if len(t.sw) > 0 {
 		t.w.sliceWritesPhase.Add(uint64(len(t.sw)))
+		if t.w.db.cfg.Redo != nil {
+			// Slice writes are logged at reconciliation, not here; flag
+			// the gap for durability-synchronous callers (DB.RedoLSN's
+			// value does not cover this commit until reconcile runs).
+			t.w.slicedRedo = true
+		}
 	}
 }
 

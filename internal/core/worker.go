@@ -54,8 +54,28 @@ type Worker struct {
 	stash           []stashedTxn
 	tx              Tx
 	sampleTick      int
+	stashTick       int
 	maxStashLen     int
 	loggedMergeFail bool // first reconcile merge failure already logged
+	loggedStashDrop bool // first dropped stashed transaction already logged
+
+	// Redo-record encode scratch, reused across commits and reconcile
+	// merges. All four are written only on this worker's goroutine; the
+	// logger copies the finished frame, so reuse is safe the moment
+	// Append returns.
+	redoVal  []byte   // encoded values, back to back
+	redoOffs []int    // redoVal offsets, one per op plus the tail
+	redoOps  []wal.Op // assembled op list
+	redoEnc  []byte   // the encoded record frame handed to the logger
+	redoLSN  uint64   // LSN of this worker's newest redo append; see noteRedoLSN
+
+	// slicedRedo is set when a commit buffered split (slice) writes
+	// while redo logging is on: those writes have no redo record yet —
+	// they are logged when reconcile merges the slices — so a
+	// durability-synchronous caller must not acknowledge until this
+	// flag clears. Touched only on the worker goroutine (and by quiesce
+	// after the workers have stopped).
+	slicedRedo bool
 
 	// Cross-thread counters read by the coordinator.
 	attemptsWindow   atomic.Uint64 // attempts since the classifier last looked
@@ -182,9 +202,12 @@ func (w *Worker) reconcile() {
 		w.lastSeq = seq
 		newTID := seq<<8 | uint64(w.id)&workerIDMask
 		if redo := w.db.cfg.Redo; redo != nil {
-			redo.Append(wal.Record{TID: newTID, Ops: []wal.Op{{
-				Key: sk.key, Value: store.EncodeValue(merged),
-			}}})
+			// Same reusable encode scratch as the commit path: one redo
+			// record per merged slice, no per-slice allocations.
+			w.redoVal = store.AppendValue(w.redoVal[:0], merged)
+			w.redoOps = append(w.redoOps[:0], wal.Op{Key: sk.key, Value: w.redoVal})
+			w.redoEnc = wal.AppendRecord(w.redoEnc[:0], wal.Record{TID: newTID, Ops: w.redoOps})
+			w.noteRedoLSN(redo.Append(w.redoEnc, newTID))
 		}
 		rec.UnlockWithTID(newTID)
 
@@ -194,6 +217,10 @@ func (w *Worker) reconcile() {
 		w.statsMu.Unlock()
 	}
 	w.slices = nil
+	// Every absorbed slice write is now merged and its redo record (if
+	// any) appended — redoLSN covers them, so durability-synchronous
+	// waiters may proceed to the watermark.
+	w.slicedRedo = false
 }
 
 // resetSlices prepares empty per-core slices for a new split phase.
@@ -224,7 +251,15 @@ func (w *Worker) drainStash() {
 				break
 			}
 			if attempt > 1<<20 {
-				break // pathological livelock; drop after counting aborts
+				// Pathological livelock: drop the transaction after
+				// counting its aborts, but never silently — the loss is
+				// visible in Stats and logged once per worker.
+				w.stats.StashDropped++
+				if !w.loggedStashDrop {
+					w.loggedStashDrop = true
+					log.Printf("doppel: worker %d: dropped a stashed transaction after %d failed replays (livelock); counting further drops in stats only", w.id, attempt)
+				}
+				break
 			}
 		}
 	}
@@ -288,6 +323,18 @@ func (w *Worker) execOnce(fn engine.TxFunc, submitNanos int64) (engine.Outcome, 
 	return out, nil
 }
 
+// noteRedoLSN records the outcome of a redo append so RedoLSN can
+// report what a durability-synchronous caller must wait for. A refused
+// append (the logger failed terminally) stores the max LSN sentinel:
+// waiting on it surfaces the terminal error instead of acknowledging a
+// commit whose redo record was never accepted.
+func (w *Worker) noteRedoLSN(lsn uint64, err error) {
+	if err != nil {
+		lsn = ^uint64(0)
+	}
+	w.redoLSN = lsn
+}
+
 // sampleConflict records a conflicting access to key by op for the
 // classifier, subject to the configured sampling rate (§5.5).
 func (w *Worker) sampleConflict(key string, op store.OpKind) {
@@ -306,8 +353,15 @@ func (w *Worker) sampleConflict(key string, op store.OpKind) {
 }
 
 // sampleStash records that a transaction had to be stashed because it
-// accessed split record key with op (§5.5: stash sampling).
+// accessed split record key with op (§5.5: stash sampling). Like
+// sampleConflict it honors Config.SampleRate, so a split-phase stash
+// storm touches the stats mutex only once per SampleRate stashes
+// instead of serializing every worker on it.
 func (w *Worker) sampleStash(key string, op store.OpKind) {
+	w.stashTick++
+	if w.stashTick%w.db.cfg.SampleRate != 0 {
+		return
+	}
 	w.statsMu.Lock()
 	oc := w.splitStashes[key]
 	if oc == nil {

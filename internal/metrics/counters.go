@@ -20,6 +20,12 @@ type TxnStats struct {
 	// count means committed split-phase operations were lost.
 	MergeFailures uint64
 
+	// StashDropped counts stashed transactions abandoned after the
+	// drain's replay cap (a pathological livelock: the transaction kept
+	// conflict-aborting for over a million consecutive replays). A
+	// non-zero count means an accepted transaction never executed.
+	StashDropped uint64
+
 	ReadLatency  *Hist // commit latency of read-only transactions
 	WriteLatency *Hist // commit latency of transactions that wrote
 }
@@ -39,13 +45,15 @@ func (s *TxnStats) Merge(other *TxnStats) {
 	s.Stashed += other.Stashed
 	s.Retries += other.Retries
 	s.MergeFailures += other.MergeFailures
+	s.StashDropped += other.StashDropped
 	s.ReadLatency.Merge(other.ReadLatency)
 	s.WriteLatency.Merge(other.WriteLatency)
 }
 
 // Reset zeroes all counters and histograms.
 func (s *TxnStats) Reset() {
-	s.Committed, s.Aborted, s.Stashed, s.Retries, s.MergeFailures = 0, 0, 0, 0, 0
+	s.Committed, s.Aborted, s.Stashed, s.Retries = 0, 0, 0, 0
+	s.MergeFailures, s.StashDropped = 0, 0
 	s.ReadLatency.Reset()
 	s.WriteLatency.Reset()
 }
@@ -61,6 +69,6 @@ func (s *TxnStats) Throughput(elapsedNanos int64) float64 {
 
 // String summarizes the counters for logs.
 func (s *TxnStats) String() string {
-	return fmt.Sprintf("committed=%d aborted=%d stashed=%d retries=%d merge_failures=%d",
-		s.Committed, s.Aborted, s.Stashed, s.Retries, s.MergeFailures)
+	return fmt.Sprintf("committed=%d aborted=%d stashed=%d retries=%d merge_failures=%d stash_dropped=%d",
+		s.Committed, s.Aborted, s.Stashed, s.Retries, s.MergeFailures, s.StashDropped)
 }

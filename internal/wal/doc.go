@@ -7,11 +7,19 @@
 // (wal-00000001.log, wal-00000002.log, ...) plus a MANIFEST that names
 // the newest durable snapshot, the first segment recovery must replay,
 // and the TID range and record count of every live sealed segment.
-// Writers append per-transaction redo records; a single background
-// goroutine batches everything that arrived since the last write,
-// writes one group to the current segment, syncs once, and then
-// releases every waiter in the group (group commit). Records carry a
-// CRC so torn tails are detected and ignored at replay.
+// Writers pre-encode redo records (AppendRecord) into buffers they own
+// and submit the bytes with Append, which assigns each record a
+// monotonically increasing log sequence number (LSN) and returns
+// without waiting for I/O. A single background goroutine batches
+// everything that arrived since its last write, writes one group to the
+// current segment, syncs once, and then advances the durability
+// watermark to the batch's highest LSN — one atomic store and one
+// condition broadcast per fsync, however many records the batch held.
+// Durability is observed against the watermark: a record is durable
+// once Durable() reaches its LSN, and WaitDurable(lsn) blocks until it
+// does (AppendSync bundles encode + append + wait for callers off the
+// hot path). Records carry a CRC so torn tails are detected and ignored
+// at replay.
 //
 // Segments seal two ways: checkpoints call Rotate at a quiesced
 // barrier, and Options.MaxSegmentBytes seals a segment as soon as its
@@ -40,5 +48,8 @@
 //   - Write failures are terminal: after any segment write, sync, seal
 //     or manifest failure the logger refuses further appends and
 //     reports the cause via Err, because records appended behind
-//     unreplayable bytes would look durable but be unrecoverable.
+//     unreplayable bytes would look durable but be unrecoverable. The
+//     watermark freezes at the last synced batch: WaitDurable keeps
+//     acknowledging LSNs at or below it (those records are on disk)
+//     and reports the terminal error for everything later.
 package wal

@@ -14,8 +14,8 @@ import (
 func FuzzReplay(f *testing.F) {
 	f.Add([]byte{})
 	var valid []byte
-	valid = appendRecord(valid, Record{TID: 1, Ops: []Op{{Key: "a", Value: []byte("1")}}})
-	valid = appendRecord(valid, Record{TID: 2, Ops: []Op{{Key: "bb", Value: nil}, {Key: "c", Value: []byte("xyz")}}})
+	valid = AppendRecord(valid, Record{TID: 1, Ops: []Op{{Key: "a", Value: []byte("1")}}})
+	valid = AppendRecord(valid, Record{TID: 2, Ops: []Op{{Key: "bb", Value: nil}, {Key: "c", Value: []byte("xyz")}}})
 	f.Add(valid)
 	f.Add(valid[:len(valid)-3]) // torn tail
 	flipped := append([]byte(nil), valid...)
@@ -30,7 +30,7 @@ func FuzzReplay(f *testing.F) {
 		}
 		var re []byte
 		for _, r := range recs {
-			re = appendRecord(re, r)
+			re = AppendRecord(re, r)
 		}
 		if !bytes.HasPrefix(data, re) {
 			t.Fatalf("replayed records re-encode to %x, not a prefix of input %x", re, data)

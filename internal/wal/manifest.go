@@ -31,16 +31,32 @@ type SegmentMeta struct {
 	Records int
 }
 
-// extend folds one record into the metadata of the segment being
-// written.
-func (m *SegmentMeta) extend(rec Record) {
-	if m.Records == 0 || rec.TID < m.MinTID {
-		m.MinTID = rec.TID
+// extendTID folds one record's TID into the metadata of the segment (or
+// pending batch) being written.
+func (m *SegmentMeta) extendTID(tid uint64) {
+	if m.Records == 0 || tid < m.MinTID {
+		m.MinTID = tid
 	}
-	if rec.TID > m.MaxTID {
-		m.MaxTID = rec.TID
+	if tid > m.MaxTID {
+		m.MaxTID = tid
 	}
 	m.Records++
+}
+
+// merge folds a whole batch's metadata into m; the committer uses it to
+// roll each group commit's record count and TID range into the open
+// segment's metadata.
+func (m *SegmentMeta) merge(b SegmentMeta) {
+	if b.Records == 0 {
+		return
+	}
+	if m.Records == 0 || b.MinTID < m.MinTID {
+		m.MinTID = b.MinTID
+	}
+	if b.MaxTID > m.MaxTID {
+		m.MaxTID = b.MaxTID
+	}
+	m.Records += b.Records
 }
 
 // MetaFor computes the metadata segment seq would seal with if it held
@@ -49,7 +65,7 @@ func (m *SegmentMeta) extend(rec Record) {
 func MetaFor(seq uint64, recs []Record) SegmentMeta {
 	m := SegmentMeta{Seq: seq}
 	for _, rec := range recs {
-		m.extend(rec)
+		m.extendTID(rec.TID)
 	}
 	return m
 }

@@ -78,15 +78,27 @@ type Options struct {
 }
 
 // Logger is an asynchronous group-commit redo logger over a segment
-// directory.
+// directory. Appenders submit pre-encoded records and receive a log
+// sequence number (LSN); a single committer goroutine writes and fsyncs
+// everything that accumulated since its last write as one batch, then
+// publishes the batch's highest LSN as the durability watermark
+// (Durable) and wakes WaitDurable waiters with a single broadcast.
 type Logger struct {
-	mu      sync.Mutex
-	cond    *sync.Cond
-	pending []pendingRec
-	rot     *rotateReq
-	closed  bool
-	termErr error       // terminal failure: the logger can no longer write
-	failed  atomic.Bool // mirrors termErr != nil; lock-free for hot-path checks
+	mu       sync.Mutex
+	cond     *sync.Cond // wakes the committer
+	durCond  *sync.Cond // wakes WaitDurable waiters, once per synced batch
+	buf      []byte     // encoded records awaiting the committer
+	spare    []byte     // recycled batch buffer (double buffering)
+	bufLSN   uint64     // LSN of the last record in buf
+	bufMeta  SegmentMeta
+	lastLSN  uint64 // last assigned LSN
+	rot      *rotateReq
+	closed   bool
+	commDone bool  // the committer has exited; the watermark is final
+	termErr  error // terminal failure: the logger can no longer write
+
+	durable atomic.Uint64 // highest LSN known synced to disk
+	failed  atomic.Bool   // mirrors termErr != nil; lock-free for hot-path checks
 
 	dir     string
 	opts    Options
@@ -107,11 +119,6 @@ type Logger struct {
 	// at open (before the committer starts) and by the committer only.
 	curBytes int64
 	curMeta  SegmentMeta
-}
-
-type pendingRec struct {
-	rec  Record
-	done chan error
 }
 
 type rotateReq struct {
@@ -197,6 +204,7 @@ func openWith(dir string, openSeg openSegFunc, opts Options) (*Logger, error) {
 	l := &Logger{dir: dir, opts: opts, openSeg: openSeg, lock: lock, f: f, seq: seq,
 		man: man, curBytes: curBytes, curMeta: curMeta}
 	l.cond = sync.NewCond(&l.mu)
+	l.durCond = sync.NewCond(&l.mu)
 	l.wg.Add(1)
 	go l.committer()
 	return l, nil
@@ -213,25 +221,81 @@ func (l *Logger) SegmentSeq() uint64 {
 	return l.seq
 }
 
-// Append submits rec for durable logging and returns a channel that
-// yields the commit error (nil on success) once the record's group has
-// been synced.
-func (l *Logger) Append(rec Record) <-chan error {
-	done := make(chan error, 1)
+// Append submits one pre-encoded redo record (the output of
+// AppendRecord or EncodeRecord) carrying transaction ID tid, and
+// returns the record's log sequence number. The frame bytes are copied
+// into the logger's batch buffer, so the caller may reuse its encode
+// buffer immediately; in steady state Append allocates nothing and
+// never blocks on I/O. Durability is observed separately: the record is
+// durable once Durable() reaches the returned LSN, and WaitDurable
+// blocks until it does. An error return means the record was refused
+// (the logger is closed or terminally failed) and no LSN was assigned.
+func (l *Logger) Append(frame []byte, tid uint64) (uint64, error) {
 	l.mu.Lock()
 	if l.closed {
+		err := l.termErr
 		l.mu.Unlock()
-		done <- errors.New("wal: logger closed")
-		return done
+		if err != nil {
+			return 0, err
+		}
+		return 0, errors.New("wal: logger closed")
 	}
-	l.pending = append(l.pending, pendingRec{rec, done})
+	l.lastLSN++
+	lsn := l.lastLSN
+	l.buf = append(l.buf, frame...)
+	l.bufLSN = lsn
+	l.bufMeta.extendTID(tid)
 	l.cond.Signal()
 	l.mu.Unlock()
-	return done
+	return lsn, nil
 }
 
-// AppendSync is Append plus waiting for durability.
-func (l *Logger) AppendSync(rec Record) error { return <-l.Append(rec) }
+// Durable returns the durability watermark: every record whose LSN is
+// at or below it has been written and fsynced. It is a single atomic
+// load, advanced once per group-commit batch.
+func (l *Logger) Durable() uint64 { return l.durable.Load() }
+
+// WaitDurable blocks until the record with log sequence number lsn is
+// durable, i.e. its group commit has been written and fsynced. A nil
+// return is the durability acknowledgement: the record survives any
+// subsequent crash and reopen. After a terminal logger failure,
+// WaitDurable still returns nil for LSNs at or below the watermark
+// (those batches reached disk before the failure) and the terminal
+// error for everything later — records the dead logger will never
+// write. Waiting on an LSN Append never assigned resolves once the
+// logger closes or fails (a clean Close flushes every assigned LSN
+// first, so only an unassigned one can see the closed error).
+func (l *Logger) WaitDurable(lsn uint64) error {
+	if l.durable.Load() >= lsn {
+		return nil
+	}
+	l.mu.Lock()
+	for l.durable.Load() < lsn && l.termErr == nil && !l.commDone {
+		l.durCond.Wait()
+	}
+	err := l.termErr
+	l.mu.Unlock()
+	if l.durable.Load() >= lsn {
+		return nil
+	}
+	if err == nil {
+		err = errors.New("wal: logger closed before lsn became durable")
+	}
+	return err
+}
+
+// AppendSync encodes rec, appends it and waits for durability — the
+// convenience path for callers outside the commit hot loop (tests,
+// tools, compatibility). The hot path uses AppendRecord + Append with
+// caller-owned buffers instead and observes durability through the
+// watermark.
+func (l *Logger) AppendSync(rec Record) error {
+	lsn, err := l.Append(AppendRecord(nil, rec), rec.TID)
+	if err != nil {
+		return err
+	}
+	return l.WaitDurable(lsn)
+}
 
 // Rotate flushes everything appended so far to the current segment,
 // seals it, and opens the next segment; it returns the new segment's
@@ -257,16 +321,32 @@ func (l *Logger) Rotate() (uint64, error) {
 }
 
 // committer drains batches and group-commits them; it also executes
-// rotation requests after flushing the batch that preceded them.
+// rotation requests after flushing the batch that preceded them. On
+// exit — clean close or terminal failure — the watermark is final, so
+// any remaining WaitDurable waiter is woken to observe its fate.
 func (l *Logger) committer() {
-	defer l.wg.Done()
+	defer func() {
+		l.mu.Lock()
+		l.commDone = true
+		l.durCond.Broadcast()
+		l.mu.Unlock()
+		l.wg.Done()
+	}()
 	for {
 		l.mu.Lock()
-		for len(l.pending) == 0 && l.rot == nil && !l.closed {
+		for len(l.buf) == 0 && l.rot == nil && !l.closed {
 			l.cond.Wait()
 		}
-		batch := l.pending
-		l.pending = nil
+		// Swap the fill buffer for the recycled one so appenders keep
+		// writing while this batch is on its way to disk; the pair is
+		// reused forever, so the steady-state commit path allocates
+		// nothing on either side.
+		batch := l.buf
+		batchLSN := l.bufLSN
+		batchMeta := l.bufMeta
+		l.buf = l.spare[:0]
+		l.spare = nil
+		l.bufMeta = SegmentMeta{}
 		rot := l.rot
 		l.rot = nil
 		closed := l.closed
@@ -274,10 +354,7 @@ func (l *Logger) committer() {
 		l.mu.Unlock()
 
 		if len(batch) > 0 {
-			n, err := writeBatch(f, batch)
-			for _, p := range batch {
-				p.done <- err
-			}
+			err := writeBatch(f, batch)
 			if err != nil {
 				// A failed (possibly partial) batch write leaves junk at
 				// the segment tail. Appending later batches after it
@@ -292,10 +369,15 @@ func (l *Logger) committer() {
 				}
 				return
 			}
-			l.curBytes += int64(n)
-			for _, p := range batch {
-				l.curMeta.extend(p.rec)
-			}
+			// Publish durability, recycle the batch buffer, and release
+			// every waiter in the group with one broadcast.
+			l.durable.Store(batchLSN)
+			l.mu.Lock()
+			l.spare = batch[:0]
+			l.durCond.Broadcast()
+			l.mu.Unlock()
+			l.curBytes += int64(len(batch))
+			l.curMeta.merge(batchMeta)
 		}
 		if rot != nil {
 			l.doRotate(rot)
@@ -316,11 +398,13 @@ func (l *Logger) committer() {
 }
 
 // fail marks the logger terminally broken: appends error out
-// immediately, queued records are refused, a Rotate that queued while
-// the committer was mid-write is released with the error (its caller is
-// a checkpoint barrier holding every worker — stranding it would
-// deadlock the database), and Err() reports the cause so operators can
-// see that durability has stopped.
+// immediately, buffered records are discarded (their waiters observe
+// the terminal error through WaitDurable — the watermark never reaches
+// their LSNs), a Rotate that queued while the committer was mid-write
+// is released with the error (its caller is a checkpoint barrier
+// holding every worker — stranding it would deadlock the database), and
+// Err() reports the cause so operators can see that durability has
+// stopped.
 func (l *Logger) fail(err error) {
 	l.mu.Lock()
 	l.closed = true
@@ -328,14 +412,12 @@ func (l *Logger) fail(err error) {
 		l.termErr = err
 	}
 	l.failed.Store(true)
-	pending := l.pending
-	l.pending = nil
+	l.buf = nil
+	l.bufMeta = SegmentMeta{}
 	rot := l.rot
 	l.rot = nil
+	l.durCond.Broadcast()
 	l.mu.Unlock()
-	for _, p := range pending {
-		p.done <- err
-	}
 	if rot != nil {
 		rot.err = err
 		close(rot.done)
@@ -435,15 +517,13 @@ func (l *Logger) updateManifest(mut func(*Manifest)) error {
 	return nil
 }
 
-func writeBatch(f segFile, batch []pendingRec) (int, error) {
-	var buf []byte
-	for _, p := range batch {
-		buf = appendRecord(buf, p.rec)
+// writeBatch pushes one group commit — already encoded, record-aligned
+// bytes — to the segment and syncs it.
+func writeBatch(f segFile, batch []byte) error {
+	if _, err := f.Write(batch); err != nil {
+		return err
 	}
-	if _, err := f.Write(buf); err != nil {
-		return 0, err
-	}
-	return len(buf), f.Sync()
+	return f.Sync()
 }
 
 // countingWriter counts bytes on their way to the underlying writer.
@@ -603,29 +683,38 @@ func (l *Logger) Close() error {
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
-// appendRecord serializes rec as:
+// AppendRecord appends the wire encoding of rec to buf and returns the
+// extended slice:
 //
 //	u32 bodyLen | u32 crc(body) | body
 //	body = u64 tid | u32 nops | nops × (u32 keyLen | key | u32 valLen | val)
-func appendRecord(buf []byte, rec Record) []byte {
-	var body []byte
-	body = binary.LittleEndian.AppendUint64(body, rec.TID)
-	body = binary.LittleEndian.AppendUint32(body, uint32(len(rec.Ops)))
+//
+// It encodes in place — the header is reserved up front and backfilled
+// once the body's length and checksum are known — so a caller that
+// reuses its buffer (buf[:0]) encodes without allocating. This is the
+// commit hot path's encoder: workers build each redo record into a
+// per-worker scratch buffer and hand the finished frame to Append.
+func AppendRecord(buf []byte, rec Record) []byte {
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0) // bodyLen + crc, backfilled below
+	buf = binary.LittleEndian.AppendUint64(buf, rec.TID)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(rec.Ops)))
 	for _, op := range rec.Ops {
-		body = binary.LittleEndian.AppendUint32(body, uint32(len(op.Key)))
-		body = append(body, op.Key...)
-		body = binary.LittleEndian.AppendUint32(body, uint32(len(op.Value)))
-		body = append(body, op.Value...)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(op.Key)))
+		buf = append(buf, op.Key...)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(op.Value)))
+		buf = append(buf, op.Value...)
 	}
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(body)))
-	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(body, castagnoli))
-	return append(buf, body...)
+	body := buf[start+8:]
+	binary.LittleEndian.PutUint32(buf[start:], uint32(len(body)))
+	binary.LittleEndian.PutUint32(buf[start+4:], crc32.Checksum(body, castagnoli))
+	return buf
 }
 
 // EncodeRecord serializes rec exactly as the logger writes it. Exposed
 // for tests and fuzzing (the canonical-prefix invariant: re-encoding
 // replayed records must reproduce a byte prefix of the input).
-func EncodeRecord(rec Record) []byte { return appendRecord(nil, rec) }
+func EncodeRecord(rec Record) []byte { return AppendRecord(nil, rec) }
 
 // replayReader reads records from r, stopping cleanly at a torn or
 // corrupt tail. It returns the decoded records, the byte offset of the
