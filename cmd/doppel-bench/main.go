@@ -63,10 +63,11 @@ func main() {
 	hot := flag.Float64("hot", 1.0, "real/net mode: fraction of transactions on the hot key")
 	duration := flag.Duration("duration", time.Second, "real/net mode: run duration per engine")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "real/net mode: worker count")
+	shards := flag.Int("shards", 0, "throughput mode: additionally measure a sharded cluster with this many shards (0 skips the sharded-* rows)")
 	flag.Parse()
 
 	if *tputMode {
-		runThroughput(*workers, *duration, *jsonOut)
+		runThroughput(*workers, *duration, *jsonOut, *shards)
 		return
 	}
 	if *recovery {
@@ -290,7 +291,12 @@ func writeBenchJSON(report benchReport) {
 // allocations per committed transaction measured as a MemStats.Mallocs
 // delta over the whole run — end to end, workload generation included,
 // so regressions anywhere on the path show up.
-func runThroughput(workers int, dur time.Duration, jsonOut bool) {
+//
+// With -shards N, three sharded-* rows follow (see runSharded): the
+// embedded single-DB baseline and the N-shard cluster, driven through
+// the public Exec API with the same total worker budget, so the
+// sharded-uniform / sharded-1db ratio isolates the router's overhead.
+func runThroughput(workers int, dur time.Duration, jsonOut bool, shards int) {
 	const keys = 100_000
 	ks := workload.NewKeySpace('k', keys)
 
@@ -368,6 +374,10 @@ func runThroughput(workers int, dur time.Duration, jsonOut bool) {
 	run("like-mix-redo", true, like,
 		&workload.Like{Users: users, Pages: ks, PageZipf: z, WriteFrac: 0.5}, "")
 
+	if shards > 1 {
+		rows = append(rows, runSharded(shards, workers, dur)...)
+	}
+
 	if jsonOut {
 		writeBenchJSON(benchReport{
 			Mode: "throughput",
@@ -375,10 +385,157 @@ func runThroughput(workers int, dur time.Duration, jsonOut bool) {
 				"workers":  fmt.Sprint(workers),
 				"keys":     fmt.Sprint(keys),
 				"duration": dur.String(),
+				"shards":   fmt.Sprint(shards),
 			},
 			Rows: rows,
 		})
 	}
+}
+
+// runSharded measures the cluster API end to end through Exec, against
+// an embedded single DB driven the same way with the same total worker
+// budget:
+//
+//   - sharded-1db: one DB, totalWorkers workers — the baseline.
+//   - sharded-uniform: the cluster under a uniformly random single-key
+//     workload, so (nearly) every transaction takes the router's
+//     single-shard fast path. Its per-total-worker throughput against
+//     sharded-1db is the router tax.
+//   - sharded-cross: the same cluster with 10% of transactions touching
+//     two keys on different shards — those pay an aborted probe attempt
+//     plus a full two-phase commit.
+//
+// Throughput counts completed Exec calls on the client side (for the
+// cross row, engine-level commit counters also include the 2PC's
+// internal read and apply transactions, which are cost, not work).
+func runSharded(shards, workers int, dur time.Duration) []benchRow {
+	const keys = 100_000
+	ks := workload.NewKeySpace('k', keys)
+	perShard := workers / shards
+	if perShard < 1 {
+		perShard = 1
+	}
+	totalWorkers := perShard * shards
+	clients := 4 * totalWorkers
+
+	fmt.Printf("# sharded cluster: %d shards x %d workers vs 1 db x %d workers, %d client goroutines\n",
+		shards, perShard, totalWorkers, clients)
+
+	measure := func(mode string, exec func(doppel.TxFunc) error, mk func(*rng.Rand) doppel.TxFunc) benchRow {
+		hists := make([]*metrics.Hist, clients)
+		counts := make([]uint64, clients)
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		runtime.GC()
+		var m1, m2 runtime.MemStats
+		runtime.ReadMemStats(&m1)
+		begin := time.Now()
+		for c := 0; c < clients; c++ {
+			hists[c] = metrics.NewHist()
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				r := rng.New(uint64(1000 + c))
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					fn := mk(r)
+					start := time.Now()
+					if err := exec(fn); err != nil {
+						log.Fatal(err)
+					}
+					hists[c].Record(time.Since(start).Nanoseconds())
+					counts[c]++
+				}
+			}(c)
+		}
+		time.Sleep(dur)
+		close(stop)
+		wg.Wait()
+		elapsed := time.Since(begin)
+		runtime.ReadMemStats(&m2)
+		lat := metrics.NewHist()
+		var done uint64
+		for c := 0; c < clients; c++ {
+			lat.Merge(hists[c])
+			done += counts[c]
+		}
+		allocsPerOp := 0.0
+		if done > 0 {
+			allocsPerOp = float64(m2.Mallocs-m1.Mallocs) / float64(done)
+		}
+		tput := float64(done) / elapsed.Seconds()
+		fmt.Printf("%-22s %12.0f %12d %10v %10v %10.2f %10d\n",
+			mode, tput, done,
+			time.Duration(lat.Quantile(0.5)), time.Duration(lat.Quantile(0.99)),
+			allocsPerOp, 0)
+		return benchRow{
+			Mode: mode, NS: elapsed.Nanoseconds(),
+			OpsPerSec: tput, Committed: done,
+			P50NS: lat.Quantile(0.5), P99NS: lat.Quantile(0.99),
+			AllocsPerOp: allocsPerOp,
+		}
+	}
+
+	uniform := func(r *rng.Rand) doppel.TxFunc {
+		key := ks.Key(r.Intn(keys))
+		return func(tx doppel.Tx) error { return tx.Add(key, 1) }
+	}
+
+	var rows []benchRow
+
+	db := doppel.Open(doppel.Options{Workers: totalWorkers})
+	base := measure("sharded-1db", db.Exec, uniform)
+	rows = append(rows, base)
+	db.Close()
+
+	openCluster := func() *doppel.Cluster {
+		c, err := doppel.OpenCluster(doppel.ClusterOptions{
+			Shards: shards,
+			DB:     doppel.Options{Workers: perShard},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return c
+	}
+
+	cl := openCluster()
+	uni := measure("sharded-uniform", cl.Exec, uniform)
+	rows = append(rows, uni)
+	cl.Close()
+	if base.OpsPerSec > 0 {
+		fmt.Printf("router tax: sharded-uniform at %.0f%% of sharded-1db\n",
+			100*uni.OpsPerSec/base.OpsPerSec)
+	}
+
+	cl = openCluster()
+	cross := func(r *rng.Rand) doppel.TxFunc {
+		k1 := ks.Key(r.Intn(keys))
+		if !r.Bool(0.1) {
+			return func(tx doppel.Tx) error { return tx.Add(k1, 1) }
+		}
+		k2 := ks.Key(r.Intn(keys))
+		for cl.ShardOf(k2) == cl.ShardOf(k1) {
+			k2 = ks.Key(r.Intn(keys))
+		}
+		return func(tx doppel.Tx) error {
+			if err := tx.Add(k1, 1); err != nil {
+				return err
+			}
+			return tx.Add(k2, 1)
+		}
+	}
+	rows = append(rows, measure("sharded-cross", cl.Exec, cross))
+	rs := cl.Stats().Router
+	fmt.Printf("cross-row routing: %d single-shard, %d cross-shard commits, %d prepare retries\n",
+		rs.SingleShard, rs.CrossShard, rs.CrossShardRetries)
+	cl.Close()
+
+	return rows
 }
 
 // runRecovery measures what the durability layer's recovery levers buy:

@@ -11,6 +11,8 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strings"
 	"time"
 
 	"doppel"
@@ -26,7 +28,8 @@ func needArgs(args []server.Arg, n int) error {
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7777", "listen address")
-	workers := flag.Int("workers", 4, "worker count")
+	workers := flag.Int("workers", 4, "worker count (per shard when -shards > 1)")
+	shards := flag.Int("shards", 1, "shard the keyspace across this many independent databases (cross-shard transactions use 2PC)")
 	maxInFlight := flag.Int("max-inflight", 128, "max concurrently executing requests per connection")
 	flush := flag.Duration("flush", 0, "response flush interval (0 flushes when the queue goes idle)")
 	maxFrame := flag.Int("max-frame", server.DefaultMaxFrame, "max frame payload bytes")
@@ -41,9 +44,8 @@ func main() {
 	flag.Parse()
 
 	opts := doppel.Options{Workers: *workers}
-	var db *doppel.DB
-	if *walDir != "" {
-		opts.RedoLog = *walDir
+	durable := *walDir != ""
+	if durable {
 		opts.CheckpointEvery = *ckptEvery
 		opts.MaxSegmentBytes = *segBytes
 		opts.RecoveryParallelism = *recoveryPar
@@ -51,22 +53,103 @@ func main() {
 		opts.CheckpointFrameBuffer = *ckptFrames
 		opts.WALFailStop = *walFailStop
 		opts.SyncCommit = *syncCommit
-		if err := os.MkdirAll(*walDir, 0o755); err != nil {
-			log.Fatal(err)
-		}
-		var err error
-		db, err = doppel.Recover(*walDir, opts)
-		if err != nil {
-			log.Fatal(err)
-		}
-		rs := db.LastRecovery()
-		log.Printf("recovered from %s: snapshot %q (%d records), %d segments / %d records replayed (parallelism %d, overlapped %v)",
-			*walDir, rs.SnapshotFile, rs.SnapshotEntries, rs.SegmentsReplayed, rs.RecordsReplayed, rs.Parallelism, rs.Overlapped)
-	} else {
-		db = doppel.Open(opts)
 	}
-	defer db.Close()
-	srv := server.NewWithOptions(db, server.Options{
+
+	// The handlers below drive whichever backend was opened through the
+	// same four capabilities; a Cluster and a DB differ only here.
+	var (
+		backend    server.Backend
+		dbStats    func() string
+		checkpoint func() error
+		closeAll   func()
+	)
+	if *shards > 1 {
+		copts := doppel.ClusterOptions{Shards: *shards, DB: opts}
+		var cl *doppel.Cluster
+		if durable {
+			tmpl := *walDir
+			if !strings.Contains(tmpl, "%d") {
+				tmpl = filepath.Join(tmpl, "shard-%d")
+			}
+			copts.DB.RedoLog = tmpl
+			for i := 0; i < *shards; i++ {
+				if err := os.MkdirAll(fmt.Sprintf(tmpl, i), 0o755); err != nil {
+					log.Fatal(err)
+				}
+			}
+			var err error
+			cl, err = doppel.RecoverCluster(tmpl, copts)
+			if err != nil {
+				log.Fatal(err)
+			}
+			for i := 0; i < cl.Shards(); i++ {
+				rs := cl.DB(i).LastRecovery()
+				log.Printf("shard %d recovered from %s: snapshot %q (%d records), %d segments / %d records replayed",
+					i, fmt.Sprintf(tmpl, i), rs.SnapshotFile, rs.SnapshotEntries, rs.SegmentsReplayed, rs.RecordsReplayed)
+			}
+		} else {
+			var err error
+			cl, err = doppel.OpenCluster(copts)
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
+		backend, checkpoint, closeAll = cl, cl.Checkpoint, cl.Close
+		dbStats = func() string {
+			cs := cl.Stats()
+			var agg doppel.Stats
+			split := 0
+			for _, s := range cs.Shards {
+				agg.Committed += s.Committed
+				agg.Aborted += s.Aborted
+				agg.Stashed += s.Stashed
+				agg.MergeFailures += s.MergeFailures
+				agg.StashDropped += s.StashDropped
+				split += len(s.SplitKeys)
+			}
+			return fmt.Sprintf(
+				"shards=%d committed=%d aborted=%d stashed=%d merge_failures=%d stash_dropped=%d split=%d single_shard=%d reroutes=%d cross_shard=%d cross_retries=%d cross_aborts=%d",
+				cl.Shards(), agg.Committed, agg.Aborted, agg.Stashed, agg.MergeFailures, agg.StashDropped, split,
+				cs.Router.SingleShard, cs.Router.Reroutes, cs.Router.CrossShard, cs.Router.CrossShardRetries, cs.Router.CrossShardAborts)
+		}
+	} else {
+		var db *doppel.DB
+		if durable {
+			opts.RedoLog = *walDir
+			if err := os.MkdirAll(*walDir, 0o755); err != nil {
+				log.Fatal(err)
+			}
+			var err error
+			db, err = doppel.Recover(*walDir, opts)
+			if err != nil {
+				log.Fatal(err)
+			}
+			rs := db.LastRecovery()
+			log.Printf("recovered from %s: snapshot %q (%d records), %d segments / %d records replayed (parallelism %d, overlapped %v)",
+				*walDir, rs.SnapshotFile, rs.SnapshotEntries, rs.SegmentsReplayed, rs.RecordsReplayed, rs.Parallelism, rs.Overlapped)
+		} else {
+			db = doppel.Open(opts)
+		}
+		backend, checkpoint, closeAll = db, db.Checkpoint, db.Close
+		dbStats = func() string {
+			s := db.Stats()
+			out := fmt.Sprintf(
+				"committed=%d aborted=%d stashed=%d merge_failures=%d stash_dropped=%d phase=%s split=%d",
+				s.Committed, s.Aborted, s.Stashed, s.MergeFailures, s.StashDropped, s.Phase, len(s.SplitKeys))
+			if durable {
+				cs := db.CheckpointStats()
+				out += fmt.Sprintf(
+					" checkpoints=%d ckpt_failures=%d ckpt_seg=%d ckpt_entries=%d ckpt_bytes=%d ckpt_barrier=%v ckpt_walk=%v ckpt_cow=%d",
+					cs.Checkpoints, cs.Failures, cs.LastSeq, cs.LastEntries, cs.LastBytes, cs.LastBarrier, cs.LastWalk, cs.LastCOWSaves)
+				if s.RedoLogError != "" {
+					out += fmt.Sprintf(" redo_error=%q", s.RedoLogError)
+				}
+			}
+			return out
+		}
+	}
+	defer closeAll()
+	srv := server.NewWithOptions(backend, server.Options{
 		MaxInFlight: *maxInFlight,
 		FlushEvery:  *flush,
 		MaxFrame:    *maxFrame,
@@ -135,33 +218,21 @@ func main() {
 		return server.Str(out), nil
 	})
 	srv.Register("stats", func(tx doppel.Tx, args []server.Arg) (server.Arg, error) {
-		s := db.Stats()
 		requests, errs, lat := srv.Stats()
-		out := fmt.Sprintf(
-			"committed=%d aborted=%d stashed=%d merge_failures=%d stash_dropped=%d phase=%s split=%d rpc=%d rpc_errors=%d rpc_p50=%v rpc_p99=%v",
-			s.Committed, s.Aborted, s.Stashed, s.MergeFailures, s.StashDropped, s.Phase, len(s.SplitKeys),
-			requests, errs,
+		out := fmt.Sprintf("%s rpc=%d rpc_errors=%d rpc_p50=%v rpc_p99=%v",
+			dbStats(), requests, errs,
 			time.Duration(lat.Quantile(0.5)), time.Duration(lat.Quantile(0.99)))
-		if *walDir != "" {
-			cs := db.CheckpointStats()
-			out += fmt.Sprintf(
-				" checkpoints=%d ckpt_failures=%d ckpt_seg=%d ckpt_entries=%d ckpt_bytes=%d ckpt_barrier=%v ckpt_walk=%v ckpt_cow=%d",
-				cs.Checkpoints, cs.Failures, cs.LastSeq, cs.LastEntries, cs.LastBytes, cs.LastBarrier, cs.LastWalk, cs.LastCOWSaves)
-			if s.RedoLogError != "" {
-				out += fmt.Sprintf(" redo_error=%q", s.RedoLogError)
-			}
-		}
 		return server.Str(out), nil
 	})
 	// Handlers execute on worker goroutines, and a checkpoint barrier
 	// needs every worker to reach a transaction boundary — so the RPC
 	// only kicks the checkpoint off; progress is visible via "stats".
 	srv.Register("checkpoint", func(tx doppel.Tx, args []server.Arg) (server.Arg, error) {
-		if *walDir == "" {
+		if !durable {
 			return server.Nil, fmt.Errorf("server started without -wal")
 		}
 		go func() {
-			if err := db.Checkpoint(); err != nil {
+			if err := checkpoint(); err != nil {
 				log.Printf("checkpoint: %v", err)
 			}
 		}()
@@ -172,7 +243,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("doppel-server listening on %s (%d workers, %d in-flight/conn)", bound, *workers, *maxInFlight)
+	log.Printf("doppel-server listening on %s (%d shards, %d workers/shard, %d in-flight/conn)",
+		bound, *shards, *workers, *maxInFlight)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)

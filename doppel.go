@@ -28,7 +28,7 @@
 package doppel
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -74,80 +74,6 @@ const (
 	OpOPut       = store.OpOPut
 	OpTopKInsert = store.OpTopKInsert
 )
-
-// Options configures Open.
-type Options struct {
-	// Workers is the number of worker goroutines (the paper's
-	// one-worker-per-core model). 0 means 4.
-	Workers int
-	// PhaseLength is the coordinator's phase-change interval; the paper
-	// uses 20ms. 0 means 20ms.
-	PhaseLength time.Duration
-	// Engine overrides internal classifier knobs; leave zero-valued
-	// unless benchmarking.
-	Engine core.Config
-	// RedoLog, when non-empty, names a durability directory and enables
-	// asynchronous group-commit redo logging into it (the durability
-	// design the paper cites as future work). The directory holds
-	// numbered WAL segments, snapshot files and a MANIFEST; use Recover
-	// to rebuild a database from it. Reopening an existing directory
-	// appends — it never truncates logged data.
-	RedoLog string
-	// CheckpointEvery, when non-zero, checkpoints the database at this
-	// interval: a consistent snapshot is captured incrementally starting
-	// at a quiesced phase boundary (the pause is O(1); the store walk
-	// runs concurrently with traffic, copy-on-write), the WAL rotates to
-	// a fresh segment, and segments covered by the snapshot are deleted.
-	// This bounds both recovery time and log disk usage. Requires
-	// RedoLog. Checkpoint() forces one manually.
-	CheckpointEvery time.Duration
-	// MaxSegmentBytes, when non-zero, seals the active WAL segment and
-	// opens the next one as soon as it exceeds this many bytes,
-	// independent of checkpoints. Bounded segments keep any single log
-	// file small between checkpoints and give parallel recovery units of
-	// work. Requires RedoLog.
-	MaxSegmentBytes int64
-	// RecoveryParallelism caps the goroutines Recover uses to decode the
-	// snapshot and replay WAL segments; 0 means GOMAXPROCS. 1 forces
-	// sequential recovery.
-	RecoveryParallelism int
-	// RecoveryOverlap starts WAL segment replay concurrently with the
-	// snapshot load instead of after it, cutting total recovery time to
-	// roughly max(snapshot, segments) instead of their sum. Snapshot
-	// entries then install through the same per-key highest-TID-wins
-	// filter replay uses, so the interleaving cannot change the result.
-	RecoveryOverlap bool
-	// CheckpointFrameBuffer bounds how many snapshot entries may sit
-	// between the checkpoint's store walker and its file writer. The
-	// streaming walk never materializes the store, so checkpoint memory
-	// is O(frame buffer), not O(records); 0 means a sensible default
-	// (1024). Requires RedoLog.
-	CheckpointFrameBuffer int
-	// SyncCommit makes Exec/ExecAsync wait for the transaction's redo
-	// record to be written and fsynced before acknowledging: an
-	// acknowledged commit then survives any crash. The wait is on the
-	// log's group-commit watermark, so concurrent transactions share
-	// fsyncs — throughput degrades far less than one fsync per commit —
-	// but each acknowledgement pays up to one group-commit latency. A
-	// split-phase commutative write costs more: its redo record is
-	// written only when reconciliation merges the per-core slices, so
-	// the acknowledgement additionally waits for the next phase
-	// transition (up to a few PhaseLengths), like a stashed
-	// transaction's. Off by default: the paper's design (§3)
-	// acknowledges from memory and logs asynchronously. Requires
-	// RedoLog.
-	SyncCommit bool
-	// WALFailStop makes the database refuse new transactions once the
-	// redo logger has failed terminally (disk gone, write error):
-	// Exec/ExecAsync then return the logger's error instead of
-	// acknowledging commits that can never be durable. This covers
-	// stashed transactions too — a transaction stashed before the
-	// failure whose replay was refused reports the logger error, not
-	// success. Without the option the database keeps serving from
-	// memory and the failure is visible only via WALErr /
-	// Stats.RedoLogError. Requires RedoLog.
-	WALFailStop bool
-}
 
 // Stats is a point-in-time summary of database activity.
 type Stats struct {
@@ -210,8 +136,9 @@ type DB struct {
 type request struct {
 	fn     TxFunc
 	submit int64
-	done   chan error  // synchronous completion (Exec)
-	cb     func(error) // asynchronous completion (ExecAsync); nil for Exec
+	done   chan error      // synchronous completion (Exec)
+	cb     func(error)     // asynchronous completion (ExecAsync); nil for Exec
+	ctx    context.Context // nil means not cancellable (Exec, ExecAsync)
 }
 
 // finish reports the request's outcome through whichever completion
@@ -246,7 +173,7 @@ func OpenErr(opts Options) (*DB, error) {
 			return nil, err
 		}
 		if has {
-			return nil, fmt.Errorf("doppel: %s contains an existing log; use Recover", opts.RedoLog)
+			return nil, fmt.Errorf("%w: %s", ErrLogExists, opts.RedoLog)
 		}
 	}
 	return openInto(opts, store.New())
@@ -291,23 +218,11 @@ func Recover(dir string, opts Options) (*DB, error) {
 }
 
 func openInto(opts Options, st *store.Store) (*DB, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	opts, cfg := opts.resolve()
 	workers := opts.Workers
-	if workers <= 0 {
-		workers = 4
-	}
-	if workers > core.MaxWorkers {
-		// Commit TIDs carry an 8-bit worker ID (see internal/core's
-		// doc.go); more workers would mint colliding TIDs.
-		workers = core.MaxWorkers
-	}
-	cfg := opts.Engine
-	cfg.Workers = workers
-	if cfg.PhaseLength == 0 {
-		cfg.PhaseLength = opts.PhaseLength
-	}
-	if cfg.PhaseLength == 0 {
-		cfg.PhaseLength = 20 * time.Millisecond
-	}
 	var redo *wal.Logger
 	if opts.RedoLog != "" {
 		var err error
@@ -317,14 +232,6 @@ func openInto(opts Options, st *store.Store) (*DB, error) {
 		}
 		cfg.Redo = redo
 		cfg.WALFailStop = opts.WALFailStop
-	} else if opts.CheckpointEvery > 0 {
-		return nil, errors.New("doppel: CheckpointEvery requires RedoLog")
-	} else if opts.MaxSegmentBytes > 0 {
-		return nil, errors.New("doppel: MaxSegmentBytes requires RedoLog")
-	} else if opts.WALFailStop {
-		return nil, errors.New("doppel: WALFailStop requires RedoLog")
-	} else if opts.SyncCommit {
-		return nil, errors.New("doppel: SyncCommit requires RedoLog")
 	}
 	db := &DB{
 		eng:         core.Open(st, cfg),
@@ -369,6 +276,17 @@ func (db *DB) worker(w int) {
 }
 
 func (db *DB) run(w int, req *request) {
+	// A request cancelled while it waited in the queue never executes
+	// (the ExecContext contract); the caller has already returned, so
+	// the completion send lands in the buffered done channel unread.
+	if req.ctx != nil {
+		select {
+		case <-req.ctx.Done():
+			req.finish(req.ctx.Err())
+			return
+		default:
+		}
+	}
 	backoff := time.Microsecond
 	for {
 		out, err := db.eng.Attempt(w, req.fn, req.submit)
@@ -454,15 +372,47 @@ func (db *DB) waitDurableCommit(w int) error {
 // Exec runs fn as a serializable transaction and returns once it has
 // committed (or has been durably accepted for commit in the next joined
 // phase, when the transaction was stashed). A non-nil return is fn's own
-// error; conflicts are retried internally.
+// error; conflicts are retried internally. Exec is exactly
+// ExecContext(context.Background(), fn).
 func (db *DB) Exec(fn TxFunc) error {
+	return db.ExecContext(context.Background(), fn)
+}
+
+// ExecContext is Exec with cancellation: if ctx is cancelled while the
+// request is still waiting in the worker queue — either the queue is
+// full or the worker has not reached it yet — the transaction does not
+// execute and ctx's error is returned. Cancellation is checked up to
+// the moment a worker starts the first execution attempt; once
+// execution has begun the transaction runs to completion (a commit
+// cannot be un-happened), and a cancellation that fires during it makes
+// ExecContext return ctx's error even though the transaction may still
+// commit. Use Exec when that ambiguity is unacceptable.
+func (db *DB) ExecContext(ctx context.Context, fn TxFunc) error {
 	if db.stopped.Load() {
-		return errors.New("doppel: database closed")
+		return ErrClosed
 	}
 	req := &request{fn: fn, submit: time.Now().UnixNano(), done: make(chan error, 1)}
 	w := int(db.next.Add(1)) % len(db.queues)
-	db.queues[w] <- req
-	return <-req.done
+	if ctx.Done() == nil {
+		// Not cancellable (context.Background()): plain channel operations
+		// keep the hot path free of selectgo.
+		db.queues[w] <- req
+		return <-req.done
+	}
+	req.ctx = ctx
+	select {
+	case db.queues[w] <- req:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	select {
+	case err := <-req.done:
+		return err
+	case <-ctx.Done():
+		// The worker still owns the request; its completion send lands in
+		// the buffered done channel and is dropped with the request.
+		return ctx.Err()
+	}
 }
 
 // ExecAsync submits fn like Exec but returns without waiting: done is
@@ -473,7 +423,7 @@ func (db *DB) Exec(fn TxFunc) error {
 // without one blocked goroutine per in-flight request.
 func (db *DB) ExecAsync(fn TxFunc, done func(error)) {
 	if db.stopped.Load() {
-		done(errors.New("doppel: database closed"))
+		done(ErrClosed)
 		return
 	}
 	req := &request{fn: fn, submit: time.Now().UnixNano(), cb: done}
@@ -498,10 +448,10 @@ func (db *DB) ExecWait(fn TxFunc) error {
 // is durable. Requires Options.RedoLog.
 func (db *DB) Checkpoint() error {
 	if db.ckpt == nil {
-		return errors.New("doppel: checkpointing requires Options.RedoLog")
+		return fmt.Errorf("Checkpoint: %w", ErrRequiresRedoLog)
 	}
 	if db.stopped.Load() {
-		return errors.New("doppel: database closed")
+		return ErrClosed
 	}
 	return db.ckpt.Checkpoint()
 }

@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"doppel/internal/core"
 	"doppel/internal/store"
 	"doppel/internal/wal"
 )
@@ -469,7 +470,19 @@ func TestParallelRecoveryMatchesSequential(t *testing.T) {
 // all of them, leaving a bounded directory.
 func TestSizeRotationWithCheckpointGC(t *testing.T) {
 	dir := t.TempDir()
-	db, err := OpenErr(Options{Workers: 2, RedoLog: dir, MaxSegmentBytes: 1 << 10})
+	// Size rotation is checked once per group-commit batch, so the test
+	// must keep batches small: SyncCommit makes every Exec wait out its
+	// batch (otherwise a fast loop can land all 500 records in one batch
+	// and rotate once, a scheduling accident). Auto-split off for the
+	// same reason: split writes log only as merged reconciliation
+	// records, too few bytes to rotate.
+	db, err := OpenErr(Options{
+		Workers:         2,
+		RedoLog:         dir,
+		MaxSegmentBytes: 1 << 10,
+		SyncCommit:      true,
+		Engine:          core.Config{DisableAutoSplit: true},
+	})
 	if err != nil {
 		t.Fatal(err)
 	}

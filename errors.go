@@ -1,0 +1,25 @@
+package doppel
+
+import "errors"
+
+// Sentinel errors. API errors that callers are expected to branch on
+// are exported here and matchable with errors.Is; richer messages wrap
+// them with context (the option or directory involved).
+var (
+	// ErrClosed reports an operation on a database (or cluster) after
+	// Close. Exec, ExecContext, ExecAsync and Checkpoint return it —
+	// directly or wrapped — once shutdown has begun.
+	ErrClosed = errors.New("doppel: database closed")
+
+	// ErrRequiresRedoLog reports an option that is meaningless without a
+	// durability directory (CheckpointEvery, MaxSegmentBytes, SyncCommit,
+	// WALFailStop, CheckpointFrameBuffer) set while Options.RedoLog is
+	// empty. Options.Validate wraps it once per violating option.
+	ErrRequiresRedoLog = errors.New("doppel: option requires RedoLog")
+
+	// ErrLogExists reports an Open/OpenErr against a durability directory
+	// that already holds logged state. Appending a fresh database's
+	// records behind an old generation's would make the new writes
+	// unrecoverable; use Recover for existing directories.
+	ErrLogExists = errors.New("doppel: directory contains an existing log; use Recover")
+)

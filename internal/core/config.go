@@ -22,6 +22,15 @@ type Config struct {
 	// reserves only 8 bits for the worker ID.
 	Workers int
 
+	// WorkerIDBase offsets the worker IDs embedded in commit TIDs:
+	// worker w mints TIDs tagged WorkerIDBase+w. A standalone instance
+	// leaves it 0. A sharded deployment gives each shard a disjoint
+	// range of the 8-bit ID space so all shards share one TID clock
+	// domain — no two shards can ever mint the same TID, which keeps
+	// TIDs globally unique for cross-shard ordering and debugging.
+	// WorkerIDBase+Workers is capped at MaxWorkers.
+	WorkerIDBase int
+
 	// PhaseLength is how often the coordinator changes phase ("usually
 	// starts a phase change every 20 milliseconds", §5.4). Zero disables
 	// the coordinator: phases advance only via test hooks or Close.
@@ -126,6 +135,18 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Workers > MaxWorkers {
 		c.Workers = MaxWorkers // the TID layout has 8 bits of worker ID
+	}
+	if c.WorkerIDBase < 0 {
+		c.WorkerIDBase = 0
+	}
+	if c.WorkerIDBase+c.Workers > MaxWorkers {
+		// The shared TID clock domain has only 8 bits of worker ID; a
+		// shard whose slice would overflow it keeps its base and loses
+		// workers (callers validate earlier for a real error).
+		c.Workers = MaxWorkers - c.WorkerIDBase
+		if c.Workers < 1 {
+			c.WorkerIDBase, c.Workers = MaxWorkers-1, 1
+		}
 	}
 	if c.HurryFraction <= 0 {
 		c.HurryFraction = d.HurryFraction

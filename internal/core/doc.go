@@ -43,7 +43,11 @@
 // package's.) The 8-bit worker field is why Config.Workers is capped at
 // MaxWorkers (256): a 257th worker would alias worker 0 and could mint
 // a TID another worker already used, breaking the uniqueness that
-// recovery's highest-TID-wins replay assumes.
+// recovery's highest-TID-wins replay assumes. The worker field holds
+// Config.WorkerIDBase + the local worker index: a sharded deployment
+// assigns each shard instance a disjoint base so every shard shares one
+// TID clock domain — the cap then applies to the cluster's total worker
+// count, not each instance's.
 //
 // Commit TIDs are per-key monotone: genTID produces a TID above every
 // TID the transaction observed, and reconciliation merges bump the

@@ -226,17 +226,19 @@ func (t *Tx) Mult(key string, n int64) error {
 	return t.update(key, store.Op{Kind: store.OpMult, Int: n})
 }
 
-// OPut implements engine.Tx.
+// OPut implements engine.Tx. The tuple's core ID is the worker's
+// TID-domain ID so ordered-put tie-breaking stays deterministic across
+// the shards of a cluster, not just within one instance.
 func (t *Tx) OPut(key string, order store.Order, data []byte) error {
 	return t.update(key, store.Op{Kind: store.OpOPut, Tuple: store.Tuple{
-		Order: order, CoreID: int32(t.w.id), Data: data,
+		Order: order, CoreID: int32(t.w.tidID), Data: data,
 	}})
 }
 
 // TopKInsert implements engine.Tx.
 func (t *Tx) TopKInsert(key string, order int64, data []byte, k int) error {
 	return t.update(key, store.Op{Kind: store.OpTopKInsert, K: k, Entry: store.TopKEntry{
-		Order: order, CoreID: int32(t.w.id), Data: data,
+		Order: order, CoreID: int32(t.w.tidID), Data: data,
 	}})
 }
 
@@ -268,7 +270,7 @@ func (t *Tx) genTID() uint64 {
 	}
 	seq++
 	w.lastSeq = seq
-	return seq<<8 | uint64(w.id)&workerIDMask
+	return seq<<8 | uint64(w.tidID)&workerIDMask
 }
 
 // commit runs the joined-phase protocol (Figure 2) extended with split

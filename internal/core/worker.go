@@ -45,6 +45,7 @@ type sliceState struct {
 type Worker struct {
 	db    *DB
 	id    int
+	tidID int // id + Config.WorkerIDBase: the ID embedded in commit TIDs
 	stats *metrics.TxnStats
 
 	lastSeq         uint64 // TID sequence generator state
@@ -95,6 +96,7 @@ func newWorker(db *DB, id int) *Worker {
 	return &Worker{
 		db:           db,
 		id:           id,
+		tidID:        db.cfg.WorkerIDBase + id,
 		stats:        metrics.NewTxnStats(),
 		conflicts:    map[string]*opCounts{},
 		splitWrites:  map[string]uint64{},
@@ -200,7 +202,7 @@ func (w *Worker) reconcile() {
 		}
 		seq++
 		w.lastSeq = seq
-		newTID := seq<<8 | uint64(w.id)&workerIDMask
+		newTID := seq<<8 | uint64(w.tidID)&workerIDMask
 		if redo := w.db.cfg.Redo; redo != nil {
 			// Same reusable encode scratch as the commit path: one redo
 			// record per merged slice, no per-slice allocations.

@@ -1,0 +1,56 @@
+package metrics
+
+import "sync/atomic"
+
+// RouterStats counts a cluster router's activity. All fields are
+// atomics: the router updates them from many caller goroutines and
+// worker callbacks concurrently. It is the cluster's shared metrics
+// sink — every shard's router traffic lands in the one instance the
+// cluster owns.
+type RouterStats struct {
+	// SingleShard counts transactions that routed whole to one shard
+	// and committed on the embedded fast path.
+	SingleShard atomic.Uint64
+	// Reroutes counts single-shard attempts that discovered a key owned
+	// by another shard mid-execution and fell back to the cross-shard
+	// path. The aborted attempt had no effects.
+	Reroutes atomic.Uint64
+	// CrossShard counts transactions committed through the two-phase
+	// cross-shard protocol.
+	CrossShard atomic.Uint64
+	// CrossShardRetries counts 2PC rounds that failed prepare
+	// validation (a value read during gather had changed) and were
+	// retried from scratch.
+	CrossShardRetries atomic.Uint64
+	// CrossShardAborts counts cross-shard transactions that ended with
+	// the body's own error (user abort) instead of committing.
+	CrossShardAborts atomic.Uint64
+	// CrossShardApplyLost counts per-shard commit applications that
+	// failed after the transaction's prepare had validated — a
+	// concurrent single-shard write changed a record's type inside the
+	// prepare→apply window. The affected operation was dropped on that
+	// shard; non-zero means the documented isolation caveat bit.
+	CrossShardApplyLost atomic.Uint64
+}
+
+// RouterSnapshot is a point-in-time copy of RouterStats.
+type RouterSnapshot struct {
+	SingleShard         uint64
+	Reroutes            uint64
+	CrossShard          uint64
+	CrossShardRetries   uint64
+	CrossShardAborts    uint64
+	CrossShardApplyLost uint64
+}
+
+// Snapshot copies the counters.
+func (r *RouterStats) Snapshot() RouterSnapshot {
+	return RouterSnapshot{
+		SingleShard:         r.SingleShard.Load(),
+		Reroutes:            r.Reroutes.Load(),
+		CrossShard:          r.CrossShard.Load(),
+		CrossShardRetries:   r.CrossShardRetries.Load(),
+		CrossShardAborts:    r.CrossShardAborts.Load(),
+		CrossShardApplyLost: r.CrossShardApplyLost.Load(),
+	}
+}

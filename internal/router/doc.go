@@ -1,0 +1,70 @@
+// Package router partitions a keyspace across N independent shard
+// databases and routes transactions to them: whole to one shard when
+// every key the transaction touches lives there (the overwhelmingly
+// common case), or through a minimal two-phase commit when the
+// transaction spans shards. doppel.Cluster is the public face; this
+// package holds the mechanism.
+//
+// # Routing
+//
+// The router cannot know a transaction's keys without running its body,
+// so it routes optimistically: a zero-shard-access probe run of the
+// body captures the first operation's key (the first operation can
+// never depend on an earlier read), the transaction is submitted to
+// that key's shard, and every operation is checked against the shard's
+// key range as it executes. A transaction that stays on its shard
+// commits on the embedded fast path — the check is one hash compare per
+// operation, and the routing state is pooled, so the steady-state path
+// adds no allocation. A transaction that touches a foreign key aborts
+// that attempt (before any effect) and re-executes on the cross-shard
+// path.
+//
+// # The cross-shard protocol
+//
+// A cross-shard transaction runs in three stages:
+//
+//  1. Gather: the body re-executes against a routing transaction that
+//     dispatches each read to the owning shard (one single-key,
+//     read-only shard transaction per distinct key, with
+//     read-your-writes overlay) and buffers each write, tagged with its
+//     owning shard. Splittable updates also read their target so type
+//     errors surface before anything commits, mirroring the embedded
+//     joined-phase path.
+//  2. Prepare: the touched shards' commit locks are taken in ascending
+//     shard-ID order — deterministic ordering, so concurrent
+//     cross-shard transactions cannot deadlock — and every shard with
+//     reads revalidates them in one shard transaction (current value
+//     equal to gathered value, under that shard's own OCC). Any stale
+//     read vetoes: locks release, nothing applied, gather retries.
+//  3. Commit: with every prepare vote in, the buffered writes fan out,
+//     one shard transaction per touched shard, then the locks release.
+//
+// # Invariants and caveats
+//
+//   - A transaction observes no effect of its own aborted attempts:
+//     rerouting, stale prepares and user aborts all happen before any
+//     shard transaction installs a write.
+//   - Cross-shard transactions are serializable with respect to each
+//     other: the per-shard commit locks make gather-validated state
+//     stable from prepare through commit against every other
+//     cross-shard transaction.
+//   - Single-shard transactions are atomic and serializable per shard,
+//     and never wait on the router: they do not take the commit locks.
+//     The price is a window between a shard's prepare validation and
+//     its commit apply in which an independent single-shard write can
+//     slip in. Commutative operations (Add, Max, Min, Mult, OPut,
+//     TopKInsert) replay as operations and stay correct under that
+//     interleaving; a Put computed from gathered reads can overwrite
+//     the interloper (classic write skew against non-locking writers).
+//     A readers-see-partial-state window likewise exists between the
+//     per-shard applies of one cross-shard commit.
+//   - If a commit-stage apply fails on one shard after prepare
+//     validated (a racing type change), the other shards' applies
+//     stand; the failure is returned to the caller and counted in
+//     RouterStats.CrossShardApplyLost.
+//
+// These relaxations are the "minimal" in minimal 2PC: they trade full
+// external serializability for a zero-overhead single-shard fast path,
+// the trade the paper's workloads (overwhelmingly single-record
+// operations) want.
+package router

@@ -1,0 +1,415 @@
+package router
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"doppel/internal/engine"
+	"doppel/internal/store"
+)
+
+// errPrepareStale vetoes a prepare: a value read during gather changed
+// before the shard locks were taken. The round retries from gather.
+var errPrepareStale = errors.New("router: prepare validation failed")
+
+// crossShardBackoff caps the retry backoff between 2PC rounds.
+const crossShardBackoff = time.Millisecond
+
+// gatherRead is one entry of the cross-shard read set: the value the
+// body observed, pre-overlay, exactly as prepare must revalidate it.
+type gatherRead struct {
+	shard int
+	key   string
+	val   *store.Value
+}
+
+// gatherWrite is one buffered write, tagged with its owning shard.
+type gatherWrite struct {
+	shard int
+	key   string
+	op    store.Op
+}
+
+// gatherTx implements engine.Tx for the gather stage of the cross-shard
+// protocol: reads dispatch to the owning shard, writes buffer. It is
+// not concurrency-safe; each cross-shard transaction owns one.
+type gatherTx struct {
+	r      *Router
+	ctx    context.Context
+	reads  []gatherRead
+	writes []gatherWrite
+	// infra is the first shard-dispatch failure (shard closed, context
+	// cancelled). It poisons the rest of the gather run and is what the
+	// caller gets, even if the body swallows the error it was handed.
+	infra error
+}
+
+func (g *gatherTx) reset() {
+	g.reads = g.reads[:0]
+	g.writes = g.writes[:0]
+	g.infra = nil
+}
+
+// load returns key's value as this transaction sees it: the gathered
+// shard value (fetched on first access, then reused) with this
+// transaction's own buffered writes overlaid, so reads-after-writes
+// behave as in a single-shard transaction.
+func (g *gatherTx) load(key string) (*store.Value, error) {
+	if g.infra != nil {
+		return nil, g.infra
+	}
+	var base *store.Value
+	found := false
+	for i := range g.reads {
+		if g.reads[i].key == key {
+			base, found = g.reads[i].val, true
+			break
+		}
+	}
+	if !found {
+		shard := g.r.ShardOf(key)
+		var v *store.Value
+		err := g.r.shards[shard].ExecContext(g.ctx, func(tx engine.Tx) error {
+			got, err := tx.Get(key)
+			v = got
+			return err
+		})
+		if err != nil {
+			g.infra = err
+			return nil, err
+		}
+		g.reads = append(g.reads, gatherRead{shard: shard, key: key, val: v})
+		base = v
+	}
+	for i := range g.writes {
+		if g.writes[i].key == key {
+			nv, err := store.Apply(base, g.writes[i].op)
+			if err != nil {
+				return nil, err
+			}
+			base = nv
+		}
+	}
+	return base, nil
+}
+
+// update buffers a splittable operation. It reads the target first —
+// recording it in the read set — so type mismatches surface here, at
+// gather, the way the embedded joined-phase path surfaces them at
+// execution rather than commit.
+func (g *gatherTx) update(key string, op store.Op) error {
+	cur, err := g.load(key)
+	if err != nil {
+		return err
+	}
+	if _, err := store.Apply(cur, op); err != nil {
+		return err
+	}
+	g.writes = append(g.writes, gatherWrite{shard: g.r.ShardOf(key), key: key, op: op})
+	return nil
+}
+
+func (g *gatherTx) Get(key string) (*store.Value, error)          { return g.load(key) }
+func (g *gatherTx) GetForUpdate(key string) (*store.Value, error) { return g.load(key) }
+
+func (g *gatherTx) GetInt(key string) (int64, error) {
+	v, err := g.load(key)
+	if err != nil {
+		return 0, err
+	}
+	return v.AsInt()
+}
+
+func (g *gatherTx) GetIntForUpdate(key string) (int64, error) { return g.GetInt(key) }
+
+func (g *gatherTx) GetBytes(key string) ([]byte, error) {
+	v, err := g.load(key)
+	if err != nil {
+		return nil, err
+	}
+	return v.AsBytes()
+}
+
+func (g *gatherTx) GetTuple(key string) (store.Tuple, bool, error) {
+	v, err := g.load(key)
+	if err != nil {
+		return store.Tuple{}, false, err
+	}
+	return v.AsTuple()
+}
+
+func (g *gatherTx) GetTopK(key string) ([]store.TopKEntry, error) {
+	v, err := g.load(key)
+	if err != nil {
+		return nil, err
+	}
+	t, err := v.AsTopK()
+	if err != nil {
+		return nil, err
+	}
+	return t.Entries(), nil
+}
+
+func (g *gatherTx) Put(key string, v *store.Value) error {
+	if g.infra != nil {
+		return g.infra
+	}
+	g.writes = append(g.writes, gatherWrite{
+		shard: g.r.ShardOf(key), key: key, op: store.Op{Kind: store.OpPut, Val: v},
+	})
+	return nil
+}
+
+func (g *gatherTx) PutInt(key string, n int64) error { return g.Put(key, store.IntValue(n)) }
+func (g *gatherTx) PutBytes(key string, b []byte) error {
+	return g.Put(key, store.BytesValue(b))
+}
+
+func (g *gatherTx) Add(key string, n int64) error {
+	return g.update(key, store.Op{Kind: store.OpAdd, Int: n})
+}
+
+func (g *gatherTx) Max(key string, n int64) error {
+	return g.update(key, store.Op{Kind: store.OpMax, Int: n})
+}
+
+func (g *gatherTx) Min(key string, n int64) error {
+	return g.update(key, store.Op{Kind: store.OpMin, Int: n})
+}
+
+func (g *gatherTx) Mult(key string, n int64) error {
+	return g.update(key, store.Op{Kind: store.OpMult, Int: n})
+}
+
+func (g *gatherTx) OPut(key string, order store.Order, data []byte) error {
+	return g.update(key, store.Op{
+		Kind:  store.OpOPut,
+		Tuple: store.Tuple{Order: order, Data: data},
+	})
+}
+
+func (g *gatherTx) TopKInsert(key string, order int64, data []byte, k int) error {
+	return g.update(key, store.Op{
+		Kind:  store.OpTopKInsert,
+		Entry: store.TopKEntry{Order: order, Data: data},
+		K:     k,
+	})
+}
+
+// WorkerID returns -1: a cross-shard transaction has no single
+// executing worker.
+func (g *gatherTx) WorkerID() int { return -1 }
+
+// touchedShards returns the sorted, deduplicated shard IDs the
+// transaction read or wrote — the lock acquisition order.
+func (g *gatherTx) touchedShards() []int {
+	seen := make(map[int]bool, 4)
+	for i := range g.reads {
+		seen[g.reads[i].shard] = true
+	}
+	for i := range g.writes {
+		seen[g.writes[i].shard] = true
+	}
+	shards := make([]int, 0, len(seen))
+	for s := range seen {
+		shards = append(shards, s)
+	}
+	sort.Ints(shards)
+	return shards
+}
+
+// execCross runs fn through the cross-shard protocol: gather, then
+// prepare+commit under the shard locks, retrying the whole round while
+// prepare finds stale reads.
+func (r *Router) execCross(ctx context.Context, fn engine.TxFunc) error {
+	g := &gatherTx{r: r, ctx: ctx}
+	backoff := 2 * time.Microsecond
+	for {
+		g.reset()
+		err := fn(g)
+		if g.infra != nil {
+			return g.infra
+		}
+		if err != nil {
+			r.stats.CrossShardAborts.Add(1)
+			return err
+		}
+		committed, err := r.tryCommit(g)
+		if err != nil {
+			return err
+		}
+		if committed {
+			r.stats.CrossShard.Add(1)
+			return nil
+		}
+		r.stats.CrossShardRetries.Add(1)
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(backoff):
+		}
+		if backoff < crossShardBackoff {
+			backoff *= 2
+		}
+	}
+}
+
+// tryCommit runs one prepare+commit round under the shard locks.
+// committed=false with a nil error means prepare found a stale read;
+// the caller retries from gather.
+func (r *Router) tryCommit(g *gatherTx) (committed bool, err error) {
+	shards := g.touchedShards()
+	if len(shards) == 0 {
+		return true, nil // read nothing, wrote nothing
+	}
+	for _, s := range shards {
+		r.locks[s].Lock()
+	}
+	defer func() {
+		for i := len(shards) - 1; i >= 0; i-- {
+			r.locks[shards[i]].Unlock()
+		}
+	}()
+	ok, err := r.prepare(g)
+	if err != nil || !ok {
+		return false, err
+	}
+	return true, r.apply(g)
+}
+
+// prepare revalidates the read set: one transaction per shard with
+// reads, each voting yes only if every gathered value is still current.
+// Fan-out uses ExecAsync so shards validate concurrently.
+func (r *Router) prepare(g *gatherTx) (bool, error) {
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		stale bool
+		infra error
+	)
+	for _, s := range g.touchedShards() {
+		reads := readsFor(g, s)
+		if len(reads) == 0 {
+			continue
+		}
+		wg.Add(1)
+		r.shards[s].ExecAsync(func(tx engine.Tx) error {
+			for _, rd := range reads {
+				cur, err := tx.Get(rd.key)
+				if err != nil {
+					return err
+				}
+				if !cur.Equal(rd.val) {
+					return errPrepareStale
+				}
+			}
+			return nil
+		}, func(err error) {
+			if err != nil {
+				mu.Lock()
+				if errors.Is(err, errPrepareStale) {
+					stale = true
+				} else if infra == nil {
+					infra = err
+				}
+				mu.Unlock()
+			}
+			wg.Done()
+		})
+	}
+	wg.Wait()
+	if infra != nil {
+		return false, infra
+	}
+	return !stale, nil
+}
+
+// apply fans the buffered writes out, one transaction per touched
+// shard, replaying each write as its original operation so splittable
+// operations land commutatively.
+func (r *Router) apply(g *gatherTx) error {
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		first error
+	)
+	for _, s := range g.touchedShards() {
+		writes := writesFor(g, s)
+		if len(writes) == 0 {
+			continue
+		}
+		shard := s
+		wg.Add(1)
+		r.shards[s].ExecAsync(func(tx engine.Tx) error {
+			return replayOps(tx, writes)
+		}, func(err error) {
+			if err != nil {
+				r.stats.CrossShardApplyLost.Add(1)
+				mu.Lock()
+				if first == nil {
+					first = fmt.Errorf("router: cross-shard commit applied partially (shard %d failed): %w", shard, err)
+				}
+				mu.Unlock()
+			}
+			wg.Done()
+		})
+	}
+	wg.Wait()
+	return first
+}
+
+func readsFor(g *gatherTx, shard int) []gatherRead {
+	var out []gatherRead
+	for i := range g.reads {
+		if g.reads[i].shard == shard {
+			out = append(out, g.reads[i])
+		}
+	}
+	return out
+}
+
+func writesFor(g *gatherTx, shard int) []gatherWrite {
+	var out []gatherWrite
+	for i := range g.writes {
+		if g.writes[i].shard == shard {
+			out = append(out, g.writes[i])
+		}
+	}
+	return out
+}
+
+// replayOps applies buffered writes through the shard's own transaction
+// interface, preserving operation kinds: an Add replays as Add, so the
+// shard may split the record and the operation still commutes with
+// concurrent single-shard traffic.
+func replayOps(tx engine.Tx, writes []gatherWrite) error {
+	for _, w := range writes {
+		var err error
+		switch w.op.Kind {
+		case store.OpPut:
+			err = tx.Put(w.key, w.op.Val)
+		case store.OpAdd:
+			err = tx.Add(w.key, w.op.Int)
+		case store.OpMax:
+			err = tx.Max(w.key, w.op.Int)
+		case store.OpMin:
+			err = tx.Min(w.key, w.op.Int)
+		case store.OpMult:
+			err = tx.Mult(w.key, w.op.Int)
+		case store.OpOPut:
+			err = tx.OPut(w.key, w.op.Tuple.Order, w.op.Tuple.Data)
+		case store.OpTopKInsert:
+			err = tx.TopKInsert(w.key, w.op.Entry.Order, w.op.Entry.Data, w.op.K)
+		default:
+			err = fmt.Errorf("router: cannot replay op kind %v", w.op.Kind)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,72 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"doppel"
+)
+
+// TestSentinelErrorsCrossTheWire: a handler failure that wraps a doppel
+// sentinel must reach the client as an error that still errors.Is-matches
+// the sentinel, with the server's full message preserved.
+func TestSentinelErrorsCrossTheWire(t *testing.T) {
+	srv, c := newServer(t)
+	cases := []struct {
+		name     string
+		sentinel error
+	}{
+		{"fail-closed", doppel.ErrClosed},
+		{"fail-requires-redo", doppel.ErrRequiresRedoLog},
+		{"fail-log-exists", doppel.ErrLogExists},
+	}
+	for _, tc := range cases {
+		sentinel := tc.sentinel
+		srv.Register(tc.name, func(tx doppel.Tx, args []Arg) (Arg, error) {
+			return Nil, fmt.Errorf("procedure refused: %w", sentinel)
+		})
+	}
+	for _, tc := range cases {
+		_, err := c.Call(tc.name)
+		if err == nil {
+			t.Fatalf("%s: expected error", tc.name)
+		}
+		if !errors.Is(err, tc.sentinel) {
+			t.Errorf("%s: err = %v, does not match sentinel", tc.name, err)
+		}
+		if !strings.Contains(err.Error(), "procedure refused") {
+			t.Errorf("%s: message %q lost server detail", tc.name, err)
+		}
+	}
+	// The connection stays usable after typed failures.
+	if _, err := c.Call("incr", Str("k"), Int(1)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestClosedBackendOverWire serves a closed database: every call must
+// come back as an error matching doppel.ErrClosed on the client side —
+// the remote branch-on-sentinel contract.
+func TestClosedBackendOverWire(t *testing.T) {
+	db := doppel.Open(doppel.Options{Workers: 1})
+	db.Close()
+	s := New(db)
+	s.Register("ping", func(tx doppel.Tx, args []Arg) (Arg, error) {
+		return Nil, nil
+	})
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Call("ping"); !errors.Is(err, doppel.ErrClosed) {
+		t.Fatalf("call on closed backend = %v, want doppel.ErrClosed", err)
+	}
+}

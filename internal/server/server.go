@@ -16,6 +16,13 @@ import (
 // void procedures.
 type Handler func(tx doppel.Tx, args []Arg) (Arg, error)
 
+// Backend is the database surface the server drives. Both *doppel.DB
+// and *doppel.Cluster satisfy it; the server is indifferent to whether
+// requests land on one worker pool or are routed across shards.
+type Backend interface {
+	ExecAsync(fn doppel.TxFunc, done func(error))
+}
+
 // Options tunes a Server. The zero value means defaults.
 type Options struct {
 	// MaxInFlight bounds how many requests from one connection execute
@@ -49,7 +56,7 @@ func (o Options) withDefaults() Options {
 // Server serves registered procedures over TCP on top of a Doppel
 // database.
 type Server struct {
-	db    *doppel.DB
+	db    Backend
 	opts  Options
 	stats *metrics.RPCStats
 
@@ -64,10 +71,10 @@ type Server struct {
 }
 
 // New returns a server over db with default Options.
-func New(db *doppel.DB) *Server { return NewWithOptions(db, Options{}) }
+func New(db Backend) *Server { return NewWithOptions(db, Options{}) }
 
 // NewWithOptions returns a server over db with explicit tuning.
-func NewWithOptions(db *doppel.DB, opts Options) *Server {
+func NewWithOptions(db Backend, opts Options) *Server {
 	return &Server{
 		db:       db,
 		opts:     opts.withDefaults(),
@@ -192,7 +199,7 @@ func (s *Server) serveConn(conn net.Conn) {
 // must not treat it as a safe-to-retry failure.
 func (s *Server) encodeResult(id uint64, result Arg, err error) []byte {
 	if err != nil {
-		return encodeErrResponse(id, statusErr, err.Error())
+		return encodeErrResponse(id, statusForError(err), err.Error())
 	}
 	resp := encodeOKResponse(id, result)
 	if len(resp) > s.opts.MaxFrame {

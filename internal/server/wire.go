@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+
+	"doppel"
 )
 
 // The wire protocol is a stream of length-prefixed frames in each
@@ -38,12 +40,59 @@ const DefaultMaxFrame = 1 << 20
 // maxArgs bounds the argument count of one request.
 const maxArgs = 1 << 16
 
-// Response status codes.
+// Response status codes. The typed error statuses carry a doppel
+// sentinel across the wire: the body is still the full error message,
+// but the client rebuilds an error that errors.Is-matches the sentinel,
+// so remote callers branch on ErrClosed and friends exactly as embedded
+// callers do.
 const (
-	statusOK          = 0 // body is the typed result
-	statusErr         = 1 // body is the handler's error message
-	statusUnknownProc = 2 // body is the unregistered procedure name
+	statusOK                 = 0 // body is the typed result
+	statusErr                = 1 // body is the handler's error message
+	statusUnknownProc        = 2 // body is the unregistered procedure name
+	statusErrClosed          = 3 // body wraps doppel.ErrClosed
+	statusErrRequiresRedoLog = 4 // body wraps doppel.ErrRequiresRedoLog
+	statusErrLogExists       = 5 // body wraps doppel.ErrLogExists
 )
+
+// statusForError picks the response status for a handler failure,
+// promoting recognized sentinels to their typed codes.
+func statusForError(err error) byte {
+	switch {
+	case errors.Is(err, doppel.ErrClosed):
+		return statusErrClosed
+	case errors.Is(err, doppel.ErrRequiresRedoLog):
+		return statusErrRequiresRedoLog
+	case errors.Is(err, doppel.ErrLogExists):
+		return statusErrLogExists
+	default:
+		return statusErr
+	}
+}
+
+// sentinelFor returns the doppel sentinel a typed status carries, nil
+// for the untyped statuses.
+func sentinelFor(status byte) error {
+	switch status {
+	case statusErrClosed:
+		return doppel.ErrClosed
+	case statusErrRequiresRedoLog:
+		return doppel.ErrRequiresRedoLog
+	case statusErrLogExists:
+		return doppel.ErrLogExists
+	default:
+		return nil
+	}
+}
+
+// remoteError is a per-call failure that arrived with a typed status:
+// it reports the server's message and unwraps to the sentinel.
+type remoteError struct {
+	sentinel error
+	msg      string
+}
+
+func (e *remoteError) Error() string { return e.msg }
+func (e *remoteError) Unwrap() error { return e.sentinel }
 
 // Argument tag bytes.
 const (
@@ -300,6 +349,9 @@ func decodeResponse(buf []byte) (id uint64, result Arg, callErr, wireErr error) 
 	case statusErr:
 		return id, Nil, errors.New(msg), nil
 	default:
+		if sentinel := sentinelFor(status); sentinel != nil {
+			return id, Nil, &remoteError{sentinel: sentinel, msg: msg}, nil
+		}
 		return 0, Nil, nil, fmt.Errorf("server: unknown response status %d", status)
 	}
 }

@@ -1,0 +1,158 @@
+package doppel
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"doppel/internal/core"
+)
+
+// Options configures Open.
+type Options struct {
+	// Workers is the number of worker goroutines (the paper's
+	// one-worker-per-core model). 0 means 4.
+	Workers int
+	// PhaseLength is the coordinator's phase-change interval; the paper
+	// uses 20ms. 0 means 20ms.
+	PhaseLength time.Duration
+	// Engine overrides internal classifier knobs; leave zero-valued
+	// unless benchmarking.
+	Engine core.Config
+	// RedoLog, when non-empty, names a durability directory and enables
+	// asynchronous group-commit redo logging into it (the durability
+	// design the paper cites as future work). The directory holds
+	// numbered WAL segments, snapshot files and a MANIFEST; use Recover
+	// to rebuild a database from it. Reopening an existing directory
+	// appends — it never truncates logged data.
+	//
+	// For OpenCluster the value is a per-shard template that must
+	// contain a %d verb (e.g. "data/shard-%d"): each shard logs and
+	// checkpoints into its own directory.
+	RedoLog string
+	// CheckpointEvery, when non-zero, checkpoints the database at this
+	// interval: a consistent snapshot is captured incrementally starting
+	// at a quiesced phase boundary (the pause is O(1); the store walk
+	// runs concurrently with traffic, copy-on-write), the WAL rotates to
+	// a fresh segment, and segments covered by the snapshot are deleted.
+	// This bounds both recovery time and log disk usage. Requires
+	// RedoLog. Checkpoint() forces one manually.
+	CheckpointEvery time.Duration
+	// MaxSegmentBytes, when non-zero, seals the active WAL segment and
+	// opens the next one as soon as it exceeds this many bytes,
+	// independent of checkpoints. Bounded segments keep any single log
+	// file small between checkpoints and give parallel recovery units of
+	// work. Requires RedoLog.
+	MaxSegmentBytes int64
+	// RecoveryParallelism caps the goroutines Recover uses to decode the
+	// snapshot and replay WAL segments; 0 means GOMAXPROCS. 1 forces
+	// sequential recovery.
+	RecoveryParallelism int
+	// RecoveryOverlap starts WAL segment replay concurrently with the
+	// snapshot load instead of after it, cutting total recovery time to
+	// roughly max(snapshot, segments) instead of their sum. Snapshot
+	// entries then install through the same per-key highest-TID-wins
+	// filter replay uses, so the interleaving cannot change the result.
+	RecoveryOverlap bool
+	// CheckpointFrameBuffer bounds how many snapshot entries may sit
+	// between the checkpoint's store walker and its file writer. The
+	// streaming walk never materializes the store, so checkpoint memory
+	// is O(frame buffer), not O(records); 0 means a sensible default
+	// (1024). Requires RedoLog.
+	CheckpointFrameBuffer int
+	// SyncCommit makes Exec/ExecAsync wait for the transaction's redo
+	// record to be written and fsynced before acknowledging: an
+	// acknowledged commit then survives any crash. The wait is on the
+	// log's group-commit watermark, so concurrent transactions share
+	// fsyncs — throughput degrades far less than one fsync per commit —
+	// but each acknowledgement pays up to one group-commit latency. A
+	// split-phase commutative write costs more: its redo record is
+	// written only when reconciliation merges the per-core slices, so
+	// the acknowledgement additionally waits for the next phase
+	// transition (up to a few PhaseLengths), like a stashed
+	// transaction's. Off by default: the paper's design (§3)
+	// acknowledges from memory and logs asynchronously. Requires
+	// RedoLog.
+	SyncCommit bool
+	// WALFailStop makes the database refuse new transactions once the
+	// redo logger has failed terminally (disk gone, write error):
+	// Exec/ExecAsync then return the logger's error instead of
+	// acknowledging commits that can never be durable. This covers
+	// stashed transactions too — a transaction stashed before the
+	// failure whose replay was refused reports the logger error, not
+	// success. Without the option the database keeps serving from
+	// memory and the failure is visible only via WALErr /
+	// Stats.RedoLogError. Requires RedoLog.
+	WALFailStop bool
+
+	// workerIDBase namespaces this instance's worker IDs inside the
+	// shared TID clock domain: the IDs embedded in commit TIDs run from
+	// workerIDBase to workerIDBase+Workers-1. Zero for a standalone
+	// database; OpenCluster assigns each shard a disjoint range so no
+	// two shards can mint the same TID.
+	workerIDBase int
+}
+
+// Validate reports every way the option combination is invalid, not
+// just the first: the violations are joined with errors.Join, so
+// errors.Is(err, ErrRequiresRedoLog) matches when any option demanded a
+// durability directory. A nil return means Open/OpenErr/Recover (and
+// OpenCluster, which validates the per-shard template) will not reject
+// the options on consistency grounds; opening the redo log itself can
+// still fail.
+func (o Options) Validate() error {
+	var errs []error
+	if o.RedoLog == "" {
+		for _, v := range []struct {
+			name string
+			set  bool
+		}{
+			{"CheckpointEvery", o.CheckpointEvery > 0},
+			{"MaxSegmentBytes", o.MaxSegmentBytes > 0},
+			{"CheckpointFrameBuffer", o.CheckpointFrameBuffer > 0},
+			{"SyncCommit", o.SyncCommit},
+			{"WALFailStop", o.WALFailStop},
+		} {
+			if v.set {
+				errs = append(errs, fmt.Errorf("%s: %w", v.name, ErrRequiresRedoLog))
+			}
+		}
+	}
+	if o.Workers < 0 {
+		errs = append(errs, fmt.Errorf("doppel: negative Workers (%d)", o.Workers))
+	}
+	return errors.Join(errs...)
+}
+
+// resolve normalizes the options into their effective values and the
+// engine configuration Open builds: worker-count defaulting and
+// capping, phase-length defaulting, and durability plumbing all live
+// here so every construction path (Open, OpenErr, Recover, OpenCluster)
+// resolves identically. It assumes Validate passed.
+func (o Options) resolve() (Options, core.Config) {
+	workers := o.Workers
+	if workers <= 0 {
+		workers = 4
+	}
+	if workers > core.MaxWorkers {
+		// Commit TIDs carry an 8-bit worker ID (see internal/core's
+		// doc.go); more workers would mint colliding TIDs.
+		workers = core.MaxWorkers
+	}
+	if o.workerIDBase+workers > core.MaxWorkers {
+		// The instance shares its TID clock domain (a cluster): its slice
+		// of the 8-bit ID space is what remains above the base.
+		workers = core.MaxWorkers - o.workerIDBase
+	}
+	o.Workers = workers
+	cfg := o.Engine
+	cfg.Workers = workers
+	cfg.WorkerIDBase = o.workerIDBase
+	if cfg.PhaseLength == 0 {
+		cfg.PhaseLength = o.PhaseLength
+	}
+	if cfg.PhaseLength == 0 {
+		cfg.PhaseLength = 20 * time.Millisecond
+	}
+	return o, cfg
+}

@@ -1,0 +1,247 @@
+// Command apicheck gates the public API surface of the root doppel
+// package: it renders every exported declaration — functions, methods,
+// types (with unexported struct fields and interface methods elided),
+// consts and vars — into a normalized listing and compares it against
+// the committed golden file. An unreviewed export, signature change or
+// removal fails CI; an intentional change is recorded with -update,
+// which makes the API diff part of the reviewed change itself.
+//
+// Usage:
+//
+//	go run ./tools/apicheck            # verify against the golden file
+//	go run ./tools/apicheck -update    # rewrite the golden file
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+)
+
+func main() {
+	dir := flag.String("dir", ".", "package directory to audit")
+	golden := flag.String("golden", "tools/apicheck/doppel.api", "golden API listing to compare against")
+	update := flag.Bool("update", false, "rewrite the golden file instead of comparing")
+	flag.Parse()
+
+	got, err := surface(*dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "apicheck: %v\n", err)
+		os.Exit(2)
+	}
+	if *update {
+		if err := os.WriteFile(*golden, []byte(got), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "apicheck: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("apicheck: wrote %s\n", *golden)
+		return
+	}
+	want, err := os.ReadFile(*golden)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "apicheck: %v (run with -update to create it)\n", err)
+		os.Exit(2)
+	}
+	if got != string(want) {
+		fmt.Fprintf(os.Stderr, "apicheck: public API differs from %s\n\n%s\nIf the change is intentional, run: go run ./tools/apicheck -update\n",
+			*golden, diff(string(want), got))
+		os.Exit(1)
+	}
+}
+
+// surface renders the package's exported declarations, one entry per
+// line (struct and interface types span lines but count as one entry),
+// sorted so the listing is stable across file moves.
+func surface(dir string) (string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		return "", err
+	}
+	var entries []string
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				entries = append(entries, renderDecl(fset, decl)...)
+			}
+		}
+	}
+	sort.Strings(entries)
+	return strings.Join(entries, "\n") + "\n", nil
+}
+
+func renderDecl(fset *token.FileSet, decl ast.Decl) []string {
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() || !exportedRecv(d.Recv) {
+			return nil
+		}
+		return []string{"func " + recvString(fset, d.Recv) + d.Name.Name + strings.TrimPrefix(render(fset, stripFuncType(d.Type)), "func")}
+	case *ast.GenDecl:
+		var out []string
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if !s.Name.IsExported() {
+					continue
+				}
+				out = append(out, "type "+s.Name.Name+assignToken(s)+render(fset, stripType(s.Type)))
+			case *ast.ValueSpec:
+				kw := "var"
+				if d.Tok == token.CONST {
+					kw = "const"
+				}
+				for _, name := range s.Names {
+					if !name.IsExported() {
+						continue
+					}
+					entry := kw + " " + name.Name
+					if s.Type != nil {
+						entry += " " + render(fset, s.Type)
+					}
+					out = append(out, entry)
+				}
+			}
+		}
+		return out
+	}
+	return nil
+}
+
+func assignToken(s *ast.TypeSpec) string {
+	if s.Assign.IsValid() {
+		return " = "
+	}
+	return " "
+}
+
+func exportedRecv(recv *ast.FieldList) bool {
+	if recv == nil || len(recv.List) == 0 {
+		return true
+	}
+	name := recvTypeName(recv.List[0].Type)
+	return name == "" || ast.IsExported(name)
+}
+
+func recvTypeName(expr ast.Expr) string {
+	switch e := expr.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.StarExpr:
+		return recvTypeName(e.X)
+	case *ast.IndexExpr: // generic receiver
+		return recvTypeName(e.X)
+	}
+	return ""
+}
+
+func recvString(fset *token.FileSet, recv *ast.FieldList) string {
+	if recv == nil || len(recv.List) == 0 {
+		return ""
+	}
+	return "(" + render(fset, recv.List[0].Type) + ") "
+}
+
+// stripFuncType drops parameter names: only types are part of the
+// surface, so renaming a parameter is not an API change.
+func stripFuncType(ft *ast.FuncType) *ast.FuncType {
+	return &ast.FuncType{Params: stripFields(ft.Params), Results: stripFields(ft.Results)}
+}
+
+func stripFields(fl *ast.FieldList) *ast.FieldList {
+	if fl == nil {
+		return nil
+	}
+	out := &ast.FieldList{}
+	for _, f := range fl.List {
+		n := len(f.Names)
+		if n == 0 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			out.List = append(out.List, &ast.Field{Type: f.Type})
+		}
+	}
+	return out
+}
+
+// stripType elides what is not API: unexported struct fields (kept
+// abstract behind accessors) and doc comments.
+func stripType(expr ast.Expr) ast.Expr {
+	switch e := expr.(type) {
+	case *ast.StructType:
+		out := &ast.StructType{Fields: &ast.FieldList{}}
+		for _, f := range e.Fields.List {
+			var names []*ast.Ident
+			for _, name := range f.Names {
+				if name.IsExported() {
+					names = append(names, ast.NewIdent(name.Name))
+				}
+			}
+			if len(f.Names) > 0 && len(names) == 0 {
+				continue
+			}
+			out.Fields.List = append(out.Fields.List, &ast.Field{Names: names, Type: f.Type})
+		}
+		return out
+	case *ast.InterfaceType:
+		out := &ast.InterfaceType{Methods: &ast.FieldList{}}
+		for _, m := range e.Methods.List {
+			nm := &ast.Field{Names: nil, Type: m.Type}
+			for _, name := range m.Names {
+				nm.Names = append(nm.Names, ast.NewIdent(name.Name))
+			}
+			if ft, ok := m.Type.(*ast.FuncType); ok {
+				nm.Type = stripFuncType(ft)
+			}
+			out.Methods.List = append(out.Methods.List, nm)
+		}
+		return out
+	case *ast.FuncType:
+		return stripFuncType(e)
+	}
+	return expr
+}
+
+func render(fset *token.FileSet, node any) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, node); err != nil {
+		return fmt.Sprintf("<render error: %v>", err)
+	}
+	return buf.String()
+}
+
+// diff is a minimal line diff: everything only in want is shown as
+// removed, everything only in got as added. Good enough to point at
+// the drifted declarations.
+func diff(want, got string) string {
+	wantSet := map[string]bool{}
+	for _, l := range strings.Split(want, "\n") {
+		wantSet[l] = true
+	}
+	gotSet := map[string]bool{}
+	for _, l := range strings.Split(got, "\n") {
+		gotSet[l] = true
+	}
+	var b strings.Builder
+	for _, l := range strings.Split(want, "\n") {
+		if l != "" && !gotSet[l] {
+			fmt.Fprintf(&b, "- %s\n", l)
+		}
+	}
+	for _, l := range strings.Split(got, "\n") {
+		if l != "" && !wantSet[l] {
+			fmt.Fprintf(&b, "+ %s\n", l)
+		}
+	}
+	return b.String()
+}
