@@ -9,6 +9,7 @@ import (
 	"doppel/internal/core"
 	"doppel/internal/metrics"
 	"doppel/internal/router"
+	"doppel/internal/store"
 )
 
 // Partitioner maps keys to shards; see OpenCluster. Implementations
@@ -39,9 +40,14 @@ type RouterStats struct {
 	// body's own error.
 	CrossShardAborts uint64
 	// CrossShardApplyLost is per-shard commit applications that failed
-	// after prepare validated; see the internal/router package
-	// documentation for the isolation caveat this counts.
+	// after prepare validated. Commit fences make this unreachable by
+	// construction; it remains as an invariant counter — non-zero means
+	// the fence protocol was violated (see internal/router).
 	CrossShardApplyLost uint64
+	// FencedKeys is per-key commit-fence installations: each cross-shard
+	// commit round fences every key it touches for the prepare→apply
+	// window, making the commit atomic against single-shard traffic.
+	FencedKeys uint64
 }
 
 // ClusterStats is a point-in-time summary of cluster activity.
@@ -176,7 +182,7 @@ func buildCluster(opts ClusterOptions, open func(Options, int) (*DB, error)) (*C
 	}
 	backends := make([]router.Shard, shards)
 	for i, db := range dbs {
-		backends[i] = db
+		backends[i] = shardBackend{db}
 	}
 	stats := &metrics.RouterStats{}
 	return &Cluster{
@@ -185,6 +191,27 @@ func buildCluster(opts ClusterOptions, open func(Options, int) (*DB, error)) (*C
 		stats:  stats,
 	}, nil
 }
+
+// shardBackend adapts a shard *DB to the router.Shard surface: the
+// Exec methods pass through, and the record-level accessors the
+// cross-shard prepare needs (the store for fence install and validation
+// snapshots, the split-phase check) reach into the shard's engine. The
+// wrapper keeps those accessors off DB's public API.
+type shardBackend struct {
+	db *DB
+}
+
+func (b shardBackend) ExecContext(ctx context.Context, fn TxFunc) error {
+	return b.db.ExecContext(ctx, fn)
+}
+
+func (b shardBackend) ExecAsync(fn TxFunc, done func(error)) {
+	b.db.ExecAsync(fn, done)
+}
+
+func (b shardBackend) Store() *store.Store { return b.db.eng.Store() }
+
+func (b shardBackend) SplitActive(key string) bool { return b.db.eng.SplitActive(key) }
 
 // Exec runs fn as a transaction over the cluster's whole keyspace and
 // returns once it has committed; semantics match DB.Exec, plus routing.
@@ -245,6 +272,7 @@ func (c *Cluster) Stats() ClusterStats {
 		CrossShardRetries:   snap.CrossShardRetries,
 		CrossShardAborts:    snap.CrossShardAborts,
 		CrossShardApplyLost: snap.CrossShardApplyLost,
+		FencedKeys:          snap.FencedKeys,
 	}
 	return s
 }

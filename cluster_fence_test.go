@@ -1,0 +1,181 @@
+package doppel
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// fenceStress races single-shard read-modify-write incrementers against
+// cross-shard transfer transactions over one shared key pool and
+// returns the final sum of the pool, the expected sum, and the cluster
+// stats. Incrementers use GetInt+PutInt — a non-commutative RMW, the
+// classic lost-update detector: an increment silently overwritten by a
+// cross-shard Put shrinks the final sum. Transfers move an amount
+// between two keys on different shards with blind Puts computed from
+// gathered reads, conserving the pool's sum — so with both workloads
+// racing, sum(pool) == totalIncrements exactly iff no update was lost
+// and no transfer applied partially.
+func fenceStress(t *testing.T, noFences bool) (got, want int64, stats ClusterStats) {
+	t.Helper()
+	cl, err := OpenCluster(ClusterOptions{Shards: 3, DB: Options{Workers: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	cl.router.NoFences = noFences
+
+	pool := make([]string, 8)
+	for i := range pool {
+		pool[i] = fmt.Sprintf("fence-key-%d", i)
+	}
+	// Seed every key so transfers always see integers.
+	for _, k := range pool {
+		if err := cl.Exec(func(tx Tx) error { return tx.PutInt(k, 0) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const (
+		incrementers  = 4
+		incrementsPer = 400
+		transferers   = 2
+		transfersPer  = 200
+	)
+	var (
+		wg           sync.WaitGroup
+		transferErrs atomic.Int64
+	)
+	for g := 0; g < incrementers; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < incrementsPer; i++ {
+				k := pool[rng.Intn(len(pool))]
+				if err := cl.Exec(func(tx Tx) error {
+					n, err := tx.GetInt(k)
+					if err != nil {
+						return err
+					}
+					return tx.PutInt(k, n+1)
+				}); err != nil {
+					t.Errorf("incrementer: %v", err)
+					return
+				}
+			}
+		}(int64(g))
+	}
+	for g := 0; g < transferers; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(100 + seed))
+			for i := 0; i < transfersPer; i++ {
+				a := pool[rng.Intn(len(pool))]
+				b := pool[rng.Intn(len(pool))]
+				if cl.ShardOf(a) == cl.ShardOf(b) {
+					continue
+				}
+				amt := int64(rng.Intn(3) + 1)
+				err := cl.Exec(func(tx Tx) error {
+					x, err := tx.GetInt(a)
+					if err != nil {
+						return err
+					}
+					y, err := tx.GetInt(b)
+					if err != nil {
+						return err
+					}
+					if err := tx.PutInt(a, x-amt); err != nil {
+						return err
+					}
+					return tx.PutInt(b, y+amt)
+				})
+				if err != nil {
+					// Only the unfenced mode may fail a commit (a partial
+					// apply surfaces as an error); with fences on this is a
+					// test failure, checked by the caller via stats.
+					transferErrs.Add(1)
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+
+	var sum int64
+	for _, k := range pool {
+		var n int64
+		if err := cl.Exec(func(tx Tx) error {
+			v, err := tx.GetInt(k)
+			n = v
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+		sum += n
+	}
+	stats = cl.Stats()
+	if !noFences && transferErrs.Load() != 0 {
+		t.Errorf("fenced mode: %d transfers failed; cross-shard commits must not fail with fences on", transferErrs.Load())
+	}
+	return sum, incrementers * incrementsPer, stats
+}
+
+// TestClusterFenceConservation is the race-enabled conservation stress:
+// with commit fences on, no single-shard increment may be lost to a
+// cross-shard transfer's prepare→apply window, and the
+// CrossShardApplyLost invariant counter must stay zero across the whole
+// run.
+func TestClusterFenceConservation(t *testing.T) {
+	got, want, stats := fenceStress(t, false)
+	if got != want {
+		t.Errorf("conservation violated: pool sums to %d, want %d (lost %d updates)", got, want, want-got)
+	}
+	if n := stats.Router.CrossShardApplyLost; n != 0 {
+		t.Errorf("CrossShardApplyLost = %d, want 0 (fence invariant violated)", n)
+	}
+	if stats.Router.CrossShard == 0 {
+		t.Error("no cross-shard commits: the stress did not exercise 2PC")
+	}
+	if stats.Router.FencedKeys == 0 {
+		t.Error("FencedKeys = 0: prepare installed no fences")
+	}
+}
+
+// TestClusterFenceDisabledLosesUpdates demonstrates the bug the fences
+// close: with NoFences set, the prepare→apply window reopens and the
+// same stress loses updates (a shrunken sum, a partial apply counted in
+// CrossShardApplyLost, or both). The window is a narrow race, so a run
+// that happens not to provoke it skips rather than fails.
+func TestClusterFenceDisabledLosesUpdates(t *testing.T) {
+	for attempt := 0; attempt < 3; attempt++ {
+		got, want, stats := fenceStress(t, true)
+		if got != want || stats.Router.CrossShardApplyLost > 0 {
+			t.Logf("unfenced run lost updates as expected: sum %d (want %d), apply-lost %d",
+				got, want, stats.Router.CrossShardApplyLost)
+			return
+		}
+	}
+	t.Skip("unfenced lost-update window not provoked in 3 runs (timing-dependent)")
+}
+
+// TestStatsFenceCounters checks the fence counters surface through the
+// public stats types end to end.
+func TestStatsFenceCounters(t *testing.T) {
+	_, _, stats := fenceStress(t, false)
+	var aborts uint64
+	for _, s := range stats.Shards {
+		aborts += s.FenceAborts
+	}
+	// FenceAborts is timing-dependent (a single-shard txn must collide
+	// with a fenced key), so only log it; the field existing and merging
+	// is what this test pins.
+	t.Logf("fence aborts across shards: %d; fenced keys: %d", aborts, stats.Router.FencedKeys)
+	if !strings.Contains(fmt.Sprintf("%+v", stats.Router), "FencedKeys") {
+		t.Error("RouterStats does not expose FencedKeys")
+	}
+}

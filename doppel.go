@@ -95,6 +95,12 @@ type Stats struct {
 	// pathological livelock). Non-zero means an accepted transaction was
 	// never executed; each worker also logs the first drop it makes.
 	StashDropped uint64
+	// FenceAborts counts attempts that yielded to a cross-shard commit
+	// fence: the transaction touched a key an in-flight cross-shard
+	// commit had validated but not yet applied. These retry like
+	// conflict aborts (fences live for microseconds); the counter is
+	// only ever non-zero for shards of a Cluster.
+	FenceAborts uint64
 	// RedoLogError is the redo logger's terminal failure ("" when
 	// healthy or logging is disabled). Logging is asynchronous, so
 	// transactions keep committing in memory after such a failure —
@@ -254,28 +260,85 @@ func openInto(opts Options, st *store.Store) (*DB, error) {
 	return db, nil
 }
 
+// fenceSpinBudget bounds how long run retries a fence-aborted
+// transaction inline before parking it with the worker loop. Fences
+// release in microseconds — unless the releasing apply transaction is
+// queued behind this very request, which is why the budget must be
+// small and the request must come off the worker's critical path.
+const fenceSpinBudget = 100 * time.Microsecond
+
 // worker drives one engine worker: it executes submitted transactions,
 // retries conflict aborts with backoff, and polls the engine between
 // requests so phase transitions keep moving even when idle.
+//
+// Requests that keep aborting on a cross-shard commit fence are parked
+// in the deferred list rather than retried in place: the fence releases
+// only after the owning cross-shard commit's apply transactions run,
+// and one of those may be waiting in this worker's own queue — blocking
+// on the fence would deadlock the shard. While anything is parked the
+// worker drains its queue without blocking and retries the parked work
+// between requests.
 func (db *DB) worker(w int) {
 	defer db.wg.Done()
 	q := db.queues[w]
 	idle := time.NewTicker(200 * time.Microsecond)
 	defer idle.Stop()
+	var deferred []*request
 	for {
+		if len(deferred) > 0 {
+			select {
+			case req, ok := <-q:
+				if !ok {
+					db.finishDeferred(w, deferred)
+					return
+				}
+				if db.run(w, req) {
+					deferred = append(deferred, req)
+				}
+			default:
+				db.eng.Poll(w)
+				time.Sleep(20 * time.Microsecond)
+			}
+			keep := deferred[:0]
+			for _, req := range deferred {
+				if db.run(w, req) {
+					keep = append(keep, req)
+				}
+			}
+			deferred = keep
+			continue
+		}
 		select {
 		case req, ok := <-q:
 			if !ok {
 				return
 			}
-			db.run(w, req)
+			if db.run(w, req) {
+				deferred = append(deferred, req)
+			}
 		case <-idle.C:
 			db.eng.Poll(w)
 		}
 	}
 }
 
-func (db *DB) run(w int, req *request) {
+// finishDeferred completes parked requests at shutdown. The fences they
+// wait on are released by cross-shard applies draining on the other
+// workers' queues (this worker's own queue is already empty), or by the
+// router's failure-path cleanup, so the loop terminates.
+func (db *DB) finishDeferred(w int, deferred []*request) {
+	for _, req := range deferred {
+		for db.run(w, req) {
+			db.eng.Poll(w)
+			time.Sleep(20 * time.Microsecond)
+		}
+	}
+}
+
+// run executes one request to completion, returning parked=true when
+// the request kept aborting on a commit fence past its inline spin
+// budget — the caller must retry it later without blocking the worker.
+func (db *DB) run(w int, req *request) (parked bool) {
 	// A request cancelled while it waited in the queue never executes
 	// (the ExecContext contract); the caller has already returned, so
 	// the completion send lands in the buffered done channel unread.
@@ -288,6 +351,7 @@ func (db *DB) run(w int, req *request) {
 		}
 	}
 	backoff := time.Microsecond
+	var fenceDeadline time.Time
 	for {
 		out, err := db.eng.Attempt(w, req.fn, req.submit)
 		switch out {
@@ -340,6 +404,18 @@ func (db *DB) run(w int, req *request) {
 			return
 		case engine.Paused:
 			db.eng.Poll(w)
+		case engine.AbortedFenced:
+			// Yielding to a cross-shard commit fence. Spin briefly — the
+			// owning commit usually applies within microseconds — but
+			// never past the budget: its apply transaction may be queued
+			// behind this request on this very worker.
+			if fenceDeadline.IsZero() {
+				fenceDeadline = time.Now().Add(fenceSpinBudget)
+			} else if time.Now().After(fenceDeadline) {
+				return true
+			}
+			db.eng.Poll(w)
+			time.Sleep(5 * time.Microsecond)
 		case engine.Aborted:
 			time.Sleep(backoff)
 			if backoff < time.Millisecond {
@@ -502,6 +578,7 @@ func (db *DB) Stats() Stats {
 		Retries:       agg.Retries,
 		MergeFailures: agg.MergeFailures,
 		StashDropped:  agg.StashDropped,
+		FenceAborts:   agg.FenceAborts,
 		Phase:         db.eng.Phase().String(),
 		PhaseChanges:  db.eng.PhaseChanges(),
 		SplitKeys:     db.eng.SplitKeys(),

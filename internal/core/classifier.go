@@ -148,8 +148,20 @@ func (db *DB) decideNextSplit() *splitSet {
 	assign := make(map[string]store.OpKind, len(db.curAssign))
 	db.lastSplit = make(map[string]bool, len(db.curAssign))
 	for k, op := range db.curAssign {
+		// Never split a key that currently carries a commit fence: an
+		// in-flight cross-shard commit has validated the record, and
+		// reconciliation merges slices without fence checks, so splitting
+		// now could change the record inside the commit's prepare→apply
+		// window. The assignment stays; the key is reconsidered at the
+		// next phase change (fences live for microseconds).
+		if rec := db.st.Get(k); rec != nil && rec.FenceToken() != 0 {
+			continue
+		}
 		assign[k] = op
 		db.lastSplit[k] = true
+	}
+	if len(assign) == 0 {
+		return emptySplitSet
 	}
 	return newSplitSet(db.st, assign)
 }

@@ -131,6 +131,18 @@ func (db *DB) Poll(w int) { db.workers[w].poll() }
 // Phase returns the current global phase.
 func (db *DB) Phase() Phase { return Phase(db.phase.Load()) }
 
+// SplitActive reports whether key is split data in the phase running
+// right now: during a split phase, workers apply the key's selected
+// operation to invisible per-core slices, so the global record does not
+// reflect committed state. The cluster router's cross-shard prepare
+// checks this after fencing — a fenced-but-split key must be treated as
+// stale and retried, because reconciliation merges slices without fence
+// checks. Phase and split set are published together (split set first),
+// so a joined-phase caller always sees false.
+func (db *DB) SplitActive(key string) bool {
+	return db.Phase() == PhaseSplit && db.split.Load().lookup(key) != nil
+}
+
 // SplitKeys returns the keys currently assigned as split data (the
 // paper's Table 2 reports this count). The assignment persists across
 // phase cycles until the classifier demotes a key.

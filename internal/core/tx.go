@@ -26,6 +26,11 @@ type Tx struct {
 	pend   []pending
 	swPend []pending // scratch for pre-computed slice values
 	wrote  bool
+	// fence is the commit-fence token this transaction owns, zero for
+	// ordinary transactions. The router's cross-shard apply sets it (via
+	// engine.FenceTx) so the apply transaction passes the fence checks on
+	// its own fenced records while everyone else aborts on them.
+	fence uint64
 }
 
 type readEnt struct {
@@ -60,6 +65,19 @@ func (t *Tx) reset(w *Worker) {
 	t.wset = t.wset[:0]
 	t.sw = t.sw[:0]
 	t.wrote = false
+	t.fence = 0
+}
+
+// SetFenceToken implements engine.FenceTx.
+func (t *Tx) SetFenceToken(token uint64) { t.fence = token }
+
+// fencedBy reports whether rec carries a foreign commit fence — one this
+// transaction does not own. A fenced record belongs to an in-flight
+// cross-shard commit; interleaving with it would lose a write, so the
+// caller aborts with AbortedFenced/ErrFenced.
+func (t *Tx) fencedBy(rec *store.Record) bool {
+	ft := rec.FenceToken()
+	return ft != 0 && ft != t.fence
 }
 
 // WorkerID implements engine.Tx.
@@ -92,6 +110,9 @@ func (t *Tx) load(key string) (*store.Value, error) {
 		return nil, err
 	}
 	rec, _ := t.w.db.st.GetOrCreate(key)
+	if t.fencedBy(rec) {
+		return nil, engine.ErrFenced
+	}
 	v, tid, ok := rec.ReadConsistent(readSpins)
 	if !ok {
 		t.w.sampleConflict(key, store.OpGet)
@@ -196,6 +217,9 @@ func (t *Tx) update(key string, op store.Op) error {
 	// buffered write, which is what makes contention observable to the
 	// classifier.
 	rec, _ := t.w.db.st.GetOrCreate(key)
+	if t.fencedBy(rec) {
+		return engine.ErrFenced
+	}
 	_, tid, ok := rec.ReadConsistent(readSpins)
 	if !ok {
 		t.w.sampleConflict(key, op.Kind)
@@ -303,13 +327,21 @@ func (t *Tx) commit() (engine.Outcome, error) {
 		t.swPend = swVals
 	}
 
-	// Read-only (and slice-only) fast path.
+	// Read-only (and slice-only) fast path. The fence check closes the
+	// readers-see-partial-state window: a snapshot that validates with
+	// every fence clear was taken either wholly before the cross-shard
+	// prepare (fences install before any apply) or wholly after its last
+	// apply (applies bump TIDs, so an in-between snapshot fails the TID
+	// check instead).
 	if len(t.wset) == 0 {
 		for i := range t.reads {
 			tid, locked := t.reads[i].rec.TIDWord()
 			if locked || tid != t.reads[i].tid {
 				t.sampleReadConflicts()
 				return engine.Aborted, nil
+			}
+			if t.fencedBy(t.reads[i].rec) {
+				return engine.AbortedFenced, nil
 			}
 		}
 		t.applySliceWrites(swVals)
@@ -338,6 +370,14 @@ func (t *Tx) commit() (engine.Outcome, error) {
 			return engine.Aborted, nil
 		}
 		locked = i + 1
+		// Fence check under the record lock: the cross-shard prepare
+		// reads its validation snapshot inside this same lock after
+		// fencing, so either that read sees our installed value (stale →
+		// the prepare retries) or we see its fence here and yield.
+		if t.fencedBy(t.wset[i].rec) {
+			t.unlockPrefix(locked)
+			return engine.AbortedFenced, nil
+		}
 	}
 	commitTID := t.genTID()
 
@@ -349,6 +389,10 @@ func (t *Tx) commit() (engine.Outcome, error) {
 			t.unlockPrefix(locked)
 			t.w.sampleConflict(rd.key, rd.op)
 			return engine.Aborted, nil
+		}
+		if t.fencedBy(rd.rec) {
+			t.unlockPrefix(locked)
+			return engine.AbortedFenced, nil
 		}
 	}
 
@@ -461,4 +505,7 @@ func (t *Tx) unlockPrefix(n int) {
 	}
 }
 
-var _ engine.Tx = (*Tx)(nil)
+var (
+	_ engine.Tx      = (*Tx)(nil)
+	_ engine.FenceTx = (*Tx)(nil)
+)

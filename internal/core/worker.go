@@ -252,6 +252,15 @@ func (w *Worker) drainStash() {
 			if out == engine.Committed || out == engine.UserAbort {
 				break
 			}
+			if out == engine.AbortedFenced {
+				// The fence's owner — a cross-shard apply transaction — may
+				// be queued behind this very drain on this worker, so
+				// spinning here could wait forever for a fence only we can
+				// release. Put the transaction back in the stash and move
+				// on; a later drain retries it after the fence clears.
+				w.stash = append(w.stash, s)
+				break
+			}
 			if attempt > 1<<20 {
 				// Pathological livelock: drop the transaction after
 				// counting its aborts, but never silently — the loss is
@@ -299,6 +308,9 @@ func (w *Worker) execOnce(fn engine.TxFunc, submitNanos int64) (engine.Outcome, 
 		w.stats.Stashed++
 		w.stashedPhase.Add(1)
 		return engine.Stashed, nil
+	case errors.Is(err, engine.ErrFenced):
+		w.stats.FenceAborts++
+		return engine.AbortedFenced, nil
 	case errors.Is(err, engine.ErrAbort):
 		w.stats.Aborted++
 		return engine.Aborted, nil
@@ -321,6 +333,8 @@ func (w *Worker) execOnce(fn engine.TxFunc, submitNanos int64) (engine.Outcome, 
 		}
 	case engine.Aborted:
 		w.stats.Aborted++
+	case engine.AbortedFenced:
+		w.stats.FenceAborts++
 	}
 	return out, nil
 }

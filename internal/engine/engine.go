@@ -18,6 +18,14 @@ var ErrAbort = errors.New("engine: transaction aborted due to conflict")
 // will re-execute it in the next joined phase.
 var ErrStash = errors.New("engine: transaction stashed until next joined phase")
 
+// ErrFenced reports that the transaction touched a record carrying
+// another transaction's commit fence: a cross-shard two-phase commit has
+// validated that record and not yet applied, so interleaving with it
+// would lose one of the writes. The transaction had no effect; the
+// caller retries once the fence releases (microseconds in the common
+// case).
+var ErrFenced = errors.New("engine: record fenced by an in-flight cross-shard commit")
+
 // ErrUnsupported reports an operation the engine cannot execute (for
 // example, byte-string values in the Atomic engine).
 var ErrUnsupported = errors.New("engine: operation not supported by this engine")
@@ -88,6 +96,15 @@ const (
 	Stashed                  // Doppel stashed it; engine will retry it itself
 	UserAbort                // the TxFunc returned its own error
 	Paused                   // engine busy with a phase transition; fn did not run
+	// AbortedFenced is Aborted's commit-fence flavor: the transaction
+	// touched a record fenced by an in-flight cross-shard commit. The
+	// caller should retry, but must not spin on the worker indefinitely —
+	// the fence releases only when the cross-shard commit's apply
+	// transactions (which may be queued behind this very worker) have
+	// run, so a blocked retry loop can deadlock the shard. Callers park
+	// the transaction off the worker queue instead (see doppel's
+	// deferred-retry lane).
+	AbortedFenced
 )
 
 // String implements fmt.Stringer.
@@ -103,9 +120,21 @@ func (o Outcome) String() string {
 		return "user-abort"
 	case Paused:
 		return "paused"
+	case AbortedFenced:
+		return "aborted-fenced"
 	default:
 		return "unknown"
 	}
+}
+
+// FenceTx is implemented by transactions that can execute on behalf of
+// the cross-shard commit holding per-key fences: setting the owning
+// fence token lets the transaction read and write its own fenced
+// records, which every other transaction aborts on. The router's merged
+// revalidate+apply transaction is the only caller.
+type FenceTx interface {
+	// SetFenceToken declares the fence token this transaction owns.
+	SetFenceToken(token uint64)
 }
 
 // Engine is a concurrency-control scheme under test. Worker IDs are

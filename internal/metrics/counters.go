@@ -26,6 +26,13 @@ type TxnStats struct {
 	// non-zero count means an accepted transaction never executed.
 	StashDropped uint64
 
+	// FenceAborts counts attempts that aborted on a commit fence: the
+	// transaction touched a record an in-flight cross-shard commit had
+	// validated but not yet applied. Like Aborted, these are retried;
+	// unlike Aborted they are not conflicts between peers but yields to
+	// the cross-shard protocol.
+	FenceAborts uint64
+
 	ReadLatency  *Hist // commit latency of read-only transactions
 	WriteLatency *Hist // commit latency of transactions that wrote
 }
@@ -46,6 +53,7 @@ func (s *TxnStats) Merge(other *TxnStats) {
 	s.Retries += other.Retries
 	s.MergeFailures += other.MergeFailures
 	s.StashDropped += other.StashDropped
+	s.FenceAborts += other.FenceAborts
 	s.ReadLatency.Merge(other.ReadLatency)
 	s.WriteLatency.Merge(other.WriteLatency)
 }
@@ -53,7 +61,7 @@ func (s *TxnStats) Merge(other *TxnStats) {
 // Reset zeroes all counters and histograms.
 func (s *TxnStats) Reset() {
 	s.Committed, s.Aborted, s.Stashed, s.Retries = 0, 0, 0, 0
-	s.MergeFailures, s.StashDropped = 0, 0
+	s.MergeFailures, s.StashDropped, s.FenceAborts = 0, 0, 0
 	s.ReadLatency.Reset()
 	s.WriteLatency.Reset()
 }
@@ -69,6 +77,6 @@ func (s *TxnStats) Throughput(elapsedNanos int64) float64 {
 
 // String summarizes the counters for logs.
 func (s *TxnStats) String() string {
-	return fmt.Sprintf("committed=%d aborted=%d stashed=%d retries=%d merge_failures=%d stash_dropped=%d",
-		s.Committed, s.Aborted, s.Stashed, s.Retries, s.MergeFailures, s.StashDropped)
+	return fmt.Sprintf("committed=%d aborted=%d stashed=%d retries=%d merge_failures=%d stash_dropped=%d fence_aborts=%d",
+		s.Committed, s.Aborted, s.Stashed, s.Retries, s.MergeFailures, s.StashDropped, s.FenceAborts)
 }

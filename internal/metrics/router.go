@@ -26,11 +26,15 @@ type RouterStats struct {
 	// the body's own error (user abort) instead of committing.
 	CrossShardAborts atomic.Uint64
 	// CrossShardApplyLost counts per-shard commit applications that
-	// failed after the transaction's prepare had validated — a
-	// concurrent single-shard write changed a record's type inside the
-	// prepare→apply window. The affected operation was dropped on that
-	// shard; non-zero means the documented isolation caveat bit.
+	// failed after the transaction's prepare had validated. With commit
+	// fences this is a should-never-fire invariant counter: fenced
+	// records cannot change between prepare validation and apply, so a
+	// non-zero value means the fence protocol was violated (file a bug).
 	CrossShardApplyLost atomic.Uint64
+	// FencedKeys counts per-key commit-fence installations by prepare.
+	// Each cross-shard commit round fences every key it touches, so the
+	// count grows by the transaction's key count per round.
+	FencedKeys atomic.Uint64
 }
 
 // RouterSnapshot is a point-in-time copy of RouterStats.
@@ -41,6 +45,7 @@ type RouterSnapshot struct {
 	CrossShardRetries   uint64
 	CrossShardAborts    uint64
 	CrossShardApplyLost uint64
+	FencedKeys          uint64
 }
 
 // Snapshot copies the counters.
@@ -52,5 +57,6 @@ func (r *RouterStats) Snapshot() RouterSnapshot {
 		CrossShardRetries:   r.CrossShardRetries.Load(),
 		CrossShardAborts:    r.CrossShardAborts.Load(),
 		CrossShardApplyLost: r.CrossShardApplyLost.Load(),
+		FencedKeys:          r.FencedKeys.Load(),
 	}
 }

@@ -1,7 +1,7 @@
 // Package router partitions a keyspace across N independent shard
 // databases and routes transactions to them: whole to one shard when
 // every key the transaction touches lives there (the overwhelmingly
-// common case), or through a minimal two-phase commit when the
+// common case), or through a fenced two-phase commit when the
 // transaction spans shards. doppel.Cluster is the public face; this
 // package holds the mechanism.
 //
@@ -32,12 +32,44 @@
 //     joined-phase path.
 //  2. Prepare: the touched shards' commit locks are taken in ascending
 //     shard-ID order — deterministic ordering, so concurrent
-//     cross-shard transactions cannot deadlock — and every shard with
-//     reads revalidates them in one shard transaction (current value
-//     equal to gathered value, under that shard's own OCC). Any stale
-//     read vetoes: locks release, nothing applied, gather retries.
-//  3. Commit: with every prepare vote in, the buffered writes fan out,
-//     one shard transaction per touched shard, then the locks release.
+//     cross-shard transactions cannot deadlock — then every touched
+//     record is fenced (store.Record.Fence, a per-key intent token) and
+//     every gathered read is revalidated against the record's current
+//     value, read under the record's commit lock. A stale value, a
+//     foreign fence, or a key in an active split phase vetoes: fences
+//     and locks release, nothing applied, gather retries with jittered
+//     backoff.
+//  3. Commit: one shard transaction per shard with writes revalidates
+//     that shard's gathered reads AND replays its buffered writes — per
+//     shard, validate+write is a single atomic OCC commit. The
+//     transaction declares the fence token it owns (engine.FenceTx) so
+//     it passes its own fences. When every apply lands, fences release,
+//     then the commit locks.
+//
+// # Commit fences
+//
+// The fence is what makes a cross-shard commit atomic against
+// single-shard traffic that never touches the router. Every commit path
+// in the shard engine checks the fence word: writers under the record's
+// commit lock, validating readers in their read-validation loop, and
+// execution-time reads as an early abort. A transaction that sees a
+// foreign fence aborts with engine.AbortedFenced and retries once the
+// fence releases (microseconds — but the retry must not block the
+// shard's worker loop, because the releasing apply transaction may be
+// queued behind it; doppel parks such requests off the queue).
+//
+// The record lock orders fence publication against in-flight
+// committers: prepare reads its validation snapshot inside the lock
+// after fencing, and a committer checks fences while holding the same
+// lock — so either the committer finished first and prepare sees its
+// installed value (stale, retry), or the fence is visible to the
+// committer and it yields. Once a read validates with its fence up, the
+// record cannot change until the fences release: every write path
+// aborts on a foreign fence. That makes a commit-stage apply failure
+// unreachable by construction — replay-op type compatibility was
+// checked at gather against the very values prepare revalidated —
+// demoting RouterStats.CrossShardApplyLost to an invariant counter that
+// must read zero.
 //
 // # Invariants and caveats
 //
@@ -45,26 +77,41 @@
 //     rerouting, stale prepares and user aborts all happen before any
 //     shard transaction installs a write.
 //   - Cross-shard transactions are serializable with respect to each
-//     other: the per-shard commit locks make gather-validated state
-//     stable from prepare through commit against every other
-//     cross-shard transaction.
-//   - Single-shard transactions are atomic and serializable per shard,
-//     and never wait on the router: they do not take the commit locks.
-//     The price is a window between a shard's prepare validation and
-//     its commit apply in which an independent single-shard write can
-//     slip in. Commutative operations (Add, Max, Min, Mult, OPut,
-//     TopKInsert) replay as operations and stay correct under that
-//     interleaving; a Put computed from gathered reads can overwrite
-//     the interloper (classic write skew against non-locking writers).
-//     A readers-see-partial-state window likewise exists between the
-//     per-shard applies of one cross-shard commit.
-//   - If a commit-stage apply fails on one shard after prepare
-//     validated (a racing type change), the other shards' applies
-//     stand; the failure is returned to the caller and counted in
-//     RouterStats.CrossShardApplyLost.
+//     other (the per-shard commit locks order them) and atomic against
+//     single-shard transactions (the fences order those): a
+//     single-shard transaction serializes entirely before the
+//     cross-shard commit's prepare or entirely after its last apply.
+//   - Readers cannot observe a cross-shard commit's partial state: a
+//     read-only transaction validates fences along with TIDs, so a
+//     snapshot that validates was taken wholly before prepare (all
+//     fences clear, no apply had run) or wholly after the last apply
+//     (applies bump TIDs, so an in-between snapshot fails the TID
+//     check).
+//   - Unfenced keys pay nothing: the fence check is one atomic load per
+//     record on paths that already load the record's TID word, and
+//     single-shard transactions still never take the router's commit
+//     locks.
+//   - Split-phase interaction: prepare treats a key that is currently
+//     split data as stale (its global record lags the per-core slices),
+//     and the classifier never promotes a fenced key into a split set —
+//     reconciliation merges slices without fence checks, so the two
+//     must not overlap. One narrow race remains: a classifier decision
+//     concurrent with prepare can sample the fence before it installs
+//     and publish the split set after prepare's check. The window is
+//     one split-set construction against one prepare; a retry round
+//     (which re-checks SplitActive) closes it for the transaction, and
+//     reconcile-induced invariant violations would surface in
+//     CrossShardApplyLost.
+//   - RouterStats.CrossShardApplyLost must read zero. Non-zero means a
+//     fenced record changed between prepare validation and apply — a
+//     fence-protocol bug, not an expected workload outcome. The failing
+//     shard's apply is rolled back by its own OCC (validate+write is
+//     one transaction), but other shards' applies stand; the error is
+//     returned to the caller.
 //
-// These relaxations are the "minimal" in minimal 2PC: they trade full
-// external serializability for a zero-overhead single-shard fast path,
-// the trade the paper's workloads (overwhelmingly single-record
-// operations) want.
+// The remaining trade is the paper's: single-record operations — the
+// overwhelming majority — keep a zero-overhead fast path, and only
+// transactions that actually span shards (plus any single-shard
+// transaction unlucky enough to collide with one mid-commit, counted in
+// TxnStats.FenceAborts) pay for coordination.
 package router

@@ -5,9 +5,11 @@ import (
 	"errors"
 	"hash/maphash"
 	"sync"
+	"sync/atomic"
 
 	"doppel/internal/engine"
 	"doppel/internal/metrics"
+	"doppel/internal/store"
 )
 
 // Partitioner maps keys to shards. Implementations must be pure and
@@ -53,11 +55,20 @@ func (p *SeededPartitioner) Shard(key string, shards int) int {
 	return int(maphash.String(p.seed, key) % uint64(shards))
 }
 
-// Shard is the per-shard database surface the router drives.
-// *doppel.DB satisfies it (doppel.TxFunc aliases engine.TxFunc).
+// Shard is the per-shard database surface the router drives. The
+// cluster wraps each *doppel.DB in a backend satisfying it
+// (doppel.TxFunc aliases engine.TxFunc).
 type Shard interface {
 	ExecContext(ctx context.Context, fn engine.TxFunc) error
 	ExecAsync(fn engine.TxFunc, done func(error))
+	// Store exposes the shard's record store. The cross-shard prepare
+	// works at record level: it installs commit fences and reads
+	// validation snapshots directly, without consuming a shard worker.
+	Store() *store.Store
+	// SplitActive reports whether key is split data in the shard's
+	// current phase — its global record then lags the per-core slices,
+	// so a prepare-time snapshot of it is not committed state.
+	SplitActive(key string) bool
 }
 
 // errCrossShard aborts a single-shard attempt that touched a key owned
@@ -81,6 +92,18 @@ type Router struct {
 	// calls pools routedCall frames so the single-shard path allocates
 	// nothing in steady state.
 	calls sync.Pool
+
+	// fenceSeq generates commit-fence tokens. Tokens only need to be
+	// unique among in-flight cross-shard commits, but a global counter is
+	// one uncontended atomic per commit and never recycles early.
+	fenceSeq atomic.Uint64
+
+	// NoFences disables commit-fence installation, reverting prepare to
+	// pure value validation — reopening the prepare→apply lost-update
+	// window. It exists so the conservation stress test can demonstrate
+	// the bug the fences close; never set it in production. It must be
+	// set before any traffic and not changed after.
+	NoFences bool
 }
 
 // New builds a router over shards. A nil part defaults to

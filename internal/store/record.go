@@ -25,7 +25,14 @@ type Record struct {
 	// capGen differs from the active Capture's generation has not been
 	// captured yet.
 	capGen atomic.Uint64
-	mu     sync.RWMutex
+	// fence is the commit-fence word: zero when unfenced, otherwise the
+	// token of the cross-shard two-phase commit that has validated this
+	// record and not yet applied. Committers and validating readers that
+	// observe a foreign token abort and retry; the token's owner (and
+	// only the owner) passes. See internal/router/doc.go for the
+	// protocol.
+	fence atomic.Uint64
+	mu    sync.RWMutex
 }
 
 const lockBit = 1
@@ -164,3 +171,21 @@ func (r *Record) InstallRecovered(v *Value, tid uint64) bool {
 // RWMutex exposes the record's 2PL mutex. Only the 2PL engine uses it;
 // keeping it on the record mirrors the paper's "per-key locks".
 func (r *Record) RWMutex() *sync.RWMutex { return &r.mu }
+
+// Fence installs tok as the record's commit fence. It succeeds when the
+// record is unfenced or already fenced with the same token (re-fencing
+// by the owner is idempotent, so a cross-shard transaction touching a
+// key as both read and write fences it once). tok must be non-zero.
+func (r *Record) Fence(tok uint64) bool {
+	return r.fence.CompareAndSwap(0, tok) || r.fence.Load() == tok
+}
+
+// FenceToken returns the current fence token, zero if unfenced.
+func (r *Record) FenceToken() uint64 { return r.fence.Load() }
+
+// Unfence releases the fence if it is held with tok. Releasing an
+// already-released or foreign fence is a no-op, so failure-path cleanup
+// can release unconditionally.
+func (r *Record) Unfence(tok uint64) {
+	r.fence.CompareAndSwap(tok, 0)
+}

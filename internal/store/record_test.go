@@ -178,3 +178,63 @@ func TestRecordRWMutexDistinct(t *testing.T) {
 	r.Unlock()
 	r.RWMutex().Unlock()
 }
+
+func TestRecordFence(t *testing.T) {
+	r := &Record{}
+	if tok := r.FenceToken(); tok != 0 {
+		t.Fatalf("new record fenced with token %d", tok)
+	}
+	if !r.Fence(7) {
+		t.Fatal("Fence on unfenced record failed")
+	}
+	if tok := r.FenceToken(); tok != 7 {
+		t.Fatalf("FenceToken = %d, want 7", tok)
+	}
+	// Re-fencing by the owner is idempotent (a key touched as both read
+	// and write fences twice).
+	if !r.Fence(7) {
+		t.Fatal("owner re-fence failed")
+	}
+	// A foreign token must not steal the fence.
+	if r.Fence(9) {
+		t.Fatal("foreign fence succeeded over a held fence")
+	}
+	// Foreign release is a no-op.
+	r.Unfence(9)
+	if tok := r.FenceToken(); tok != 7 {
+		t.Fatalf("foreign Unfence changed token to %d", tok)
+	}
+	r.Unfence(7)
+	if tok := r.FenceToken(); tok != 0 {
+		t.Fatalf("token %d after owner release, want 0", tok)
+	}
+	// Double release is a no-op; the record is reusable.
+	r.Unfence(7)
+	if !r.Fence(9) {
+		t.Fatal("Fence after release failed")
+	}
+	r.Unfence(9)
+}
+
+func TestRecordFenceIndependentOfLock(t *testing.T) {
+	// The fence word is separate from the TID/lock word: fencing does
+	// not lock, and locking does not fence.
+	r := &Record{}
+	if !r.Fence(3) {
+		t.Fatal("Fence failed")
+	}
+	if r.Locked() {
+		t.Fatal("fenced record reports locked")
+	}
+	if !r.TryLock() {
+		t.Fatal("TryLock on fenced record failed (fences must not block the lock word)")
+	}
+	if tok := r.FenceToken(); tok != 3 {
+		t.Fatalf("lock cleared fence token: %d", tok)
+	}
+	r.UnlockWithTID(5)
+	if tok := r.FenceToken(); tok != 3 {
+		t.Fatalf("UnlockWithTID cleared fence token: %d", tok)
+	}
+	r.Unfence(3)
+}
