@@ -13,10 +13,12 @@
 //	doppel-bench -recovery -txns 50000       # recovery time: full replay vs after a checkpoint
 //	doppel-bench -checkpoint                 # checkpoint cost vs store size (barrier/walk/alloc)
 //	doppel-bench -throughput -duration 2s    # steady-state ops/sec + allocs/op, joined vs split mixes
+//	doppel-bench -replication -duration 2s   # replication lag vs write throughput with a WAL-tailing follower
 //	doppel-bench -recovery -json             # additionally write BENCH_recovery.json
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -53,6 +55,7 @@ func main() {
 	recovery := flag.Bool("recovery", false, "measure recovery time: full WAL replay vs bounded replay after a checkpoint")
 	ckptMode := flag.Bool("checkpoint", false, "measure checkpoint cost (barrier, walk, allocation) across store sizes")
 	tputMode := flag.Bool("throughput", false, "measure steady-state transaction throughput, latency and allocs/op across phase mixes")
+	replMode := flag.Bool("replication", false, "measure replication lag vs write throughput with a WAL-tailing follower")
 	jsonOut := flag.Bool("json", false, "recovery/checkpoint modes: also write machine-readable BENCH_<mode>.json")
 	txns := flag.Int("txns", 50_000, "recovery mode: transactions to log before measuring")
 	segBytes := flag.Int64("segment-bytes", 128<<10, "recovery mode: WAL segment size (small values force a multi-segment log)")
@@ -68,6 +71,10 @@ func main() {
 
 	if *tputMode {
 		runThroughput(*workers, *duration, *jsonOut, *shards)
+		return
+	}
+	if *replMode {
+		runReplication(*duration, *jsonOut)
 		return
 	}
 	if *recovery {
@@ -260,15 +267,179 @@ type benchReport struct {
 // directory so CI can track the perf trajectory across PRs.
 func writeBenchJSON(report benchReport) {
 	report.Version = 1
-	raw, err := json.MarshalIndent(report, "", "  ")
+	writeJSONDoc(report.Mode, report)
+}
+
+// writeJSONDoc writes any report document to BENCH_<mode>.json; modes
+// whose rows don't fit benchRow (replication) bring their own document
+// type and call this directly.
+func writeJSONDoc(mode string, doc any) {
+	raw, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		log.Fatal(err)
 	}
-	name := "BENCH_" + report.Mode + ".json"
+	name := "BENCH_" + mode + ".json"
 	if err := os.WriteFile(name, append(raw, '\n'), 0o644); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("wrote %s\n", name)
+}
+
+// replRow is one replication measurement. None of the fields are
+// omitempty: CI asserts their presence on every row, and a measured
+// zero (an idle follower's lag) must not make the key vanish.
+type replRow struct {
+	Mode           string  `json:"mode"`
+	NS             int64   `json:"ns"`
+	WriteOpsPerSec float64 `json:"write_ops_per_sec"`
+	Committed      uint64  `json:"committed"`
+	AppliedLSN     uint64  `json:"applied_lsn"`
+	LagRecords     float64 `json:"lag_records"`
+	LagRecordsMax  int64   `json:"lag_records_max"`
+	CatchupNS      int64   `json:"catchup_ns"`
+}
+
+// replReport is the BENCH_replication.json document.
+type replReport struct {
+	Mode    string            `json:"mode"`
+	Config  map[string]string `json:"config"`
+	Rows    []replRow         `json:"rows"`
+	Version int               `json:"version"`
+}
+
+// runReplication measures what replication costs and how far behind a
+// follower runs: for each primary worker count, 2w client goroutines
+// drive uniform single-key increments while a follower tails the
+// primary's WAL directory. A 1ms sampler records the replication lag —
+// the primary's durable record count minus the follower's applied
+// watermark — whose mean and max land in the row alongside the write
+// throughput. After the writers stop and the primary closes, the row's
+// catch-up time is how long the follower takes to drain the remaining
+// gap to the log's true end.
+func runReplication(dur time.Duration, jsonOut bool) {
+	const keys = 10_000
+	const poll = 200 * time.Microsecond
+	ks := workload.NewKeySpace('k', keys)
+
+	fmt.Printf("# replication lag vs write throughput: follower tails the WAL at poll=%v, %v per row\n", poll, dur)
+	fmt.Printf("%-14s %14s %12s %12s %12s %12s %12s\n",
+		"mode", "write txn/s", "committed", "applied", "lag(mean)", "lag(max)", "catch-up")
+	var rows []replRow
+
+	for _, w := range []int{1, 2, 4} {
+		dir, err := os.MkdirTemp("", "doppel-replication-")
+		if err != nil {
+			log.Fatal(err)
+		}
+		db, err := doppel.OpenErr(doppel.Options{Workers: w, RedoLog: dir})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := doppel.OpenFollower(dir, doppel.FollowerOptions{PollInterval: poll})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		clients := 2 * w
+		counts := make([]uint64, clients)
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		begin := time.Now()
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				r := rng.New(uint64(100 + c))
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					key := ks.Key(r.Intn(keys))
+					if err := db.Exec(func(tx doppel.Tx) error { return tx.Add(key, 1) }); err != nil {
+						log.Fatal(err)
+					}
+					counts[c]++
+				}
+			}(c)
+		}
+
+		// Sample the lag every millisecond while the writers run.
+		var lagSum, lagMax, lagN int64
+		samplerDone := make(chan struct{})
+		go func() {
+			defer close(samplerDone)
+			tick := time.NewTicker(time.Millisecond)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+					lag := int64(db.DurableLSN()) - int64(rep.AppliedLSN())
+					if lag < 0 {
+						lag = 0
+					}
+					lagSum += lag
+					lagN++
+					if lag > lagMax {
+						lagMax = lag
+					}
+				}
+			}
+		}()
+
+		time.Sleep(dur)
+		close(stop)
+		wg.Wait()
+		<-samplerDone
+		elapsed := time.Since(begin)
+		db.Close() // final flush: LogPosition is now the log's true end
+
+		catchStart := time.Now()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		if err := rep.WaitPosition(ctx, db.LogPosition()); err != nil {
+			log.Fatalf("follower never caught up to %s (at %s): %v", db.LogPosition(), rep.Position(), err)
+		}
+		cancel()
+		catchup := time.Since(catchStart)
+
+		var committed uint64
+		for _, n := range counts {
+			committed += n
+		}
+		lagMean := 0.0
+		if lagN > 0 {
+			lagMean = float64(lagSum) / float64(lagN)
+		}
+		tput := float64(committed) / elapsed.Seconds()
+		mode := fmt.Sprintf("repl-%dw", w)
+		fmt.Printf("%-14s %14.0f %12d %12d %12.1f %12d %12v\n",
+			mode, tput, committed, rep.AppliedLSN(), lagMean, lagMax, catchup)
+		rows = append(rows, replRow{
+			Mode: mode, NS: elapsed.Nanoseconds(),
+			WriteOpsPerSec: tput, Committed: committed,
+			AppliedLSN: rep.AppliedLSN(),
+			LagRecords: lagMean, LagRecordsMax: lagMax,
+			CatchupNS: catchup.Nanoseconds(),
+		})
+		rep.Close()
+		os.RemoveAll(dir)
+	}
+
+	if jsonOut {
+		writeJSONDoc("replication", replReport{
+			Mode: "replication",
+			Config: map[string]string{
+				"keys":     fmt.Sprint(keys),
+				"duration": dur.String(),
+				"poll":     poll.String(),
+			},
+			Rows:    rows,
+			Version: 1,
+		})
+	}
 }
 
 // runThroughput measures the transaction hot path in steady state —

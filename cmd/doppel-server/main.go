@@ -41,6 +41,8 @@ func main() {
 	ckptFrames := flag.Int("checkpoint-frame-buffer", 0, "snapshot entries buffered between the checkpoint walker and writer (0 = default)")
 	walFailStop := flag.Bool("wal-fail-stop", false, "refuse new transactions once the redo logger has failed terminally")
 	syncCommit := flag.Bool("sync-commit", false, "acknowledge commits only after their redo record's group commit is fsynced")
+	follow := flag.Bool("follow", false, "serve read-only from a replica tailing the -wal directory (writes fail; the primary may be a separate process)")
+	followPoll := flag.Duration("follow-poll", time.Millisecond, "replica tail polling interval with -follow")
 	flag.Parse()
 
 	opts := doppel.Options{Workers: *workers}
@@ -63,7 +65,34 @@ func main() {
 		checkpoint func() error
 		closeAll   func()
 	)
-	if *shards > 1 {
+	if *follow {
+		if !durable {
+			log.Fatal("-follow requires -wal (the directory to tail)")
+		}
+		if *shards > 1 {
+			log.Fatal("-follow serves a single directory; combine one follower per shard instead of -shards")
+		}
+		rep, err := doppel.OpenFollower(*walDir, doppel.FollowerOptions{
+			PollInterval:        *followPoll,
+			RecoveryParallelism: *recoveryPar,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rs := rep.Stats()
+		log.Printf("following %s: snapshot %d records, tail at %s", *walDir, rs.SnapshotEntries, rs.Position)
+		backend, closeAll = rep, rep.Close
+		checkpoint = func() error { return fmt.Errorf("follower is read-only; checkpoint on the primary") }
+		dbStats = func() string {
+			s := rep.Stats()
+			out := fmt.Sprintf("follower applied_lsn=%d position=%s snapshot_entries=%d polls=%d manifest_reads=%d",
+				s.AppliedLSN, s.Position, s.SnapshotEntries, s.Polls, s.ManifestReads)
+			if s.TailError != "" {
+				out += fmt.Sprintf(" tail_error=%q", s.TailError)
+			}
+			return out
+		}
+	} else if *shards > 1 {
 		copts := doppel.ClusterOptions{Shards: *shards, DB: opts}
 		var cl *doppel.Cluster
 		if durable {

@@ -557,6 +557,28 @@ func (db *DB) WALErr() error {
 	return db.redo.Err()
 }
 
+// DurableLSN returns the redo log's durability watermark: every record
+// whose LSN is at or below it has been written and fsynced. Zero when
+// logging is disabled. Compared against a Replica's AppliedLSN it is
+// the replication lag in records.
+func (db *DB) DurableLSN() uint64 {
+	if db.redo == nil {
+		return 0
+	}
+	return db.redo.Durable()
+}
+
+// LogPosition returns the redo log's durable byte position — the
+// replication offset a follower must reach to have applied every
+// acknowledged commit. Zero when logging is disabled. After Close the
+// final flush has run, so the value is the log's true end.
+func (db *DB) LogPosition() LogPosition {
+	if db.redo == nil {
+		return LogPosition{}
+	}
+	return db.redo.DurablePosition()
+}
+
 // SplitHint manually labels key as split data for op (§5.5 of the
 // paper). The classifier handles hot keys automatically; hints are for
 // workloads whose contention the application can predict.

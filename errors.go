@@ -1,6 +1,10 @@
 package doppel
 
-import "errors"
+import (
+	"errors"
+
+	"doppel/internal/repl"
+)
 
 // Sentinel errors. API errors that callers are expected to branch on
 // are exported here and matchable with errors.Is; richer messages wrap
@@ -23,3 +27,9 @@ var (
 	// unrecoverable; use Recover for existing directories.
 	ErrLogExists = errors.New("doppel: directory contains an existing log; use Recover")
 )
+
+// ErrReadOnly reports a write operation inside a Replica view. A replica
+// applies only what the primary's log dictates; a local write would
+// diverge and be silently overwritten by replay. It aliases the internal
+// sentinel so errors.Is matches whichever layer reported it.
+var ErrReadOnly = repl.ErrReadOnly

@@ -373,14 +373,9 @@ func LoadStore(dir string, opts LoadOptions) (*store.Store, LoadResult, error) {
 	snapDone <- nil // replaced below when there is a snapshot to load
 	if man.Snapshot != "" {
 		loadSnap := func() error {
-			f, err := os.Open(filepath.Join(dir, man.Snapshot))
+			n, err := LoadSnapshot(dir, man, st, par, opts.Overlap)
 			if err != nil {
-				return fmt.Errorf("checkpoint: manifest names missing snapshot: %w", err)
-			}
-			n, err := store.ReadSnapshotInto(f, st, par, opts.Overlap)
-			f.Close()
-			if err != nil {
-				return fmt.Errorf("checkpoint: %s: %w", man.Snapshot, err)
+				return err
 			}
 			res.SnapshotEntries = n
 			return nil
@@ -455,6 +450,33 @@ func LoadStore(dir string, opts LoadOptions) (*store.Store, LoadResult, error) {
 		res.Records += s.Records
 	}
 	return st, res, nil
+}
+
+// LoadSnapshot loads the snapshot file named by man into st with
+// par-way parallel decode (values below 1 mean GOMAXPROCS) and returns
+// the entry count. tidFiltered selects the per-key highest-TID-wins
+// install filter (see store.ReadSnapshotInto) — required whenever redo
+// records may install into st before or concurrently with the snapshot,
+// as in overlapped recovery and a replication follower's catch-up. A
+// manifest naming no snapshot is a no-op. Exposed so a follower can
+// bootstrap from the checkpoint exactly the way recovery does.
+func LoadSnapshot(dir string, man wal.Manifest, st *store.Store, par int, tidFiltered bool) (int, error) {
+	if man.Snapshot == "" {
+		return 0, nil
+	}
+	if par < 1 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	f, err := os.Open(filepath.Join(dir, man.Snapshot))
+	if err != nil {
+		return 0, fmt.Errorf("checkpoint: manifest names missing snapshot: %w", err)
+	}
+	defer f.Close()
+	n, err := store.ReadSnapshotInto(f, st, par, tidFiltered)
+	if err != nil {
+		return 0, fmt.Errorf("checkpoint: %s: %w", man.Snapshot, err)
+	}
+	return n, nil
 }
 
 // replaySegmentInto replays one segment into st and returns its record

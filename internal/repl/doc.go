@@ -1,0 +1,51 @@
+// Package repl implements WAL-shipping replication: a Follower tails a
+// primary's redo-log segment directory and replays it into a local
+// store, serving reads frozen at an applied-LSN watermark.
+//
+// The design leans entirely on contracts the log already keeps, and it
+// is worth stating the invariants explicitly because every piece of the
+// follower is justified by one of them:
+//
+//  1. Log order is apply order. The primary's group committer writes
+//     whole record frames, in LSN order, append-only. The follower's
+//     cursor consumes frames in file order, so the i-th record it
+//     applies is the record the primary assigned LSN i (within one
+//     primary session over a fresh log; across sessions, byte
+//     positions — wal.Position — are the durable coordinate).
+//  2. Per-key TIDs are monotone in log order, so replaying through the
+//     highest-TID-wins filter (store.Record.InstallRecovered) is
+//     idempotent and converges to the primary's state: exactly the
+//     property recovery relies on, reused unchanged.
+//  3. Only unacknowledged bytes are ever torn. An undecodable frame at
+//     the tail of the open segment is either a group commit in flight
+//     or a torn tail a primary crash left; both resolve by re-reading
+//     from the same offset later (the primary's reopen trims torn
+//     bytes before appending new ones). The follower therefore never
+//     buffers partial frames across polls and never applies past a
+//     torn tail.
+//  4. A segment's successor exists only after its seal is durable, so
+//     undecodable bytes in a segment whose successor exists are real
+//     corruption; the follower fails loudly, like recovery, and
+//     cross-checks the manifest's sealed record-count/TID-range
+//     metadata at every segment handoff.
+//  5. Watermark reads are record-atomic and monotone: the apply loop
+//     installs each record's ops and advances the watermark inside one
+//     write-locked critical section, and views read under the read
+//     lock — so a view observes a prefix of the log, whole records
+//     only, and a watermark at least as new as anything it read.
+//  6. The checkpoint snapshot plus live segments reconstruct the
+//     store (recovery's contract); the follower bootstraps through
+//     checkpoint.LoadSnapshot and tails from the manifest's snapshot
+//     sequence, so catch-up cost is bounded by checkpoint age, not log
+//     age.
+//  7. Promotion is recovery at the log's end: fence the primary (the
+//     directory flock), drain to EOF, then reopen the log for
+//     appending over the already-materialized store. The torn-tail
+//     trim at reopen is the "seal": every acknowledged record
+//     survives, unacknowledged bytes are discarded.
+//
+// The follower is deliberately pull-based — it shares no memory with
+// the primary and needs nothing from it but the directory. Anything
+// that can read the files (eventually, a network fetch layer) can run a
+// replica.
+package repl

@@ -1,0 +1,297 @@
+package repl
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"doppel/internal/checkpoint"
+	"doppel/internal/engine"
+	"doppel/internal/store"
+	"doppel/internal/wal"
+)
+
+// ErrReadOnly reports a write operation attempted inside a replica
+// view. Replicas apply only what the primary's log tells them to; a
+// local write would diverge and be silently overwritten by replay.
+var ErrReadOnly = errors.New("repl: replica is read-only")
+
+// ErrStopped reports an operation on a Follower whose tail loop has
+// stopped (Close or Drain).
+var ErrStopped = errors.New("repl: follower stopped")
+
+// Options tunes a Follower.
+type Options struct {
+	// Poll is the tail polling interval; values <= 0 mean 1ms.
+	Poll time.Duration
+	// Parallelism caps the goroutines used to decode the bootstrap
+	// snapshot; values below 1 mean GOMAXPROCS.
+	Parallelism int
+}
+
+// Stats is a point-in-time snapshot of a Follower's progress.
+type Stats struct {
+	// AppliedLSN is the follower's applied-record watermark.
+	AppliedLSN uint64
+	// Position is the log byte position the follower has consumed to.
+	Position wal.Position
+	// SnapshotEntries is how many records the bootstrap snapshot held.
+	SnapshotEntries int
+	// Tail carries the cursor's cumulative I/O counters.
+	Tail wal.TailStats
+	// Err is the terminal tail error, "" while healthy.
+	Err string
+}
+
+// Follower replays a primary's redo log into a local store as the log
+// grows, and serves reads frozen at its applied watermark. See doc.go
+// for the invariants it maintains.
+type Follower struct {
+	dir  string
+	st   *store.Store
+	cur  *wal.Cursor
+	poll time.Duration
+
+	snapshotEntries int
+
+	// applyMu orders record application against views: the apply loop
+	// write-locks around each record's installs plus the watermark
+	// advance, so a View (read lock) always observes whole records and a
+	// watermark no older than anything it read.
+	applyMu sync.RWMutex
+	applied atomic.Uint64
+	pos     atomic.Pointer[wal.Position]
+
+	// mu guards the terminal error and the cursor-stats mirror (the
+	// cursor itself is owned by the tail loop, then by Drain).
+	mu        sync.Mutex
+	tailStats wal.TailStats
+	termErr   error
+
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+}
+
+// Open starts a follower over the log directory at dir: it loads the
+// checkpoint snapshot the manifest names (if any) exactly as recovery
+// would, then begins tailing the segments. The primary may be live or
+// absent; a missing or empty directory simply waits for the primary's
+// first append.
+func Open(dir string, opts Options) (*Follower, error) {
+	cur, man, err := wal.OpenCursor(dir)
+	if err != nil {
+		return nil, err
+	}
+	st := store.New()
+	// tidFiltered=true: redo records in live segments are replayed after
+	// (and during catch-up, conceptually concurrently with) the snapshot,
+	// so installs must go through the highest-TID-wins filter.
+	n, err := checkpoint.LoadSnapshot(dir, man, st, opts.Parallelism, true)
+	if err != nil {
+		cur.Close()
+		return nil, err
+	}
+	poll := opts.Poll
+	if poll <= 0 {
+		poll = time.Millisecond
+	}
+	f := &Follower{
+		dir:             dir,
+		st:              st,
+		cur:             cur,
+		poll:            poll,
+		snapshotEntries: n,
+		stop:            make(chan struct{}),
+		done:            make(chan struct{}),
+	}
+	p := cur.Position()
+	f.pos.Store(&p)
+	go f.loop()
+	return f, nil
+}
+
+// loop is the tail goroutine: poll, apply, publish, until stopped or a
+// terminal error.
+func (f *Follower) loop() {
+	defer close(f.done)
+	t := time.NewTicker(f.poll)
+	defer t.Stop()
+	for {
+		select {
+		case <-f.stop:
+			return
+		case <-t.C:
+			if _, err := f.pollOnce(); err != nil {
+				f.mu.Lock()
+				f.termErr = err
+				f.mu.Unlock()
+				return
+			}
+		}
+	}
+}
+
+// pollOnce applies everything newly visible and publishes the resulting
+// position and stats, returning how many records it applied.
+func (f *Follower) pollOnce() (int, error) {
+	n, err := f.cur.Next(f.applyRecord)
+	p := f.cur.Position()
+	f.pos.Store(&p)
+	f.mu.Lock()
+	f.tailStats = f.cur.Stats()
+	f.mu.Unlock()
+	return n, err
+}
+
+// applyRecord installs one redo record's ops under the per-key
+// highest-TID-wins rule and advances the applied watermark, all inside
+// one applyMu critical section — a concurrent View sees either none or
+// all of the record, and any view that observes one of its writes
+// observes a watermark at or above its LSN.
+func (f *Follower) applyRecord(rec wal.Record) error {
+	f.applyMu.Lock()
+	defer f.applyMu.Unlock()
+	for _, op := range rec.Ops {
+		sr, _ := f.st.GetOrCreate(op.Key)
+		// Optimistic staleness check before paying for the decode, as in
+		// checkpoint replay; InstallRecovered re-validates under the
+		// record lock.
+		if tid, _ := sr.TIDWord(); tid > rec.TID {
+			continue
+		}
+		v, err := store.DecodeValue(op.Value)
+		if err != nil {
+			return fmt.Errorf("repl: corrupt redo value for %q: %w", op.Key, err)
+		}
+		sr.InstallRecovered(v, rec.TID)
+	}
+	f.applied.Add(1)
+	return nil
+}
+
+// View runs fn against the replica frozen at its applied watermark:
+// application is held off for the duration, so every read observes the
+// same log prefix. It returns the watermark LSN the view ran at —
+// exactly how many records had been applied when fn's reads executed.
+// Write operations inside fn fail with ErrReadOnly.
+func (f *Follower) View(fn engine.TxFunc) (uint64, error) {
+	f.applyMu.RLock()
+	defer f.applyMu.RUnlock()
+	err := fn(&readTx{st: f.st})
+	return f.applied.Load(), err
+}
+
+// AppliedLSN returns the applied-record watermark: how many redo
+// records the follower has installed, in log order. For a log written
+// by a single primary session it equals the primary's LSN for the same
+// record, making Durable()-vs-AppliedLSN the replication lag in
+// records.
+func (f *Follower) AppliedLSN() uint64 { return f.applied.Load() }
+
+// Position returns the log byte position the follower has consumed to;
+// it is directly comparable with the primary's DurablePosition across
+// primary restarts.
+func (f *Follower) Position() wal.Position { return *f.pos.Load() }
+
+// SnapshotEntries returns how many records the bootstrap snapshot held.
+func (f *Follower) SnapshotEntries() int { return f.snapshotEntries }
+
+// Store exposes the replica's store for equivalence checks; callers
+// must treat it as read-only.
+func (f *Follower) Store() *store.Store { return f.st }
+
+// Err returns the tail loop's terminal error, if any. A non-nil result
+// means the follower has stopped applying (sealed-segment corruption,
+// manifest damage, or its position was garbage-collected) and must be
+// rebuilt from the current checkpoint.
+func (f *Follower) Err() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.termErr
+}
+
+// Stats returns a point-in-time progress snapshot.
+func (f *Follower) Stats() Stats {
+	f.mu.Lock()
+	ts, terr := f.tailStats, f.termErr
+	f.mu.Unlock()
+	s := Stats{
+		AppliedLSN:      f.applied.Load(),
+		Position:        f.Position(),
+		SnapshotEntries: f.snapshotEntries,
+		Tail:            ts,
+	}
+	if terr != nil {
+		s.Err = terr.Error()
+	}
+	return s
+}
+
+// WaitPosition blocks until the follower's applied position reaches at
+// least pos, the follower stops or fails, or ctx expires.
+func (f *Follower) WaitPosition(ctx context.Context, pos wal.Position) error {
+	for {
+		if !f.Position().Less(pos) {
+			return nil
+		}
+		if err := f.Err(); err != nil {
+			return err
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-f.done:
+			// One last check: the loop may have stopped after reaching pos.
+			if !f.Position().Less(pos) {
+				return nil
+			}
+			if err := f.Err(); err != nil {
+				return err
+			}
+			return ErrStopped
+		case <-time.After(f.poll):
+		}
+	}
+}
+
+// stopLoop halts the tail goroutine and waits for it to exit.
+func (f *Follower) stopLoop() {
+	f.stopOnce.Do(func() { close(f.stop) })
+	<-f.done
+}
+
+// Close stops the tail loop and releases the cursor. It does not drain:
+// records not yet applied stay in the log.
+func (f *Follower) Close() error {
+	f.stopLoop()
+	return f.cur.Close()
+}
+
+// Drain stops the periodic tail loop and synchronously applies every
+// record still visible in the log, returning the final position. The
+// caller must fence out the primary first (hold the directory lock);
+// otherwise new records can land after the final read. The follower no
+// longer tails afterwards, but View keeps working — promotion reads the
+// drained store through it.
+func (f *Follower) Drain() (wal.Position, error) {
+	f.stopLoop()
+	if err := f.Err(); err != nil {
+		return f.Position(), err
+	}
+	for {
+		n, err := f.pollOnce()
+		if err != nil {
+			f.mu.Lock()
+			f.termErr = err
+			f.mu.Unlock()
+			return f.Position(), err
+		}
+		if n == 0 {
+			return f.Position(), nil
+		}
+	}
+}

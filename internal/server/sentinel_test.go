@@ -21,6 +21,7 @@ func TestSentinelErrorsCrossTheWire(t *testing.T) {
 		{"fail-closed", doppel.ErrClosed},
 		{"fail-requires-redo", doppel.ErrRequiresRedoLog},
 		{"fail-log-exists", doppel.ErrLogExists},
+		{"fail-read-only", doppel.ErrReadOnly},
 	}
 	for _, tc := range cases {
 		sentinel := tc.sentinel

@@ -52,6 +52,7 @@ const (
 	statusErrClosed          = 3 // body wraps doppel.ErrClosed
 	statusErrRequiresRedoLog = 4 // body wraps doppel.ErrRequiresRedoLog
 	statusErrLogExists       = 5 // body wraps doppel.ErrLogExists
+	statusErrReadOnly        = 6 // body wraps doppel.ErrReadOnly
 )
 
 // statusForError picks the response status for a handler failure,
@@ -64,6 +65,8 @@ func statusForError(err error) byte {
 		return statusErrRequiresRedoLog
 	case errors.Is(err, doppel.ErrLogExists):
 		return statusErrLogExists
+	case errors.Is(err, doppel.ErrReadOnly):
+		return statusErrReadOnly
 	default:
 		return statusErr
 	}
@@ -79,6 +82,8 @@ func sentinelFor(status byte) error {
 		return doppel.ErrRequiresRedoLog
 	case statusErrLogExists:
 		return doppel.ErrLogExists
+	case statusErrReadOnly:
+		return doppel.ErrReadOnly
 	default:
 		return nil
 	}

@@ -1,0 +1,364 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// Position identifies a byte boundary in a segmented log: the segment's
+// sequence number and a byte offset within it. Because segments seal on
+// record boundaries and group commits append whole frames, every
+// Position a Logger or Cursor reports lies on a record boundary. A
+// primary's durable position and a follower's applied position are
+// directly comparable: replication lag is the distance between them.
+//
+// The zero Position is "before everything" — it compares less than any
+// position inside a real segment (sequence numbers start at 1).
+type Position struct {
+	// Seq is the segment sequence number.
+	Seq uint64
+	// Offset is the byte offset within segment Seq.
+	Offset int64
+}
+
+// Less reports whether p is strictly before q in log order.
+func (p Position) Less(q Position) bool {
+	if p.Seq != q.Seq {
+		return p.Seq < q.Seq
+	}
+	return p.Offset < q.Offset
+}
+
+// IsZero reports whether p is the zero Position.
+func (p Position) IsZero() bool { return p == Position{} }
+
+// String renders p as "seq:offset".
+func (p Position) String() string { return fmt.Sprintf("%d:%d", p.Seq, p.Offset) }
+
+// ErrTailGCed reports that a cursor's next segment was deleted by a
+// checkpoint's garbage collection before the cursor read it. The cursor
+// can never catch up from segments alone; the caller must restart from
+// the current snapshot.
+var ErrTailGCed = errors.New("wal: tail position garbage-collected")
+
+// TailStats counts the I/O a Cursor has performed. The interesting
+// property is what does NOT grow: an idle poll on an unchanged segment
+// costs one fstat and touches neither the manifest nor any sealed
+// segment, so steady-state tailing is O(1) per poll regardless of how
+// many segments the directory holds (unlike ReplayDir, which re-reads
+// the manifest and rescans every live segment on each call).
+type TailStats struct {
+	// Polls counts Next calls.
+	Polls uint64
+	// Records counts records emitted to the apply callback.
+	Records uint64
+	// ManifestReads counts manifest loads: one at OpenCursor, one per
+	// sealed-segment handoff, one per probe of a missing segment file.
+	ManifestReads uint64
+	// SegmentOpens counts segment file opens: one per segment, ever —
+	// the cursor holds the open segment's descriptor across polls.
+	SegmentOpens uint64
+}
+
+// Cursor is an incremental reader over a Logger's segment directory,
+// built for tailing a live log that another process is appending to.
+// It remembers the byte offset it has consumed and, on each Next call,
+// applies only the complete records that appeared since — never
+// rescanning sealed segments or re-reading the manifest on the idle
+// path.
+//
+// Torn-tail tolerance: an undecodable frame at the tail of the open
+// segment is indistinguishable from a group commit still being written,
+// so the cursor stops before it without error and re-reads from the
+// same offset next poll. If the primary crashed and its reopen trimmed
+// those bytes, the re-read simply sees the trimmed file (possibly with
+// new records appended); nothing stale is ever carried across polls.
+// The same bytes at the tail of a sealed segment — one whose successor
+// exists, which the primary creates only after the seal is durable —
+// are real corruption and fail loudly, exactly as ReplayDir treats
+// sealed segments. Where the manifest recorded a sealed segment's
+// metadata, the cursor additionally checks its observed record count
+// and TID range against it before moving on.
+//
+// A Cursor is not safe for concurrent use.
+type Cursor struct {
+	dir string
+	seq uint64 // segment currently being consumed
+	off int64  // bytes of seq consumed (always a record boundary)
+	f   *os.File
+	// meta accumulates the record count and TID range observed in the
+	// current segment, checked against the manifest at the seal handoff.
+	meta  SegmentMeta
+	buf   []byte
+	stats TailStats
+}
+
+// OpenCursor positions a new cursor at the start of dir's live log: the
+// first segment not covered by the manifest's snapshot. It returns the
+// manifest it read so the caller can load the snapshot (the state the
+// log's records build on) before tailing. A directory that does not
+// exist yet, or holds no segments, yields a cursor that waits at the
+// log's start for the primary's first append.
+func OpenCursor(dir string) (*Cursor, Manifest, error) {
+	c := &Cursor{dir: dir, seq: 1}
+	c.stats.ManifestReads++
+	man, live, err := LiveSegments(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			// The primary has not created the directory yet; start at
+			// segment 1 and wait for it.
+			c.meta = SegmentMeta{Seq: c.seq}
+			return c, Manifest{}, nil
+		}
+		return nil, Manifest{}, err
+	}
+	if len(live) > 0 {
+		c.seq = live[0].Seq
+	} else if man.SnapshotSeq > 0 {
+		c.seq = man.SnapshotSeq
+	}
+	c.meta = SegmentMeta{Seq: c.seq}
+	return c, man, nil
+}
+
+// Position returns the cursor's current position: every record before
+// it has been passed to apply, nothing at or after it has.
+func (c *Cursor) Position() Position { return Position{Seq: c.seq, Offset: c.off} }
+
+// Stats returns the cursor's cumulative I/O counters.
+func (c *Cursor) Stats() TailStats { return c.stats }
+
+// Close releases the cursor's open segment handle, if any.
+func (c *Cursor) Close() error {
+	if c.f != nil {
+		err := c.f.Close()
+		c.f = nil
+		return err
+	}
+	return nil
+}
+
+// Next applies every record that has become visible since the previous
+// call, crossing sealed-segment boundaries as needed, and returns how
+// many records it applied. A nil error with a zero count means the log
+// simply has nothing new. Errors are terminal for the cursor: sealed
+// segment corruption, a manifest that fails its checksum, a segment
+// garbage-collected out from under the cursor (ErrTailGCed), or a
+// failure returned by apply itself.
+func (c *Cursor) Next(apply func(Record) error) (int, error) {
+	c.stats.Polls++
+	n := 0
+	for {
+		// Order matters: observe the successor BEFORE draining. advance()
+		// makes the seal durable before creating the successor file, so a
+		// successor seen here proves every byte of the current segment was
+		// final when the drain below read it — undecodable bytes are then
+		// corruption, not an in-flight append. Probing in the other order
+		// could see a mid-poll seal and misread an in-flight tail as
+		// corrupt.
+		sealed, err := c.successorExists()
+		if err != nil {
+			return n, err
+		}
+		k, err := c.drain(apply)
+		n += k
+		if err != nil {
+			return n, err
+		}
+		if !sealed {
+			return n, nil
+		}
+		if err := c.finishSegment(); err != nil {
+			return n, err
+		}
+	}
+}
+
+// successorExists reports whether segment seq+1 exists, which is the
+// durable evidence that segment seq is sealed.
+func (c *Cursor) successorExists() (bool, error) {
+	_, err := os.Stat(filepath.Join(c.dir, segmentName(c.seq+1)))
+	if err == nil {
+		return true, nil
+	}
+	if os.IsNotExist(err) {
+		return false, nil
+	}
+	return false, err
+}
+
+// drain reads the current segment from the cursor's offset and applies
+// every complete, valid record it finds, stopping without error at the
+// first frame it cannot decode (an in-flight group commit or a torn
+// tail — resolved by re-reading on a later poll).
+func (c *Cursor) drain(apply func(Record) error) (int, error) {
+	if c.f == nil {
+		f, err := os.Open(filepath.Join(c.dir, segmentName(c.seq)))
+		if err != nil {
+			if os.IsNotExist(err) {
+				return 0, c.missingSegment()
+			}
+			return 0, err
+		}
+		c.f = f
+		c.stats.SegmentOpens++
+	}
+	fi, err := c.f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	avail := fi.Size() - c.off
+	if avail <= 0 {
+		// Nothing new. (A size below our offset would mean the primary
+		// trimmed bytes we already applied; that cannot happen for
+		// records — only unacknowledged torn bytes are ever trimmed, and
+		// the cursor never applies those.)
+		return 0, nil
+	}
+	if int64(cap(c.buf)) < avail {
+		c.buf = make([]byte, avail)
+	}
+	buf := c.buf[:avail]
+	// A short read (the file shrank between Stat and ReadAt, e.g. a
+	// primary reopen trimming its torn tail) just narrows this poll's
+	// view; the scanner stops at the truncation like any torn frame.
+	nr, err := c.f.ReadAt(buf, c.off)
+	if err != nil && nr == 0 {
+		return 0, nil
+	}
+	buf = buf[:nr]
+	applied := 0
+	for {
+		rec, frameLen, ok := scanFrame(buf)
+		if !ok {
+			break
+		}
+		if err := apply(rec); err != nil {
+			return applied, err
+		}
+		buf = buf[frameLen:]
+		c.off += int64(frameLen)
+		c.meta.extendTID(rec.TID)
+		c.stats.Records++
+		applied++
+	}
+	return applied, nil
+}
+
+// missingSegment distinguishes "the segment does not exist yet" (the
+// primary has not created it — keep waiting) from "a checkpoint
+// garbage-collected it" (the cursor fell irrecoverably behind).
+func (c *Cursor) missingSegment() error {
+	man, _, err := ReadManifest(c.dir)
+	c.stats.ManifestReads++
+	if err != nil {
+		return err
+	}
+	if man.SnapshotSeq > c.seq {
+		return fmt.Errorf("wal: segment %d gone, snapshot now starts at %d: %w",
+			c.seq, man.SnapshotSeq, ErrTailGCed)
+	}
+	return nil
+}
+
+// finishSegment validates the fully-consumed sealed segment and steps
+// the cursor to its successor. The successor's existence (checked by
+// the caller) proves the seal, so a trailing byte the scanner could not
+// consume is corruption — the same rule ReplayDir applies to all but
+// the newest segment. Where the manifest recorded the sealed segment's
+// metadata, the cursor's observed record count and TID range must match
+// it exactly; this catches damage that still decodes cleanly, such as a
+// dropped buffered write ending on a record boundary.
+func (c *Cursor) finishSegment() error {
+	if c.f == nil {
+		// The segment vanished while its successor exists: GC claimed it
+		// before we read it.
+		return c.missingSegment()
+	}
+	fi, err := c.f.Stat()
+	if err != nil {
+		return err
+	}
+	if fi.Size() != c.off {
+		return fmt.Errorf("wal: corrupt record in sealed segment %s: %d of %d bytes decode",
+			filepath.Join(c.dir, segmentName(c.seq)), c.off, fi.Size())
+	}
+	man, _, err := ReadManifest(c.dir)
+	c.stats.ManifestReads++
+	if err != nil {
+		return err
+	}
+	if meta := man.SealedFor(c.seq); meta != nil && *meta != c.meta {
+		return fmt.Errorf(
+			"wal: sealed segment %s tailed to %d records TIDs [%d,%d], manifest sealed it with %d records TIDs [%d,%d]",
+			filepath.Join(c.dir, segmentName(c.seq)),
+			c.meta.Records, c.meta.MinTID, c.meta.MaxTID,
+			meta.Records, meta.MinTID, meta.MaxTID)
+	}
+	if err := c.f.Close(); err != nil {
+		return err
+	}
+	c.f = nil
+	c.seq++
+	c.off = 0
+	c.meta = SegmentMeta{Seq: c.seq}
+	return nil
+}
+
+// scanFrame decodes one record frame from the head of b. ok is false
+// when the frame is incomplete or fails its checksum or structural
+// checks — states a tailing reader cannot distinguish from a write that
+// has not finished, so the caller treats them all as "stop here, retry
+// later".
+func scanFrame(b []byte) (rec Record, frameLen int, ok bool) {
+	if len(b) < 8 {
+		return Record{}, 0, false
+	}
+	bodyLen := binary.LittleEndian.Uint32(b)
+	if bodyLen > 1<<30 {
+		return Record{}, 0, false
+	}
+	total := 8 + int(bodyLen)
+	if len(b) < total {
+		return Record{}, 0, false
+	}
+	body := b[8:total]
+	if crc32.Checksum(body, castagnoli) != binary.LittleEndian.Uint32(b[4:]) {
+		return Record{}, 0, false
+	}
+	rec, err := decodeBody(body)
+	if err != nil {
+		return Record{}, 0, false
+	}
+	return rec, total, true
+}
+
+// DirLock is an exclusive lock on a log directory held without opening
+// a Logger. Promotion uses it to fence the primary: once acquired, no
+// Logger can open the directory, so a final drain of the log observes
+// its true end.
+type DirLock struct{ f *os.File }
+
+// AcquireDirLock takes dir's exclusive lock — the same LOCK file a
+// Logger holds while open — failing immediately if another process (a
+// live primary) holds it.
+func AcquireDirLock(dir string) (*DirLock, error) {
+	f, err := lockDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &DirLock{f: f}, nil
+}
+
+// Release drops the lock. It is safe to call on a nil receiver.
+func (d *DirLock) Release() {
+	if d == nil {
+		return
+	}
+	unlockDir(d.f)
+	d.f = nil
+}

@@ -84,14 +84,20 @@ type Options struct {
 // publishes the batch's highest LSN as the durability watermark
 // (Durable) and wakes WaitDurable waiters with a single broadcast.
 type Logger struct {
-	mu       sync.Mutex
-	cond     *sync.Cond // wakes the committer
-	durCond  *sync.Cond // wakes WaitDurable waiters, once per synced batch
-	buf      []byte     // encoded records awaiting the committer
-	spare    []byte     // recycled batch buffer (double buffering)
-	bufLSN   uint64     // LSN of the last record in buf
-	bufMeta  SegmentMeta
-	lastLSN  uint64 // last assigned LSN
+	mu      sync.Mutex
+	cond    *sync.Cond // wakes the committer
+	durCond *sync.Cond // wakes WaitDurable waiters, once per synced batch
+	buf     []byte     // encoded records awaiting the committer
+	spare   []byte     // recycled batch buffer (double buffering)
+	bufLSN  uint64     // LSN of the last record in buf
+	bufMeta SegmentMeta
+	lastLSN uint64 // last assigned LSN
+	// durPos is the durable byte position: everything before it has been
+	// written and fsynced. It is the cross-process analogue of the
+	// durable LSN watermark — LSNs are session-local counters, but a
+	// Position names the same bytes to any reader of the directory, so a
+	// follower's tail cursor can be compared against it directly.
+	durPos   Position
 	rot      *rotateReq
 	closed   bool
 	commDone bool  // the committer has exited; the watermark is final
@@ -202,7 +208,8 @@ func openWith(dir string, openSeg openSegFunc, opts Options) (*Logger, error) {
 	}
 	syncDir(dir)
 	l := &Logger{dir: dir, opts: opts, openSeg: openSeg, lock: lock, f: f, seq: seq,
-		man: man, curBytes: curBytes, curMeta: curMeta}
+		man: man, curBytes: curBytes, curMeta: curMeta,
+		durPos: Position{Seq: seq, Offset: curBytes}}
 	l.cond = sync.NewCond(&l.mu)
 	l.durCond = sync.NewCond(&l.mu)
 	l.wg.Add(1)
@@ -254,6 +261,20 @@ func (l *Logger) Append(frame []byte, tid uint64) (uint64, error) {
 // at or below it has been written and fsynced. It is a single atomic
 // load, advanced once per group-commit batch.
 func (l *Logger) Durable() uint64 { return l.durable.Load() }
+
+// DurablePosition returns the durable byte position: every byte of the
+// log before it has been written and fsynced, and every record whose
+// durability was ever acknowledged lies entirely before it. Unlike the
+// LSN watermark — a session-local counter that restarts with each Open
+// — a Position names concrete bytes in the directory, so a replication
+// follower tailing the segments can compare its own progress against
+// it. After a clean Close the final flush has run, so the value is the
+// log's true end.
+func (l *Logger) DurablePosition() Position {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.durPos
+}
 
 // WaitDurable blocks until the record with log sequence number lsn is
 // durable, i.e. its group commit has been written and fsynced. A nil
@@ -370,10 +391,15 @@ func (l *Logger) committer() {
 				return
 			}
 			// Publish durability, recycle the batch buffer, and release
-			// every waiter in the group with one broadcast.
+			// every waiter in the group with one broadcast. curBytes is
+			// committer-owned, so reading it outside the lock is safe; the
+			// durable position itself is published under mu alongside the
+			// watermark broadcast.
 			l.durable.Store(batchLSN)
+			newOff := l.curBytes + int64(len(batch))
 			l.mu.Lock()
 			l.spare = batch[:0]
+			l.durPos = Position{Seq: l.seq, Offset: newOff}
 			l.durCond.Broadcast()
 			l.mu.Unlock()
 			l.curBytes += int64(len(batch))
@@ -475,6 +501,10 @@ func (l *Logger) advance() (uint64, error) {
 	l.mu.Lock()
 	l.f = f
 	l.seq = next
+	// The sealed segment's end and the successor's start name the same
+	// log point; publishing the successor form keeps the durable
+	// position aligned with where the next batch will land.
+	l.durPos = Position{Seq: next}
 	l.mu.Unlock()
 	l.curBytes = 0
 	l.curMeta = SegmentMeta{Seq: next}

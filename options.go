@@ -24,7 +24,9 @@ type Options struct {
 	// design the paper cites as future work). The directory holds
 	// numbered WAL segments, snapshot files and a MANIFEST; use Recover
 	// to rebuild a database from it. Reopening an existing directory
-	// appends — it never truncates logged data.
+	// appends — it never truncates logged data. The directory is also
+	// the replication feed: OpenFollower tails it to serve read
+	// replicas, with no further primary-side configuration.
 	//
 	// For OpenCluster the value is a per-shard template that must
 	// contain a %d verb (e.g. "data/shard-%d"): each shard logs and

@@ -1,0 +1,331 @@
+package doppel
+
+// Replication tests: the primary/follower equivalence harness (the
+// follower must converge to byte-equal store contents, TIDs included,
+// under a mixed split/joined workload), watermark read consistency,
+// promotion, and checkpoint-bootstrapped catch-up.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"doppel/internal/store"
+)
+
+// dumpStore renders every populated record as "tid:hex(value)" so two
+// stores can be compared byte-for-byte, TIDs included. Records with a
+// nil value are skipped: the primary's store grows empty placeholder
+// records for keys that were only ever read (reads are not logged), and
+// the follower legitimately never hears of those.
+func dumpStore(st *store.Store) map[string]string {
+	out := map[string]string{}
+	st.Range(func(k string, r *store.Record) bool {
+		v := r.Value()
+		if v == nil {
+			return true
+		}
+		tid, _ := r.TIDWord()
+		out[k] = fmt.Sprintf("%d:%x", tid, store.EncodeValue(v))
+		return true
+	})
+	return out
+}
+
+// diffStores reports every key where a and b disagree.
+func diffStores(t *testing.T, want, got map[string]string) {
+	t.Helper()
+	for k, w := range want {
+		if g, ok := got[k]; !ok {
+			t.Errorf("follower missing %q (primary has %s)", k, w)
+		} else if g != w {
+			t.Errorf("%q: follower %s, primary %s", k, g, w)
+		}
+	}
+	for k, g := range got {
+		if _, ok := want[k]; !ok {
+			t.Errorf("follower has %q=%s the primary does not", k, g)
+		}
+	}
+}
+
+// waitCaughtUp waits until the replica reaches the primary's final log
+// position (call after db.Close so the position is the log's true end).
+func waitCaughtUp(t *testing.T, rep *Replica, pos LogPosition) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	if err := rep.WaitPosition(ctx, pos); err != nil {
+		t.Fatalf("follower never reached %s (at %s): %v", pos, rep.Position(), err)
+	}
+}
+
+// TestReplicationEquivalenceRandom is the equivalence harness: four
+// goroutines drive a mixed workload — contended INCR and MAX on split
+// keys, LIKE-style two-record transactions, plain puts, reads — with
+// segment rotations forced by a small byte budget, while a follower
+// tails the log. After the primary closes and the follower drains to
+// the primary's final durable position, the two stores must be
+// byte-equal, TIDs included.
+func TestReplicationEquivalenceRandom(t *testing.T) {
+	dir := t.TempDir()
+	db, err := OpenErr(Options{Workers: 4, RedoLog: dir, MaxSegmentBytes: 8 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := OpenFollower(dir, FollowerOptions{PollInterval: 200 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rep.Close()
+
+	const hot, hiwater = "hot:incr", "hot:max"
+	db.SplitHint(hot, OpAdd)
+	db.SplitHint(hiwater, OpMax)
+	ops := 400
+	if testing.Short() {
+		ops = 120
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, 4)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)*7919 + 1))
+			for i := 0; i < ops; i++ {
+				var err error
+				switch rng.Intn(6) {
+				case 0:
+					err = db.Exec(func(tx Tx) error { return tx.Add(hot, 1) })
+				case 1:
+					n := int64(rng.Intn(1000))
+					err = db.Exec(func(tx Tx) error { return tx.Max(hiwater, n) })
+				case 2:
+					// LIKE: bump the page counter, remember the user's last like.
+					user := fmt.Sprintf("user:%d", rng.Intn(50))
+					page := fmt.Sprintf("page:%d", rng.Intn(20))
+					err = db.Exec(func(tx Tx) error {
+						if err := tx.Add("likes:"+page, 1); err != nil {
+							return err
+						}
+						return tx.PutBytes(user, []byte(page))
+					})
+				case 3:
+					k := fmt.Sprintf("k:%d", rng.Intn(200))
+					n := int64(i)
+					err = db.Exec(func(tx Tx) error { return tx.PutInt(k, n) })
+				case 4:
+					k := fmt.Sprintf("k:%d", rng.Intn(200))
+					err = db.Exec(func(tx Tx) error { _, err := tx.GetInt(k); return err })
+				case 5:
+					err = db.Exec(func(tx Tx) error { _, err := tx.GetInt(hot); return err })
+				}
+				if err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+	db.Close() // reconciles split slices, drains stashes, flushes the log
+	waitCaughtUp(t, rep, db.LogPosition())
+
+	if db.DurableLSN() == 0 || rep.AppliedLSN() != db.DurableLSN() {
+		t.Fatalf("applied %d records, primary logged %d", rep.AppliedLSN(), db.DurableLSN())
+	}
+	diffStores(t, dumpStore(db.Internal().Store()), dumpStore(rep.f.Store()))
+	if s := rep.Stats(); s.SegmentOpens < 2 {
+		t.Fatalf("workload sealed segments but the follower opened %d", s.SegmentOpens)
+	}
+}
+
+// TestReplicaWatermarkReads: with a single worker and SyncCommit, write
+// i to key "k" is exactly the record with LSN i — so a View that reads
+// value v and reports watermark L proves the invariant v <= L: a read
+// at watermark L never observes a write the log positions after L.
+func TestReplicaWatermarkReads(t *testing.T) {
+	dir := t.TempDir()
+	db, err := OpenErr(Options{Workers: 1, RedoLog: dir, SyncCommit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	rep, err := OpenFollower(dir, FollowerOptions{PollInterval: 100 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rep.Close()
+
+	stop := make(chan struct{})
+	var readerErr error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var v int64
+			lsn, err := rep.View(func(tx Tx) error {
+				var e error
+				v, e = tx.GetInt("k")
+				return e
+			})
+			if err != nil {
+				readerErr = err
+				return
+			}
+			if v > int64(lsn) {
+				readerErr = fmt.Errorf("view at watermark %d observed value %d, written by LSN %d", lsn, v, v)
+				return
+			}
+		}
+	}()
+	writes := 300
+	if testing.Short() {
+		writes = 100
+	}
+	for i := 1; i <= writes; i++ {
+		n := int64(i)
+		if err := db.Exec(func(tx Tx) error { return tx.PutInt("k", n) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if readerErr != nil {
+		t.Fatal(readerErr)
+	}
+}
+
+// TestReplicaPromotion: promotion fails cleanly while the primary is
+// alive; after the primary exits, the promoted DB holds every record,
+// accepts writes, and a fresh follower catches up from its log.
+func TestReplicaPromotion(t *testing.T) {
+	dir := t.TempDir()
+	db, err := OpenErr(Options{Workers: 2, RedoLog: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		k, n := fmt.Sprintf("a:%d", i), int64(i)
+		if err := db.Exec(func(tx Tx) error { return tx.PutInt(k, n) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := OpenFollower(dir, FollowerOptions{PollInterval: 100 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The primary holds the directory lock: promotion must fail and
+	// leave the replica tailing.
+	if _, err := rep.Promote(Options{Workers: 2}); err == nil {
+		t.Fatal("promotion succeeded while the primary owns the log")
+	}
+	if _, err := rep.View(func(tx Tx) error { return nil }); err != nil {
+		t.Fatalf("failed promotion broke the replica: %v", err)
+	}
+
+	db.Close()
+	waitCaughtUp(t, rep, db.LogPosition())
+	pdb, err := rep.Promote(Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pdb.Close()
+	// The replica is consumed.
+	if _, err := rep.View(func(tx Tx) error { return nil }); !errors.Is(err, ErrClosed) {
+		t.Fatalf("view on promoted replica = %v, want ErrClosed", err)
+	}
+	// The promoted DB has the data and takes writes, logging in place.
+	if err := pdb.Exec(func(tx Tx) error {
+		n, err := tx.GetInt("a:7")
+		if err != nil || n != 7 {
+			return fmt.Errorf("a:7 = %d, %v", n, err)
+		}
+		return tx.PutInt("b", 42)
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh follower on the same directory sees both generations.
+	rep2, err := OpenFollower(dir, FollowerOptions{PollInterval: 100 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rep2.Close()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var a7, b int64
+		if _, err := rep2.View(func(tx Tx) error {
+			var e error
+			if a7, e = tx.GetInt("a:7"); e != nil {
+				return e
+			}
+			b, e = tx.GetInt("b")
+			return e
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if a7 == 7 && b == 42 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("fresh follower stuck: a:7=%d b=%d", a7, b)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestFollowerCatchUpFromCheckpoint: a follower opened after the
+// primary checkpointed must bootstrap from the snapshot (not replay the
+// GC'd prefix) and still converge to equal contents.
+func TestFollowerCatchUpFromCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	db, err := OpenErr(Options{Workers: 2, RedoLog: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		k, n := fmt.Sprintf("pre:%d", i), int64(i)
+		if err := db.Exec(func(tx Tx) error { return tx.PutInt(k, n) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		k, n := fmt.Sprintf("post:%d", i), int64(i)
+		if err := db.Exec(func(tx Tx) error { return tx.PutInt(k, n) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db.Close()
+
+	rep, err := OpenFollower(dir, FollowerOptions{PollInterval: 100 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rep.Close()
+	if s := rep.Stats(); s.SnapshotEntries == 0 {
+		t.Fatal("follower did not bootstrap from the checkpoint snapshot")
+	}
+	waitCaughtUp(t, rep, db.LogPosition())
+	diffStores(t, dumpStore(db.Internal().Store()), dumpStore(rep.f.Store()))
+}
