@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 // fenceStress races single-shard read-modify-write incrementers against
@@ -161,6 +162,129 @@ func TestClusterFenceDisabledLosesUpdates(t *testing.T) {
 		}
 	}
 	t.Skip("unfenced lost-update window not provoked in 3 runs (timing-dependent)")
+}
+
+// TestFenceSplitRace stresses the classifier-vs-prepare boundary the
+// publication-time fence filter closes: phase changes are forced at
+// millisecond cadence while every pool key is simultaneously (a) a
+// hinted split candidate hammered with commutative Adds and (b) fenced
+// by cross-shard transfers. If a split-set publication ever admits a
+// key holding a live fence, reconciliation merges the key's slices
+// inside the commit's prepare→apply window — which breaks conservation
+// or trips CrossShardApplyLost. Both must stay exact across thousands
+// of phase transitions.
+func TestFenceSplitRace(t *testing.T) {
+	cl, err := OpenCluster(ClusterOptions{
+		Shards: 3,
+		DB:     Options{Workers: 2, PhaseLength: time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	pool := make([]string, 8)
+	for i := range pool {
+		pool[i] = fmt.Sprintf("split-race-%d", i)
+		if err := cl.Exec(func(tx Tx) error { return tx.PutInt(pool[i], 0) }); err != nil {
+			t.Fatal(err)
+		}
+		// Every key is a permanent split candidate, so each joined→split
+		// transition builds a set containing exactly the keys the
+		// transfers are fencing.
+		cl.SplitHint(pool[i], OpAdd)
+	}
+
+	const (
+		adders       = 4
+		addsPer      = 300
+		transferers  = 2
+		transfersPer = 150
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < adders; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < addsPer; i++ {
+				k := pool[rng.Intn(len(pool))]
+				if err := cl.Exec(func(tx Tx) error { return tx.Add(k, 1) }); err != nil {
+					t.Errorf("adder: %v", err)
+					return
+				}
+			}
+		}(int64(g))
+	}
+	var transferErrs atomic.Int64
+	for g := 0; g < transferers; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(200 + seed))
+			for i := 0; i < transfersPer; i++ {
+				a := pool[rng.Intn(len(pool))]
+				b := pool[rng.Intn(len(pool))]
+				if cl.ShardOf(a) == cl.ShardOf(b) {
+					continue
+				}
+				amt := int64(rng.Intn(3) + 1)
+				err := cl.Exec(func(tx Tx) error {
+					x, err := tx.GetInt(a)
+					if err != nil {
+						return err
+					}
+					y, err := tx.GetInt(b)
+					if err != nil {
+						return err
+					}
+					if err := tx.PutInt(a, x-amt); err != nil {
+						return err
+					}
+					return tx.PutInt(b, y+amt)
+				})
+				if err != nil {
+					transferErrs.Add(1)
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+
+	var sum int64
+	for _, k := range pool {
+		if err := cl.Exec(func(tx Tx) error {
+			n, err := tx.GetInt(k)
+			sum += n
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats := cl.Stats()
+	if want := int64(adders * addsPer); sum != want {
+		t.Errorf("conservation violated across split phases: pool sums to %d, want %d (lost %d)", sum, want, want-sum)
+	}
+	if n := stats.Router.CrossShardApplyLost; n != 0 {
+		t.Errorf("CrossShardApplyLost = %d, want 0 (a fenced key entered a split set)", n)
+	}
+	if n := transferErrs.Load(); n != 0 {
+		t.Errorf("%d cross-shard transfers failed; with fences on every transfer must retry to success", n)
+	}
+	var phaseChanges, mergeFailures uint64
+	for _, s := range stats.Shards {
+		phaseChanges += s.PhaseChanges
+		mergeFailures += s.MergeFailures
+	}
+	if phaseChanges == 0 {
+		t.Error("no phase changes: the stress never exercised split-set publication")
+	}
+	if mergeFailures != 0 {
+		t.Errorf("MergeFailures = %d, want 0", mergeFailures)
+	}
+	if stats.Router.CrossShard == 0 {
+		t.Error("no cross-shard commits: the stress did not exercise 2PC")
+	}
 }
 
 // TestStatsFenceCounters checks the fence counters surface through the

@@ -283,17 +283,23 @@ func (db *DB) worker(w int) {
 	q := db.queues[w]
 	idle := time.NewTicker(200 * time.Microsecond)
 	defer idle.Stop()
-	var deferred []*request
+	var (
+		deferred []*request // fence-parked, re-run between requests
+		stashed  []*request // in the engine stash, finish when it drains
+	)
 	for {
-		if len(deferred) > 0 {
+		if len(deferred) > 0 || len(stashed) > 0 {
 			select {
 			case req, ok := <-q:
 				if !ok {
-					db.finishDeferred(w, deferred)
+					db.finishParked(w, deferred, stashed)
 					return
 				}
-				if db.run(w, req) {
+				switch db.run(w, req) {
+				case runParked:
 					deferred = append(deferred, req)
+				case runStashed:
+					stashed = append(stashed, req)
 				}
 			default:
 				db.eng.Poll(w)
@@ -301,11 +307,23 @@ func (db *DB) worker(w int) {
 			}
 			keep := deferred[:0]
 			for _, req := range deferred {
-				if db.run(w, req) {
+				switch db.run(w, req) {
+				case runParked:
 					keep = append(keep, req)
+				case runStashed:
+					stashed = append(stashed, req)
 				}
 			}
 			deferred = keep
+			// A drained stash means every stashed transaction replayed
+			// (the joined phase arrived and no fence re-stashed them), so
+			// their callers can be acknowledged.
+			if len(stashed) > 0 && db.eng.StashLen(w) == 0 {
+				for _, req := range stashed {
+					db.finishStashed(w, req)
+				}
+				stashed = nil
+			}
 			continue
 		}
 		select {
@@ -313,8 +331,11 @@ func (db *DB) worker(w int) {
 			if !ok {
 				return
 			}
-			if db.run(w, req) {
+			switch db.run(w, req) {
+			case runParked:
 				deferred = append(deferred, req)
+			case runStashed:
+				stashed = append(stashed, req)
 			}
 		case <-idle.C:
 			db.eng.Poll(w)
@@ -322,23 +343,87 @@ func (db *DB) worker(w int) {
 	}
 }
 
-// finishDeferred completes parked requests at shutdown. The fences they
-// wait on are released by cross-shard applies draining on the other
-// workers' queues (this worker's own queue is already empty), or by the
-// router's failure-path cleanup, so the loop terminates.
-func (db *DB) finishDeferred(w int, deferred []*request) {
+// finishParked completes parked and stashed requests at shutdown. The
+// fences the parked requests wait on are released by cross-shard
+// applies draining on the other workers' queues (this worker's own
+// queue is already empty), or by the router's failure-path cleanup; the
+// stash drains when the still-running coordinator starts the next
+// joined phase — so both loops terminate.
+func (db *DB) finishParked(w int, deferred, stashed []*request) {
 	for _, req := range deferred {
-		for db.run(w, req) {
-			db.eng.Poll(w)
-			time.Sleep(20 * time.Microsecond)
+	retry:
+		for {
+			switch db.run(w, req) {
+			case runDone:
+				break retry
+			case runStashed:
+				stashed = append(stashed, req)
+				break retry
+			case runParked:
+				db.eng.Poll(w)
+				time.Sleep(20 * time.Microsecond)
+			}
 		}
+	}
+	for db.eng.StashLen(w) > 0 {
+		db.eng.Poll(w)
+		time.Sleep(20 * time.Microsecond)
+	}
+	for _, req := range stashed {
+		db.finishStashed(w, req)
 	}
 }
 
-// run executes one request to completion, returning parked=true when
-// the request kept aborting on a commit fence past its inline spin
-// budget — the caller must retry it later without blocking the worker.
-func (db *DB) run(w int, req *request) (parked bool) {
+// finishStashed acknowledges a request whose transaction went through
+// the worker's stash, after the stash has drained.
+func (db *DB) finishStashed(w int, req *request) {
+	// Fail-stop: if the redo logger died, the drain may have refused
+	// (and dropped) this stashed transaction instead of executing it —
+	// acknowledging success here would violate the fail-stop contract.
+	// Report the logger failure; a transaction that in fact replayed
+	// just before the death gets a conservative error for a commit whose
+	// durability is unknown anyway.
+	if db.walFailStop {
+		if err := db.redo.Err(); err != nil {
+			req.finish(fmt.Errorf("doppel: redo log failed, stashed transaction dropped: %w", err))
+			return
+		}
+	}
+	// The stashed transaction replayed during the drain, so the worker's
+	// newest redo LSN covers it (or an earlier record — waiting on that
+	// is merely conservative).
+	if db.syncCommit {
+		if err := db.waitDurableCommit(w); err != nil {
+			req.finish(err)
+			return
+		}
+	}
+	req.finish(nil)
+}
+
+// runResult says what the worker loop must do with a request after one
+// run call.
+type runResult int
+
+const (
+	// runDone: the request finished (committed, aborted with the user's
+	// error, or was cancelled); nothing further to do.
+	runDone runResult = iota
+	// runParked: the request kept aborting on a commit fence past its
+	// inline spin budget — retry it later without blocking the worker.
+	runParked
+	// runStashed: the transaction was stashed for the next joined phase;
+	// finish the request (finishStashed) once this worker's stash
+	// drains. The worker MUST keep servicing its queue meanwhile: the
+	// stash can be pinned by a commit fence whose owning cross-shard
+	// apply is queued behind this very request, so blocking here until
+	// the stash drains deadlocks the shard.
+	runStashed
+)
+
+// run executes one request until it completes, parks, or stashes; see
+// runResult for what each outcome requires of the caller.
+func (db *DB) run(w int, req *request) runResult {
 	// A request cancelled while it waited in the queue never executes
 	// (the ExecContext contract); the caller has already returned, so
 	// the completion send lands in the buffered done channel unread.
@@ -346,7 +431,7 @@ func (db *DB) run(w int, req *request) (parked bool) {
 		select {
 		case <-req.ctx.Done():
 			req.finish(req.ctx.Err())
-			return
+			return runDone
 		default:
 		}
 	}
@@ -359,49 +444,25 @@ func (db *DB) run(w int, req *request) (parked bool) {
 			if db.syncCommit {
 				if err := db.waitDurableCommit(w); err != nil {
 					req.finish(err)
-					return
+					return runDone
 				}
 			}
 			req.finish(nil)
-			return
+			return runDone
 		case engine.Stashed:
 			// The transaction accessed split data incompatibly and was
 			// stashed; it will re-execute during the next joined phase.
-			// Block until this worker's stash drains so the caller
-			// observes a completed transaction — this wait, up to a
-			// phase length, is the read-latency cost the paper's
-			// Table 3 and Figure 13 measure.
-			for db.eng.StashLen(w) > 0 {
-				db.eng.Poll(w)
-				time.Sleep(50 * time.Microsecond)
-			}
-			// Fail-stop: if the redo logger died, the drain may have
-			// refused (and dropped) this stashed transaction instead of
-			// executing it — acknowledging success here would violate
-			// the fail-stop contract. Report the logger failure; a
-			// transaction that in fact replayed just before the death
-			// gets a conservative error for a commit whose durability
-			// is unknown anyway.
-			if db.walFailStop {
-				if err := db.redo.Err(); err != nil {
-					req.finish(fmt.Errorf("doppel: redo log failed, stashed transaction dropped: %w", err))
-					return
-				}
-			}
-			// The stashed transaction replayed during the drain above, so
-			// the worker's newest redo LSN covers it (or an earlier
-			// record — waiting on that is merely conservative).
-			if db.syncCommit {
-				if err := db.waitDurableCommit(w); err != nil {
-					req.finish(err)
-					return
-				}
-			}
-			req.finish(nil)
-			return
+			// The caller's acknowledgement waits until this worker's
+			// stash drains — that wait, up to a phase length, is the
+			// read-latency cost the paper's Table 3 and Figure 13
+			// measure — but the worker itself must not: it keeps
+			// executing its queue (the paper's point of the split phase)
+			// and finishes this request from the loop once the stash is
+			// empty.
+			return runStashed
 		case engine.UserAbort:
 			req.finish(err)
-			return
+			return runDone
 		case engine.Paused:
 			db.eng.Poll(w)
 		case engine.AbortedFenced:
@@ -412,7 +473,7 @@ func (db *DB) run(w int, req *request) (parked bool) {
 			if fenceDeadline.IsZero() {
 				fenceDeadline = time.Now().Add(fenceSpinBudget)
 			} else if time.Now().After(fenceDeadline) {
-				return true
+				return runParked
 			}
 			db.eng.Poll(w)
 			time.Sleep(5 * time.Microsecond)

@@ -153,7 +153,10 @@ func (db *DB) decideNextSplit() *splitSet {
 		// reconciliation merges slices without fence checks, so splitting
 		// now could change the record inside the commit's prepare→apply
 		// window. The assignment stays; the key is reconsidered at the
-		// next phase change (fences live for microseconds).
+		// next phase change (fences live for microseconds). This early
+		// skip is advisory — a fence can still land between here and
+		// publication — so completeTransition re-filters the set under
+		// the publication lock, which is the authoritative check.
 		if rec := db.st.Get(k); rec != nil && rec.FenceToken() != 0 {
 			continue
 		}

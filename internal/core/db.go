@@ -137,9 +137,18 @@ func (db *DB) Phase() Phase { return Phase(db.phase.Load()) }
 // reflect committed state. The cluster router's cross-shard prepare
 // checks this after fencing — a fenced-but-split key must be treated as
 // stale and retried, because reconciliation merges slices without fence
-// checks. Phase and split set are published together (split set first),
-// so a joined-phase caller always sees false.
+// checks.
+//
+// The read takes pubMu, making it atomic against split-set publication
+// in completeTransition. Combined with the publication-time fence
+// filter there, a prepare that fenced its keys before calling this is
+// guaranteed one of two outcomes: the publisher saw the fence and kept
+// the key out of the split set, or this check sees the key split and
+// the prepare retries. Only the cross-shard path calls this, so the
+// lock is off the single-shard fast path entirely.
 func (db *DB) SplitActive(key string) bool {
+	db.pubMu.Lock()
+	defer db.pubMu.Unlock()
 	return db.Phase() == PhaseSplit && db.split.Load().lookup(key) != nil
 }
 
@@ -232,13 +241,23 @@ func (db *DB) completeTransition(tr *transition) {
 	if tr.barrier != nil {
 		tr.barrier()
 	}
+	// Publication happens under pubMu so it is atomic against the
+	// router's SplitActive check: a cross-shard prepare installs its
+	// fences and then reads phase+split inside one pubMu critical
+	// section, so the fence re-check below (withoutFenced) either sees
+	// the fence and drops the key, or the prepare's check runs after
+	// this store and sees the key split — never neither. The barrier
+	// runs outside the lock: it is a checkpoint cut that may take WAL
+	// locks, and publication order does not depend on it.
+	db.pubMu.Lock()
+	defer db.pubMu.Unlock()
 	// A joined→joined barrier is a checkpoint cut, not a phase change:
 	// leave the phase clock and change counter alone, or frequent
 	// checkpoints would keep resetting the coordinator's "joined phase
 	// long enough?" timer and starve split phases entirely.
 	noop := tr.target == Phase(db.phase.Load())
 	if tr.target == PhaseSplit {
-		db.split.Store(tr.nextSet)
+		db.split.Store(tr.nextSet.withoutFenced())
 		db.splitPhases.Add(1)
 	} else {
 		db.split.Store(emptySplitSet)

@@ -52,6 +52,44 @@ func newSplitSet(st *store.Store, assign map[string]store.OpKind) *splitSet {
 	return set
 }
 
+// withoutFenced returns s minus every key whose record currently
+// carries a commit fence, re-indexed densely. It is called at
+// publication time, under the transition publication lock: a
+// cross-shard prepare installs its fences before checking SplitActive
+// under that same lock, so a fence invisible here implies the prepare
+// will see the published set and retry. The common case — no fenced
+// keys — returns s unchanged.
+func (s *splitSet) withoutFenced() *splitSet {
+	if s.size() == 0 {
+		return s
+	}
+	fenced := 0
+	for _, sk := range s.list {
+		if sk.rec.FenceToken() != 0 {
+			fenced++
+		}
+	}
+	if fenced == 0 {
+		return s
+	}
+	if fenced == len(s.list) {
+		return emptySplitSet
+	}
+	out := &splitSet{
+		keys: make(map[string]*splitKey, len(s.list)-fenced),
+		list: make([]*splitKey, 0, len(s.list)-fenced),
+	}
+	for _, sk := range s.list {
+		if sk.rec.FenceToken() != 0 {
+			continue
+		}
+		nsk := &splitKey{key: sk.key, op: sk.op, rec: sk.rec, idx: len(out.list)}
+		out.keys[nsk.key] = nsk
+		out.list = append(out.list, nsk)
+	}
+	return out
+}
+
 // lookup returns the split entry for key, or nil.
 func (s *splitSet) lookup(key string) *splitKey {
 	if s == nil || len(s.keys) == 0 {

@@ -301,6 +301,8 @@ func (t *Tx) genTID() uint64 {
 // writes (Figure 3): after the OCC part succeeds, buffered split writes
 // apply to this worker's slices, which need no locks or version checks
 // because they are invisible to other cores.
+//
+//doppel:hotpath
 func (t *Tx) commit() (engine.Outcome, error) {
 	// Pre-compute slice values so a type error aborts with no effects.
 	// The scratch slice persists across transactions, so the split-phase
@@ -436,6 +438,8 @@ func (t *Tx) commit() (engine.Outcome, error) {
 // record is assembled in one pass; values encode into the worker's
 // reusable scratch buffers and the finished frame is handed to the
 // logger, which copies it — the steady-state path allocates nothing.
+//
+//doppel:hotpath
 func (t *Tx) logRedo(commitTID uint64, newVals []pending) {
 	redo := t.w.db.cfg.Redo
 	if redo == nil || len(newVals) == 0 {

@@ -11,6 +11,7 @@
 package occ
 
 import (
+	"errors"
 	"time"
 
 	"doppel/internal/engine"
@@ -73,7 +74,7 @@ func (e *Engine) Attempt(w int, fn engine.TxFunc, submitNanos int64) (engine.Out
 	err := fn(tx)
 	var out engine.Outcome
 	switch {
-	case err == engine.ErrAbort:
+	case errors.Is(err, engine.ErrAbort):
 		out = engine.Aborted
 	case err != nil:
 		ws.stats.Aborted++ // count it, but surface the user error

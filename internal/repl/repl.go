@@ -152,6 +152,8 @@ func (f *Follower) pollOnce() (int, error) {
 // one applyMu critical section — a concurrent View sees either none or
 // all of the record, and any view that observes one of its writes
 // observes a watermark at or above its LSN.
+//
+//doppel:hotpath
 func (f *Follower) applyRecord(rec wal.Record) error {
 	f.applyMu.Lock()
 	defer f.applyMu.Unlock()

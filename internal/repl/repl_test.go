@@ -7,6 +7,7 @@ package repl
 // directory — reopening trims the torn tail and appends fresh records.
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -273,7 +274,7 @@ func TestViewIsReadOnly(t *testing.T) {
 			"TopKInsert": tx.TopKInsert("n", 1, nil, 10),
 		}
 		for op, err := range writes {
-			if err != ErrReadOnly {
+			if !errors.Is(err, ErrReadOnly) {
 				return fmt.Errorf("%s = %v, want ErrReadOnly", op, err)
 			}
 		}

@@ -93,15 +93,20 @@
 //     locks.
 //   - Split-phase interaction: prepare treats a key that is currently
 //     split data as stale (its global record lags the per-core slices),
-//     and the classifier never promotes a fenced key into a split set —
-//     reconciliation merges slices without fence checks, so the two
-//     must not overlap. One narrow race remains: a classifier decision
-//     concurrent with prepare can sample the fence before it installs
-//     and publish the split set after prepare's check. The window is
-//     one split-set construction against one prepare; a retry round
-//     (which re-checks SplitActive) closes it for the transaction, and
-//     reconcile-induced invariant violations would surface in
-//     CrossShardApplyLost.
+//     and a fenced key never enters a split set — reconciliation merges
+//     slices without fence checks, so the two must not overlap. The
+//     exclusion is enforced at publication time: prepare installs its
+//     fences and only then reads phase+split set under the engine's
+//     publication lock (SplitActive), while the phase-change publisher
+//     re-filters the candidate set under that same lock, dropping any
+//     key whose fence appeared after the classifier's advisory check.
+//     The lock orders the two critical sections, so either the
+//     publisher observes the fence (the key stays joined for this split
+//     phase) or prepare observes the published set (and retries) —
+//     the classifier-vs-prepare window this used to leave open is
+//     closed. tools/analyze's lockorder pass keeps the ordering
+//     deadlock-free statically, and TestFenceSplitRace stresses the
+//     boundary with phase changes forced at millisecond cadence.
 //   - RouterStats.CrossShardApplyLost must read zero. Non-zero means a
 //     fenced record changed between prepare validation and apply — a
 //     fence-protocol bug, not an expected workload outcome. The failing

@@ -41,6 +41,8 @@ func newRoutedCall(r *Router) *routedCall {
 
 // route binds fn to the frame and picks its candidate shard from the
 // body's first operation (shard 0 for a body that performs none).
+//
+//doppel:hotpath
 func (rc *routedCall) route(fn engine.TxFunc) int {
 	rc.fn = fn
 	rc.probe.reset()

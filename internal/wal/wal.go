@@ -724,6 +724,8 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 // reuses its buffer (buf[:0]) encodes without allocating. This is the
 // commit hot path's encoder: workers build each redo record into a
 // per-worker scratch buffer and hand the finished frame to Append.
+//
+//doppel:hotpath
 func AppendRecord(buf []byte, rec Record) []byte {
 	start := len(buf)
 	buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0) // bodyLen + crc, backfilled below

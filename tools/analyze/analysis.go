@@ -1,0 +1,139 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// This file is the tiny analysis framework doppelvet runs on. It
+// mirrors the shape of golang.org/x/tools/go/analysis — Analyzer, Pass,
+// Diagnostic — but is self-contained on the standard library so the
+// suite builds offline with no module dependencies. The one structural
+// extension is that an Analyzer's state lives in a Runner created per
+// driver invocation: the repo-specific invariants (atomic coherence,
+// lock ordering, sentinel bijection) are whole-program properties, so a
+// Runner sees every package first and reports in Finish.
+
+// Diagnostic is one finding, positioned in the shared FileSet.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Pass presents one type-checked package (a "unit": a package, its
+// in-package-test variant, or an external test package) to a Runner.
+type Pass struct {
+	Unit  *Unit
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+
+	// Report records a finding against this unit.
+	Report func(pos token.Pos, format string, args ...any)
+}
+
+// Runner holds one analyzer's per-invocation state.
+type Runner interface {
+	// Package is called once per unit, in deterministic order.
+	Package(p *Pass)
+	// Finish is called after every unit has been presented; program-wide
+	// findings are reported here through the passes retained by Package.
+	Finish()
+}
+
+// Analyzer is a named check with a fresh-state factory.
+type Analyzer struct {
+	Name string
+	Doc  string
+	New  func() Runner
+}
+
+// runAnalyzers presents every unit to every analyzer and returns the
+// deduplicated findings sorted by position.
+func runAnalyzers(fset *token.FileSet, units []*Unit, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		r := a.New()
+		for _, u := range units {
+			name := a.Name
+			p := &Pass{
+				Unit:  u,
+				Fset:  fset,
+				Files: u.Files,
+				Pkg:   u.Pkg,
+				Info:  u.Info,
+			}
+			p.Report = func(pos token.Pos, format string, args ...any) {
+				diags = append(diags, Diagnostic{
+					Pos:      pos,
+					Analyzer: name,
+					Message:  fmt.Sprintf(format, args...),
+				})
+			}
+			r.Package(p)
+		}
+		r.Finish()
+	}
+	return dedupDiagnostics(fset, diags)
+}
+
+// dedupDiagnostics sorts findings by file position and drops exact
+// duplicates: a package and its in-package-test variant share non-test
+// files, so per-file findings would otherwise appear twice.
+func dedupDiagnostics(fset *token.FileSet, diags []Diagnostic) []Diagnostic {
+	type key struct {
+		pos      string
+		analyzer string
+		msg      string
+	}
+	seen := map[key]bool{}
+	var out []Diagnostic
+	for _, d := range diags {
+		k := key{fset.Position(d.Pos).String(), d.Analyzer, d.Message}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		pi, pj := fset.Position(out[i].Pos), fset.Position(out[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return out[i].Message < out[j].Message
+	})
+	return out
+}
+
+// walkStack is ast.Inspect with an ancestor stack: fn sees each node
+// with stack holding its ancestors, outermost first. Returning false
+// skips the node's children.
+func walkStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		ok := fn(n, stack)
+		stack = append(stack, n)
+		if !ok {
+			// Children are skipped; pop immediately since the nil
+			// callback for this node will not come.
+			stack = stack[:len(stack)-1]
+		}
+		return ok
+	})
+}

@@ -1,0 +1,341 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// The fixtures under testdata/src are deliberately broken packages,
+// one per analyzer (go tooling never matches testdata in wildcard
+// patterns, so they are invisible to `go build ./...` and to the CI
+// run of the suite itself). Expectations are written analysistest
+// style: a `// want "regex"` comment on the line the diagnostic must
+// land on.
+
+// loadFixture type-checks one testdata package through the production
+// loader and runs the given analyzers over it.
+func loadFixture(t *testing.T, analyzers []*Analyzer, pkgs ...string) (*token.FileSet, []*Unit, []Diagnostic) {
+	t.Helper()
+	patterns := make([]string, len(pkgs))
+	for i, p := range pkgs {
+		patterns[i] = "./testdata/src/" + p
+	}
+	fset := token.NewFileSet()
+	units, err := load(fset, ".", patterns, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, units, runAnalyzers(fset, units, analyzers)
+}
+
+// wantsIn parses the `// want "..."` expectations out of the loaded
+// fixture files, keyed by file:line.
+func wantsIn(fset *token.FileSet, units []*Unit) map[string][]*regexp.Regexp {
+	wants := map[string][]*regexp.Regexp{}
+	for _, u := range units {
+		for _, f := range u.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+					if !strings.HasPrefix(text, "want ") {
+						continue
+					}
+					key := posKey(fset, c.Pos())
+					for _, field := range splitQuoted(strings.TrimPrefix(text, "want ")) {
+						wants[key] = append(wants[key], regexp.MustCompile(field))
+					}
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func splitQuoted(s string) []string {
+	var out []string
+	for {
+		start := strings.IndexByte(s, '"')
+		if start < 0 {
+			return out
+		}
+		rest := s[start:]
+		q, err := strconv.QuotedPrefix(rest)
+		if err != nil {
+			return out
+		}
+		unq, _ := strconv.Unquote(q)
+		out = append(out, unq)
+		s = rest[len(q):]
+	}
+}
+
+func posKey(fset *token.FileSet, pos token.Pos) string {
+	p := fset.Position(pos)
+	return fmt.Sprintf("%s:%d", p.Filename, p.Line)
+}
+
+// checkWants asserts the diagnostics exactly cover the expectations.
+func checkWants(t *testing.T, fset *token.FileSet, units []*Unit, diags []Diagnostic) {
+	t.Helper()
+	wants := wantsIn(fset, units)
+	matched := map[string][]bool{}
+	for key, res := range wants {
+		matched[key] = make([]bool, len(res))
+	}
+	for _, d := range diags {
+		key := posKey(fset, d.Pos)
+		res, ok := wants[key]
+		if !ok {
+			t.Errorf("unexpected diagnostic at %s: %s: %s", fset.Position(d.Pos), d.Analyzer, d.Message)
+			continue
+		}
+		found := false
+		for i, re := range res {
+			if !matched[key][i] && re.MatchString(d.Message) {
+				matched[key][i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("diagnostic at %s matches no want: %s", fset.Position(d.Pos), d.Message)
+		}
+	}
+	for key, res := range wants {
+		for i, re := range res {
+			if !matched[key][i] {
+				t.Errorf("missing diagnostic at %s matching %q", key, re)
+			}
+		}
+	}
+}
+
+func TestAtomicCoherenceFixture(t *testing.T) {
+	fset, units, diags := loadFixture(t, []*Analyzer{atomicCoherenceAnalyzer}, "atomiccoherence")
+	checkWants(t, fset, units, diags)
+}
+
+func TestLockOrderFixture(t *testing.T) {
+	fset, units, diags := loadFixture(t, []*Analyzer{lockOrderAnalyzer}, "lockorder")
+	checkWants(t, fset, units, diags)
+}
+
+func TestSentinelErrFixture(t *testing.T) {
+	fset, units, diags := loadFixture(t, []*Analyzer{sentinelErrAnalyzer}, "sentinelerr")
+	checkWants(t, fset, units, diags)
+}
+
+func TestNilnessFixture(t *testing.T) {
+	fset, units, diags := loadFixture(t, []*Analyzer{nilnessAnalyzer}, "nilness")
+	checkWants(t, fset, units, diags)
+}
+
+func TestUnusedWriteFixture(t *testing.T) {
+	fset, units, diags := loadFixture(t, []*Analyzer{unusedWriteAnalyzer}, "unusedwrite")
+	checkWants(t, fset, units, diags)
+}
+
+// TestSentinelBijection seeds a root/server fixture pair with three
+// violations: a sentinel with no status, an orphan status, and mapping
+// functions that skip both.
+func TestSentinelBijection(t *testing.T) {
+	oldRoot, oldServer := sentinelRootPkg, sentinelServerPkg
+	sentinelRootPkg = "doppel/tools/analyze/testdata/src/wireroot"
+	sentinelServerPkg = "doppel/tools/analyze/testdata/src/wireserver"
+	defer func() { sentinelRootPkg, sentinelServerPkg = oldRoot, oldServer }()
+
+	_, _, diags := loadFixture(t, []*Analyzer{sentinelErrAnalyzer}, "wireroot", "wireserver")
+	wantSubstrings := []string{
+		"missing statusErrBeta",
+		"statusErrGamma has no exported sentinel",
+		"ErrBeta is not handled by statusForError",
+		"statusErrGamma is not handled by sentinelFor",
+	}
+	for _, want := range wantSubstrings {
+		found := false
+		for _, d := range diags {
+			if strings.Contains(d.Message, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no diagnostic contains %q; got %d diagnostics", want, len(diags))
+		}
+	}
+	if len(diags) != len(wantSubstrings) {
+		for _, d := range diags {
+			t.Logf("  %s: %s", d.Analyzer, d.Message)
+		}
+		t.Errorf("got %d diagnostics, want %d", len(diags), len(wantSubstrings))
+	}
+}
+
+// TestEscapeGateFixture proves the gate fails on a known escape in an
+// annotated function and passes once the escape is allow-listed.
+func TestEscapeGateFixture(t *testing.T) {
+	fset := token.NewFileSet()
+	units, err := load(fset, ".", []string{"./testdata/src/hotpath"}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	modRoot, err := moduleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	funcs := collectHotpath(fset, units, modRoot)
+	if len(funcs) != 2 {
+		t.Fatalf("collected %d annotated functions, want 2 (Clean, Leak)", len(funcs))
+	}
+
+	// With an empty allow list the known escape must fail the gate.
+	problems, err := runEscapeGate(modRoot, funcs, filepath.Join(t.TempDir(), "empty.allow"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) == 0 {
+		t.Fatal("escape gate passed a hot-path function with a guaranteed escape")
+	}
+	var leakEntry string
+	for _, p := range problems {
+		if !strings.Contains(p, ".Leak") {
+			t.Errorf("unexpected escape outside Leak: %s", p)
+		}
+		if m := regexp.MustCompile(`add "([^"]+)"`).FindStringSubmatch(p); m != nil {
+			leakEntry = m[1]
+		}
+	}
+	if leakEntry == "" {
+		t.Fatalf("no allow entry suggested in %q", problems)
+	}
+
+	// Allow-listing the suggested entry clears the gate.
+	allowPath := filepath.Join(t.TempDir(), "hotpath.allow")
+	if err := os.WriteFile(allowPath, []byte(leakEntry+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	problems, err = runEscapeGate(modRoot, funcs, allowPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 0 {
+		t.Fatalf("escape gate still failing with allow entry: %v", problems)
+	}
+}
+
+// TestHotpathGolden proves removing a //doppel:hotpath annotation (or
+// adding one) is caught against the golden symbol list, apicheck-style.
+func TestHotpathGolden(t *testing.T) {
+	fset := token.NewFileSet()
+	units, err := load(fset, ".", []string{"./testdata/src/hotpath"}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	modRoot, err := moduleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	funcs := collectHotpath(fset, units, modRoot)
+	golden := filepath.Join(t.TempDir(), "hotpath.funcs")
+
+	if _, err := checkHotpathGolden(funcs, golden, true); err != nil {
+		t.Fatal(err)
+	}
+	problems, err := checkHotpathGolden(funcs, golden, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 0 {
+		t.Fatalf("fresh golden not clean: %v", problems)
+	}
+
+	// Simulate deleting an annotation: the symbol stays in the golden
+	// but is no longer collected.
+	problems, err = checkHotpathGolden(funcs[:1], golden, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 1 || !strings.Contains(problems[0], "no longer carries") {
+		t.Fatalf("annotation removal not caught: %v", problems)
+	}
+
+	// Simulate annotating a new function without updating the golden.
+	extra := append([]hotpathFunc{{symbol: "doppel/internal/fake.New"}}, funcs...)
+	problems, err = checkHotpathGolden(extra, golden, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 1 || !strings.Contains(problems[0], "-update-hotpath") {
+		t.Fatalf("new annotation not caught: %v", problems)
+	}
+}
+
+// TestRepoHotpathGoldenCurrent keeps the checked-in golden in sync
+// with the annotations in the real tree.
+func TestRepoHotpathGoldenCurrent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the whole module")
+	}
+	modRoot, err := moduleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	units, err := load(fset, modRoot, []string{"./..."}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	funcs := collectHotpath(fset, units, modRoot)
+	if len(funcs) < 5 {
+		t.Fatalf("only %d annotated hot-path functions, want >= 5", len(funcs))
+	}
+	problems, err := checkHotpathGolden(funcs, filepath.Join(modRoot, "tools/analyze/hotpath.funcs"), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range problems {
+		t.Error(p)
+	}
+}
+
+// TestWalkStack pins the stack bookkeeping walkStack does around
+// pruned subtrees, which every whole-program analyzer relies on.
+func TestWalkStack(t *testing.T) {
+	fset := token.NewFileSet()
+	units, err := load(fset, ".", []string{"./testdata/src/nilness"}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruned := false
+	walkStack(units[0].Files[0], func(n ast.Node, stack []ast.Node) bool {
+		// Every stack entry must positionally contain the next one, and
+		// the last must contain n — a stale entry left behind by a
+		// pruned subtree breaks this for its next sibling.
+		nodes := append(append([]ast.Node{}, stack...), n)
+		for i := 1; i < len(nodes); i++ {
+			switch nodes[i].(type) {
+			case *ast.CommentGroup, *ast.Comment:
+				continue // doc comments precede their owner's Pos
+			}
+			if _, isFile := nodes[i-1].(*ast.File); isFile {
+				continue // a File's Pos is the package clause
+			}
+			if nodes[i].Pos() < nodes[i-1].Pos() || nodes[i].End() > nodes[i-1].End() {
+				t.Fatalf("stack entry %T does not contain %T at %s",
+					nodes[i-1], nodes[i], fset.Position(n.Pos()))
+			}
+		}
+		// Prune every other FuncDecl so both paths are exercised.
+		if _, ok := n.(*ast.FuncDecl); ok {
+			pruned = !pruned
+			return pruned
+		}
+		return true
+	})
+}

@@ -1,0 +1,205 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// atomiccoherence enforces the rule the memory model cannot: a struct
+// field that is accessed atomically anywhere must be accessed
+// atomically everywhere. Two forms are checked program-wide:
+//
+//  1. A field of plain scalar/pointer type passed by address to a
+//     sync/atomic function (atomic.LoadUint64(&s.f), AddInt32, CAS, …)
+//     is marked atomic; any plain read or write of the same field in
+//     any analyzed package is then a violation. This is how the
+//     fence/TID words, the WAL durability watermark and the phase/epoch
+//     words would regress if someone reached past the typed API.
+//
+//  2. A field declared with one of the sync/atomic wrapper types
+//     (atomic.Uint64, atomic.Pointer[T], …) — the form the tree uses
+//     for store.Record's words, wal.Logger.durable and core.DB's
+//     phase/epoch — may only be used as a method-call receiver or have
+//     its address taken. Copying it out (v := r.tid) or assigning over
+//     it (r.tid = other.tid) bypasses the atomic protocol and is
+//     reported immediately.
+var atomicCoherenceAnalyzer = &Analyzer{
+	Name: "atomiccoherence",
+	Doc:  "fields accessed via sync/atomic must be accessed atomically everywhere",
+	New:  func() Runner { return &atomicCoherence{marked: map[string]token.Pos{}} },
+}
+
+type atomicCoherence struct {
+	passes []*Pass
+	// marked maps canonical field keys ("pkg.Type.field") that some
+	// package touched through a sync/atomic function.
+	marked map[string]token.Pos
+}
+
+// fieldKey canonicalizes a struct field across units: the same field
+// seen from a package and from its test variant must compare equal.
+func fieldKey(info *types.Info, sel *ast.SelectorExpr) (string, *types.Var) {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return "", nil
+	}
+	obj, ok := s.Obj().(*types.Var)
+	if !ok || !obj.IsField() {
+		return "", nil
+	}
+	// Name the field by its owning named struct when there is one.
+	recv := s.Recv()
+	for {
+		if p, ok := recv.(*types.Pointer); ok {
+			recv = p.Elem()
+			continue
+		}
+		break
+	}
+	owner := "_"
+	if n, ok := recv.(*types.Named); ok {
+		owner = n.Obj().Name()
+	}
+	pkg := "_"
+	if obj.Pkg() != nil {
+		pkg = obj.Pkg().Path()
+	}
+	return pkg + "." + owner + "." + obj.Name(), obj
+}
+
+// isAtomicFuncCall reports whether call is sync/atomic.F(...) and
+// returns the &field selector of its address argument, if any.
+func isAtomicFuncCall(info *types.Info, call *ast.CallExpr) (*ast.SelectorExpr, bool) {
+	fn, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, false
+	}
+	obj, ok := info.Uses[fn.Sel]
+	if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" {
+		return nil, false
+	}
+	if _, isFunc := obj.(*types.Func); !isFunc {
+		return nil, false
+	}
+	for _, arg := range call.Args {
+		un, ok := arg.(*ast.UnaryExpr)
+		if !ok || un.Op != token.AND {
+			continue
+		}
+		if sel, ok := un.X.(*ast.SelectorExpr); ok {
+			return sel, true
+		}
+	}
+	return nil, true
+}
+
+// isAtomicWrapperType reports whether t is one of sync/atomic's typed
+// wrappers (atomic.Uint64, atomic.Pointer[T], …).
+func isAtomicWrapperType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic" && obj.Name() != "noCopy"
+}
+
+func (a *atomicCoherence) Package(p *Pass) {
+	a.passes = append(a.passes, p)
+	for _, f := range p.Files {
+		walkStack(f, func(n ast.Node, stack []ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if sel, ok := isAtomicFuncCall(p.Info, n); ok && sel != nil {
+					if key, _ := fieldKey(p.Info, sel); key != "" {
+						if _, dup := a.marked[key]; !dup {
+							a.marked[key] = sel.Pos()
+						}
+					}
+				}
+			case *ast.SelectorExpr:
+				// Typed atomic wrapper misuse: the selector must be a
+				// method-call base (x.f.Load) or address operand (&x.f).
+				key, obj := fieldKey(p.Info, n)
+				if key == "" || !isAtomicWrapperType(obj.Type()) {
+					return true
+				}
+				if atomicWrapperUseOK(stack) {
+					return true
+				}
+				p.Report(n.Pos(), "field %s has atomic type %s but is copied or assigned directly; use its methods", key, obj.Type())
+			}
+			return true
+		})
+	}
+}
+
+// atomicWrapperUseOK reports whether the selector at the top of stack's
+// subject position is used legally: as the base of a further selection
+// (method call), as an address operand, or as a composite-literal
+// zero-value context the checker cannot misuse.
+func atomicWrapperUseOK(stack []ast.Node) bool {
+	if len(stack) == 0 {
+		return true
+	}
+	switch parent := stack[len(stack)-1].(type) {
+	case *ast.SelectorExpr:
+		return true // x.f.Load(...) — f is the base of a method selection
+	case *ast.UnaryExpr:
+		return parent.Op == token.AND
+	}
+	return false
+}
+
+func (a *atomicCoherence) Finish() {
+	if len(a.marked) == 0 {
+		return
+	}
+	for _, p := range a.passes {
+		for _, f := range p.Files {
+			// First collect the selector nodes that ARE the atomic
+			// accesses, then flag every other access to a marked field.
+			atomicUses := map[*ast.SelectorExpr]bool{}
+			ast.Inspect(f, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					if sel, ok := isAtomicFuncCall(p.Info, call); ok && sel != nil {
+						atomicUses[sel] = true
+					}
+				}
+				return true
+			})
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok || atomicUses[sel] {
+					return true
+				}
+				key, obj := fieldKey(p.Info, sel)
+				if key == "" {
+					return true
+				}
+				if _, markedField := a.marked[key]; !markedField {
+					return true
+				}
+				if isAtomicWrapperType(obj.Type()) {
+					return true // typed wrappers are safe by construction
+				}
+				p.Report(sel.Pos(), "plain access to field %s, which is accessed with sync/atomic elsewhere (%s)",
+					key, shortPos(p.Fset, a.marked[key]))
+				return true
+			})
+		}
+	}
+}
+
+// shortPos renders pos as file:line with the directory trimmed.
+func shortPos(fset *token.FileSet, pos token.Pos) string {
+	p := fset.Position(pos)
+	name := p.Filename
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		name = name[i+1:]
+	}
+	return name + ":" + strconv.Itoa(p.Line)
+}

@@ -1,0 +1,232 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// hotpathalloc turns the 0/1-allocs-per-op contract from a
+// benchmark-only property into a static gate. Functions annotated
+//
+//	//doppel:hotpath
+//
+// (the OCC commit path, redo logging, the WAL append, the router's
+// probe path, the follower apply loop) are located in the parsed tree,
+// then `go build -gcflags=-m` runs over their packages and every
+// "escapes to heap" / "moved to heap" line falling inside an annotated
+// body must appear in the golden allow file (hotpath.allow, entries
+// "symbol: message"). The annotated-symbol set itself is frozen in a
+// second golden (hotpath.funcs) the way tools/apicheck freezes the
+// public API, so silently deleting an annotation is caught too.
+
+const hotpathMarker = "//doppel:hotpath"
+
+// hotpathFunc is one annotated function.
+type hotpathFunc struct {
+	symbol  string // e.g. doppel/internal/core.(*Tx).commit
+	pkgPath string
+	file    string // path as registered in the FileSet
+	relFile string // module-root-relative, for matching compiler output
+	start   int    // first line of the declaration
+	end     int    // last line of the body
+}
+
+// collectHotpath finds every annotated function in the loaded units.
+// Test files never qualify: the contract is about production paths.
+func collectHotpath(fset *token.FileSet, units []*Unit, modRoot string) []hotpathFunc {
+	var funcs []hotpathFunc
+	seen := map[string]bool{}
+	for _, u := range units {
+		for _, f := range u.Files {
+			tf := fset.File(f.Pos())
+			if tf == nil || strings.HasSuffix(tf.Name(), "_test.go") {
+				continue
+			}
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Doc == nil || fd.Body == nil {
+					continue
+				}
+				annotated := false
+				for _, c := range fd.Doc.List {
+					if strings.TrimSpace(c.Text) == hotpathMarker {
+						annotated = true
+					}
+				}
+				if !annotated {
+					continue
+				}
+				symbol := u.PkgPath + "." + fd.Name.Name
+				if fd.Recv != nil && len(fd.Recv.List) > 0 {
+					symbol = u.PkgPath + "." + recvString(fd.Recv.List[0].Type) + "." + fd.Name.Name
+				}
+				if seen[symbol] {
+					continue // base package and test variant share files
+				}
+				seen[symbol] = true
+				rel := tf.Name()
+				if r, err := filepath.Rel(modRoot, tf.Name()); err == nil {
+					rel = r
+				}
+				funcs = append(funcs, hotpathFunc{
+					symbol:  symbol,
+					pkgPath: u.PkgPath,
+					file:    tf.Name(),
+					relFile: rel,
+					start:   fset.Position(fd.Pos()).Line,
+					end:     fset.Position(fd.Body.End()).Line,
+				})
+			}
+		}
+	}
+	sort.Slice(funcs, func(i, j int) bool { return funcs[i].symbol < funcs[j].symbol })
+	return funcs
+}
+
+func recvString(t ast.Expr) string {
+	switch t := t.(type) {
+	case *ast.StarExpr:
+		return "(*" + recvString(t.X) + ")"
+	case *ast.Ident:
+		return t.Name
+	case *ast.IndexExpr: // generic receiver
+		return recvString(t.X)
+	}
+	return "?"
+}
+
+// checkHotpathGolden compares the annotated-symbol set against the
+// golden list. With update true it rewrites the golden instead.
+func checkHotpathGolden(funcs []hotpathFunc, goldenPath string, update bool) ([]string, error) {
+	current := make([]string, len(funcs))
+	for i, f := range funcs {
+		current[i] = f.symbol
+	}
+	if update {
+		data := strings.Join(current, "\n")
+		if len(current) > 0 {
+			data += "\n"
+		}
+		return nil, os.WriteFile(goldenPath, []byte(data), 0o644)
+	}
+	raw, err := os.ReadFile(goldenPath)
+	if err != nil {
+		return nil, fmt.Errorf("reading hotpath golden (run with -update-hotpath to create it): %w", err)
+	}
+	want := map[string]bool{}
+	for _, line := range strings.Split(string(raw), "\n") {
+		if line = strings.TrimSpace(line); line != "" && !strings.HasPrefix(line, "#") {
+			want[line] = true
+		}
+	}
+	have := map[string]bool{}
+	for _, s := range current {
+		have[s] = true
+	}
+	var problems []string
+	for _, s := range sortedKeys(want) {
+		if !have[s] {
+			problems = append(problems, fmt.Sprintf("hotpathalloc: %s is in %s but no longer carries %s; restore the annotation or update the golden with -update-hotpath", s, filepath.Base(goldenPath), hotpathMarker))
+		}
+	}
+	for _, s := range sortedKeys(have) {
+		if !want[s] {
+			problems = append(problems, fmt.Sprintf("hotpathalloc: %s carries %s but is missing from %s; run with -update-hotpath", s, hotpathMarker, filepath.Base(goldenPath)))
+		}
+	}
+	return problems, nil
+}
+
+// loadAllow parses the allow file: one "symbol: message" entry per
+// line, '#' comments.
+func loadAllow(path string) (map[string]bool, error) {
+	allow := map[string]bool{}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return allow, nil // empty allow list is valid
+		}
+		return nil, err
+	}
+	for _, line := range strings.Split(string(raw), "\n") {
+		if line = strings.TrimSpace(line); line != "" && !strings.HasPrefix(line, "#") {
+			allow[line] = true
+		}
+	}
+	return allow, nil
+}
+
+// runEscapeGate builds the annotated packages with -gcflags=-m and
+// reports heap escapes inside annotated bodies that the allow file
+// does not cover. The build runs from the module root so compiler
+// paths match relFile.
+func runEscapeGate(modRoot string, funcs []hotpathFunc, allowPath string) ([]string, error) {
+	if len(funcs) == 0 {
+		return nil, nil
+	}
+	allow, err := loadAllow(allowPath)
+	if err != nil {
+		return nil, err
+	}
+	pkgSet := map[string]bool{}
+	for _, f := range funcs {
+		pkgSet[f.pkgPath] = true
+	}
+	args := append([]string{"build", "-gcflags=-m"}, sortedKeys(pkgSet)...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = modRoot
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go build -gcflags=-m: %v\n%s", err, stderr.String())
+	}
+
+	var problems []string
+	for _, line := range strings.Split(stderr.String(), "\n") {
+		if !strings.Contains(line, "escapes to heap") && !strings.Contains(line, "moved to heap") {
+			continue
+		}
+		file, lineNo, msg, ok := parseEscapeLine(line)
+		if !ok {
+			continue
+		}
+		for _, f := range funcs {
+			if lineNo < f.start || lineNo > f.end {
+				continue
+			}
+			if f.relFile != file && !strings.HasSuffix(f.relFile, file) && !strings.HasSuffix(file, f.relFile) {
+				continue
+			}
+			entry := f.symbol + ": " + msg
+			if !allow[entry] {
+				problems = append(problems, fmt.Sprintf("hotpathalloc: %s:%d: %s in %s %s; eliminate the allocation or add %q to %s",
+					file, lineNo, msg, hotpathMarker, f.symbol, entry, filepath.Base(allowPath)))
+			}
+			break
+		}
+	}
+	sort.Strings(problems)
+	return problems, nil
+}
+
+// parseEscapeLine splits "file.go:12:7: x escapes to heap" into its
+// parts.
+func parseEscapeLine(line string) (file string, lineNo int, msg string, ok bool) {
+	parts := strings.SplitN(line, ":", 4)
+	if len(parts) != 4 || !strings.HasSuffix(parts[0], ".go") {
+		return "", 0, "", false
+	}
+	n, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return "", 0, "", false
+	}
+	return parts[0], n, strings.TrimSpace(parts[3]), true
+}

@@ -1,0 +1,215 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// The loader type-checks the packages under analysis from source while
+// resolving their dependencies from compiled export data, the way
+// cmd/vet's unitchecker does: `go list -test -deps -export` builds (or
+// reuses from the build cache) every dependency's export file, and a
+// per-unit gc importer reads types out of those files. Only the units
+// being analyzed are parsed; the standard library is never re-checked.
+
+// Unit is one type-checked analysis unit: a package, its
+// in-package-test variant, or an external _test package.
+type Unit struct {
+	ImportPath string // as reported by go list, e.g. "doppel/internal/core [doppel/internal/core.test]"
+	PkgPath    string // canonical import path, test-variant marker stripped
+	Dir        string
+	Files      []*ast.File
+	Pkg        *types.Package
+	Info       *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader uses.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	Standard   bool
+	ForTest    string
+	Export     string
+	Module     *struct{ Path string }
+	GoFiles    []string
+	CgoFiles   []string
+	Imports    []string
+	ImportMap  map[string]string
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -e -test -deps -export -json` on the patterns and
+// decodes the JSON stream.
+func goList(dir string, patterns []string) ([]*listedPackage, error) {
+	args := append([]string{"list", "-e", "-test", "-deps", "-export", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	var pkgs []*listedPackage
+	dec := json.NewDecoder(out)
+	for {
+		p := new(listedPackage)
+		if err := dec.Decode(p); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, fmt.Errorf("go list: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	if err := cmd.Wait(); err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+	return pkgs, nil
+}
+
+// load lists the patterns and type-checks every module-local unit. When
+// tests is true the in-package-test variants replace their base
+// packages and external _test packages are included.
+func load(fset *token.FileSet, dir string, patterns []string, tests bool) ([]*Unit, error) {
+	pkgs, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := map[string]string{} // ImportPath (incl. variant marker) -> export file
+	byPath := map[string]*listedPackage{}
+	for _, p := range pkgs {
+		byPath[p.ImportPath] = p
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+
+	// Pick the units to analyze: module-local packages named by the
+	// patterns' expansion (go list puts dependencies in the stream too,
+	// but only non-deps are interesting — approximated here as "in the
+	// module and not standard"). The synthesized ".test" mains are
+	// skipped; test variants replace their base packages.
+	hasTestVariant := map[string]bool{}
+	if tests {
+		for _, p := range pkgs {
+			if p.ForTest != "" && p.ImportPath == p.ForTest+" ["+p.ForTest+".test]" {
+				hasTestVariant[p.ForTest] = true
+			}
+		}
+	}
+	var units []*Unit
+	for _, p := range pkgs {
+		if p.Standard || p.Module == nil || strings.HasSuffix(p.ImportPath, ".test") {
+			continue
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if len(p.CgoFiles) > 0 {
+			continue // cgo source is preprocessed; analyze the rest of the module
+		}
+		isVariant := p.ForTest != ""
+		if isVariant && !tests {
+			continue
+		}
+		if !isVariant && hasTestVariant[p.ImportPath] {
+			continue // the test variant supersedes it
+		}
+		u, err := typecheckUnit(fset, p, exports)
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, u)
+	}
+	if len(units) == 0 {
+		return nil, fmt.Errorf("no packages matched %v", patterns)
+	}
+	return units, nil
+}
+
+// typecheckUnit parses and type-checks one listed package against the
+// export data of its dependencies.
+func typecheckUnit(fset *token.FileSet, p *listedPackage, exports map[string]string) (*Unit, error) {
+	var files []*ast.File
+	for _, name := range p.GoFiles {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(p.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		resolved := path
+		if mapped, ok := p.ImportMap[path]; ok {
+			resolved = mapped
+		}
+		exp, ok := exports[resolved]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q (resolved %q)", path, resolved)
+		}
+		return os.Open(exp)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	// "pkg [pkg.test]" (in-package-test variant) and "pkg_test
+	// [pkg.test]" (external test package) both type-check under the
+	// bracket-free path.
+	pkgPath, _, _ := strings.Cut(p.ImportPath, " [")
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "gc", lookup),
+		Error:    func(error) {}, // collect the first hard error below instead
+	}
+	pkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %v", p.ImportPath, err)
+	}
+	return &Unit{
+		ImportPath: p.ImportPath,
+		PkgPath:    pkgPath,
+		Dir:        p.Dir,
+		Files:      files,
+		Pkg:        pkg,
+		Info:       info,
+	}, nil
+}
+
+// moduleRoot returns the directory containing go.mod for dir.
+func moduleRoot(dir string) (string, error) {
+	cmd := exec.Command("go", "env", "GOMOD")
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if err != nil {
+		return "", err
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == os.DevNull {
+		return "", fmt.Errorf("not in a module")
+	}
+	return filepath.Dir(gomod), nil
+}

@@ -1,0 +1,707 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// modulePathPrefix scopes the "module type" heuristics (lock protocols,
+// call summaries) to the code under analysis; tests override it to
+// point at fixture packages.
+var modulePathPrefix = "doppel"
+
+// lockorder builds a static lock-acquisition graph and enforces the two
+// ordering rules the 2PC and phase-change protocols depend on
+// (internal/router/doc.go, internal/core/doc.go):
+//
+//   - No cycles: if any execution path acquires lock class A while
+//     holding B, no path may acquire B while holding A. Lock classes
+//     are named structurally — "pkg.Type.field" for mutex fields,
+//     "pkg.Type.field[]" for per-element locks in a slice/array field,
+//     and "pkg.Type" for module types with their own Lock/Unlock
+//     protocol (store.Record's TID-word spinlock). Held sets propagate
+//     through direct calls to module functions, so an edge is found
+//     even when the inner acquisition is a call deep.
+//
+//   - Ascending order inside lock loops: a range loop that acquires
+//     per-element locks (locks[s].Lock() with s the range variable)
+//     must iterate a slice the package establishes sorted (sort.Ints /
+//     sort.Slice / slices.Sort on the same variable or field) — the
+//     ascending shard-ID rule that keeps concurrent cross-shard
+//     commits deadlock-free.
+//
+// The walk is linear per function body (no path sensitivity): both
+// branches of an if are visited with the same held set, and a lock
+// released on only one path is treated as released. This
+// over-approximates acquisition order but never invents an
+// acquisition, which is what the cycle check needs.
+var lockOrderAnalyzer = &Analyzer{
+	Name: "lockorder",
+	Doc:  "static lock-acquisition graph: flags cycles and unsorted per-shard lock loops",
+	New: func() Runner {
+		return &lockOrder{
+			edges:     map[string]map[string]token.Pos{},
+			acquires:  map[string]map[string]token.Pos{},
+			calls:     map[string]map[string]bool{},
+			sortedObj: map[string]bool{},
+		}
+	},
+}
+
+type lockOrder struct {
+	passes []*Pass
+
+	// edges[a][b] = first position where b was acquired while a held.
+	edges map[string]map[string]token.Pos
+	// acquires[fn] = lock classes fn acquires directly.
+	acquires map[string]map[string]token.Pos
+	// calls[fn] = module functions fn calls (for summary propagation).
+	calls map[string]map[string]bool
+	// heldCalls records (held set, callee) pairs; Finish turns them
+	// into edges against the callee's transitive acquisition summary.
+	heldCalls []heldCall
+	// sortedObj marks slices the package sorts ascending, keyed by
+	// canonical object identity.
+	sortedObj map[string]bool
+	// lockLoops are per-element lock acquisitions inside range loops,
+	// checked against sortedObj in Finish.
+	lockLoops []lockLoop
+}
+
+type heldCall struct {
+	held   map[string]token.Pos
+	callee string
+}
+
+type lockLoop struct {
+	rangeKey string // canonical key of the ranged slice
+	rangeStr string // source-ish rendering for the message
+	class    string
+	pos      token.Pos
+	pass     *Pass
+}
+
+// objKey canonicalizes a variable or field so a sort call and a range
+// statement over the same slice compare equal. Package-level variables
+// and struct fields get stable cross-unit names; locals use object
+// identity, which is consistent within a unit.
+func objKey(info *types.Info, e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj := info.Uses[e]
+		if obj == nil {
+			obj = info.Defs[e]
+		}
+		if obj == nil {
+			return ""
+		}
+		if obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+			return obj.Pkg().Path() + "." + obj.Name()
+		}
+		return fmt.Sprintf("local:%p", obj)
+	case *ast.SelectorExpr:
+		if key, v := fieldKey(info, e); key != "" && v != nil {
+			return key
+		}
+		// Qualified package-level identifier (pkg.Var).
+		if obj, ok := info.Uses[e.Sel].(*types.Var); ok && obj.Pkg() != nil && !obj.IsField() {
+			return obj.Pkg().Path() + "." + obj.Name()
+		}
+	case *ast.ParenExpr:
+		return objKey(info, e.X)
+	}
+	return ""
+}
+
+// syncLockClass names a sync.Mutex/RWMutex lock by where it lives:
+// struct field, package-level variable, or local. indexed reports a
+// per-element lock (slice/array field of mutexes).
+func syncLockClass(p *Pass, recv ast.Expr) (class string, indexed bool, indexExpr ast.Expr) {
+	switch e := recv.(type) {
+	case *ast.SelectorExpr:
+		if key := objKey(p.Info, e); key != "" {
+			return key, false, nil
+		}
+	case *ast.IndexExpr:
+		base, _, _ := syncLockClass(p, e.X)
+		if base == "" {
+			return "", false, nil
+		}
+		return base + "[]", true, e.Index
+	case *ast.Ident:
+		if key := objKey(p.Info, e); key != "" {
+			return key, false, nil
+		}
+	case *ast.ParenExpr:
+		return syncLockClass(p, e.X)
+	}
+	return "", false, nil
+}
+
+// lockMethod classifies a call as an acquire (Lock/RLock) or release
+// (Unlock/RUnlock) and returns the receiver expression. sync.Mutex and
+// sync.RWMutex methods always qualify; a module type qualifies when it
+// defines both Lock and Unlock itself (store.Record's TID-word
+// spinlock).
+func lockMethod(p *Pass, call *ast.CallExpr) (recv ast.Expr, acquire, release, isSync bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, false, false, false
+	}
+	var acq, rel bool
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		acq = true
+	case "Unlock", "RUnlock":
+		rel = true
+	default:
+		return nil, false, false, false
+	}
+	obj, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return nil, false, false, false
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil, false, false, false
+	}
+	n, ok := deref(sig.Recv().Type()).(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return nil, false, false, false
+	}
+	pkg := n.Obj().Pkg().Path()
+	if pkg == "sync" {
+		return sel.X, acq, rel, true
+	}
+	if pkg != modulePathPrefix && !strings.HasPrefix(pkg, modulePathPrefix+"/") {
+		return nil, false, false, false
+	}
+	var hasLock, hasUnlock bool
+	for i := 0; i < n.NumMethods(); i++ {
+		switch n.Method(i).Name() {
+		case "Lock":
+			hasLock = true
+		case "Unlock":
+			hasUnlock = true
+		}
+	}
+	if !hasLock || !hasUnlock {
+		return nil, false, false, false
+	}
+	return sel.X, acq, rel, false
+}
+
+func deref(t types.Type) types.Type {
+	for {
+		p, ok := t.(*types.Pointer)
+		if !ok {
+			return t
+		}
+		t = p.Elem()
+	}
+}
+
+// typeClass names a module-type lock by its receiver's named type,
+// e.g. "doppel/internal/store.Record".
+func typeClass(p *Pass, recv ast.Expr) string {
+	tv, ok := p.Info.Types[recv]
+	if !ok {
+		return ""
+	}
+	if n, ok := deref(tv.Type).(*types.Named); ok && n.Obj().Pkg() != nil {
+		return n.Obj().Pkg().Path() + "." + n.Obj().Name()
+	}
+	return ""
+}
+
+// funcKey canonicalizes a function or method for the call graph.
+func funcKey(obj *types.Func) string {
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	key := obj.Pkg().Path() + "." + obj.Name()
+	if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if n, ok := deref(sig.Recv().Type()).(*types.Named); ok {
+			key += "@" + n.Obj().Name()
+		}
+	}
+	return key
+}
+
+// exprString renders a short source-ish form of e for messages.
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[...]"
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "(...)"
+	case *ast.ParenExpr:
+		return exprString(e.X)
+	}
+	return "..."
+}
+
+func (l *lockOrder) Package(p *Pass) {
+	l.passes = append(l.passes, p)
+	for _, f := range p.Files {
+		// Collect slices the package sorts: sort.Ints/Slice/SliceStable,
+		// slices.Sort*.
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := p.Info.Uses[sel.Sel]
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			pkg, name := obj.Pkg().Path(), obj.Name()
+			isSort := (pkg == "sort" && (name == "Ints" || name == "Slice" || name == "SliceStable" || name == "Sort")) ||
+				(pkg == "slices" && strings.HasPrefix(name, "Sort"))
+			if isSort {
+				if key := objKey(p.Info, call.Args[0]); key != "" {
+					l.sortedObj[key] = true
+				}
+			}
+			return true
+		})
+
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				l.analyzeFunc(p, fd)
+			}
+		}
+	}
+}
+
+// loopMeta is one enclosing range loop during the body walk.
+type loopMeta struct {
+	indexVars map[types.Object]bool
+	rangeKey  string
+	rangeStr  string
+}
+
+// funcState is the linear walk state for one function body.
+type funcState struct {
+	l            *lockOrder
+	p            *Pass
+	fnKey        string
+	held         map[string]token.Pos
+	deferRelease map[string]bool
+	loops        []loopMeta
+}
+
+func (l *lockOrder) analyzeFunc(p *Pass, fd *ast.FuncDecl) {
+	fnObj, _ := p.Info.Defs[fd.Name].(*types.Func)
+	fnKey := funcKey(fnObj)
+	if fnKey == "" {
+		return
+	}
+	if l.acquires[fnKey] == nil {
+		l.acquires[fnKey] = map[string]token.Pos{}
+	}
+	if l.calls[fnKey] == nil {
+		l.calls[fnKey] = map[string]bool{}
+	}
+	s := &funcState{
+		l:            l,
+		p:            p,
+		fnKey:        fnKey,
+		held:         map[string]token.Pos{},
+		deferRelease: map[string]bool{},
+	}
+	s.block(fd.Body.List)
+}
+
+func (s *funcState) block(list []ast.Stmt) {
+	for _, st := range list {
+		s.stmt(st)
+	}
+}
+
+func (s *funcState) stmt(st ast.Stmt) {
+	switch st := st.(type) {
+	case *ast.BlockStmt:
+		s.block(st.List)
+	case *ast.LabeledStmt:
+		s.stmt(st.Stmt)
+	case *ast.IfStmt:
+		if st.Init != nil {
+			s.stmt(st.Init)
+		}
+		s.visitCalls(st.Cond)
+		s.stmt(st.Body)
+		if st.Else != nil {
+			s.stmt(st.Else)
+		}
+	case *ast.ForStmt:
+		if st.Init != nil {
+			s.stmt(st.Init)
+		}
+		if st.Cond != nil {
+			s.visitCalls(st.Cond)
+		}
+		s.stmt(st.Body)
+		if st.Post != nil {
+			s.stmt(st.Post)
+		}
+	case *ast.RangeStmt:
+		s.visitCalls(st.X)
+		lc := loopMeta{
+			indexVars: map[types.Object]bool{},
+			rangeKey:  objKey(s.p.Info, st.X),
+			rangeStr:  exprString(st.X),
+		}
+		for _, v := range []ast.Expr{st.Key, st.Value} {
+			id, ok := v.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if obj := s.p.Info.Defs[id]; obj != nil {
+				lc.indexVars[obj] = true
+			} else if obj := s.p.Info.Uses[id]; obj != nil {
+				lc.indexVars[obj] = true
+			}
+		}
+		s.loops = append(s.loops, lc)
+		s.stmt(st.Body)
+		s.loops = s.loops[:len(s.loops)-1]
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			s.stmt(st.Init)
+		}
+		if st.Tag != nil {
+			s.visitCalls(st.Tag)
+		}
+		s.stmt(st.Body)
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			s.stmt(st.Init)
+		}
+		s.stmt(st.Assign)
+		s.stmt(st.Body)
+	case *ast.CaseClause:
+		for _, e := range st.List {
+			s.visitCalls(e)
+		}
+		s.block(st.Body)
+	case *ast.SelectStmt:
+		s.stmt(st.Body)
+	case *ast.CommClause:
+		if st.Comm != nil {
+			s.stmt(st.Comm)
+		}
+		s.block(st.Body)
+	case *ast.DeferStmt:
+		s.deferCall(st.Call)
+	case *ast.GoStmt:
+		// Runs concurrently on a fresh stack; its locks do not nest
+		// under ours. FuncLit bodies are skipped by visitCalls anyway.
+	default:
+		s.visitCalls(st)
+	}
+}
+
+// visitCalls visits every CallExpr inside n in source order, skipping
+// function literals (their bodies run at an unknown time with an
+// unknown held set).
+func (s *funcState) visitCalls(n ast.Node) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			s.call(call)
+		}
+		return true
+	})
+}
+
+func (s *funcState) call(call *ast.CallExpr) {
+	recv, acq, rel, isSync := lockMethod(s.p, call)
+	if recv == nil {
+		// Not a lock operation: record the call edge for summary
+		// propagation, and the held set at this site.
+		var obj types.Object
+		switch fun := call.Fun.(type) {
+		case *ast.SelectorExpr:
+			obj = s.p.Info.Uses[fun.Sel]
+		case *ast.Ident:
+			obj = s.p.Info.Uses[fun]
+		}
+		fn, ok := obj.(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return
+		}
+		pkg := fn.Pkg().Path()
+		if pkg != modulePathPrefix && !strings.HasPrefix(pkg, modulePathPrefix+"/") {
+			return
+		}
+		callee := funcKey(fn)
+		s.l.calls[s.fnKey][callee] = true
+		if len(s.held) > 0 {
+			heldCopy := make(map[string]token.Pos, len(s.held))
+			for k := range s.held {
+				heldCopy[k] = call.Pos()
+			}
+			s.l.heldCalls = append(s.l.heldCalls, heldCall{held: heldCopy, callee: callee})
+		}
+		return
+	}
+
+	var class string
+	var indexed bool
+	var indexExpr ast.Expr
+	if isSync {
+		class, indexed, indexExpr = syncLockClass(s.p, recv)
+	} else {
+		class = typeClass(s.p, recv)
+	}
+	if class == "" {
+		return
+	}
+	switch {
+	case acq:
+		for h := range s.held {
+			s.l.addEdge(h, class, call.Pos())
+		}
+		if _, ok := s.l.acquires[s.fnKey][class]; !ok {
+			s.l.acquires[s.fnKey][class] = call.Pos()
+		}
+		if _, ok := s.held[class]; !ok {
+			s.held[class] = call.Pos()
+		}
+		if indexed {
+			s.checkLockLoop(call, class, indexExpr)
+		}
+	case rel:
+		if !s.deferRelease[class] {
+			delete(s.held, class)
+		}
+	}
+}
+
+// checkLockLoop records a per-element acquisition whose index is a
+// range variable of an enclosing loop, to be validated against the
+// sorted-slice set in Finish.
+func (s *funcState) checkLockLoop(call *ast.CallExpr, class string, index ast.Expr) {
+	if index == nil {
+		return
+	}
+	var indexObjs []types.Object
+	ast.Inspect(index, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := s.p.Info.Uses[id]; obj != nil {
+				indexObjs = append(indexObjs, obj)
+			}
+		}
+		return true
+	})
+	for i := len(s.loops) - 1; i >= 0; i-- {
+		for _, obj := range indexObjs {
+			if s.loops[i].indexVars[obj] {
+				s.l.lockLoops = append(s.l.lockLoops, lockLoop{
+					rangeKey: s.loops[i].rangeKey,
+					rangeStr: s.loops[i].rangeStr,
+					class:    class,
+					pos:      call.Pos(),
+					pass:     s.p,
+				})
+				return
+			}
+		}
+	}
+}
+
+// deferCall handles `defer x()`: a deferred Unlock keeps its class in
+// the held set for the rest of the walk (that is exactly what callers
+// observe); a deferred closure is scanned for Unlocks to the same
+// effect; any other deferred module call is treated as a call site
+// under the current held set.
+func (s *funcState) deferCall(call *ast.CallExpr) {
+	if recv, _, rel, isSync := lockMethod(s.p, call); recv != nil {
+		if rel {
+			var class string
+			if isSync {
+				class, _, _ = syncLockClass(s.p, recv)
+			} else {
+				class = typeClass(s.p, recv)
+			}
+			if class != "" {
+				s.deferRelease[class] = true
+			}
+		}
+		return
+	}
+	if lit, ok := call.Fun.(*ast.FuncLit); ok {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			inner, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if recv, _, rel, isSync := lockMethod(s.p, inner); recv != nil && rel {
+				var class string
+				if isSync {
+					class, _, _ = syncLockClass(s.p, recv)
+				} else {
+					class = typeClass(s.p, recv)
+				}
+				if class != "" {
+					s.deferRelease[class] = true
+				}
+			}
+			return true
+		})
+		return
+	}
+	s.call(call)
+}
+
+func (l *lockOrder) addEdge(from, to string, pos token.Pos) {
+	if from == to {
+		return // multi-acquisition of one class is governed by the loop rule
+	}
+	if l.edges[from] == nil {
+		l.edges[from] = map[string]token.Pos{}
+	}
+	if _, ok := l.edges[from][to]; !ok {
+		l.edges[from][to] = pos
+	}
+}
+
+func (l *lockOrder) Finish() {
+	if len(l.passes) == 0 {
+		return
+	}
+	// Propagate acquisition summaries through the call graph to a fixed
+	// point, then convert held-at-call records into edges.
+	closure := map[string]map[string]bool{}
+	for fn, acq := range l.acquires {
+		closure[fn] = map[string]bool{}
+		for c := range acq {
+			closure[fn][c] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn, callees := range l.calls {
+			for callee := range callees {
+				for c := range closure[callee] {
+					if closure[fn] == nil {
+						closure[fn] = map[string]bool{}
+					}
+					if !closure[fn][c] {
+						closure[fn][c] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	for _, hc := range l.heldCalls {
+		for h, pos := range hc.held {
+			for c := range closure[hc.callee] {
+				l.addEdge(h, c, pos)
+			}
+		}
+	}
+
+	l.reportCycles()
+
+	for _, ll := range l.lockLoops {
+		if ll.rangeKey != "" && l.sortedObj[ll.rangeKey] {
+			continue
+		}
+		ll.pass.Report(ll.pos, "per-element lock %s acquired in a loop over %s, which is never sorted; cross-shard 2PC requires ascending acquisition order (sort with sort.Ints or slices.Sort first)",
+			ll.class, ll.rangeStr)
+	}
+}
+
+// reportCycles runs a DFS over the class graph and reports each cycle
+// it encounters once, deterministically.
+func (l *lockOrder) reportCycles() {
+	report := l.passes[0].Report
+	nodes := make([]string, 0, len(l.edges))
+	for n := range l.edges {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := map[string]int{}
+	reported := map[string]bool{}
+	var path []string
+	var dfs func(n string)
+	dfs = func(n string) {
+		color[n] = gray
+		path = append(path, n)
+		tos := make([]string, 0, len(l.edges[n]))
+		for t := range l.edges[n] {
+			tos = append(tos, t)
+		}
+		sort.Strings(tos)
+		for _, t := range tos {
+			switch color[t] {
+			case white:
+				dfs(t)
+			case gray:
+				i := 0
+				for j, pn := range path {
+					if pn == t {
+						i = j
+						break
+					}
+				}
+				cyc := append(append([]string{}, path[i:]...), t)
+				// Canonicalize rotation so the same cycle found from two
+				// entry points reports once.
+				key := canonicalCycle(cyc[:len(cyc)-1])
+				if !reported[key] {
+					reported[key] = true
+					report(l.edges[n][t], "lock-order cycle: %s", strings.Join(cyc, " -> "))
+				}
+			}
+		}
+		path = path[:len(path)-1]
+		color[n] = black
+	}
+	for _, n := range nodes {
+		if color[n] == white {
+			dfs(n)
+		}
+	}
+}
+
+// canonicalCycle rotates the cycle node list so it starts at its
+// lexicographically smallest element.
+func canonicalCycle(cyc []string) string {
+	if len(cyc) == 0 {
+		return ""
+	}
+	min := 0
+	for i := range cyc {
+		if cyc[i] < cyc[min] {
+			min = i
+		}
+	}
+	rot := append(append([]string{}, cyc[min:]...), cyc[:min]...)
+	return strings.Join(rot, "->")
+}

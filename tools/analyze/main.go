@@ -1,0 +1,118 @@
+// Command analyze ("doppelvet") is the repo's static-invariant suite.
+// It runs four repo-specific analyzers — atomiccoherence, lockorder,
+// hotpathalloc and sentinelerr — plus two conservative stdlib
+// reimplementations of stock passes (nilness, unusedwrite), delegates
+// copylocks/lostcancel/atomic to `go vet`, and gates the annotated
+// hot-path functions against `go build -gcflags=-m` escape output.
+//
+// Usage:
+//
+//	go run ./tools/analyze ./...
+//
+// Flags:
+//
+//	-tests=false       skip _test.go files and test packages
+//	-vet=false         skip the go vet delegation
+//	-escapes=false     skip the hot-path escape gate
+//	-update-hotpath    rewrite the golden annotated-symbol list
+//	-funcs, -allow     override the golden file paths (module-root relative)
+//
+// Exit status: 0 clean, 1 findings, 2 driver failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+func main() {
+	tests := flag.Bool("tests", true, "analyze test files and test packages")
+	vet := flag.Bool("vet", true, "also run go vet's copylocks, lostcancel and atomic checks")
+	escapes := flag.Bool("escapes", true, "run the hot-path escape gate")
+	updateHotpath := flag.Bool("update-hotpath", false, "rewrite the golden list of //doppel:hotpath symbols")
+	funcsPath := flag.String("funcs", "tools/analyze/hotpath.funcs", "golden annotated-symbol list, relative to the module root")
+	allowPath := flag.String("allow", "tools/analyze/hotpath.allow", "allowed hot-path escapes, relative to the module root")
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	dir, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	modRoot, err := moduleRoot(dir)
+	if err != nil {
+		fatal(err)
+	}
+
+	fset := token.NewFileSet()
+	units, err := load(fset, dir, patterns, *tests)
+	if err != nil {
+		fatal(err)
+	}
+
+	analyzers := []*Analyzer{
+		atomicCoherenceAnalyzer,
+		lockOrderAnalyzer,
+		sentinelErrAnalyzer,
+		nilnessAnalyzer,
+		unusedWriteAnalyzer,
+	}
+	found := false
+	for _, d := range runAnalyzers(fset, units, analyzers) {
+		found = true
+		fmt.Printf("%s: %s: %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+
+	if *vet {
+		args := append([]string{"vet", "-copylocks", "-lostcancel", "-atomic"}, patterns...)
+		cmd := exec.Command("go", args...)
+		cmd.Dir = dir
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			if _, ok := err.(*exec.ExitError); !ok {
+				fatal(err)
+			}
+			found = true
+		}
+	}
+
+	if *escapes || *updateHotpath {
+		funcs := collectHotpath(fset, units, modRoot)
+		problems, err := checkHotpathGolden(funcs, filepath.Join(modRoot, *funcsPath), *updateHotpath)
+		if err != nil {
+			fatal(err)
+		}
+		for _, p := range problems {
+			found = true
+			fmt.Println(p)
+		}
+		if *escapes {
+			escProblems, err := runEscapeGate(modRoot, funcs, filepath.Join(modRoot, *allowPath))
+			if err != nil {
+				fatal(err)
+			}
+			for _, p := range escProblems {
+				found = true
+				fmt.Println(p)
+			}
+		}
+	}
+
+	if found {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "analyze:", err)
+	os.Exit(2)
+}

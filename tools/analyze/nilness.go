@@ -1,0 +1,123 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// nilness is a conservative, syntactic take on the stock SSA-based
+// pass: inside the body of `if x == nil { ... }` (or the else arm of
+// `if x != nil`), a dereference of x — *x, x.field on a pointer, or a
+// direct call x() — is a guaranteed nil panic unless the body assigns
+// x first. No dataflow beyond that one guard is attempted, so every
+// report is a certain fault, never a maybe.
+var nilnessAnalyzer = &Analyzer{
+	Name: "nilness",
+	Doc:  "dereference of a value inside the branch that proved it nil",
+	New:  func() Runner { return &nilness{} },
+}
+
+type nilness struct{}
+
+func (*nilness) Finish() {}
+
+func (*nilness) Package(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ifst, ok := n.(*ast.IfStmt)
+			if !ok {
+				return true
+			}
+			cond, ok := ifst.Cond.(*ast.BinaryExpr)
+			if !ok {
+				return true
+			}
+			var nilBody *ast.BlockStmt
+			switch cond.Op {
+			case token.EQL:
+				nilBody = ifst.Body
+			case token.NEQ:
+				nilBody, _ = ifst.Else.(*ast.BlockStmt)
+			default:
+				return true
+			}
+			if nilBody == nil {
+				return true
+			}
+			// One side must be the nil ident, the other a plain variable
+			// of a nilable, dereferenceable type.
+			operand := cond.X
+			if isNilIdent(p.Info, operand) {
+				operand = cond.Y
+			} else if !isNilIdent(p.Info, cond.Y) {
+				return true
+			}
+			id, ok := ast.Unparen(operand).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			v, ok := p.Info.Uses[id].(*types.Var)
+			if !ok {
+				return true
+			}
+			checkNilUses(p, nilBody, v)
+			return true
+		})
+	}
+}
+
+// checkNilUses reports dereferences of v inside body, stopping at the
+// first assignment to v (after which its value is unknown again).
+func checkNilUses(p *Pass, body *ast.BlockStmt, v *types.Var) {
+	reassigned := false
+	isV := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && p.Info.Uses[id] == v
+	}
+	walkStack(body, func(n ast.Node, stack []ast.Node) bool {
+		if reassigned {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // runs later; v may differ by then
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if isV(lhs) {
+					reassigned = true
+				}
+			}
+			// RHS uses are still checked via the expression nodes below.
+		case *ast.UnaryExpr:
+			if n.Op == token.AND && isV(n.X) {
+				// &v: taking the address is fine and lets callees assign.
+				reassigned = true
+			}
+		case *ast.StarExpr:
+			if isV(n.X) {
+				p.Report(n.Pos(), "dereference of %s inside the branch where it is nil", v.Name())
+			}
+		case *ast.SelectorExpr:
+			if !isV(n.X) {
+				return true
+			}
+			if sel, ok := p.Info.Selections[n]; ok {
+				if _, isPtr := v.Type().Underlying().(*types.Pointer); isPtr && sel.Kind() == types.FieldVal {
+					p.Report(n.Pos(), "field access on %s inside the branch where it is nil", v.Name())
+				}
+			}
+		case *ast.CallExpr:
+			if isV(n.Fun) {
+				p.Report(n.Pos(), "call of %s inside the branch where it is nil", v.Name())
+			}
+		case *ast.IndexExpr:
+			if isV(n.X) {
+				if _, isPtr := v.Type().Underlying().(*types.Pointer); isPtr {
+					p.Report(n.Pos(), "index of %s inside the branch where it is nil", v.Name())
+				}
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,237 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Packages holding the two halves of the wire-status bijection; tests
+// point these at fixture packages.
+var (
+	sentinelRootPkg   = "doppel"
+	sentinelServerPkg = "doppel/internal/server"
+)
+
+// sentinelerr enforces the error-identity contract the wire protocol
+// depends on (internal/server/doc.go):
+//
+//   - Sentinels must be matched with errors.Is, never ==/!=. The
+//     engine, router and server all wrap sentinels with context
+//     (fmt.Errorf("...: %w", ErrClosed)), and the client rebuilds
+//     remote errors that only Unwrap to the sentinel — a direct
+//     comparison works in unit tests and silently fails in
+//     production. Only module-local Err* sentinels are in scope;
+//     stdlib identities like io.EOF, which the WAL replay reader
+//     compares by design, are left alone.
+//
+//   - The wire status table stays in bijection with the exported
+//     sentinels: every exported Err<Name> in the root package must
+//     have a statusErr<Name> constant in internal/server, and vice
+//     versa, and both statusForError and sentinelFor must mention
+//     every pair. Adding a sentinel without threading it through the
+//     wire demotes it to an untyped statusErr on remote clients.
+var sentinelErrAnalyzer = &Analyzer{
+	Name: "sentinelerr",
+	Doc:  "Err* sentinels must use errors.Is; wire status table must stay in bijection with exported sentinels",
+	New:  func() Runner { return &sentinelErr{} },
+}
+
+type sentinelErr struct {
+	rootPass   *Pass
+	serverPass *Pass
+}
+
+// sentinelObj reports whether e resolves to a module-local exported
+// error sentinel (an Err*-named variable of type error).
+func sentinelObj(info *types.Info, e ast.Expr) *types.Var {
+	var id *ast.Ident
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return nil
+	}
+	v, ok := info.Uses[id].(*types.Var)
+	if !ok || v.Pkg() == nil || v.IsField() {
+		return nil
+	}
+	pkg := v.Pkg().Path()
+	if pkg != modulePathPrefix && !strings.HasPrefix(pkg, modulePathPrefix+"/") {
+		return nil
+	}
+	if !strings.HasPrefix(v.Name(), "Err") || len(v.Name()) < 4 {
+		return nil
+	}
+	if c := v.Name()[3]; c < 'A' || c > 'Z' {
+		return nil
+	}
+	errType, _ := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	if errType == nil || !types.Implements(v.Type(), errType) {
+		return nil
+	}
+	return v
+}
+
+func isNilIdent(info *types.Info, e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := info.Uses[id].(*types.Nil)
+	return isNil
+}
+
+func (s *sentinelErr) Package(p *Pass) {
+	switch p.Pkg.Path() {
+	case sentinelRootPkg:
+		if s.rootPass == nil {
+			s.rootPass = p
+		}
+	case sentinelServerPkg:
+		if s.serverPass == nil {
+			s.serverPass = p
+		}
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				for i, operand := range []ast.Expr{n.X, n.Y} {
+					v := sentinelObj(p.Info, operand)
+					if v == nil {
+						continue
+					}
+					other := n.Y
+					if i == 1 {
+						other = n.X
+					}
+					if isNilIdent(p.Info, other) {
+						continue // ErrFoo == nil is an identity check, not matching
+					}
+					p.Report(n.Pos(), "comparison %s %s sentinel %s; wrapped and remote errors will not match — use errors.Is",
+						exprString(n.X), n.Op, v.Name())
+					break
+				}
+			case *ast.SwitchStmt:
+				// switch err { case ErrFoo: } — same identity trap.
+				if n.Tag == nil {
+					return true
+				}
+				tv, ok := p.Info.Types[n.Tag]
+				if !ok || tv.Type == nil || tv.Type.String() != "error" {
+					return true
+				}
+				for _, st := range n.Body.List {
+					cc, ok := st.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					for _, e := range cc.List {
+						if v := sentinelObj(p.Info, e); v != nil {
+							p.Report(e.Pos(), "switch on error identity matches sentinel %s; wrapped and remote errors will not match — use errors.Is",
+								v.Name())
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+func (s *sentinelErr) Finish() {
+	if s.rootPass == nil || s.serverPass == nil {
+		return // bijection halves not both under analysis
+	}
+	// Exported Err* sentinels in the root package.
+	sentinels := map[string]bool{} // suffix after "Err"
+	scope := s.rootPass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		v, ok := scope.Lookup(name).(*types.Var)
+		if !ok || !v.Exported() || !strings.HasPrefix(name, "Err") || len(name) < 4 {
+			continue
+		}
+		errType, _ := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+		if errType == nil || !types.Implements(v.Type(), errType) {
+			continue
+		}
+		sentinels[name[3:]] = true
+	}
+	// statusErr<Suffix> constants in the server package.
+	statuses := map[string]bool{}
+	sscope := s.serverPass.Pkg.Scope()
+	for _, name := range sscope.Names() {
+		if _, ok := sscope.Lookup(name).(*types.Const); !ok {
+			continue
+		}
+		if !strings.HasPrefix(name, "statusErr") || len(name) <= len("statusErr") {
+			continue
+		}
+		statuses[name[len("statusErr"):]] = true
+	}
+
+	reportAt := s.serverPass.Files[0].Pos()
+	for _, suffix := range sortedKeys(sentinels) {
+		if !statuses[suffix] {
+			s.serverPass.Report(reportAt, "wire status table is missing statusErr%s for exported sentinel Err%s; remote clients will see it demoted to the untyped statusErr",
+				suffix, suffix)
+		}
+	}
+	for _, suffix := range sortedKeys(statuses) {
+		if !sentinels[suffix] {
+			s.serverPass.Report(reportAt, "wire status statusErr%s has no exported sentinel Err%s in package %s; the typed code can never be produced",
+				suffix, suffix, sentinelRootPkg)
+		}
+	}
+
+	// Both mapping functions must mention every pair they translate.
+	s.checkMentions("statusForError", sentinels, "Err", "sentinel Err%s is not handled by statusForError; it will cross the wire as the untyped statusErr")
+	s.checkMentions("sentinelFor", statuses, "statusErr", "status statusErr%s is not handled by sentinelFor; clients will reject it as an unknown status")
+}
+
+// checkMentions verifies that the named function in the server package
+// mentions prefix+suffix for every suffix in want.
+func (s *sentinelErr) checkMentions(funcName string, want map[string]bool, prefix, format string) {
+	var body *ast.BlockStmt
+	var pos token.Pos
+	for _, f := range s.serverPass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == funcName && fd.Recv == nil {
+				body = fd.Body
+				pos = fd.Pos()
+			}
+		}
+	}
+	if body == nil {
+		return // no translation function in this tree shape; bijection check above still holds
+	}
+	mentioned := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && strings.HasPrefix(id.Name, prefix) {
+			mentioned[id.Name[len(prefix):]] = true
+		}
+		return true
+	})
+	for _, suffix := range sortedKeys(want) {
+		if !mentioned[suffix] {
+			s.serverPass.Report(pos, format, suffix)
+		}
+	}
+}
+
+func sortedKeys(m map[string]bool) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

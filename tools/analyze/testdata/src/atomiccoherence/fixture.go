@@ -1,0 +1,41 @@
+// Package atomiccoherence is a deliberately broken fixture: the n
+// field is accessed via sync/atomic in Load but plainly in Bad, and
+// the typed wrapper w is copied out of its struct.
+package atomiccoherence
+
+import "sync/atomic"
+
+// C mixes a legacy atomic word (n) with a typed wrapper (w).
+type C struct {
+	n uint64
+	w atomic.Uint64
+}
+
+// Load is the legitimate atomic access that marks C.n.
+func Load(c *C) uint64 {
+	return atomic.LoadUint64(&c.n)
+}
+
+// Store is also fine: same field, also atomic.
+func Store(c *C, v uint64) {
+	atomic.StoreUint64(&c.n, v)
+}
+
+// Bad reads and writes the marked field without atomics.
+func Bad(c *C) uint64 {
+	c.n++      // want "plain access to field"
+	return c.n // want "plain access to field"
+}
+
+// CopyWrapper copies a typed atomic out of its struct, silently
+// snapshotting it instead of loading it.
+func CopyWrapper(c *C) atomic.Uint64 {
+	return c.w // want "copied or assigned directly"
+}
+
+// UseWrapper is the legal shape: method calls and address-taking.
+func UseWrapper(c *C) uint64 {
+	p := &c.w
+	p.Add(1)
+	return c.w.Load()
+}

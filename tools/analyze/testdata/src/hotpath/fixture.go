@@ -1,0 +1,18 @@
+// Package hotpath is the escape-gate fixture: Leak is annotated as a
+// hot path but allocates a value the compiler must move to the heap.
+package hotpath
+
+// Leak returns a pointer to a local, the canonical guaranteed escape.
+//
+//doppel:hotpath
+func Leak(v int) *int {
+	x := v
+	return &x
+}
+
+// Clean is annotated and allocation-free.
+//
+//doppel:hotpath
+func Clean(v int) int {
+	return v * 2
+}

@@ -1,0 +1,73 @@
+// Package lockorder is a deliberately broken fixture: AB and BA
+// acquire the two mutexes in opposite orders, and LockAllUnsorted
+// takes per-element locks over a slice nothing ever sorts.
+package lockorder
+
+import (
+	"sort"
+	"sync"
+)
+
+// S carries two plain mutexes and a per-shard lock slice.
+type S struct {
+	a, b   sync.Mutex
+	locks  []sync.Mutex
+	ids    []int // never sorted
+	sorted []int // established ascending by Prepare
+}
+
+// AB nests b under a.
+func (s *S) AB() {
+	s.a.Lock()
+	s.b.Lock()
+	s.b.Unlock()
+	s.a.Unlock()
+}
+
+// BA nests a under b — together with AB this is a deadlock.
+func (s *S) BA() {
+	s.b.Lock()
+	s.a.Lock() // want "lock-order cycle"
+	s.a.Unlock()
+	s.b.Unlock()
+}
+
+// Prepare sorts the shard-ID slice the lock loop iterates.
+func (s *S) Prepare(ids []int) {
+	s.sorted = append(s.sorted[:0], ids...)
+	sort.Ints(s.sorted)
+}
+
+// LockAllSorted is the legal 2PC shape: ascending acquisition.
+func (s *S) LockAllSorted() {
+	for _, i := range s.sorted {
+		s.locks[i].Lock()
+	}
+	for _, i := range s.sorted {
+		s.locks[i].Unlock()
+	}
+}
+
+// LockAllUnsorted iterates a slice that is never sorted.
+func (s *S) LockAllUnsorted() {
+	for _, i := range s.ids {
+		s.locks[i].Lock() // want "never sorted"
+	}
+	for _, i := range s.ids {
+		s.locks[i].Unlock()
+	}
+}
+
+// lockB is a helper so the cycle check sees edges through calls.
+func (s *S) lockB() {
+	s.b.Lock()
+	s.b.Unlock()
+}
+
+// CallEdge acquires b via a call while holding a; the resulting a->b
+// edge coincides with AB's, so no new report.
+func (s *S) CallEdge() {
+	s.a.Lock()
+	defer s.a.Unlock()
+	s.lockB()
+}

@@ -1,0 +1,42 @@
+// Package nilness is a deliberately broken fixture: each Bad* function
+// dereferences a value inside the branch that proved it nil.
+package nilness
+
+// T is a target for pointer field access.
+type T struct {
+	x int
+}
+
+// BadField reads through the pointer in the nil branch.
+func BadField(p *T) int {
+	if p == nil {
+		return p.x // want "field access on p"
+	}
+	return p.x
+}
+
+// BadDeref dereferences in the inverted guard's else arm.
+func BadDeref(p *int) int {
+	if p != nil {
+		return *p
+	} else {
+		return *p // want "dereference of p"
+	}
+}
+
+// BadCall invokes a func value known to be nil.
+func BadCall(fn func() int) int {
+	if fn == nil {
+		return fn() // want "call of fn"
+	}
+	return fn()
+}
+
+// Reassigned is legal: the nil branch repairs the pointer first.
+func Reassigned(p *T) int {
+	if p == nil {
+		p = new(T)
+		return p.x
+	}
+	return p.x
+}

@@ -1,0 +1,37 @@
+// Package sentinelerr is a deliberately broken fixture: Check matches
+// the sentinel with ==, != and an identity switch instead of errors.Is.
+package sentinelerr
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrGone is the fixture's sentinel.
+var ErrGone = errors.New("gone")
+
+// Wrap returns the sentinel with context, as the real tree does.
+func Wrap(key string) error {
+	return fmt.Errorf("load %q: %w", key, ErrGone)
+}
+
+// Check mixes every broken comparison shape with the legal one.
+func Check(err error) bool {
+	if err == ErrGone { // want "use errors.Is"
+		return true
+	}
+	if errors.Is(err, ErrGone) { // the legal shape
+		return true
+	}
+	switch err {
+	case ErrGone: // want "use errors.Is"
+		return true
+	}
+	return err != ErrGone // want "use errors.Is"
+}
+
+// SanityCheck compares the sentinel against nil, which is identity by
+// construction and not flagged.
+func SanityCheck() bool {
+	return ErrGone == nil
+}

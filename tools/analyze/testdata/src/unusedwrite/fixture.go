@@ -1,0 +1,35 @@
+// Package unusedwrite is a deliberately broken fixture: Dead's first
+// assignment is overwritten unread, and Self assigns a variable to
+// itself.
+package unusedwrite
+
+// Dead overwrites x before any read.
+func Dead(a, b int) int {
+	x := 0
+	x = a // want "never read"
+	x = b
+	return x
+}
+
+// Self is the classic no-op assignment.
+func Self(y int) int {
+	y = y // want "self-assignment"
+	return y
+}
+
+// Live reads the first write before the second: no finding.
+func Live(a, b int) int {
+	x := a
+	sum := x
+	x = b
+	return sum + x
+}
+
+// Escaped takes x's address, so another frame may observe the first
+// write: no finding.
+func Escaped(a, b int) int {
+	x := a
+	p := &x
+	x = b
+	return *p
+}

@@ -1,0 +1,12 @@
+// Package wireroot is the bijection fixture's stand-in for the root
+// doppel package: two exported sentinels, one of which (ErrBeta) the
+// wireserver fixture fails to carry.
+package wireroot
+
+import "errors"
+
+// ErrAlpha is threaded through the wire table correctly.
+var ErrAlpha = errors.New("wireroot: alpha")
+
+// ErrBeta is deliberately missing from wireserver's status table.
+var ErrBeta = errors.New("wireroot: beta")

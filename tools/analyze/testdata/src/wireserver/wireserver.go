@@ -1,0 +1,35 @@
+// Package wireserver is the bijection fixture's stand-in for
+// internal/server, seeded with three violations: no status for
+// ErrBeta, a statusErrGamma with no sentinel behind it, and mapping
+// functions that only handle Alpha.
+package wireserver
+
+import (
+	"errors"
+
+	"doppel/tools/analyze/testdata/src/wireroot"
+)
+
+// Status codes; Beta is missing and Gamma is an orphan.
+const (
+	statusOK       = 0
+	statusErr      = 1
+	statusErrAlpha = 2
+	statusErrGamma = 3
+)
+
+// statusForError handles only Alpha.
+func statusForError(err error) byte {
+	if errors.Is(err, wireroot.ErrAlpha) {
+		return statusErrAlpha
+	}
+	return statusErr
+}
+
+// sentinelFor handles only Alpha.
+func sentinelFor(status byte) error {
+	if status == statusErrAlpha {
+		return wireroot.ErrAlpha
+	}
+	return nil
+}

@@ -1,0 +1,151 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// unusedwrite is a conservative, syntactic take on the stock SSA-based
+// pass: within one statement list, a write to a local variable that is
+// overwritten by a later write with no intervening read is dead. Two
+// shapes are flagged:
+//
+//	x = f()        // dead: x never read before the next write
+//	x = g()
+//
+// and the classic self-assignment `x = x`. A variable whose address is
+// taken anywhere in the function, or that appears inside any function
+// literal, is exempt — something else may observe the first write.
+var unusedWriteAnalyzer = &Analyzer{
+	Name: "unusedwrite",
+	Doc:  "write to a local overwritten before any read",
+	New:  func() Runner { return &unusedWrite{} },
+}
+
+type unusedWrite struct{}
+
+func (*unusedWrite) Finish() {}
+
+func (*unusedWrite) Package(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(p, fd)
+		}
+	}
+}
+
+func checkFunc(p *Pass, fd *ast.FuncDecl) {
+	// Locals that escape simple reasoning: address taken, or captured
+	// by a closure.
+	escaped := map[types.Object]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if id, ok := ast.Unparen(n.X).(*ast.Ident); ok {
+					if obj := p.Info.Uses[id]; obj != nil {
+						escaped[obj] = true
+					}
+				}
+			}
+		case *ast.FuncLit:
+			ast.Inspect(n.Body, func(inner ast.Node) bool {
+				if id, ok := inner.(*ast.Ident); ok {
+					if obj := p.Info.Uses[id]; obj != nil {
+						escaped[obj] = true
+					}
+				}
+				return true
+			})
+			return false
+		}
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		block, ok := n.(*ast.BlockStmt)
+		if !ok {
+			return true
+		}
+		checkBlock(p, block.List, escaped)
+		return true
+	})
+}
+
+// simpleWrite returns the local variable a statement writes as its
+// single, plain-assignment target (x = expr, not x, y = ... and not
+// :=, whose "write" is a definition).
+func simpleWrite(p *Pass, st ast.Stmt) (types.Object, *ast.AssignStmt) {
+	as, ok := st.(*ast.AssignStmt)
+	if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return nil, nil
+	}
+	id, ok := as.Lhs[0].(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil, nil
+	}
+	obj := p.Info.Uses[id]
+	if obj == nil {
+		return nil, nil
+	}
+	if v, ok := obj.(*types.Var); !ok || v.IsField() || (v.Pkg() != nil && v.Parent() == v.Pkg().Scope()) {
+		return nil, nil
+	}
+	return obj, as
+}
+
+// mentions reports whether obj appears anywhere under n.
+func mentions(p *Pass, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if p.Info.Uses[id] == obj || p.Info.Defs[id] == obj {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func checkBlock(p *Pass, stmts []ast.Stmt, escaped map[types.Object]bool) {
+	for i, st := range stmts {
+		obj, as := simpleWrite(p, st)
+		if obj == nil || escaped[obj] {
+			continue
+		}
+		// Self-assignment is dead on arrival.
+		if rhs, ok := as.Rhs[0].(*ast.Ident); ok && p.Info.Uses[rhs] == obj {
+			p.Report(as.Pos(), "self-assignment of %s", obj.Name())
+			continue
+		}
+		// Look ahead for an overwrite with no intervening read. Only
+		// simple intervening statements are allowed — any control flow
+		// (loop, if, defer, goto target) could read the value.
+		for j := i + 1; j < len(stmts); j++ {
+			next := stmts[j]
+			switch next.(type) {
+			case *ast.AssignStmt, *ast.ExprStmt, *ast.DeclStmt, *ast.IncDecStmt:
+			default:
+				j = len(stmts) // control flow: abandon the lookahead
+				continue
+			}
+			if nobj, nas := simpleWrite(p, next); nobj == obj {
+				// The overwrite's own RHS may read x (x = x+1 is a read).
+				if !mentions(p, nas.Rhs[0], obj) {
+					p.Report(as.Pos(), "value written to %s is never read; overwritten at line %d",
+						obj.Name(), p.Fset.Position(nas.Pos()).Line)
+				}
+				break
+			}
+			if mentions(p, next, obj) {
+				break // read (or shadowed write in a multi-assign): live
+			}
+		}
+	}
+}
