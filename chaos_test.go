@@ -1,0 +1,535 @@
+package doppel_test
+
+// Chaos harness: a primary serving over a seeded fault-injected
+// network, a checkpointing follower tailing its log, and retrying
+// clients — driven through partitions, connection kills, checkpoints
+// (which GC segments under the follower) and full primary/follower
+// restarts, all derived deterministically from a seed. The invariants:
+//
+//   - No acked-write loss and no duplication: every operation is
+//     acknowledged exactly once, and the counter equals the operation
+//     count exactly (conservation), across every re-issue and restart.
+//   - The follower's applied watermark never regresses within an
+//     instance's lifetime, and the follower never goes terminal —
+//     falling behind checkpoint GC must self-heal by re-bootstrap.
+//   - The 2-shard variant additionally requires
+//     RouterStats.CrossShardApplyLost == 0: connection chaos must never
+//     surface as a half-applied cross-shard commit.
+//
+// Exactly-once here is belt and braces: the wire layer dedups re-issued
+// request IDs per session, and the "addonce" procedure is idempotent in
+// the database itself (a per-op marker key), which is what survives a
+// primary restart throwing the session state away.
+
+import (
+	"context"
+	"fmt"
+	"math/rand/v2"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"doppel"
+	"doppel/internal/fault"
+	"doppel/internal/server"
+)
+
+// chaosRig owns the primary/follower lifecycle so the chaos driver can
+// bounce them while clients and the watermark sampler keep running.
+type chaosRig struct {
+	t        *testing.T
+	dir      string // primary redo-log directory
+	stateDir string // follower checkpoint directory
+	addr     string // fixed server address across restarts
+	netF     *fault.Network
+
+	mu      sync.Mutex
+	db      *doppel.DB
+	srv     *server.Server
+	rep     *doppel.Replica
+	lastPos doppel.LogPosition // per-instance watermark floor
+}
+
+func (r *chaosRig) dbOptions() doppel.Options {
+	return doppel.Options{
+		Workers:         2,
+		RedoLog:         r.dir,
+		SyncCommit:      true, // acked => durable, so restarts may not lose acked writes
+		MaxSegmentBytes: 4 << 10,
+	}
+}
+
+// registerChaosProcs installs the harness procedures on a server.
+func registerChaosProcs(s *server.Server) {
+	// addonce is idempotent per opid: the marker key commits in the same
+	// transaction as the increment, so a re-issued request (lost ack,
+	// restarted server) observes the marker and becomes a no-op.
+	s.Register("addonce", func(tx doppel.Tx, args []server.Arg) (server.Arg, error) {
+		key, opid := args[0].String(), "op:"+args[1].String()
+		n, err := tx.GetInt(opid)
+		if err != nil {
+			return server.Nil, err
+		}
+		if n != 0 {
+			return server.Str("dup"), nil
+		}
+		if err := tx.PutInt(opid, 1); err != nil {
+			return server.Nil, err
+		}
+		if err := tx.Add(key, 1); err != nil {
+			return server.Nil, err
+		}
+		return server.Str("ok"), nil
+	})
+	s.Register("get", func(tx doppel.Tx, args []server.Arg) (server.Arg, error) {
+		n, err := tx.GetInt(args[0].String())
+		return server.Int(n), err
+	})
+}
+
+// startPrimary (re)opens the database from the log directory and serves
+// it on the rig's fixed address through the fault network.
+func (r *chaosRig) startPrimary() error {
+	db, err := doppel.Recover(r.dir, r.dbOptions())
+	if err != nil {
+		return err
+	}
+	lis, err := net.Listen("tcp", r.addr)
+	if err != nil {
+		db.Close()
+		return err
+	}
+	srv := server.New(db)
+	registerChaosProcs(srv)
+	srv.ServeListener(r.netF.Listener(lis))
+	r.mu.Lock()
+	r.db, r.srv = db, srv
+	r.addr = lis.Addr().String()
+	r.mu.Unlock()
+	return nil
+}
+
+func (r *chaosRig) stopPrimary() {
+	r.mu.Lock()
+	db, srv := r.db, r.srv
+	r.db, r.srv = nil, nil
+	r.mu.Unlock()
+	if srv != nil {
+		srv.Close()
+	}
+	if db != nil {
+		db.Close() // seals the WAL and releases the directory lock
+	}
+}
+
+func (r *chaosRig) startFollower() error {
+	rep, err := doppel.OpenFollower(r.dir, doppel.FollowerOptions{
+		PollInterval:    time.Millisecond,
+		StateDir:        r.stateDir,
+		CheckpointEvery: 32,
+	})
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	r.rep = rep
+	r.lastPos = doppel.LogPosition{} // new instance, new monotonicity floor
+	r.mu.Unlock()
+	return nil
+}
+
+func (r *chaosRig) stopFollower() {
+	r.mu.Lock()
+	rep := r.rep
+	r.rep = nil
+	r.mu.Unlock()
+	if rep != nil {
+		rep.Close()
+	}
+}
+
+// sampleWatermark asserts the follower invariants once: the applied
+// position never regresses within an instance, and the tail never goes
+// terminal (GC overruns must self-heal instead).
+func (r *chaosRig) sampleWatermark() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.rep == nil {
+		return
+	}
+	pos := r.rep.Position()
+	if pos.Seq < r.lastPos.Seq || (pos.Seq == r.lastPos.Seq && pos.Offset < r.lastPos.Offset) {
+		r.t.Errorf("follower watermark regressed: %s after %s", pos, r.lastPos)
+	}
+	r.lastPos = pos
+	if err := r.rep.Err(); err != nil {
+		r.t.Errorf("follower went terminal: %v", err)
+	}
+}
+
+func (r *chaosRig) checkpointPrimary() {
+	r.mu.Lock()
+	db := r.db
+	r.mu.Unlock()
+	if db != nil {
+		_ = db.Checkpoint()
+	}
+}
+
+func TestChaosPrimaryFollowerClients(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos harness is seconds-long; skipped with -short")
+	}
+	for _, seed := range []uint64{1, 2, 3} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runChaosSeed(t, seed)
+		})
+	}
+}
+
+func runChaosSeed(t *testing.T, seed uint64) {
+	const (
+		clients      = 3
+		opsPerClient = 25
+		chaosEvents  = 12
+	)
+	rig := &chaosRig{
+		t:        t,
+		dir:      t.TempDir(),
+		stateDir: t.TempDir(),
+		addr:     "127.0.0.1:0",
+		netF:     fault.NewNetwork(seed),
+	}
+	// On top of the driver's partitions and kills, every fourth
+	// connection carries a byte budget so some cuts land mid-frame —
+	// half-written requests and responses that force re-issue and dedup.
+	rig.netF.SetScript(func(i uint64, rng *rand.Rand) fault.Script {
+		if i%4 == 3 {
+			return fault.Script{CutAfterBytes: 200 + int64(rng.IntN(800))}
+		}
+		return fault.Script{}
+	})
+	if err := rig.startPrimary(); err != nil {
+		t.Fatal(err)
+	}
+	defer rig.stopPrimary()
+	if err := rig.startFollower(); err != nil {
+		t.Fatal(err)
+	}
+	defer rig.stopFollower()
+
+	// Watermark sampler: runs for the whole test at a few-ms cadence.
+	samplerStop := make(chan struct{})
+	var samplerWG sync.WaitGroup
+	samplerWG.Add(1)
+	go func() {
+		defer samplerWG.Done()
+		for {
+			select {
+			case <-samplerStop:
+				return
+			case <-time.After(3 * time.Millisecond):
+				rig.sampleWatermark()
+			}
+		}
+	}()
+
+	// Clients: every op is re-issued until acknowledged, so by the end
+	// each opid was acked exactly once and the counter must conserve.
+	var acked atomic.Int64
+	ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
+	defer cancel()
+	var clientWG sync.WaitGroup
+	clientErr := make(chan error, clients)
+	for id := 0; id < clients; id++ {
+		clientWG.Add(1)
+		go func(id int) {
+			defer clientWG.Done()
+			rc := server.DialRetry(rig.addr, server.RetryOptions{
+				RequestTimeout: 300 * time.Millisecond,
+				MaxAttempts:    6,
+				BackoffBase:    2 * time.Millisecond,
+				BackoffMax:     40 * time.Millisecond,
+				Seed:           seed*100 + uint64(id),
+			})
+			defer rc.Close()
+			for op := 0; op < opsPerClient; op++ {
+				opid := fmt.Sprintf("s%d-c%d-%d", seed, id, op)
+				for {
+					_, err := rc.Call(ctx, "addonce", server.Str("counter"), server.Str(opid))
+					if err == nil {
+						break
+					}
+					if ctx.Err() != nil {
+						clientErr <- fmt.Errorf("client %d op %d never acked: %w", id, op, err)
+						return
+					}
+					// Retries exhausted against a down or partitioned
+					// server: re-issuing the same opid is safe (addonce is
+					// idempotent), so back off and go again.
+					time.Sleep(10 * time.Millisecond)
+				}
+				acked.Add(1)
+				// Pace the stream so traffic is in flight across the whole
+				// chaos schedule, not finished before it starts.
+				time.Sleep(5 * time.Millisecond)
+			}
+		}(id)
+	}
+
+	// Chaos driver: a deterministic event schedule from the seed.
+	rng := rand.New(rand.NewPCG(seed, 0xC4A05))
+	for i := 0; i < chaosEvents; i++ {
+		time.Sleep(time.Duration(20+rng.IntN(40)) * time.Millisecond)
+		switch rng.IntN(6) {
+		case 0:
+			rig.netF.Partition()
+			time.Sleep(time.Duration(20+rng.IntN(60)) * time.Millisecond)
+			rig.netF.Heal()
+		case 1:
+			rig.netF.PartitionOutbound()
+			time.Sleep(time.Duration(20+rng.IntN(60)) * time.Millisecond)
+			rig.netF.Heal()
+		case 2:
+			rig.netF.KillConns()
+		case 3:
+			rig.stopPrimary()
+			time.Sleep(time.Duration(rng.IntN(30)) * time.Millisecond)
+			if err := rig.startPrimary(); err != nil {
+				t.Fatalf("primary restart: %v", err)
+			}
+		case 4:
+			// Checkpoint GCs segments; a lagging follower must
+			// re-bootstrap rather than die.
+			rig.checkpointPrimary()
+		case 5:
+			rig.stopFollower()
+			time.Sleep(time.Duration(rng.IntN(20)) * time.Millisecond)
+			if err := rig.startFollower(); err != nil {
+				t.Fatalf("follower restart: %v", err)
+			}
+		}
+	}
+	rig.netF.Heal()
+
+	clientWG.Wait()
+	close(clientErr)
+	for err := range clientErr {
+		t.Fatal(err)
+	}
+	const total = clients * opsPerClient
+	if n := acked.Load(); n != total {
+		t.Fatalf("acked %d ops, want %d", n, total)
+	}
+
+	// Conservation on the primary, over a clean connection.
+	rig.mu.Lock()
+	addr := rig.addr
+	db := rig.db
+	rig.mu.Unlock()
+	c, err := server.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Call("get", server.Str("counter"))
+	c.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := got.Int64(); n != total {
+		t.Fatalf("counter = %d, want %d: an acked increment was lost or doubled", n, total)
+	}
+
+	// The follower converges to the primary's durable position and
+	// agrees on the counter; then stop the sampler.
+	rig.mu.Lock()
+	rep := rig.rep
+	rig.mu.Unlock()
+	wctx, wcancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer wcancel()
+	if err := rep.WaitPosition(wctx, db.LogPosition()); err != nil {
+		t.Fatalf("follower never converged: %v (stats %+v)", err, rep.Stats())
+	}
+	if _, err := rep.View(func(tx doppel.Tx) error {
+		n, err := tx.GetInt("counter")
+		if err != nil {
+			return err
+		}
+		if n != total {
+			return fmt.Errorf("follower counter = %d, want %d", n, total)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	close(samplerStop)
+	samplerWG.Wait()
+
+	if s := rig.netF.Stats(); s.Cut+s.Killed == 0 && s.Conns < 4 {
+		t.Logf("warning: tame run (stats %+v)", s)
+	}
+	t.Logf("seed %d: acked=%d fault=%+v follower=%+v", seed, acked.Load(), rig.netF.Stats(), rep.Stats())
+}
+
+// TestChaosClusterCrossShard drives cross-shard transfers through
+// connection chaos on a 2-shard cluster: money conservation must hold
+// exactly and no per-shard apply may ever be lost (the split-set fence
+// invariant), no matter how connections die mid-2PC acknowledgement.
+func TestChaosClusterCrossShard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos harness is seconds-long; skipped with -short")
+	}
+	for _, seed := range []uint64{1, 2, 3} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runClusterChaosSeed(t, seed)
+		})
+	}
+}
+
+func runClusterChaosSeed(t *testing.T, seed uint64) {
+	const (
+		clients      = 3
+		opsPerClient = 20
+		accounts     = 4
+	)
+	cl, err := doppel.OpenCluster(doppel.ClusterOptions{
+		Shards: 2,
+		DB:     doppel.Options{Workers: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	netF := fault.NewNetwork(seed)
+	netF.SetScript(func(i uint64, rng *rand.Rand) fault.Script {
+		if i%4 == 3 {
+			return fault.Script{CutAfterBytes: 200 + int64(rng.IntN(800))}
+		}
+		return fault.Script{}
+	})
+	srv := server.New(cl)
+	// transfer moves one unit between two accounts (usually on different
+	// shards) with the same marker-key idempotence as addonce.
+	srv.Register("transfer", func(tx doppel.Tx, args []server.Arg) (server.Arg, error) {
+		from, to, opid := args[0].String(), args[1].String(), "op:"+args[2].String()
+		n, err := tx.GetInt(opid)
+		if err != nil {
+			return server.Nil, err
+		}
+		if n != 0 {
+			return server.Str("dup"), nil
+		}
+		if err := tx.PutInt(opid, 1); err != nil {
+			return server.Nil, err
+		}
+		if err := tx.Add(from, -1); err != nil {
+			return server.Nil, err
+		}
+		if err := tx.Add(to, 1); err != nil {
+			return server.Nil, err
+		}
+		return server.Str("ok"), nil
+	})
+	srv.Register("sum", func(tx doppel.Tx, args []server.Arg) (server.Arg, error) {
+		var sum int64
+		for i := 0; i < accounts; i++ {
+			n, err := tx.GetInt(fmt.Sprintf("acct%d", i))
+			if err != nil {
+				return server.Nil, err
+			}
+			sum += n
+		}
+		return server.Int(sum), nil
+	})
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.ServeListener(netF.Listener(lis))
+	defer srv.Close()
+	addr := lis.Addr().String()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	clientErr := make(chan error, clients)
+	for id := 0; id < clients; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rc := server.DialRetry(addr, server.RetryOptions{
+				RequestTimeout: 300 * time.Millisecond,
+				MaxAttempts:    6,
+				BackoffBase:    2 * time.Millisecond,
+				BackoffMax:     40 * time.Millisecond,
+				Seed:           seed*1000 + uint64(id),
+			})
+			defer rc.Close()
+			for op := 0; op < opsPerClient; op++ {
+				from := fmt.Sprintf("acct%d", (id+op)%accounts)
+				to := fmt.Sprintf("acct%d", (id+op+1)%accounts)
+				opid := fmt.Sprintf("s%d-c%d-%d", seed, id, op)
+				for {
+					_, err := rc.Call(ctx, "transfer", server.Str(from), server.Str(to), server.Str(opid))
+					if err == nil {
+						break
+					}
+					if ctx.Err() != nil {
+						clientErr <- fmt.Errorf("client %d op %d never acked: %w", id, op, err)
+						return
+					}
+					time.Sleep(10 * time.Millisecond)
+				}
+				// Keep traffic in flight across the whole chaos schedule.
+				time.Sleep(8 * time.Millisecond)
+			}
+		}(id)
+	}
+
+	rng := rand.New(rand.NewPCG(seed, 0x2BC))
+	for i := 0; i < 10; i++ {
+		time.Sleep(time.Duration(15+rng.IntN(40)) * time.Millisecond)
+		switch rng.IntN(3) {
+		case 0:
+			netF.Partition()
+			time.Sleep(time.Duration(15+rng.IntN(50)) * time.Millisecond)
+			netF.Heal()
+		case 1:
+			netF.KillConns()
+		case 2:
+			netF.PartitionInbound()
+			time.Sleep(time.Duration(15+rng.IntN(50)) * time.Millisecond)
+			netF.Heal()
+		}
+	}
+	netF.Heal()
+	wg.Wait()
+	close(clientErr)
+	for err := range clientErr {
+		t.Fatal(err)
+	}
+
+	c, err := server.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	got, err := c.Call("sum")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := got.Int64(); n != 0 {
+		t.Fatalf("account sum = %d, want 0: a transfer half-applied", n)
+	}
+	cs := cl.Stats()
+	if cs.Router.CrossShardApplyLost != 0 {
+		t.Fatalf("CrossShardApplyLost = %d, want 0", cs.Router.CrossShardApplyLost)
+	}
+	if cs.Router.CrossShard == 0 {
+		t.Fatal("no cross-shard transactions ran; the variant exercised nothing")
+	}
+	t.Logf("seed %d: cross_shard=%d retries=%d fault=%+v",
+		seed, cs.Router.CrossShard, cs.Router.CrossShardRetries, netF.Stats())
+}

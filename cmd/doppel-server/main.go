@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -13,6 +14,7 @@ import (
 	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"doppel"
@@ -43,6 +45,12 @@ func main() {
 	syncCommit := flag.Bool("sync-commit", false, "acknowledge commits only after their redo record's group commit is fsynced")
 	follow := flag.Bool("follow", false, "serve read-only from a replica tailing the -wal directory (writes fail; the primary may be a separate process)")
 	followPoll := flag.Duration("follow-poll", time.Millisecond, "replica tail polling interval with -follow")
+	followState := flag.String("follow-state", "", "follower checkpoint directory with -follow: restarts resume from the newest follower checkpoint instead of re-bootstrapping from the primary's snapshot")
+	scrubEvery := flag.Duration("scrub-every", 0, "background WAL scrub interval when -wal is set (0 disables); damage surfaces in \"stats\"")
+	maxServerInFlight := flag.Int("max-server-inflight", 0, "server-wide cap on concurrently executing requests; excess is shed with an overloaded error instead of queueing without bound (0 disables)")
+	readTimeout := flag.Duration("read-timeout", 0, "drop connections that deliver no request for this long (0 disables)")
+	writeTimeout := flag.Duration("write-timeout", 0, "drop connections that stop reading responses for this long (0 disables)")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "how long shutdown waits for in-flight requests before force-closing connections")
 	flag.Parse()
 
 	opts := doppel.Options{Workers: *workers}
@@ -55,6 +63,7 @@ func main() {
 		opts.CheckpointFrameBuffer = *ckptFrames
 		opts.WALFailStop = *walFailStop
 		opts.SyncCommit = *syncCommit
+		opts.ScrubEvery = *scrubEvery
 	}
 
 	// The handlers below drive whichever backend was opened through the
@@ -64,6 +73,9 @@ func main() {
 		dbStats    func() string
 		checkpoint func() error
 		closeAll   func()
+		// direct registers the mode's wait-free handlers (the
+		// read-your-writes token endpoints) once the server exists.
+		direct func(srv *server.Server)
 	)
 	if *follow {
 		if !durable {
@@ -75,22 +87,55 @@ func main() {
 		rep, err := doppel.OpenFollower(*walDir, doppel.FollowerOptions{
 			PollInterval:        *followPoll,
 			RecoveryParallelism: *recoveryPar,
+			StateDir:            *followState,
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
 		rs := rep.Stats()
-		log.Printf("following %s: snapshot %d records, tail at %s", *walDir, rs.SnapshotEntries, rs.Position)
+		log.Printf("following %s: snapshot %d records, tail at %s (resumed=%v)",
+			*walDir, rs.SnapshotEntries, rs.Position, rs.Resumed)
 		backend, closeAll = rep, rep.Close
 		checkpoint = func() error { return fmt.Errorf("follower is read-only; checkpoint on the primary") }
 		dbStats = func() string {
 			s := rep.Stats()
-			out := fmt.Sprintf("follower applied_lsn=%d position=%s snapshot_entries=%d polls=%d manifest_reads=%d",
-				s.AppliedLSN, s.Position, s.SnapshotEntries, s.Polls, s.ManifestReads)
+			out := fmt.Sprintf("follower applied_lsn=%d position=%s snapshot_entries=%d polls=%d manifest_reads=%d rebootstraps=%d checkpoints=%d resumed=%v",
+				s.AppliedLSN, s.Position, s.SnapshotEntries, s.Polls, s.ManifestReads,
+				s.Rebootstraps, s.Checkpoints, s.Resumed)
 			if s.TailError != "" {
 				out += fmt.Sprintf(" tail_error=%q", s.TailError)
 			}
 			return out
+		}
+		// waitpos blocks a read-your-writes client until the replica has
+		// applied at least the primary position in the client's token
+		// (from the primary's "position" endpoint), then returns the
+		// replica's applied position. Optional second argument: wait
+		// bound in milliseconds (default 10s).
+		direct = func(srv *server.Server) {
+			srv.RegisterDirect("waitpos", func(args []server.Arg) (server.Arg, error) {
+				if len(args) < 1 || len(args) > 2 {
+					return server.Nil, fmt.Errorf("need 1 or 2 args, got %d", len(args))
+				}
+				pos, err := doppel.ParseLogPosition(args[0].String())
+				if err != nil {
+					return server.Nil, err
+				}
+				timeout := 10 * time.Second
+				if len(args) == 2 {
+					ms, err := args[1].Int64()
+					if err != nil {
+						return server.Nil, err
+					}
+					timeout = time.Duration(ms) * time.Millisecond
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), timeout)
+				defer cancel()
+				if err := rep.WaitPosition(ctx, pos); err != nil {
+					return server.Nil, err
+				}
+				return server.Str(rep.Position().String()), nil
+			})
 		}
 	} else if *shards > 1 {
 		copts := doppel.ClusterOptions{Shards: *shards, DB: opts}
@@ -162,6 +207,16 @@ func main() {
 			db = doppel.Open(opts)
 		}
 		backend, checkpoint, closeAll = db, db.Checkpoint, db.Close
+		if durable {
+			// position hands a writer its read-your-writes token: the log
+			// position its acknowledged writes are durable at, to pass to
+			// a follower's "waitpos" before reading there.
+			direct = func(srv *server.Server) {
+				srv.RegisterDirect("position", func(args []server.Arg) (server.Arg, error) {
+					return server.Str(db.LogPosition().String()), nil
+				})
+			}
+		}
 		dbStats = func() string {
 			s := db.Stats()
 			out := fmt.Sprintf(
@@ -181,10 +236,16 @@ func main() {
 	}
 	defer closeAll()
 	srv := server.NewWithOptions(backend, server.Options{
-		MaxInFlight: *maxInFlight,
-		FlushEvery:  *flush,
-		MaxFrame:    *maxFrame,
+		MaxInFlight:       *maxInFlight,
+		FlushEvery:        *flush,
+		MaxFrame:          *maxFrame,
+		MaxServerInFlight: *maxServerInFlight,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
 	})
+	if direct != nil {
+		direct(srv)
+	}
 
 	srv.Register("get", func(tx doppel.Tx, args []server.Arg) (server.Arg, error) {
 		if err := needArgs(args, 1); err != nil {
@@ -277,9 +338,18 @@ func main() {
 	log.Printf("doppel-server listening on %s (%d shards, %d workers/shard, %d in-flight/conn)",
 		bound, *shards, *workers, *maxInFlight)
 
+	// Graceful drain on SIGTERM/SIGINT: stop accepting, let in-flight
+	// requests finish (bounded by -drain-timeout), flush their responses,
+	// then checkpoint so a restart recovers from the snapshot instead of
+	// replaying the log, and finally seal the WAL via the deferred close.
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	log.Print("shutting down")
-	srv.Close()
+	log.Printf("draining (timeout %v)", *drainTimeout)
+	srv.Drain(*drainTimeout)
+	if durable && !*follow {
+		if err := checkpoint(); err != nil {
+			log.Printf("final checkpoint: %v", err)
+		}
+	}
 }

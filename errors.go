@@ -26,6 +26,16 @@ var (
 	// records behind an old generation's would make the new writes
 	// unrecoverable; use Recover for existing directories.
 	ErrLogExists = errors.New("doppel: directory contains an existing log; use Recover")
+
+	// ErrOverloaded reports a request shed because the server's in-flight
+	// budget was exhausted. The request was not executed; the connection
+	// stays usable and the caller should back off and retry.
+	ErrOverloaded = errors.New("doppel: server overloaded")
+
+	// ErrRetriesExhausted reports a request a retrying client gave up on
+	// after its reconnect/backoff budget ran out. Wrapped failures carry
+	// the last underlying error for inspection with errors.Is/As.
+	ErrRetriesExhausted = errors.New("doppel: retries exhausted")
 )
 
 // ErrReadOnly reports a write operation inside a Replica view. A replica

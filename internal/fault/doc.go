@@ -1,0 +1,31 @@
+// Package fault is a deterministic, seeded fault injector for the
+// network plane — the wire-protocol counterpart of the WAL's
+// crash-injection harness (internal/wal's every-7th-byte cut tests).
+// It wraps net.Conn and net.Listener so tests can schedule connection
+// drops, delays, partial reads and writes, hangs and one-way
+// partitions without touching production code paths.
+//
+// The injector has two layers:
+//
+//   - A Script is the per-connection fault schedule: cut the
+//     connection after N bytes, chunk reads or writes, delay each I/O
+//     operation, hang after a byte budget. Scripts are derived
+//     deterministically from the Network's seed and the connection's
+//     accept index, so a failing schedule is reproducible from the
+//     seed alone — the same property the WAL crash tests get from
+//     cutting at every 7th byte.
+//
+//   - A Network is the live switchboard shared by every wrapped
+//     connection: Partition blackholes traffic (writes report success
+//     and vanish; reads block until Heal), PartitionInbound and
+//     PartitionOutbound do one direction only, KillConns severs every
+//     open connection at once, and Heal restores service. The chaos
+//     harness drives these from a seeded schedule.
+//
+// A partition deliberately drops bytes mid-frame: after Heal the
+// stream resumes at an arbitrary byte boundary, so the peer decodes
+// garbage and must drop the connection — exactly the corruption a
+// real half-open TCP session produces. Self-healing layers are
+// expected to treat the connection as lost and reconnect; nothing in
+// this package hides that from them.
+package fault

@@ -1,0 +1,391 @@
+package fault
+
+import (
+	"errors"
+	"math/rand/v2"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected reports an I/O operation the injector failed on purpose:
+// the connection was cut by its script, severed by KillConns, or closed
+// while an operation was hung. Peers never see this error — they see a
+// closed connection — it exists so tests can tell injected failures
+// from real ones on the faulted side.
+var ErrInjected = errors.New("fault: injected connection failure")
+
+// Script is one connection's deterministic fault schedule. The zero
+// Script injects nothing and costs one atomic load per I/O call.
+type Script struct {
+	// CutAfterBytes severs the connection once this many bytes (reads
+	// plus writes combined) have crossed it. A write in progress is
+	// delivered up to the boundary (a half-written frame), then the
+	// underlying connection closes. 0 never cuts.
+	CutAfterBytes int64
+	// HangAfterBytes blocks every I/O operation once this many bytes
+	// have crossed the connection, until the connection is closed or
+	// killed — a stalled peer, as opposed to a dead one. 0 never hangs.
+	HangAfterBytes int64
+	// ReadChunk caps the bytes one Read may return, forcing short
+	// reads. 0 leaves reads alone.
+	ReadChunk int
+	// WriteChunk splits writes into chunks of at most this many bytes,
+	// so cut and partition boundaries land mid-message. 0 leaves
+	// writes alone.
+	WriteChunk int
+	// Delay is slept before every read and write.
+	Delay time.Duration
+	// RejectAccept makes the listener accept and immediately close the
+	// connection — the classic crash-just-after-accept.
+	RejectAccept bool
+}
+
+// ScriptFunc derives the fault schedule for the i-th connection (accept
+// or dial order, starting at 0). rng is seeded from the Network's seed
+// and i, so the schedule is a pure function of (seed, i).
+type ScriptFunc func(i uint64, rng *rand.Rand) Script
+
+// Stats counts what a Network has done to its connections.
+type Stats struct {
+	// Conns is how many connections were wrapped (accepted or dialed).
+	Conns uint64
+	// Rejected is how many connections a script closed at accept.
+	Rejected uint64
+	// Cut is how many connections a script's byte budget severed.
+	Cut uint64
+	// Killed is how many connections KillConns severed.
+	Killed uint64
+}
+
+// Network is the switchboard every wrapped connection shares: it
+// assigns scripts deterministically and carries the live partition
+// state. All methods are safe for concurrent use.
+type Network struct {
+	seed   uint64
+	script ScriptFunc
+
+	mu       sync.Mutex
+	conns    map[*Conn]struct{}
+	next     uint64
+	healCh   chan struct{} // replaced on partition, closed on heal
+	inbound  bool          // reads blocked
+	outbound bool          // writes blackholed
+	stats    Stats
+}
+
+// NewNetwork returns a healthy Network whose scripts derive from seed.
+// With a nil ScriptFunc every connection gets the zero Script; set one
+// with SetScript.
+func NewNetwork(seed uint64) *Network {
+	return &Network{
+		seed:   seed,
+		conns:  map[*Conn]struct{}{},
+		healCh: make(chan struct{}),
+	}
+}
+
+// SetScript installs the per-connection schedule generator. It applies
+// to connections wrapped after the call.
+func (n *Network) SetScript(f ScriptFunc) {
+	n.mu.Lock()
+	n.script = f
+	n.mu.Unlock()
+}
+
+// Stats returns a snapshot of the network's fault counters.
+func (n *Network) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+// admit assigns the next connection index and its script.
+func (n *Network) admit() Script {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	i := n.next
+	n.next++
+	n.stats.Conns++
+	if n.script == nil {
+		return Script{}
+	}
+	return n.script(i, rand.New(rand.NewPCG(n.seed, i)))
+}
+
+// Wrap places c under the network's fault control with the next
+// scripted schedule. The returned connection implements net.Conn;
+// deadlines pass through to c.
+func (n *Network) Wrap(c net.Conn) net.Conn {
+	return n.wrap(c, n.admit())
+}
+
+func (n *Network) wrap(c net.Conn, s Script) *Conn {
+	fc := &Conn{inner: c, n: n, script: s, closed: make(chan struct{})}
+	n.mu.Lock()
+	n.conns[fc] = struct{}{}
+	n.mu.Unlock()
+	return fc
+}
+
+// Listener wraps l so every accepted connection comes under the
+// network's control.
+func (n *Network) Listener(l net.Listener) net.Listener {
+	return &listener{Listener: l, n: n}
+}
+
+// Dial opens a connection and places it under the network's control.
+func (n *Network) Dial(network, addr string) (net.Conn, error) {
+	c, err := net.Dial(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	s := n.admit()
+	if s.RejectAccept {
+		c.Close()
+		n.mu.Lock()
+		n.stats.Rejected++
+		n.mu.Unlock()
+		return nil, ErrInjected
+	}
+	return n.wrap(c, s), nil
+}
+
+// Partition blackholes both directions: writes report success and
+// vanish, reads block until Heal or the connection closes. Bytes
+// dropped mid-frame stay dropped — after Heal the stream resumes torn,
+// and peers are expected to detect the corruption and reconnect.
+func (n *Network) Partition() { n.setPartition(true, true) }
+
+// PartitionInbound blocks only reads (traffic toward the wrapped side
+// is lost); writes still flow.
+func (n *Network) PartitionInbound() { n.setPartition(true, false) }
+
+// PartitionOutbound blackholes only writes (traffic from the wrapped
+// side is lost); reads still flow.
+func (n *Network) PartitionOutbound() { n.setPartition(false, true) }
+
+// Heal ends any partition and wakes blocked readers.
+func (n *Network) Heal() { n.setPartition(false, false) }
+
+func (n *Network) setPartition(inbound, outbound bool) {
+	n.mu.Lock()
+	old := n.healCh
+	n.healCh = make(chan struct{})
+	n.inbound, n.outbound = inbound, outbound
+	n.mu.Unlock()
+	// Wake every blocked reader; each re-checks the new state and goes
+	// back to sleep on the fresh channel if its direction is still down.
+	close(old)
+}
+
+// KillConns severs every open connection at once — the network-plane
+// equivalent of kill -9 on the peer. New connections are unaffected.
+func (n *Network) KillConns() int {
+	n.mu.Lock()
+	conns := make([]*Conn, 0, len(n.conns))
+	for c := range n.conns {
+		conns = append(conns, c)
+	}
+	n.stats.Killed += uint64(len(conns))
+	n.mu.Unlock()
+	for _, c := range conns {
+		c.sever()
+	}
+	return len(conns)
+}
+
+// state snapshots the partition gates and the channel a blocked reader
+// must wait on.
+func (n *Network) state() (inbound, outbound bool, heal <-chan struct{}) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.inbound, n.outbound, n.healCh
+}
+
+func (n *Network) drop(c *Conn) {
+	n.mu.Lock()
+	delete(n.conns, c)
+	n.mu.Unlock()
+}
+
+func (n *Network) countCut() {
+	n.mu.Lock()
+	n.stats.Cut++
+	n.mu.Unlock()
+}
+
+type listener struct {
+	net.Listener
+	n *Network
+}
+
+// Accept wraps the next connection in its scripted faults. Connections
+// whose script rejects them are closed immediately and the accept loop
+// continues — the dialing peer sees an instant EOF.
+func (l *listener) Accept() (net.Conn, error) {
+	for {
+		c, err := l.Listener.Accept()
+		if err != nil {
+			return nil, err
+		}
+		s := l.n.admit()
+		if s.RejectAccept {
+			c.Close()
+			l.n.mu.Lock()
+			l.n.stats.Rejected++
+			l.n.mu.Unlock()
+			continue
+		}
+		return l.n.wrap(c, s), nil
+	}
+}
+
+// Conn is a net.Conn under fault control. It is safe for the usual
+// net.Conn concurrency (one reader plus one writer, any closers).
+type Conn struct {
+	inner  net.Conn
+	n      *Network
+	script Script
+
+	total     atomic.Int64 // bytes crossed, both directions
+	severed   atomic.Bool
+	closed    chan struct{}
+	closeOnce sync.Once
+}
+
+// pre applies the script's delay and byte-budget faults that precede an
+// I/O operation.
+func (c *Conn) pre() error {
+	if c.severed.Load() {
+		return ErrInjected
+	}
+	if d := c.script.Delay; d > 0 {
+		time.Sleep(d)
+	}
+	t := c.total.Load()
+	if h := c.script.HangAfterBytes; h > 0 && t >= h {
+		// Stalled peer: block until the connection is torn down.
+		<-c.closed
+		return ErrInjected
+	}
+	if cut := c.script.CutAfterBytes; cut > 0 && t >= cut {
+		c.n.countCut()
+		c.sever()
+		return ErrInjected
+	}
+	return nil
+}
+
+// account adds n crossed bytes and reports whether the cut budget was
+// just exhausted (the caller severs and stops).
+func (c *Conn) account(n int) bool {
+	t := c.total.Add(int64(n))
+	cut := c.script.CutAfterBytes
+	return cut > 0 && t >= cut
+}
+
+// Read applies the connection's script — chunking, inbound partition
+// stalls, and byte-budget cuts — around the inner connection's Read.
+func (c *Conn) Read(b []byte) (int, error) {
+	if err := c.pre(); err != nil {
+		return 0, err
+	}
+	// A partitioned inbound path delivers nothing until Heal; honor
+	// teardown so a killed connection does not strand its reader.
+	for {
+		inbound, _, heal := c.n.state()
+		if !inbound {
+			break
+		}
+		select {
+		case <-heal:
+		case <-c.closed:
+			return 0, ErrInjected
+		}
+	}
+	if ch := c.script.ReadChunk; ch > 0 && len(b) > ch {
+		b = b[:ch]
+	}
+	nr, err := c.inner.Read(b)
+	if nr > 0 && c.account(nr) {
+		c.n.countCut()
+		c.sever()
+		if err == nil {
+			// Deliver what was read; the next call fails.
+			return nr, nil
+		}
+	}
+	return nr, err
+}
+
+// Write applies the connection's script — chunking, outbound blackholes,
+// and byte-budget cuts — around the inner connection's Write.
+func (c *Conn) Write(b []byte) (int, error) {
+	if err := c.pre(); err != nil {
+		return 0, err
+	}
+	written := 0
+	for len(b) > 0 {
+		if _, outbound, _ := c.n.state(); outbound {
+			// Blackholed: the bytes vanish but the writer sees success,
+			// exactly like packets dropped past the local buffer.
+			return written + len(b), nil
+		}
+		chunk := b
+		if ch := c.script.WriteChunk; ch > 0 && len(chunk) > ch {
+			chunk = chunk[:ch]
+		}
+		nw, err := c.inner.Write(chunk)
+		written += nw
+		cutNow := nw > 0 && c.account(nw)
+		if err != nil {
+			return written, err
+		}
+		if cutNow {
+			c.n.countCut()
+			c.sever()
+			return written, ErrInjected
+		}
+		b = b[nw:]
+	}
+	return written, nil
+}
+
+// sever tears the connection down abruptly (no FIN handshake ordering
+// guarantees): the underlying conn closes and hung operations wake.
+func (c *Conn) sever() {
+	c.severed.Store(true)
+	c.closeOnce.Do(func() {
+		close(c.closed)
+		_ = c.inner.Close()
+		c.n.drop(c)
+	})
+}
+
+// Close closes the connection normally.
+func (c *Conn) Close() error {
+	var err error
+	c.closeOnce.Do(func() {
+		close(c.closed)
+		err = c.inner.Close()
+		c.n.drop(c)
+	})
+	return err
+}
+
+// LocalAddr returns the underlying connection's local address.
+func (c *Conn) LocalAddr() net.Addr { return c.inner.LocalAddr() }
+
+// RemoteAddr returns the underlying connection's remote address.
+func (c *Conn) RemoteAddr() net.Addr { return c.inner.RemoteAddr() }
+
+// SetDeadline passes through to the underlying connection.
+func (c *Conn) SetDeadline(t time.Time) error { return c.inner.SetDeadline(t) }
+
+// SetReadDeadline passes through to the underlying connection.
+func (c *Conn) SetReadDeadline(t time.Time) error { return c.inner.SetReadDeadline(t) }
+
+// SetWriteDeadline passes through to the underlying connection.
+func (c *Conn) SetWriteDeadline(t time.Time) error { return c.inner.SetWriteDeadline(t) }

@@ -1,0 +1,265 @@
+package fault
+
+import (
+	"errors"
+	"io"
+	"math/rand/v2"
+	"net"
+	"testing"
+	"time"
+)
+
+// pair returns a faulted server-side conn (accepted through n's
+// listener) and the raw client side talking to it.
+func pair(t *testing.T, n *Network) (server net.Conn, client net.Conn) {
+	t.Helper()
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lis := n.Listener(inner)
+	t.Cleanup(func() { lis.Close() })
+	done := make(chan net.Conn, 1)
+	go func() {
+		c, err := lis.Accept()
+		if err != nil {
+			close(done)
+			return
+		}
+		done <- c
+	}()
+	client, err = net.Dial("tcp", inner.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { client.Close() })
+	server, ok := <-done
+	if !ok {
+		t.Fatal("accept failed")
+	}
+	t.Cleanup(func() { server.Close() })
+	return server, client
+}
+
+func TestScriptsAreDeterministic(t *testing.T) {
+	gen := func(i uint64, rng *rand.Rand) Script {
+		return Script{
+			CutAfterBytes: int64(rng.IntN(1000)),
+			ReadChunk:     rng.IntN(64),
+			RejectAccept:  rng.IntN(4) == 0,
+		}
+	}
+	a, b := NewNetwork(42), NewNetwork(42)
+	a.SetScript(gen)
+	b.SetScript(gen)
+	for i := 0; i < 50; i++ {
+		if sa, sb := a.admit(), b.admit(); sa != sb {
+			t.Fatalf("conn %d: scripts diverge: %+v vs %+v", i, sa, sb)
+		}
+	}
+	c := NewNetwork(43)
+	c.SetScript(gen)
+	same := true
+	d := NewNetwork(42)
+	d.SetScript(gen)
+	for i := 0; i < 50; i++ {
+		if c.admit() != d.admit() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestCutAfterBytesSeversMidWrite(t *testing.T) {
+	n := NewNetwork(1)
+	n.SetScript(func(i uint64, _ *rand.Rand) Script {
+		return Script{CutAfterBytes: 10, WriteChunk: 4}
+	})
+	server, client := pair(t, n)
+
+	// 16-byte write: chunks of 4 cross the 10-byte budget on the third
+	// chunk — the peer receives a half-written message, then EOF.
+	nw, err := server.Write(make([]byte, 16))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("Write err = %v, want ErrInjected", err)
+	}
+	if nw != 12 {
+		t.Fatalf("wrote %d bytes before the cut, want 12", nw)
+	}
+	got, err := io.ReadAll(client)
+	if err != nil && !errors.Is(err, io.EOF) {
+		// A severed TCP conn may surface as ECONNRESET instead of EOF.
+		var ne net.Error
+		if !errors.As(err, &ne) && !errors.Is(err, net.ErrClosed) {
+			t.Logf("read error after cut: %v", err)
+		}
+	}
+	if len(got) > 12 {
+		t.Fatalf("peer received %d bytes, want <= 12", len(got))
+	}
+	if s := n.Stats(); s.Cut != 1 {
+		t.Fatalf("Stats.Cut = %d, want 1", s.Cut)
+	}
+}
+
+func TestReadChunkForcesShortReads(t *testing.T) {
+	n := NewNetwork(1)
+	n.SetScript(func(i uint64, _ *rand.Rand) Script { return Script{ReadChunk: 3} })
+	server, client := pair(t, n)
+	if _, err := client.Write([]byte("abcdefgh")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	nr, err := server.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nr != 3 {
+		t.Fatalf("short read returned %d bytes, want 3", nr)
+	}
+}
+
+func TestPartitionBlackholesAndHeals(t *testing.T) {
+	n := NewNetwork(1)
+	server, client := pair(t, n)
+
+	n.Partition()
+	// Outbound vanishes: the write "succeeds" but the peer never sees
+	// the bytes.
+	if _, err := server.Write([]byte("lost")); err != nil {
+		t.Fatalf("blackholed write errored: %v", err)
+	}
+	// Inbound blocks: a read started during the partition must not
+	// return even though the peer wrote.
+	if _, err := client.Write([]byte("queued")); err != nil {
+		t.Fatal(err)
+	}
+	readDone := make(chan int, 1)
+	go func() {
+		buf := make([]byte, 64)
+		nr, _ := server.Read(buf)
+		readDone <- nr
+	}()
+	select {
+	case nr := <-readDone:
+		t.Fatalf("read returned %d bytes during partition", nr)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	n.Heal()
+	select {
+	case nr := <-readDone:
+		if nr == 0 {
+			t.Fatal("read returned no bytes after heal")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("read still blocked after heal")
+	}
+	// The blackholed bytes stayed lost.
+	client.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+	buf := make([]byte, 64)
+	if nr, _ := client.Read(buf); nr != 0 {
+		t.Fatalf("peer received %d blackholed bytes", nr)
+	}
+}
+
+func TestKillConnsUnblocksPartitionedReader(t *testing.T) {
+	n := NewNetwork(1)
+	server, _ := pair(t, n)
+	n.PartitionInbound()
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := server.Read(make([]byte, 16))
+		errCh <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	if killed := n.KillConns(); killed != 1 {
+		t.Fatalf("KillConns severed %d conns, want 1", killed)
+	}
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, ErrInjected) {
+			t.Fatalf("killed read err = %v, want ErrInjected", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("reader still blocked after KillConns")
+	}
+}
+
+func TestHangAfterBytesStalls(t *testing.T) {
+	n := NewNetwork(1)
+	n.SetScript(func(i uint64, _ *rand.Rand) Script { return Script{HangAfterBytes: 4} })
+	server, client := pair(t, n)
+	if _, err := client.Write([]byte("abcd")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := server.Read(make([]byte, 8)); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := server.Write([]byte("x"))
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("write past the hang budget returned (%v)", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	server.Close()
+	if err := <-done; !errors.Is(err, ErrInjected) {
+		t.Fatalf("hung write err = %v, want ErrInjected", err)
+	}
+}
+
+func TestRejectAcceptDropsOnlyScriptedConns(t *testing.T) {
+	n := NewNetwork(1)
+	n.SetScript(func(i uint64, _ *rand.Rand) Script {
+		return Script{RejectAccept: i == 0}
+	})
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lis := n.Listener(inner)
+	defer lis.Close()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		c, err := lis.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+
+	// First dial is rejected: the connection closes immediately.
+	c1, err := net.Dial("tcp", inner.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	c1.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := c1.Read(make([]byte, 1)); err == nil {
+		t.Fatal("rejected conn delivered data")
+	}
+
+	// Second dial is served.
+	c2, err := net.Dial("tcp", inner.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	srv := <-accepted
+	defer srv.Close()
+	if _, err := c2.Write([]byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 2)
+	if _, err := io.ReadFull(srv, buf); err != nil || string(buf) != "ok" {
+		t.Fatalf("served conn read %q, %v", buf, err)
+	}
+	if s := n.Stats(); s.Rejected != 1 {
+		t.Fatalf("Stats.Rejected = %d, want 1", s.Rejected)
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -30,6 +32,17 @@ type Options struct {
 	// Parallelism caps the goroutines used to decode the bootstrap
 	// snapshot; values below 1 mean GOMAXPROCS.
 	Parallelism int
+	// StateDir, when set, enables follower-side checkpointing: the
+	// follower periodically persists its materialized store plus the log
+	// position it is consistent with, and a restart resumes from that
+	// state, replaying only the suffix after it instead of the whole
+	// post-snapshot log. The directory is created if needed and must not
+	// be the primary's log directory.
+	StateDir string
+	// CheckpointEvery is how many applied records between follower
+	// checkpoints; <= 0 with StateDir set means 4096. Ignored without
+	// StateDir.
+	CheckpointEvery int
 }
 
 // Stats is a point-in-time snapshot of a Follower's progress.
@@ -42,6 +55,15 @@ type Stats struct {
 	SnapshotEntries int
 	// Tail carries the cursor's cumulative I/O counters.
 	Tail wal.TailStats
+	// Rebootstraps counts self-heals: times the tail fell behind a
+	// checkpoint GC and the follower rebuilt itself from the newest
+	// primary snapshot.
+	Rebootstraps uint64
+	// Checkpoints counts follower-side checkpoints written to StateDir.
+	Checkpoints uint64
+	// Resumed reports whether this follower started from StateDir state
+	// rather than a full bootstrap.
+	Resumed bool
 	// Err is the terminal tail error, "" while healthy.
 	Err string
 }
@@ -54,6 +76,18 @@ type Follower struct {
 	st   *store.Store
 	cur  *wal.Cursor
 	poll time.Duration
+	par  int
+
+	// Follower-side checkpointing state; all fields below are owned by
+	// the tail goroutine except the counters mirrored under mu.
+	stateDir     string
+	ckptEvery    int
+	sinceCkpt    int
+	ckpts        uint64
+	lastSnapName string
+	resumed      bool
+
+	rebootstraps atomic.Uint64
 
 	snapshotEntries int
 
@@ -76,46 +110,105 @@ type Follower struct {
 	stopOnce sync.Once
 }
 
-// Open starts a follower over the log directory at dir: it loads the
-// checkpoint snapshot the manifest names (if any) exactly as recovery
-// would, then begins tailing the segments. The primary may be live or
+// Open starts a follower over the log directory at dir. With no (or
+// unusable) StateDir state it loads the checkpoint snapshot the
+// manifest names exactly as recovery would, then begins tailing the
+// segments; with valid StateDir state it resumes from its own snapshot
+// and replays only the log suffix after it. The primary may be live or
 // absent; a missing or empty directory simply waits for the primary's
 // first append.
 func Open(dir string, opts Options) (*Follower, error) {
-	cur, man, err := wal.OpenCursor(dir)
-	if err != nil {
-		return nil, err
-	}
-	st := store.New()
-	// tidFiltered=true: redo records in live segments are replayed after
-	// (and during catch-up, conceptually concurrently with) the snapshot,
-	// so installs must go through the highest-TID-wins filter.
-	n, err := checkpoint.LoadSnapshot(dir, man, st, opts.Parallelism, true)
-	if err != nil {
-		cur.Close()
-		return nil, err
-	}
 	poll := opts.Poll
 	if poll <= 0 {
 		poll = time.Millisecond
 	}
 	f := &Follower{
-		dir:             dir,
-		st:              st,
-		cur:             cur,
-		poll:            poll,
-		snapshotEntries: n,
-		stop:            make(chan struct{}),
-		done:            make(chan struct{}),
+		dir:       dir,
+		poll:      poll,
+		par:       opts.Parallelism,
+		stateDir:  opts.StateDir,
+		ckptEvery: opts.CheckpointEvery,
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
 	}
-	p := cur.Position()
+	if f.stateDir != "" {
+		if f.ckptEvery <= 0 {
+			f.ckptEvery = 4096
+		}
+		if err := os.MkdirAll(f.stateDir, 0o755); err != nil {
+			return nil, err
+		}
+		if ok, err := f.tryResume(); err != nil {
+			return nil, err
+		} else if !ok {
+			if err := f.bootstrapFresh(); err != nil {
+				return nil, err
+			}
+		}
+	} else if err := f.bootstrapFresh(); err != nil {
+		return nil, err
+	}
+	p := f.cur.Position()
 	f.pos.Store(&p)
 	go f.loop()
 	return f, nil
 }
 
-// loop is the tail goroutine: poll, apply, publish, until stopped or a
-// terminal error.
+// bootstrapFresh builds the follower from the primary's newest
+// checkpoint snapshot, exactly as recovery would.
+func (f *Follower) bootstrapFresh() error {
+	cur, man, err := wal.OpenCursor(f.dir)
+	if err != nil {
+		return err
+	}
+	st := store.New()
+	// tidFiltered=true: redo records in live segments are replayed after
+	// (and during catch-up, conceptually concurrently with) the snapshot,
+	// so installs must go through the highest-TID-wins filter.
+	n, err := checkpoint.LoadSnapshot(f.dir, man, st, f.par, true)
+	if err != nil {
+		cur.Close()
+		return err
+	}
+	f.st, f.cur, f.snapshotEntries = st, cur, n
+	return nil
+}
+
+// tryResume rebuilds the follower from its own StateDir checkpoint. A
+// missing state file, or a resume position the primary has since
+// garbage-collected, reports ok=false so the caller bootstraps fresh;
+// corrupt state or snapshot files are errors (silently discarding them
+// could hide real damage).
+func (f *Follower) tryResume() (bool, error) {
+	s, ok, err := readState(f.stateDir)
+	if err != nil || !ok {
+		return false, err
+	}
+	cur, err := wal.OpenCursorAt(f.dir, s.Pos)
+	if err != nil {
+		if errors.Is(err, wal.ErrTailGCed) {
+			return false, nil // fell behind while down; full bootstrap
+		}
+		return false, err
+	}
+	st := store.New()
+	n, err := loadSnapshotFile(f.stateDir, s.Snapshot, st, f.par)
+	if err != nil {
+		cur.Close()
+		return false, err
+	}
+	f.st, f.cur, f.snapshotEntries = st, cur, n
+	f.applied.Store(s.Applied)
+	f.ckpts = s.Ckpts
+	f.lastSnapName = s.Snapshot
+	f.resumed = true
+	return true, nil
+}
+
+// loop is the tail goroutine: poll, apply, checkpoint, publish, until
+// stopped or a terminal error. Falling behind a checkpoint GC
+// (ErrTailGCed) is not terminal: the follower re-bootstraps itself from
+// the primary's newest snapshot and keeps going.
 func (f *Follower) loop() {
 	defer close(f.done)
 	t := time.NewTicker(f.poll)
@@ -125,14 +218,97 @@ func (f *Follower) loop() {
 		case <-f.stop:
 			return
 		case <-t.C:
-			if _, err := f.pollOnce(); err != nil {
-				f.mu.Lock()
-				f.termErr = err
-				f.mu.Unlock()
-				return
+			n, err := f.pollOnce()
+			if err != nil {
+				if errors.Is(err, wal.ErrTailGCed) {
+					err = f.rebootstrap()
+				}
+				if err != nil {
+					f.mu.Lock()
+					f.termErr = err
+					f.mu.Unlock()
+					return
+				}
+				continue
 			}
+			f.maybeCheckpoint(n)
 		}
 	}
+}
+
+// rebootstrap rebuilds the follower in place from the primary's newest
+// checkpoint snapshot after the tail fell behind a segment GC. The
+// applied watermark is never reset — it keeps counting records this
+// follower has installed (so it undercounts the primary's LSN from now
+// on) — and Position is monotone: the new cursor starts at the
+// snapshot's segment, which is strictly after the GCed one. Views keep
+// working throughout; the store swap is atomic under applyMu.
+func (f *Follower) rebootstrap() error {
+	cur, man, err := wal.OpenCursor(f.dir)
+	if err != nil {
+		return err
+	}
+	st := store.New()
+	n, err := checkpoint.LoadSnapshot(f.dir, man, st, f.par, true)
+	if err != nil {
+		cur.Close()
+		return err
+	}
+	old := f.cur
+	f.applyMu.Lock()
+	f.st = st
+	f.applyMu.Unlock()
+	f.cur = cur
+	p := cur.Position()
+	f.pos.Store(&p)
+	_ = old.Close()
+	f.mu.Lock()
+	f.snapshotEntries = n
+	f.mu.Unlock()
+	f.rebootstraps.Add(1)
+	// Persist the new baseline promptly: the old StateDir snapshot now
+	// predates the GC and would be rejected on restart anyway.
+	f.sinceCkpt = f.ckptEvery
+	return nil
+}
+
+// maybeCheckpoint persists the follower's state to StateDir once enough
+// records have been applied since the last checkpoint. The tail
+// goroutine is the only store writer, so between applies the store is
+// quiescent and the snapshot is exactly consistent with the cursor
+// position; concurrent Views only read. A failed checkpoint is not
+// terminal — the previous state remains valid, and the next interval
+// retries.
+func (f *Follower) maybeCheckpoint(applied int) {
+	if f.stateDir == "" {
+		return
+	}
+	f.sinceCkpt += applied
+	if f.sinceCkpt < f.ckptEvery {
+		return
+	}
+	name := fmt.Sprintf("snap-%06d", f.ckpts+1)
+	if _, err := writeSnapshotFile(f.stateDir, name, f.st); err != nil {
+		return
+	}
+	s := followerState{
+		Snapshot: name,
+		Pos:      f.cur.Position(),
+		Applied:  f.applied.Load(),
+		Ckpts:    f.ckpts + 1,
+	}
+	if err := writeState(f.stateDir, s); err != nil {
+		_ = os.Remove(filepath.Join(f.stateDir, name))
+		return
+	}
+	if f.lastSnapName != "" && f.lastSnapName != name {
+		_ = os.Remove(filepath.Join(f.stateDir, f.lastSnapName))
+	}
+	f.lastSnapName = name
+	f.mu.Lock()
+	f.ckpts++
+	f.mu.Unlock()
+	f.sinceCkpt = 0
 }
 
 // pollOnce applies everything newly visible and publishes the resulting
@@ -199,12 +375,22 @@ func (f *Follower) AppliedLSN() uint64 { return f.applied.Load() }
 // primary restarts.
 func (f *Follower) Position() wal.Position { return *f.pos.Load() }
 
-// SnapshotEntries returns how many records the bootstrap snapshot held.
-func (f *Follower) SnapshotEntries() int { return f.snapshotEntries }
+// SnapshotEntries returns how many records the bootstrap snapshot held
+// (refreshed when a re-bootstrap loads a newer one).
+func (f *Follower) SnapshotEntries() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.snapshotEntries
+}
 
 // Store exposes the replica's store for equivalence checks; callers
-// must treat it as read-only.
-func (f *Follower) Store() *store.Store { return f.st }
+// must treat it as read-only. A re-bootstrap replaces the store, so
+// hold no reference across polls when GC is possible.
+func (f *Follower) Store() *store.Store {
+	f.applyMu.RLock()
+	defer f.applyMu.RUnlock()
+	return f.st
+}
 
 // Err returns the tail loop's terminal error, if any. A non-nil result
 // means the follower has stopped applying (sealed-segment corruption,
@@ -220,12 +406,16 @@ func (f *Follower) Err() error {
 func (f *Follower) Stats() Stats {
 	f.mu.Lock()
 	ts, terr := f.tailStats, f.termErr
+	snapN, ckpts := f.snapshotEntries, f.ckpts
 	f.mu.Unlock()
 	s := Stats{
 		AppliedLSN:      f.applied.Load(),
 		Position:        f.Position(),
-		SnapshotEntries: f.snapshotEntries,
+		SnapshotEntries: snapN,
 		Tail:            ts,
+		Rebootstraps:    f.rebootstraps.Load(),
+		Checkpoints:     ckpts,
+		Resumed:         f.resumed,
 	}
 	if terr != nil {
 		s.Err = terr.Error()

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"net"
 	"sync"
@@ -18,7 +19,15 @@ type Call struct {
 	Args  []Arg  // arguments
 	Reply Arg    // result, valid after Done fires with Err == nil
 	Err   error  // per-call or connection error
-	Done  chan *Call
+	// Disconnect reports that Err came from the connection dying, not
+	// from the server answering: the call may never have executed, or
+	// executed with its response lost. Retrying layers reconnect and
+	// re-issue on Disconnect, and must not retry server-answered
+	// failures (Disconnect false) that could have committed.
+	Disconnect bool
+	Done       chan *Call
+
+	id uint64
 }
 
 func (c *Call) finish() {
@@ -59,6 +68,13 @@ func DialOptions(addr string, opts Options) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
+	return NewClient(conn, opts), nil
+}
+
+// NewClient wraps an established connection — useful when the dial path
+// is custom (a fault injector, a proxy, an in-memory pipe). The client
+// owns conn and closes it on teardown.
+func NewClient(conn net.Conn, opts Options) *Client {
 	opts = opts.withDefaults()
 	c := &Client{
 		conn:     conn,
@@ -67,7 +83,7 @@ func DialOptions(addr string, opts Options) (*Client, error) {
 		pending:  map[uint64]*Call{},
 	}
 	go c.readLoop(opts.MaxFrame)
-	return c, nil
+	return c
 }
 
 // Go invokes the named procedure asynchronously. It returns the Call
@@ -75,6 +91,20 @@ func DialOptions(addr string, opts Options) (*Client, error) {
 // same Call when the response arrives. Issue many Go calls before
 // reading Done to pipeline requests on the connection.
 func (c *Client) Go(name string, args []Arg, done chan *Call) *Call {
+	return c.issue(name, args, done, false, 0)
+}
+
+// GoID is Go with a caller-chosen request ID. A retrying layer that
+// owns the ID space can re-issue the same ID on a fresh connection and
+// let the server's session dedup replay (or coalesce with) the original
+// execution. The caller is responsible for uniqueness within the
+// connection: a client must use either Go or GoID, not both, and an ID
+// still pending fails the new call immediately.
+func (c *Client) GoID(id uint64, name string, args []Arg, done chan *Call) *Call {
+	return c.issue(name, args, done, true, id)
+}
+
+func (c *Client) issue(name string, args []Arg, done chan *Call, explicit bool, id uint64) *Call {
 	if done == nil {
 		done = make(chan *Call, 1)
 	} else if cap(done) == 0 {
@@ -86,11 +116,22 @@ func (c *Client) Go(name string, args []Arg, done chan *Call) *Call {
 		err := c.err
 		c.mu.Unlock()
 		call.Err = err
+		call.Disconnect = true
 		call.finish()
 		return call
 	}
-	id := c.nextID
-	c.nextID++
+	if explicit {
+		if _, dup := c.pending[id]; dup {
+			c.mu.Unlock()
+			call.Err = errors.New("server: request ID already pending")
+			call.finish()
+			return call
+		}
+	} else {
+		id = c.nextID
+		c.nextID++
+	}
+	call.id = id
 	req := encodeRequest(id, name, args)
 	if len(req) > c.maxFrame {
 		// Fail just this call; sending it would make the server drop the
@@ -119,6 +160,31 @@ func (c *Client) Go(name string, args []Arg, done chan *Call) *Call {
 func (c *Client) Call(name string, args ...Arg) (Arg, error) {
 	call := <-c.Go(name, args, make(chan *Call, 1)).Done
 	return call.Reply, call.Err
+}
+
+// CallContext is Call bounded by ctx: when ctx ends first the call is
+// abandoned (a late response is discarded) and ctx.Err() returned. The
+// abandoned request may still execute on the server — pair with session
+// dedup when re-issuing.
+func (c *Client) CallContext(ctx context.Context, name string, args ...Arg) (Arg, error) {
+	call := c.Go(name, args, make(chan *Call, 1))
+	select {
+	case <-call.Done:
+		return call.Reply, call.Err
+	case <-ctx.Done():
+		c.mu.Lock()
+		delete(c.pending, call.id)
+		c.mu.Unlock()
+		return Nil, ctx.Err()
+	}
+}
+
+// Err reports the client's sticky connection error: nil while the
+// connection is usable, the fatal wire or close error afterward.
+func (c *Client) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
 }
 
 // readLoop matches responses to pending calls until the connection
@@ -155,6 +221,7 @@ func (c *Client) readLoop(maxFrame int) {
 	for id, call := range c.pending {
 		delete(c.pending, id)
 		call.Err = c.err
+		call.Disconnect = true
 		failed = append(failed, call)
 	}
 	c.mu.Unlock()

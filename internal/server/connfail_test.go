@@ -1,0 +1,245 @@
+package server
+
+// Connection-failure isolation tests: each way one connection can go
+// bad — dying mid-frame, losing its response half-written, announcing
+// an oversized frame — must cost exactly that connection. The server
+// keeps serving everyone else, and overload keeps latency bounded by
+// shedding instead of queueing.
+
+import (
+	"encoding/binary"
+	"errors"
+	"math/rand/v2"
+	"net"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"doppel"
+	"doppel/internal/fault"
+)
+
+// assertStillServes proves the server is healthy by completing a call
+// on a fresh connection.
+func assertStillServes(t *testing.T, addr string) {
+	t.Helper()
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatalf("server stopped accepting: %v", err)
+	}
+	defer c.Close()
+	got, err := c.Call("echo", Int(42))
+	if err != nil {
+		t.Fatalf("server stopped serving: %v", err)
+	}
+	if n, _ := got.Int64(); n != 42 {
+		t.Fatalf("echo = %d, want 42", n)
+	}
+}
+
+func connFailHarness(t *testing.T, opts Options) string {
+	t.Helper()
+	db := doppel.Open(doppel.Options{Workers: 2})
+	s := NewWithOptions(db, opts)
+	s.Register("echo", func(tx doppel.Tx, args []Arg) (Arg, error) { return args[0], nil })
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		s.Close()
+		db.Close()
+	})
+	return addr
+}
+
+// TestDisconnectMidFrameDropsOnlyThatConn: a client that promises a
+// 100-byte frame, delivers 10 bytes and vanishes must not take anyone
+// else down.
+func TestDisconnectMidFrameDropsOnlyThatConn(t *testing.T) {
+	addr := connFailHarness(t, Options{})
+	survivor, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer survivor.Close()
+
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], 100)
+	if _, err := raw.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := raw.Write(make([]byte, 10)); err != nil {
+		t.Fatal(err)
+	}
+	raw.Close()
+
+	if _, err := survivor.Call("echo", Int(7)); err != nil {
+		t.Fatalf("pre-existing conn broken by another conn's death: %v", err)
+	}
+	assertStillServes(t, addr)
+}
+
+// TestHalfWrittenResponseDropsOnlyThatConn severs the server's response
+// write mid-frame (via a scripted byte budget on the accepted conn) and
+// requires the rest of the fleet to keep serving.
+func TestHalfWrittenResponseDropsOnlyThatConn(t *testing.T) {
+	db := doppel.Open(doppel.Options{Workers: 2})
+	defer db.Close()
+	s := New(db)
+	s.Register("echo", func(tx doppel.Tx, args []Arg) (Arg, error) { return args[0], nil })
+	netF := fault.NewNetwork(17)
+	netF.SetScript(func(i uint64, rng *rand.Rand) fault.Script {
+		if i == 0 {
+			// Enough budget for the inbound request, cut during the
+			// chunked outbound response.
+			return fault.Script{CutAfterBytes: 60, WriteChunk: 5}
+		}
+		return fault.Script{}
+	})
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.ServeListener(netF.Listener(lis))
+	defer s.Close()
+	addr := lis.Addr().String()
+
+	victim, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer victim.Close()
+	// A large echo forces the response across the cut boundary; the call
+	// must fail as a disconnect, not hang.
+	big := make([]byte, 128)
+	call := victim.Go("echo", []Arg{Bytes(big)}, nil)
+	select {
+	case done := <-call.Done:
+		if done.Err == nil {
+			t.Fatal("call succeeded across a severed response write")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("half-written response left the client hanging")
+	}
+	if netF.Stats().Cut == 0 {
+		t.Fatal("script never cut the connection; test exercised nothing")
+	}
+	assertStillServes(t, addr)
+}
+
+// TestOversizedFrameAfterValidTrafficDropsConn: a connection that has
+// served real requests and then announces a frame over MaxFrame is cut
+// off at the header — the payload is never allocated — and everyone
+// else keeps serving.
+func TestOversizedFrameAfterValidTrafficDropsConn(t *testing.T) {
+	addr := connFailHarness(t, Options{MaxFrame: 4096})
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewClient(conn, Options{MaxFrame: 4096})
+	defer c.Close()
+	if _, err := c.Call("echo", Int(1)); err != nil {
+		t.Fatal(err)
+	}
+	// Write the rogue header directly under the client's feet.
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], 1<<30)
+	if _, err := conn.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	// The server must hang up on this connection.
+	errc := make(chan error, 1)
+	go func() {
+		_, err := c.Call("echo", Int(2))
+		errc <- err
+	}()
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Fatal("call succeeded after an oversized frame announcement")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("oversized frame did not get the connection dropped")
+	}
+	assertStillServes(t, addr)
+}
+
+// TestOverloadShedsKeepLatencyBounded floods a server whose in-flight
+// budget is tiny with far more concurrent requests than it will admit:
+// the overflow must be shed with ErrOverloaded (fast), and the admitted
+// requests' p99 latency must stay near the handler's own runtime — the
+// bounded-queue behavior load shedding buys.
+func TestOverloadShedsKeepLatencyBounded(t *testing.T) {
+	db := doppel.Open(doppel.Options{Workers: 2})
+	defer db.Close()
+	s := NewWithOptions(db, Options{MaxServerInFlight: 4})
+	s.Register("slow", func(tx doppel.Tx, args []Arg) (Arg, error) {
+		time.Sleep(10 * time.Millisecond)
+		return Nil, nil
+	})
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	const conns = 8
+	const perConn = 25
+	var mu sync.Mutex
+	var served []time.Duration
+	var sheds, other int
+	var wg sync.WaitGroup
+	for i := 0; i < conns; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := Dial(addr)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			for j := 0; j < perConn; j++ {
+				start := time.Now()
+				_, err := c.Call("slow")
+				d := time.Since(start)
+				mu.Lock()
+				switch {
+				case err == nil:
+					served = append(served, d)
+				case errors.Is(err, doppel.ErrOverloaded):
+					sheds++
+				default:
+					other++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if other != 0 {
+		t.Fatalf("%d calls failed with something other than ErrOverloaded", other)
+	}
+	if sheds == 0 {
+		t.Fatal("no calls shed; the flood never exceeded the budget")
+	}
+	if len(served) == 0 {
+		t.Fatal("every call shed; the server did no work at all")
+	}
+	sort.Slice(served, func(i, j int) bool { return served[i] < served[j] })
+	p99 := served[len(served)*99/100]
+	// Admitted work waits behind at most MaxServerInFlight slow calls;
+	// the bound is generous for -race CI boxes but far below what an
+	// unbounded queue of conns*perConn sleeps would build up.
+	if p99 > 500*time.Millisecond {
+		t.Fatalf("served p99 = %v; shedding failed to bound latency", p99)
+	}
+	t.Logf("served=%d shed=%d p99=%v", len(served), sheds, p99)
+}

@@ -1,0 +1,268 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"net"
+	"sync"
+	"time"
+
+	"doppel"
+)
+
+// errAttemptTimeout fails one attempt whose response did not arrive
+// within RequestTimeout; the retry loop reconnects and re-issues.
+var errAttemptTimeout = errors.New("server: request timed out")
+
+// Dialer opens the underlying connection for a RetryClient. Tests point
+// it at a fault injector or an in-memory pipe.
+type Dialer func(addr string) (net.Conn, error)
+
+// RetryOptions tunes a RetryClient. The zero value means defaults.
+type RetryOptions struct {
+	// Options tunes each underlying connection.
+	Options
+	// RequestTimeout bounds one attempt: if the response has not arrived,
+	// the connection is presumed wedged, closed, and the request
+	// re-issued on a fresh one. 0 means attempts wait forever (only
+	// connection errors trigger retries).
+	RequestTimeout time.Duration
+	// MaxAttempts is the total tries per request, first included.
+	// 0 means 10.
+	MaxAttempts int
+	// BackoffBase is the pre-jitter wait before the second attempt,
+	// doubling per attempt up to BackoffMax. 0 means 5ms.
+	BackoffBase time.Duration
+	// BackoffMax caps the backoff growth. 0 means 500ms.
+	BackoffMax time.Duration
+	// Session is the dedup token sent to the server on every connection,
+	// letting re-issued request IDs coalesce with or replay their
+	// original execution instead of running twice. "" derives a random
+	// token (unique per process, not across restarts).
+	Session string
+	// Seed fixes the jitter schedule for reproducible tests. 0 seeds
+	// from a random token.
+	Seed uint64
+	// Dial overrides how connections are opened. nil means net.Dial
+	// ("tcp", addr).
+	Dial Dialer
+}
+
+func (o RetryOptions) withDefaults() RetryOptions {
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 10
+	}
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = 5 * time.Millisecond
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = 500 * time.Millisecond
+	}
+	if o.Session == "" {
+		o.Session = fmt.Sprintf("s-%016x%016x", rand.Uint64(), rand.Uint64())
+	}
+	if o.Seed == 0 {
+		o.Seed = rand.Uint64() | 1
+	}
+	if o.Dial == nil {
+		o.Dial = func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+	}
+	return o
+}
+
+// RetryClient wraps Client with reconnection and safe re-issue: every
+// request gets an ID from a space that survives reconnects, each
+// connection is bound to the same server-side dedup session, and
+// connection failures trigger exponential backoff with jitter before
+// the same ID is sent again. A request the server answered — success or
+// failure — is never retried (except ErrOverloaded sheds, which the
+// server guarantees did not execute); only disconnects and timeouts
+// are, and dedup makes those re-issues exactly-once. When the budget
+// runs out callers get an error matching doppel.ErrRetriesExhausted
+// that also wraps the last underlying failure.
+//
+// It is safe for concurrent use.
+type RetryClient struct {
+	addr string
+	opts RetryOptions
+
+	mu     sync.Mutex
+	c      *Client // current connection; nil when down
+	nextID uint64  // 0 is reserved for the session handshake
+	rng    *rand.Rand
+	closed bool
+}
+
+// DialRetry returns a retrying client for addr. Connections are opened
+// lazily, so DialRetry succeeds even while the server is down.
+func DialRetry(addr string, opts RetryOptions) *RetryClient {
+	opts = opts.withDefaults()
+	return &RetryClient{
+		addr:   addr,
+		opts:   opts,
+		nextID: 1,
+		rng:    rand.New(rand.NewPCG(opts.Seed, 0)),
+	}
+}
+
+// Session reports the dedup token this client binds its connections to.
+func (rc *RetryClient) Session() string { return rc.opts.Session }
+
+// conn returns a healthy connection, dialing and performing the session
+// handshake as needed.
+func (rc *RetryClient) conn() (*Client, error) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if rc.closed {
+		return nil, ErrClientClosed
+	}
+	if rc.c != nil && rc.c.Err() == nil {
+		return rc.c, nil
+	}
+	if rc.c != nil {
+		_ = rc.c.Close()
+		rc.c = nil
+	}
+	nc, err := rc.opts.Dial(rc.addr)
+	if err != nil {
+		return nil, err
+	}
+	c := NewClient(nc, rc.opts.Options)
+	call := c.GoID(0, sessionProc, []Arg{Str(rc.opts.Session)}, make(chan *Call, 1))
+	var expired <-chan time.Time
+	if t := rc.opts.RequestTimeout; t > 0 {
+		tm := time.NewTimer(t)
+		defer tm.Stop()
+		expired = tm.C
+	}
+	select {
+	case <-call.Done:
+		if call.Err != nil {
+			_ = c.Close()
+			return nil, call.Err
+		}
+	case <-expired:
+		_ = c.Close()
+		return nil, errAttemptTimeout
+	}
+	rc.c = c
+	return c, nil
+}
+
+// invalidate drops c as the current connection if it still is.
+func (rc *RetryClient) invalidate(c *Client) {
+	rc.mu.Lock()
+	if rc.c == c {
+		rc.c = nil
+	}
+	rc.mu.Unlock()
+	_ = c.Close()
+}
+
+// reserveID hands out the next request ID; the space is shared across
+// reconnects so the server's dedup session can recognize re-issues.
+func (rc *RetryClient) reserveID() uint64 {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	id := rc.nextID
+	rc.nextID++
+	return id
+}
+
+// jitteredBackoff returns attempt's wait: exponential from BackoffBase,
+// capped at BackoffMax, with the upper half randomized so retrying
+// clients desynchronize.
+func (rc *RetryClient) jitteredBackoff(attempt int) time.Duration {
+	d := rc.opts.BackoffBase << (attempt - 1)
+	if d <= 0 || d > rc.opts.BackoffMax {
+		d = rc.opts.BackoffMax
+	}
+	rc.mu.Lock()
+	j := time.Duration(rc.rng.Int64N(int64(d)/2 + 1))
+	rc.mu.Unlock()
+	return d/2 + j
+}
+
+// Call invokes the named procedure, reconnecting and re-issuing across
+// connection failures until ctx ends or the attempt budget runs out.
+// Server-answered failures return immediately and are never retried;
+// see the type comment for the exactly-once contract.
+func (rc *RetryClient) Call(ctx context.Context, name string, args ...Arg) (Arg, error) {
+	id := rc.reserveID()
+	var lastErr error
+	for attempt := 1; attempt <= rc.opts.MaxAttempts; attempt++ {
+		if attempt > 1 {
+			if err := sleepCtx(ctx, rc.jitteredBackoff(attempt-1)); err != nil {
+				return Nil, err
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return Nil, err
+		}
+		c, err := rc.conn()
+		if err != nil {
+			if errors.Is(err, ErrClientClosed) {
+				return Nil, err
+			}
+			lastErr = err
+			continue
+		}
+		call := c.GoID(id, name, args, make(chan *Call, 1))
+		var expired <-chan time.Time
+		if t := rc.opts.RequestTimeout; t > 0 {
+			tm := time.NewTimer(t)
+			expired = tm.C
+			defer tm.Stop()
+		}
+		select {
+		case <-call.Done:
+			switch {
+			case call.Err == nil:
+				return call.Reply, nil
+			case errors.Is(call.Err, doppel.ErrOverloaded):
+				// Shed before execution; back off and try again.
+				lastErr = call.Err
+			case call.Disconnect:
+				lastErr = call.Err
+				rc.invalidate(c)
+			default:
+				return Nil, call.Err // the server answered; retrying could double-execute
+			}
+		case <-expired:
+			// The connection may be wedged (or the response lost mid-way);
+			// drop it and re-issue. Session dedup keeps this exactly-once.
+			lastErr = errAttemptTimeout
+			rc.invalidate(c)
+		case <-ctx.Done():
+			return Nil, ctx.Err()
+		}
+	}
+	return Nil, fmt.Errorf("server: %w after %d attempts: %w",
+		doppel.ErrRetriesExhausted, rc.opts.MaxAttempts, lastErr)
+}
+
+// Close tears down the current connection and fails future calls.
+func (rc *RetryClient) Close() error {
+	rc.mu.Lock()
+	rc.closed = true
+	c := rc.c
+	rc.c = nil
+	rc.mu.Unlock()
+	if c != nil {
+		return c.Close()
+	}
+	return nil
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

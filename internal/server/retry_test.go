@@ -1,0 +1,259 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"math/rand/v2"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"doppel"
+	"doppel/internal/fault"
+)
+
+// retryHarness runs a server and returns its address plus a teardown
+// for direct-dial tests against the retry layer.
+func retryHarness(t *testing.T, opts Options) (*Server, string, *doppel.DB) {
+	t.Helper()
+	db := doppel.Open(doppel.Options{Workers: 2})
+	s := NewWithOptions(db, opts)
+	s.Register("incr", func(tx doppel.Tx, args []Arg) (Arg, error) {
+		n, err := args[1].Int64()
+		if err != nil {
+			return Nil, err
+		}
+		return Nil, tx.Add(args[0].String(), n)
+	})
+	s.Register("get", func(tx doppel.Tx, args []Arg) (Arg, error) {
+		n, err := tx.GetInt(args[0].String())
+		if err != nil {
+			return Nil, err
+		}
+		return Int(n), nil
+	})
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		s.Close()
+		db.Close()
+	})
+	return s, addr, db
+}
+
+func TestRetryClientPlainCalls(t *testing.T) {
+	_, addr, _ := retryHarness(t, Options{})
+	rc := DialRetry(addr, RetryOptions{Seed: 7})
+	defer rc.Close()
+	ctx := context.Background()
+	for i := 0; i < 10; i++ {
+		if _, err := rc.Call(ctx, "incr", Str("k"), Int(1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := rc.Call(ctx, "get", Str("k"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := got.Int64(); n != 10 {
+		t.Fatalf("counter = %d, want 10", n)
+	}
+}
+
+// TestRetryClientExactlyOnceAcrossCuts drives increments through a
+// fault network that severs connections mid-frame; session dedup must
+// keep each increment exactly-once despite every re-issue.
+func TestRetryClientExactlyOnceAcrossCuts(t *testing.T) {
+	_, addr, _ := retryHarness(t, Options{})
+	net99 := fault.NewNetwork(99)
+	net99.SetScript(func(i uint64, rng *rand.Rand) fault.Script {
+		// Every connection dies after a small, varying byte budget, so
+		// cuts land before, inside, and after requests and responses.
+		return fault.Script{CutAfterBytes: 40 + int64(rng.IntN(120))}
+	})
+	rc := DialRetry(addr, RetryOptions{
+		RequestTimeout: 500 * time.Millisecond,
+		MaxAttempts:    20,
+		BackoffBase:    time.Millisecond,
+		BackoffMax:     10 * time.Millisecond,
+		Seed:           5,
+		Dial: func(addr string) (net.Conn, error) {
+			return net99.Dial("tcp", addr)
+		},
+	})
+	defer rc.Close()
+	ctx := context.Background()
+	const ops = 30
+	for i := 0; i < ops; i++ {
+		if _, err := rc.Call(ctx, "incr", Str("k"), Int(1)); err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+	}
+	// Read the final count over a clean connection.
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	got, err := c.Call("get", Str("k"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := got.Int64(); n != ops {
+		t.Fatalf("counter = %d, want %d (lost or doubled increments)", n, ops)
+	}
+	if s := net99.Stats(); s.Cut == 0 {
+		t.Fatal("fault network never cut a connection; test exercised nothing")
+	}
+}
+
+func TestRetryClientExhaustsAgainstDeadServer(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := lis.Addr().String()
+	lis.Close() // nothing listens here anymore
+	rc := DialRetry(addr, RetryOptions{
+		MaxAttempts: 3,
+		BackoffBase: time.Millisecond,
+		BackoffMax:  2 * time.Millisecond,
+		Seed:        3,
+	})
+	defer rc.Close()
+	_, err = rc.Call(context.Background(), "get", Str("k"))
+	if !errors.Is(err, doppel.ErrRetriesExhausted) {
+		t.Fatalf("err = %v, want ErrRetriesExhausted", err)
+	}
+}
+
+func TestRetryClientDoesNotRetryServerAnsweredErrors(t *testing.T) {
+	s, addr, _ := retryHarness(t, Options{})
+	var calls atomic.Int64
+	s.Register("fail", func(tx doppel.Tx, args []Arg) (Arg, error) {
+		calls.Add(1)
+		return Nil, errors.New("boom")
+	})
+	rc := DialRetry(addr, RetryOptions{Seed: 11, BackoffBase: time.Millisecond})
+	defer rc.Close()
+	_, err := rc.Call(context.Background(), "fail")
+	if err == nil || errors.Is(err, doppel.ErrRetriesExhausted) {
+		t.Fatalf("err = %v, want the handler error unretried", err)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("handler ran %d times, want 1", n)
+	}
+}
+
+func TestServerShedsWithErrOverloaded(t *testing.T) {
+	db := doppel.Open(doppel.Options{Workers: 1})
+	defer db.Close()
+	s := NewWithOptions(db, Options{MaxServerInFlight: 2})
+	release := make(chan struct{})
+	s.Register("block", func(tx doppel.Tx, args []Arg) (Arg, error) {
+		<-release
+		return Nil, nil
+	})
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Fill the budget, then overflow it. All three ride one connection,
+	// and the read loop acquires budget tokens in frame order, so the
+	// third is deterministically the one shed.
+	first := c.Go("block", nil, nil)
+	second := c.Go("block", nil, nil)
+	third := <-c.Go("block", nil, nil).Done
+	if !errors.Is(third.Err, doppel.ErrOverloaded) {
+		t.Fatalf("shed err = %v, want ErrOverloaded", third.Err)
+	}
+	if s.Sheds() == 0 {
+		t.Fatal("Sheds() = 0 after a shed")
+	}
+	close(release)
+	for _, call := range []*Call{first, second} {
+		if got := <-call.Done; got.Err != nil {
+			t.Fatalf("admitted call failed: %v", got.Err)
+		}
+	}
+}
+
+func TestDrainFinishesInFlight(t *testing.T) {
+	db := doppel.Open(doppel.Options{Workers: 2})
+	defer db.Close()
+	s := New(db)
+	s.Register("slow-incr", func(tx doppel.Tx, args []Arg) (Arg, error) {
+		time.Sleep(50 * time.Millisecond)
+		return Nil, tx.Add("k", 1)
+	})
+	s.Register("get", func(tx doppel.Tx, args []Arg) (Arg, error) {
+		n, err := tx.GetInt("k")
+		return Int(n), err
+	})
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	call := c.Go("slow-incr", nil, nil)
+	time.Sleep(10 * time.Millisecond) // let the request reach the server
+	s.Drain(5 * time.Second)
+	got := <-call.Done
+	if got.Err != nil {
+		t.Fatalf("in-flight call lost its response across Drain: %v", got.Err)
+	}
+	// The drained server no longer accepts.
+	if _, err := net.DialTimeout("tcp", addr, 200*time.Millisecond); err == nil {
+		t.Fatal("drained server still accepting connections")
+	}
+}
+
+func TestReadTimeoutDropsStalledConn(t *testing.T) {
+	db := doppel.Open(doppel.Options{Workers: 1})
+	defer db.Close()
+	s := NewWithOptions(db, Options{ReadTimeout: 100 * time.Millisecond})
+	s.Register("echo", func(tx doppel.Tx, args []Arg) (Arg, error) { return args[0], nil })
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// A raw conn that sends nothing must be disconnected.
+	stalled, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stalled.Close()
+	stalled.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := stalled.Read(make([]byte, 1)); err == nil {
+		t.Fatal("stalled conn not disconnected")
+	}
+
+	// Meanwhile an active client keeps working past the timeout window.
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 4; i++ {
+		if _, err := c.Call("echo", Int(int64(i))); err != nil {
+			t.Fatalf("active conn died: %v", err)
+		}
+		time.Sleep(40 * time.Millisecond)
+	}
+}

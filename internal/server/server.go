@@ -29,6 +29,12 @@ type Options struct {
 	// concurrently; further requests wait in the kernel socket buffer.
 	// 0 means 128.
 	MaxInFlight int
+	// MaxServerInFlight bounds transactional requests executing across
+	// all connections. At the cap further requests are shed immediately
+	// with ErrOverloaded instead of queueing behind the database workers,
+	// which keeps latency bounded for the requests that are admitted.
+	// 0 means unbounded (no shedding). Direct handlers are exempt.
+	MaxServerInFlight int
 	// FlushEvery is how long the response flusher waits for more
 	// completions before flushing a batch. 0 flushes as soon as the
 	// response queue goes idle, which keeps latency minimal; a small
@@ -38,6 +44,15 @@ type Options struct {
 	// oversized frames are rejected before allocation and the
 	// connection is dropped. 0 means DefaultMaxFrame (1 MiB).
 	MaxFrame int
+	// ReadTimeout disconnects a connection that delivers no request for
+	// this long — a stalled or half-open peer — without affecting other
+	// connections. It is an idle timeout: a healthy quiet client must
+	// reconnect or stay within it. 0 means never.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds each response batch write; a peer that stops
+	// draining its socket for this long is disconnected. 0 means never
+	// (the 32 MiB pending-byte cap still applies).
+	WriteTimeout time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -62,6 +77,14 @@ type Server struct {
 
 	mu       sync.RWMutex
 	handlers map[string]Handler
+	directs  map[string]DirectHandler
+
+	inflight chan struct{} // global transactional budget; nil = unbounded
+	sheds    atomic.Uint64
+
+	sessMu    sync.Mutex
+	sessions  map[string]*session
+	sessOrder []string
 
 	lis    net.Listener
 	connWG sync.WaitGroup
@@ -70,18 +93,33 @@ type Server struct {
 	closed atomic.Bool
 }
 
+// DirectHandler executes one named procedure outside the transactional
+// worker pool, on its own goroutine. Use it for control-plane calls
+// that read server or replica state — possibly blocking (a catch-up
+// wait) — without consuming a database worker. Direct handlers are
+// exempt from the MaxServerInFlight budget but still count against the
+// connection's MaxInFlight.
+type DirectHandler func(args []Arg) (Arg, error)
+
 // New returns a server over db with default Options.
 func New(db Backend) *Server { return NewWithOptions(db, Options{}) }
 
 // NewWithOptions returns a server over db with explicit tuning.
 func NewWithOptions(db Backend, opts Options) *Server {
-	return &Server{
+	opts = opts.withDefaults()
+	s := &Server{
 		db:       db,
-		opts:     opts.withDefaults(),
+		opts:     opts,
 		stats:    metrics.NewRPCStats(),
 		handlers: map[string]Handler{},
+		directs:  map[string]DirectHandler{},
+		sessions: map[string]*session{},
 		conns:    map[net.Conn]struct{}{},
 	}
+	if opts.MaxServerInFlight > 0 {
+		s.inflight = make(chan struct{}, opts.MaxServerInFlight)
+	}
+	return s
 }
 
 // Register installs a procedure under name, replacing any previous one.
@@ -89,6 +127,39 @@ func (s *Server) Register(name string, h Handler) {
 	s.mu.Lock()
 	s.handlers[name] = h
 	s.mu.Unlock()
+}
+
+// RegisterDirect installs a non-transactional procedure under name,
+// replacing any previous handler (direct or transactional) of that
+// name.
+func (s *Server) RegisterDirect(name string, h DirectHandler) {
+	s.mu.Lock()
+	s.directs[name] = h
+	delete(s.handlers, name)
+	s.mu.Unlock()
+}
+
+// Sheds reports how many requests were rejected with ErrOverloaded
+// because the MaxServerInFlight budget was exhausted.
+func (s *Server) Sheds() uint64 { return s.sheds.Load() }
+
+// session returns the dedup session for token, creating it (and
+// evicting the oldest beyond sessionCap) as needed.
+func (s *Server) session(token string) *session {
+	s.sessMu.Lock()
+	defer s.sessMu.Unlock()
+	if sess, ok := s.sessions[token]; ok {
+		return sess
+	}
+	if len(s.sessOrder) >= sessionCap {
+		oldest := s.sessOrder[0]
+		s.sessOrder = s.sessOrder[1:]
+		delete(s.sessions, oldest)
+	}
+	sess := newSession()
+	s.sessions[token] = sess
+	s.sessOrder = append(s.sessOrder, token)
+	return sess
 }
 
 // Stats returns the server's request accounting: total requests served,
@@ -106,10 +177,18 @@ func (s *Server) Listen(addr string) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	s.ServeListener(lis)
+	return lis.Addr().String(), nil
+}
+
+// ServeListener accepts from a listener the caller built — the hook for
+// interposing a wrapper (TLS, a fault injector) between the network and
+// the server. Serving happens on background goroutines until Close or
+// Drain, which close lis.
+func (s *Server) ServeListener(lis net.Listener) {
 	s.lis = lis
 	s.connWG.Add(1)
 	go s.acceptLoop()
-	return lis.Addr().String(), nil
 }
 
 func (s *Server) acceptLoop() {
@@ -147,28 +226,103 @@ func (s *Server) acceptLoop() {
 // so a completion callback can never stall a database worker on a slow
 // client.
 func (s *Server) serveConn(conn net.Conn) {
-	fw := startFrameWriter(conn, s.opts.FlushEvery)
+	fw := startFrameWriterCfg(conn, frameWriterConfig{
+		flushEvery:   s.opts.FlushEvery,
+		conn:         conn,
+		writeTimeout: s.opts.WriteTimeout,
+		// A write timeout or broken pipe means the peer is gone; close so
+		// the read loop below stops serving it.
+		onBroken: func() { _ = conn.Close() },
+	})
 	sem := make(chan struct{}, s.opts.MaxInFlight)
 	var reqWG sync.WaitGroup
+	var sess *session
 	br := bufio.NewReaderSize(conn, 64<<10)
 	for {
+		if s.closed.Load() {
+			break // draining: stop decoding, flush what's in flight
+		}
+		if t := s.opts.ReadTimeout; t > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(t))
+		}
 		payload, err := readFrame(br, s.opts.MaxFrame)
 		if err != nil {
-			break // EOF, peer reset, or oversized frame: drop the connection
+			break // EOF, peer reset, stall, or oversized frame: drop the connection
 		}
 		id, name, args, err := decodeRequest(payload)
 		if err != nil {
 			break // corrupt stream: nothing after this point can be trusted
 		}
+		if name == sessionProc {
+			token := ""
+			if len(args) > 0 {
+				token = string(args[0].Bytes())
+			}
+			sess = s.session(token)
+			if !fw.send(encodeOKResponse(id, Nil)) {
+				break
+			}
+			continue
+		}
 		s.mu.RLock()
-		h := s.handlers[name]
+		d := s.directs[name]
+		var h Handler
+		if d == nil {
+			h = s.handlers[name]
+		}
 		s.mu.RUnlock()
-		if h == nil {
+		if d == nil && h == nil {
 			s.stats.RecordError()
 			if !fw.send(encodeErrResponse(id, statusUnknownProc, name)) {
 				break
 			}
 			continue
+		}
+		if sess != nil {
+			resp, dup := sess.claim(id, func(resp []byte) {
+				if !fw.send(resp) {
+					_ = conn.Close()
+				}
+			})
+			if dup {
+				// Replay the cached response, or — resp nil — stay parked
+				// until the in-flight original completes.
+				if resp != nil && !fw.send(resp) {
+					break
+				}
+				continue
+			}
+		}
+		if d != nil {
+			sem <- struct{}{}
+			reqWG.Add(1)
+			go func() {
+				defer reqWG.Done()
+				start := time.Now()
+				result, derr := d(args)
+				s.stats.Record(time.Since(start).Nanoseconds(), derr == nil)
+				s.deliver(sess, fw, conn, id, s.encodeResult(id, result, derr))
+				<-sem
+			}()
+			continue
+		}
+		if s.inflight != nil {
+			select {
+			case s.inflight <- struct{}{}:
+			default:
+				// Shed: answer ErrOverloaded now instead of queueing behind
+				// saturated workers. Never cache the rejection — the
+				// retry must re-execute.
+				s.sheds.Add(1)
+				s.stats.RecordError()
+				if sess != nil {
+					sess.abandon(id)
+				}
+				if !fw.send(encodeErrResponse(id, statusErrOverloaded, doppel.ErrOverloaded.Error())) {
+					break
+				}
+				continue
+			}
 		}
 		sem <- struct{}{} // bounds in-flight executions for this connection
 		reqWG.Add(1)
@@ -180,10 +334,9 @@ func (s *Server) serveConn(conn net.Conn) {
 			return herr
 		}, func(err error) {
 			s.stats.Record(time.Since(start).Nanoseconds(), err == nil)
-			if !fw.send(s.encodeResult(id, result, err)) {
-				// The client stopped draining responses; drop it rather
-				// than stall a database worker shared by every client.
-				_ = conn.Close()
+			s.deliver(sess, fw, conn, id, s.encodeResult(id, result, err))
+			if s.inflight != nil {
+				<-s.inflight
 			}
 			<-sem
 			reqWG.Done()
@@ -191,6 +344,21 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 	reqWG.Wait()
 	fw.close()
+}
+
+// deliver routes one completed response: through the session (which
+// caches it and notifies every parked duplicate, including this
+// connection) or straight to the frame writer. A send failure means the
+// client stopped draining responses; drop it rather than stall a
+// database worker shared by every client.
+func (s *Server) deliver(sess *session, fw *frameWriter, conn net.Conn, id uint64, resp []byte) {
+	if sess != nil {
+		sess.complete(id, resp)
+		return
+	}
+	if !fw.send(resp) {
+		_ = conn.Close()
+	}
 }
 
 // encodeResult encodes one completed request's response, downgrading
@@ -211,7 +379,8 @@ func (s *Server) encodeResult(id uint64, result Arg, err error) []byte {
 }
 
 // Close stops accepting, closes open connections, and waits for
-// in-flight requests to finish.
+// in-flight requests to finish. In-flight responses may be lost; use
+// Drain for a graceful shutdown.
 func (s *Server) Close() {
 	if s.closed.Swap(true) {
 		return
@@ -225,4 +394,46 @@ func (s *Server) Close() {
 	}
 	s.connMu.Unlock()
 	s.connWG.Wait()
+}
+
+// Drain shuts down gracefully: stop accepting, stop reading further
+// requests, finish every in-flight request and flush its response, then
+// close the connections. Connections still busy after timeout are cut
+// off; timeout 0 waits forever. Drain and Close are each effective at
+// most once, in either order.
+func (s *Server) Drain(timeout time.Duration) {
+	if s.closed.Swap(true) {
+		return
+	}
+	if s.lis != nil {
+		_ = s.lis.Close()
+	}
+	s.connMu.Lock()
+	for conn := range s.conns {
+		// Expire the read loop: it stops decoding new requests, waits for
+		// in-flight ones, flushes their responses, then closes the conn.
+		_ = conn.SetReadDeadline(time.Now())
+	}
+	s.connMu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.connWG.Wait()
+		close(done)
+	}()
+	var expired <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		expired = t.C
+	}
+	select {
+	case <-done:
+	case <-expired:
+		s.connMu.Lock()
+		for conn := range s.conns {
+			_ = conn.Close()
+		}
+		s.connMu.Unlock()
+		<-done
+	}
 }

@@ -1,0 +1,102 @@
+package server
+
+import "sync"
+
+// sessionProc is the reserved procedure name a client sends to bind its
+// connection to a dedup session. The one byte-string argument is the
+// session token; the server answers with an empty OK. Tokens name a
+// retrying client's identity across reconnects, so a re-issued request
+// ID returns the original response instead of executing twice.
+const sessionProc = ".session"
+
+// sessionResultCap bounds the responses one session caches; the oldest
+// request IDs are evicted first. A retrying client re-issues only its
+// recent window, so the cap just needs to exceed the client's pipeline
+// depth times its retry horizon.
+const sessionResultCap = 4096
+
+// sessionCap bounds how many sessions the server tracks at once; the
+// oldest session is evicted when a new token arrives at the cap.
+const sessionCap = 1024
+
+// pendingResult is one request ID's slot in a session: nil resp while
+// the original execution is in flight, the encoded response afterward.
+// Duplicates arriving mid-flight park a sender and are notified on
+// completion.
+type pendingResult struct {
+	resp    []byte
+	waiters []func([]byte)
+}
+
+// session deduplicates request IDs for one client identity. All methods
+// are safe for concurrent use (reconnect races can briefly give two
+// connections the same session).
+type session struct {
+	mu      sync.Mutex
+	results map[uint64]*pendingResult
+	order   []uint64 // FIFO of tracked IDs for eviction
+}
+
+func newSession() *session {
+	return &session{results: map[uint64]*pendingResult{}}
+}
+
+// claim registers interest in request id from a sender. dup reports
+// whether the ID was already seen: with a non-nil resp the original
+// already completed (send resp, do not execute); with a nil resp the
+// original is still executing and send has been parked for completion.
+// A false dup means the caller owns the execution and must complete or
+// abandon the ID.
+func (s *session) claim(id uint64, send func([]byte)) (resp []byte, dup bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if p, ok := s.results[id]; ok {
+		if p.resp != nil {
+			return p.resp, true
+		}
+		p.waiters = append(p.waiters, send)
+		return nil, true
+	}
+	if len(s.order) >= sessionResultCap {
+		oldest := s.order[0]
+		s.order = s.order[1:]
+		delete(s.results, oldest)
+	}
+	s.results[id] = &pendingResult{waiters: []func([]byte){send}}
+	s.order = append(s.order, id)
+	return nil, false
+}
+
+// complete records id's response and delivers it to every parked
+// sender, including the original connection's.
+func (s *session) complete(id uint64, resp []byte) {
+	s.mu.Lock()
+	p := s.results[id]
+	var waiters []func([]byte)
+	if p != nil {
+		p.resp = resp
+		waiters, p.waiters = p.waiters, nil
+	}
+	s.mu.Unlock()
+	for _, send := range waiters {
+		send(resp)
+	}
+}
+
+// abandon forgets an ID that was claimed but never executed (a shed
+// request): the client's retry must re-execute, not replay a cached
+// rejection. Parked duplicate senders are dropped; their clients time
+// out and retry.
+func (s *session) abandon(id uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if p, ok := s.results[id]; ok && p.resp == nil {
+		delete(s.results, id)
+		for i, v := range s.order {
+			if v == id {
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				break
+			}
+		}
+	}
+}

@@ -46,13 +46,15 @@ const maxArgs = 1 << 16
 // so remote callers branch on ErrClosed and friends exactly as embedded
 // callers do.
 const (
-	statusOK                 = 0 // body is the typed result
-	statusErr                = 1 // body is the handler's error message
-	statusUnknownProc        = 2 // body is the unregistered procedure name
-	statusErrClosed          = 3 // body wraps doppel.ErrClosed
-	statusErrRequiresRedoLog = 4 // body wraps doppel.ErrRequiresRedoLog
-	statusErrLogExists       = 5 // body wraps doppel.ErrLogExists
-	statusErrReadOnly        = 6 // body wraps doppel.ErrReadOnly
+	statusOK                  = 0 // body is the typed result
+	statusErr                 = 1 // body is the handler's error message
+	statusUnknownProc         = 2 // body is the unregistered procedure name
+	statusErrClosed           = 3 // body wraps doppel.ErrClosed
+	statusErrRequiresRedoLog  = 4 // body wraps doppel.ErrRequiresRedoLog
+	statusErrLogExists        = 5 // body wraps doppel.ErrLogExists
+	statusErrReadOnly         = 6 // body wraps doppel.ErrReadOnly
+	statusErrOverloaded       = 7 // body wraps doppel.ErrOverloaded
+	statusErrRetriesExhausted = 8 // body wraps doppel.ErrRetriesExhausted
 )
 
 // statusForError picks the response status for a handler failure,
@@ -67,6 +69,10 @@ func statusForError(err error) byte {
 		return statusErrLogExists
 	case errors.Is(err, doppel.ErrReadOnly):
 		return statusErrReadOnly
+	case errors.Is(err, doppel.ErrOverloaded):
+		return statusErrOverloaded
+	case errors.Is(err, doppel.ErrRetriesExhausted):
+		return statusErrRetriesExhausted
 	default:
 		return statusErr
 	}
@@ -84,6 +90,10 @@ func sentinelFor(status byte) error {
 		return doppel.ErrLogExists
 	case statusErrReadOnly:
 		return doppel.ErrReadOnly
+	case statusErrOverloaded:
+		return doppel.ErrOverloaded
+	case statusErrRetriesExhausted:
+		return doppel.ErrRetriesExhausted
 	default:
 		return nil
 	}

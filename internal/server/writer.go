@@ -3,6 +3,7 @@ package server
 import (
 	"bufio"
 	"io"
+	"net"
 	"sync"
 	"time"
 )
@@ -35,13 +36,40 @@ type frameWriter struct {
 	closed  bool
 
 	done chan struct{}
+	cfg  frameWriterConfig
+}
+
+// frameWriterConfig is the optional wiring around a frameWriter's loop.
+type frameWriterConfig struct {
+	flushEvery time.Duration
+	// conn and writeTimeout together arm a write deadline before each
+	// batch, so a peer that stops draining its socket breaks the writer
+	// instead of wedging the flusher goroutine forever.
+	conn         net.Conn
+	writeTimeout time.Duration
+	// onBroken runs once, from the flusher goroutine, when the writer
+	// first fails. Servers use it to close the connection so the read
+	// loop notices the peer is effectively gone.
+	onBroken func()
 }
 
 func startFrameWriter(w io.Writer, flushEvery time.Duration) *frameWriter {
-	fw := &frameWriter{done: make(chan struct{})}
+	return startFrameWriterCfg(w, frameWriterConfig{flushEvery: flushEvery})
+}
+
+func startFrameWriterCfg(w io.Writer, cfg frameWriterConfig) *frameWriter {
+	fw := &frameWriter{done: make(chan struct{}), cfg: cfg}
 	fw.cond = sync.NewCond(&fw.mu)
-	go fw.loop(w, flushEvery)
+	go fw.loop(w, cfg.flushEvery)
 	return fw
+}
+
+// armDeadline pushes the connection's write deadline ahead of a batch
+// write or flush.
+func (fw *frameWriter) armDeadline() {
+	if fw.cfg.conn != nil && fw.cfg.writeTimeout > 0 {
+		_ = fw.cfg.conn.SetWriteDeadline(time.Now().Add(fw.cfg.writeTimeout))
+	}
 }
 
 // send enqueues one encoded payload without blocking. False means the
@@ -84,6 +112,7 @@ func (fw *frameWriter) loop(w io.Writer, flushEvery time.Duration) {
 		if len(fw.queue) == 0 {
 			fw.mu.Unlock() // closed and drained
 			if !broken {
+				fw.armDeadline()
 				_ = bw.Flush()
 			}
 			return
@@ -92,9 +121,14 @@ func (fw *frameWriter) loop(w io.Writer, flushEvery time.Duration) {
 		fw.mu.Unlock()
 
 		written := 0
+		fw.armDeadline()
 		for _, p := range batch {
 			if !broken && writeFrame(bw, p) != nil {
 				broken = true
+				if fw.cfg.onBroken != nil {
+					fw.cfg.onBroken()
+					fw.cfg.onBroken = nil
+				}
 			}
 			written += len(p)
 		}
@@ -119,8 +153,13 @@ func (fw *frameWriter) loop(w io.Writer, flushEvery time.Duration) {
 				continue
 			}
 		}
+		fw.armDeadline()
 		if bw.Flush() != nil {
 			broken = true
+			if fw.cfg.onBroken != nil {
+				fw.cfg.onBroken()
+				fw.cfg.onBroken = nil
+			}
 		}
 	}
 }

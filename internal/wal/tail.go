@@ -92,9 +92,14 @@ type Cursor struct {
 	f   *os.File
 	// meta accumulates the record count and TID range observed in the
 	// current segment, checked against the manifest at the seal handoff.
-	meta  SegmentMeta
-	buf   []byte
-	stats TailStats
+	meta SegmentMeta
+	// metaPartial suppresses the manifest metadata check for the current
+	// segment only: a cursor resumed mid-segment (OpenCursorAt) did not
+	// observe the records before its starting offset, so its counts
+	// cannot match the manifest's. Structural checks still apply.
+	metaPartial bool
+	buf         []byte
+	stats       TailStats
 }
 
 // OpenCursor positions a new cursor at the start of dir's live log: the
@@ -123,6 +128,33 @@ func OpenCursor(dir string) (*Cursor, Manifest, error) {
 	}
 	c.meta = SegmentMeta{Seq: c.seq}
 	return c, man, nil
+}
+
+// OpenCursorAt resumes tailing from a previously reported Position —
+// the state a follower checkpoint saved — so a restart replays only the
+// suffix after pos instead of the whole post-snapshot log. The caller
+// must have applied everything before pos. If a checkpoint has already
+// garbage-collected pos's segment the resume is impossible and the
+// error matches ErrTailGCed; bootstrap fresh instead. A cursor resumed
+// mid-segment skips the manifest metadata cross-check for that first
+// segment only (it has not seen the records before pos).
+func OpenCursorAt(dir string, pos Position) (*Cursor, error) {
+	if pos.IsZero() {
+		c, _, err := OpenCursor(dir)
+		return c, err
+	}
+	c := &Cursor{dir: dir, seq: pos.Seq, off: pos.Offset, metaPartial: pos.Offset > 0}
+	c.stats.ManifestReads++
+	man, _, err := ReadManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	if man.SnapshotSeq > pos.Seq {
+		return nil, fmt.Errorf("wal: resume position %s predates snapshot at segment %d: %w",
+			pos, man.SnapshotSeq, ErrTailGCed)
+	}
+	c.meta = SegmentMeta{Seq: c.seq}
+	return c, nil
 }
 
 // Position returns the cursor's current position: every record before
@@ -292,7 +324,7 @@ func (c *Cursor) finishSegment() error {
 	if err != nil {
 		return err
 	}
-	if meta := man.SealedFor(c.seq); meta != nil && *meta != c.meta {
+	if meta := man.SealedFor(c.seq); !c.metaPartial && meta != nil && *meta != c.meta {
 		return fmt.Errorf(
 			"wal: sealed segment %s tailed to %d records TIDs [%d,%d], manifest sealed it with %d records TIDs [%d,%d]",
 			filepath.Join(c.dir, segmentName(c.seq)),
@@ -306,6 +338,7 @@ func (c *Cursor) finishSegment() error {
 	c.seq++
 	c.off = 0
 	c.meta = SegmentMeta{Seq: c.seq}
+	c.metaPartial = false
 	return nil
 }
 

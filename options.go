@@ -76,6 +76,15 @@ type Options struct {
 	// acknowledges from memory and logs asynchronously. Requires
 	// RedoLog.
 	SyncCommit bool
+	// ScrubEvery, when non-zero, runs a background scrub of the redo
+	// log's sealed segments at this interval: each pass re-decodes every
+	// live sealed segment and cross-checks it against the manifest's
+	// sealed metadata — the validation recovery would perform, run while
+	// the database is healthy instead of at the moment the data is
+	// needed. Damage surfaces in Stats.ScrubError (and via ScrubWAL,
+	// which forces a pass manually). Scrubbing only reads; it never
+	// repairs or deletes. Requires RedoLog.
+	ScrubEvery time.Duration
 	// WALFailStop makes the database refuse new transactions once the
 	// redo logger has failed terminally (disk gone, write error):
 	// Exec/ExecAsync then return the logger's error instead of
@@ -113,6 +122,7 @@ func (o Options) Validate() error {
 			{"MaxSegmentBytes", o.MaxSegmentBytes > 0},
 			{"CheckpointFrameBuffer", o.CheckpointFrameBuffer > 0},
 			{"SyncCommit", o.SyncCommit},
+			{"ScrubEvery", o.ScrubEvery > 0},
 			{"WALFailStop", o.WALFailStop},
 		} {
 			if v.set {

@@ -20,6 +20,7 @@ func TestOptionsValidateMatrix(t *testing.T) {
 		{"MaxSegmentBytes", Options{MaxSegmentBytes: 1 << 20}},
 		{"CheckpointFrameBuffer", Options{CheckpointFrameBuffer: 64}},
 		{"SyncCommit", Options{SyncCommit: true}},
+		{"ScrubEvery", Options{ScrubEvery: time.Minute}},
 		{"WALFailStop", Options{WALFailStop: true}},
 	}
 	for _, c := range cases {
@@ -42,7 +43,7 @@ func TestOptionsValidateMatrix(t *testing.T) {
 }
 
 // TestOptionsValidateReportsEveryViolation sets every RedoLog-requiring
-// option plus a negative worker count at once and requires all six
+// option plus a negative worker count at once and requires all seven
 // violations in one error, not just the first.
 func TestOptionsValidateReportsEveryViolation(t *testing.T) {
 	opts := Options{
@@ -51,6 +52,7 @@ func TestOptionsValidateReportsEveryViolation(t *testing.T) {
 		MaxSegmentBytes:       1,
 		CheckpointFrameBuffer: 8,
 		SyncCommit:            true,
+		ScrubEvery:            time.Minute,
 		WALFailStop:           true,
 	}
 	err := opts.Validate()
@@ -59,7 +61,7 @@ func TestOptionsValidateReportsEveryViolation(t *testing.T) {
 	}
 	for _, want := range []string{
 		"CheckpointEvery", "MaxSegmentBytes", "CheckpointFrameBuffer",
-		"SyncCommit", "WALFailStop", "Workers",
+		"SyncCommit", "ScrubEvery", "WALFailStop", "Workers",
 	} {
 		if !strings.Contains(err.Error(), want) {
 			t.Errorf("Validate() = %q, missing violation %s", err, want)

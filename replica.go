@@ -18,6 +18,22 @@ import (
 // lag is the distance between them.
 type LogPosition = wal.Position
 
+// ParseLogPosition parses the "seq:offset" form LogPosition.String
+// renders — the wire shape of a read-your-writes token: a client takes
+// the primary's LogPosition after a write, hands the string to a
+// follower, and the follower blocks the read with WaitPosition until it
+// has applied at least that far.
+func ParseLogPosition(s string) (LogPosition, error) {
+	var p LogPosition
+	if n, err := fmt.Sscanf(s, "%d:%d", &p.Seq, &p.Offset); n != 2 || err != nil {
+		return LogPosition{}, fmt.Errorf("doppel: malformed log position %q", s)
+	}
+	if p.Offset < 0 {
+		return LogPosition{}, fmt.Errorf("doppel: malformed log position %q", s)
+	}
+	return p, nil
+}
+
 // FollowerOptions tunes OpenFollower.
 type FollowerOptions struct {
 	// PollInterval is how often the replica polls the log for new
@@ -27,6 +43,17 @@ type FollowerOptions struct {
 	// RecoveryParallelism caps the goroutines used to decode the
 	// bootstrap checkpoint snapshot; values below 1 mean GOMAXPROCS.
 	RecoveryParallelism int
+	// StateDir, when set, enables follower-side checkpointing: the
+	// replica periodically persists its materialized store plus the log
+	// position it is consistent with, and a restart with the same
+	// StateDir resumes there, replaying only the log suffix written
+	// since — bounded work instead of the whole post-snapshot log. The
+	// directory is created if needed; it must be distinct from the
+	// primary's log directory and private to this replica.
+	StateDir string
+	// CheckpointEvery is how many applied records between follower
+	// checkpoints; <= 0 with StateDir set means 4096.
+	CheckpointEvery int
 }
 
 // Replica is a read-only database continuously rebuilt from a primary's
@@ -48,8 +75,10 @@ type Replica struct {
 // directory, so any number of replicas can follow one primary.
 func OpenFollower(dir string, opts FollowerOptions) (*Replica, error) {
 	f, err := repl.Open(dir, repl.Options{
-		Poll:        opts.PollInterval,
-		Parallelism: opts.RecoveryParallelism,
+		Poll:            opts.PollInterval,
+		Parallelism:     opts.RecoveryParallelism,
+		StateDir:        opts.StateDir,
+		CheckpointEvery: opts.CheckpointEvery,
 	})
 	if err != nil {
 		return nil, err
@@ -101,9 +130,11 @@ func (r *Replica) WaitPosition(ctx context.Context, pos LogPosition) error {
 }
 
 // Err returns the replica's terminal tail failure, if any. A non-nil
-// result means applying has stopped — sealed-segment corruption, or the
-// replica fell behind a checkpoint's segment garbage collection — and
-// the replica must be rebuilt by a fresh OpenFollower.
+// result means applying has stopped for good: sealed-segment or
+// manifest corruption the replica will not paper over. Falling behind a
+// checkpoint's segment garbage collection is NOT terminal — the replica
+// re-bootstraps itself from the newest snapshot automatically (counted
+// in ReplicaStats.Rebootstraps).
 func (r *Replica) Err() error { return r.f.Err() }
 
 // ReplicaStats is a point-in-time summary of replica progress.
@@ -122,6 +153,16 @@ type ReplicaStats struct {
 	// unchanged segment.
 	ManifestReads uint64
 	SegmentOpens  uint64
+	// Rebootstraps counts self-heals: times the replica fell behind a
+	// checkpoint GC and rebuilt itself from the newest snapshot. The
+	// applied watermark is never reset by a re-bootstrap (it undercounts
+	// the primary's LSN afterward), and Position stays monotone.
+	Rebootstraps uint64
+	// Checkpoints counts follower-side checkpoints written to StateDir;
+	// Resumed reports whether this replica started from StateDir state
+	// instead of a full bootstrap.
+	Checkpoints uint64
+	Resumed     bool
 	// TailError is the terminal tail failure, "" while healthy.
 	TailError string
 }
@@ -137,6 +178,9 @@ func (r *Replica) Stats() ReplicaStats {
 		Records:         s.Tail.Records,
 		ManifestReads:   s.Tail.ManifestReads,
 		SegmentOpens:    s.Tail.SegmentOpens,
+		Rebootstraps:    s.Rebootstraps,
+		Checkpoints:     s.Checkpoints,
+		Resumed:         s.Resumed,
 		TailError:       s.Err,
 	}
 }

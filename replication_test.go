@@ -329,3 +329,130 @@ func TestFollowerCatchUpFromCheckpoint(t *testing.T) {
 	waitCaughtUp(t, rep, db.LogPosition())
 	diffStores(t, dumpStore(db.Internal().Store()), dumpStore(rep.f.Store()))
 }
+
+// TestFollowerRebootstrapAfterGC makes the follower fall behind a
+// checkpoint's segment garbage collection and verifies it self-heals:
+// the tail hits ErrTailGCed, the follower rebuilds from the newest
+// snapshot without manual intervention, Position never regresses, and
+// the stores converge.
+func TestFollowerRebootstrapAfterGC(t *testing.T) {
+	dir := t.TempDir()
+	db, err := OpenErr(Options{Workers: 2, RedoLog: dir, MaxSegmentBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A slow poll gives the primary whole GC cycles between follower
+	// reads, so the follower's current segment reliably vanishes.
+	rep, err := OpenFollower(dir, FollowerOptions{PollInterval: 300 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rep.Close()
+
+	lastPos := rep.Position()
+	deadline := time.Now().Add(15 * time.Second)
+	round := 0
+	for rep.Stats().Rebootstraps == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("no rebootstrap after %d GC rounds (follower at %s)", round, rep.Position())
+		}
+		for i := 0; i < 40; i++ {
+			k := fmt.Sprintf("k:%d:%d", round, i)
+			if err := db.Exec(func(tx Tx) error { return tx.PutBytes(k, make([]byte, 64)) }); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := db.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+		if p := rep.Position(); p.Less(lastPos) {
+			t.Fatalf("follower position regressed: %s -> %s", lastPos, p)
+		} else {
+			lastPos = p
+		}
+		round++
+	}
+	if err := rep.Err(); err != nil {
+		t.Fatalf("rebootstrap left a terminal error: %v", err)
+	}
+	db.Close()
+	waitCaughtUp(t, rep, db.LogPosition())
+	if p := rep.Position(); p.Less(lastPos) {
+		t.Fatalf("follower position regressed after heal: %s -> %s", lastPos, p)
+	}
+	diffStores(t, dumpStore(db.Internal().Store()), dumpStore(rep.f.Store()))
+}
+
+// TestFollowerResumeFromStateDir verifies follower-side checkpointing:
+// a restarted follower resumes from its own persisted snapshot and
+// replays only the log suffix written after it, not the whole
+// post-snapshot log.
+func TestFollowerResumeFromStateDir(t *testing.T) {
+	dir, state := t.TempDir(), t.TempDir()
+	db, err := OpenErr(Options{Workers: 2, RedoLog: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const pre, post = 500, 50
+	rep, err := OpenFollower(dir, FollowerOptions{
+		PollInterval:    200 * time.Microsecond,
+		StateDir:        state,
+		CheckpointEvery: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < pre; i++ {
+		k, n := fmt.Sprintf("pre:%d", i), int64(i)
+		if err := db.Exec(func(tx Tx) error { return tx.PutInt(k, n) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitCaughtUp(t, rep, db.LogPosition())
+	// Wait for at least one follower checkpoint (written on the poll
+	// after the threshold crosses).
+	ckptDeadline := time.Now().Add(10 * time.Second)
+	for rep.Stats().Checkpoints == 0 {
+		if time.Now().After(ckptDeadline) {
+			t.Fatalf("no follower checkpoint after %d records", pre)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	rep.Close()
+
+	for i := 0; i < post; i++ {
+		k, n := fmt.Sprintf("post:%d", i), int64(i)
+		if err := db.Exec(func(tx Tx) error { return tx.PutInt(k, n) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db.Close()
+
+	rep2, err := OpenFollower(dir, FollowerOptions{
+		PollInterval:    200 * time.Microsecond,
+		StateDir:        state,
+		CheckpointEvery: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rep2.Close()
+	waitCaughtUp(t, rep2, db.LogPosition())
+	s := rep2.Stats()
+	if !s.Resumed {
+		t.Fatal("follower did not resume from its state directory")
+	}
+	if s.SnapshotEntries == 0 {
+		t.Fatal("resumed follower loaded no snapshot entries")
+	}
+	// Bounded suffix: the resumed follower must not have re-applied the
+	// whole log — only what followed its last checkpoint.
+	if s.Records >= pre {
+		t.Fatalf("resumed follower re-applied %d records; want a bounded suffix < %d", s.Records, pre)
+	}
+	// And the applied watermark must account for every primary record.
+	if s.AppliedLSN != db.DurableLSN() {
+		t.Fatalf("applied watermark %d, primary logged %d", s.AppliedLSN, db.DurableLSN())
+	}
+	diffStores(t, dumpStore(db.Internal().Store()), dumpStore(rep2.f.Store()))
+}

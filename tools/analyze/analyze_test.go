@@ -154,8 +154,10 @@ func TestSentinelBijection(t *testing.T) {
 	_, _, diags := loadFixture(t, []*Analyzer{sentinelErrAnalyzer}, "wireroot", "wireserver")
 	wantSubstrings := []string{
 		"missing statusErrBeta",
+		"missing statusErrRetriesExhausted",
 		"statusErrGamma has no exported sentinel",
 		"ErrBeta is not handled by statusForError",
+		"ErrRetriesExhausted is not handled by statusForError",
 		"statusErrGamma is not handled by sentinelFor",
 	}
 	for _, want := range wantSubstrings {

@@ -1,6 +1,9 @@
 // Package wireroot is the bijection fixture's stand-in for the root
-// doppel package: two exported sentinels, one of which (ErrBeta) the
-// wireserver fixture fails to carry.
+// doppel package: exported sentinels in every state the analyzer must
+// distinguish — threaded correctly (ErrAlpha, ErrOverloaded), missing
+// from the server's status table (ErrBeta), and missing from both the
+// table and the mapping functions (ErrRetriesExhausted, mirroring the
+// retry-layer sentinel the real wire protocol carries).
 package wireroot
 
 import "errors"
@@ -10,3 +13,11 @@ var ErrAlpha = errors.New("wireroot: alpha")
 
 // ErrBeta is deliberately missing from wireserver's status table.
 var ErrBeta = errors.New("wireroot: beta")
+
+// ErrOverloaded mirrors the real load-shedding sentinel; it is threaded
+// through the wire table correctly and must produce no diagnostics.
+var ErrOverloaded = errors.New("wireroot: overloaded")
+
+// ErrRetriesExhausted is deliberately missing from wireserver entirely:
+// no status constant and no mapping-function case.
+var ErrRetriesExhausted = errors.New("wireroot: retries exhausted")

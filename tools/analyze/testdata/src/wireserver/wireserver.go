@@ -1,7 +1,8 @@
 // Package wireserver is the bijection fixture's stand-in for
-// internal/server, seeded with three violations: no status for
-// ErrBeta, a statusErrGamma with no sentinel behind it, and mapping
-// functions that only handle Alpha.
+// internal/server, seeded with violations alongside correct wiring: no
+// status for ErrBeta or ErrRetriesExhausted, a statusErrGamma with no
+// sentinel behind it, and mapping functions that handle only Alpha and
+// Overloaded.
 package wireserver
 
 import (
@@ -10,26 +11,34 @@ import (
 	"doppel/tools/analyze/testdata/src/wireroot"
 )
 
-// Status codes; Beta is missing and Gamma is an orphan.
+// Status codes; Beta and RetriesExhausted are missing and Gamma is an
+// orphan. Overloaded is threaded correctly end to end.
 const (
-	statusOK       = 0
-	statusErr      = 1
-	statusErrAlpha = 2
-	statusErrGamma = 3
+	statusOK            = 0
+	statusErr           = 1
+	statusErrAlpha      = 2
+	statusErrGamma      = 3
+	statusErrOverloaded = 4
 )
 
-// statusForError handles only Alpha.
+// statusForError handles Alpha and Overloaded.
 func statusForError(err error) byte {
 	if errors.Is(err, wireroot.ErrAlpha) {
 		return statusErrAlpha
 	}
+	if errors.Is(err, wireroot.ErrOverloaded) {
+		return statusErrOverloaded
+	}
 	return statusErr
 }
 
-// sentinelFor handles only Alpha.
+// sentinelFor handles Alpha and Overloaded.
 func sentinelFor(status byte) error {
 	if status == statusErrAlpha {
 		return wireroot.ErrAlpha
+	}
+	if status == statusErrOverloaded {
+		return wireroot.ErrOverloaded
 	}
 	return nil
 }
